@@ -1,0 +1,195 @@
+//! Shared machinery for the baseline systems.
+
+use exegpt_sim::{PipelineLayout, SimError, Simulator, TpConfig};
+
+/// The paper's baseline parallel configuration: maximize tensor parallelism
+/// within a node, pipeline across nodes (§7.1). Returns `(tp, pp)`.
+pub(crate) fn paper_parallelism(sim: &Simulator) -> (usize, usize) {
+    let n = sim.cluster().total_gpus();
+    let profiled = sim.profile().tp_degrees();
+    let tp = profiled
+        .into_iter()
+        .filter(|&d| d <= sim.cluster().gpus_per_node() && n.is_multiple_of(d))
+        .max()
+        .unwrap_or(1);
+    (tp, n / tp)
+}
+
+/// A uniform PP×TP pipeline (the baselines' only layout), with separate
+/// per-stage layer allocations for the encoding and decoding passes
+/// (identical for decoder-only models; encoder/decoder slices for T5-style
+/// models, as FasterTransformer partitions them).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct GridPlan {
+    pub layout: PipelineLayout,
+    pub enc_alloc: Vec<usize>,
+    pub dec_alloc: Vec<usize>,
+    pub tp: usize,
+}
+
+pub(crate) fn build_grid(sim: &Simulator, tp: usize) -> Result<GridPlan, SimError> {
+    let n = sim.cluster().total_gpus();
+    if tp == 0 || !n.is_multiple_of(tp) {
+        return Err(SimError::InvalidConfig {
+            what: "tp",
+            why: format!("tensor parallelism {tp} does not divide {n} gpus"),
+        });
+    }
+    let cfg = if tp == 1 { TpConfig::none() } else { TpConfig { degree: tp, gpus: n } };
+    // Uniform grid: every stage is a TP group, so relative speeds are equal
+    // and the speedup value only needs to be positive.
+    let layout = PipelineLayout::build(n, cfg, 1.0, sim.cluster().gpus_per_node())?;
+    let (enc_alloc, dec_alloc) = if sim.enc_layers_total() == sim.model().num_layers() {
+        // Decoder-only: one physical allocation serves both passes.
+        let alloc = layout.allocate_layers(sim.model().num_layers())?;
+        (alloc.clone(), alloc)
+    } else {
+        (
+            layout.allocate_layers(sim.enc_layers_total())?,
+            layout.allocate_layers(sim.dec_layers_total())?,
+        )
+    };
+    Ok(GridPlan { layout, enc_alloc, dec_alloc, tp })
+}
+
+impl GridPlan {
+    /// Number of pipeline stages.
+    pub(crate) fn stages(&self) -> usize {
+        self.layout.num_stages()
+    }
+
+    /// Bottleneck-stage time of one *decoding* iteration at the given
+    /// micro-batch size and mean context.
+    pub(crate) fn decode_stage_time(
+        &self,
+        sim: &Simulator,
+        micro: f64,
+        ctx: f64,
+    ) -> Result<f64, SimError> {
+        let profile = sim.profile();
+        let s_e = sim.workload().input().mean();
+        let mut worst = 0.0f64;
+        for (i, stage) in self.layout.stages().iter().enumerate() {
+            let t = profile.decode_layer_time(micro, ctx, s_e, stage.tp)?;
+            let handoff = profile.handoff_time(micro, self.layout.boundary_intra_node(i));
+            worst = worst.max(self.dec_alloc[i] as f64 * t + handoff);
+        }
+        Ok(worst)
+    }
+
+    /// Bottleneck-stage time of *encoding* a micro-batch of the given size
+    /// and mean input length.
+    pub(crate) fn encode_stage_time(
+        &self,
+        sim: &Simulator,
+        micro: f64,
+        mean_in: f64,
+    ) -> Result<f64, SimError> {
+        let profile = sim.profile();
+        let mut worst = 0.0f64;
+        for (i, stage) in self.layout.stages().iter().enumerate() {
+            let t = profile.encode_layer_time(micro, mean_in, stage.tp)?;
+            let handoff =
+                profile.handoff_time(micro * mean_in, self.layout.boundary_intra_node(i));
+            worst = worst.max(self.enc_alloc[i] as f64 * t + handoff);
+        }
+        Ok(worst)
+    }
+
+    /// Per-GPU parameter bytes on the bottleneck stage.
+    pub(crate) fn param_bytes_per_gpu(&self, sim: &Simulator) -> u64 {
+        let dec_only = sim.enc_layers_total() == sim.model().num_layers();
+        self.enc_alloc
+            .iter()
+            .zip(&self.dec_alloc)
+            .zip(self.layout.stages())
+            .map(|((&e, &d), s)| {
+                let bytes = if dec_only {
+                    d as u64 * sim.dec_layer_bytes()
+                } else {
+                    e as u64 * sim.enc_layer_bytes() + d as u64 * sim.dec_layer_bytes()
+                };
+                bytes / s.tp as u64
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// KV bytes per cached token on the bottleneck GPU.
+    pub(crate) fn kv_bytes_per_token(&self, sim: &Simulator) -> f64 {
+        let worst = self
+            .dec_alloc
+            .iter()
+            .zip(self.layout.stages())
+            .map(|(&l, s)| l as f64 / s.tp as f64)
+            .fold(0.0f64, f64::max);
+        sim.model().kv_bytes_per_token_per_layer() as f64 * worst
+    }
+}
+
+/// Batch sizes the paper sweeps: multiples of four from the minimum up
+/// (§7.1, "minimum to maximum batch sizes in multiples of four").
+pub(crate) fn batch_sweep(max: usize) -> impl Iterator<Item = usize> {
+    (1..).map(|i| i * 4).take_while(move |&b| b <= max)
+}
+
+/// Windowed throughput over completion times (same convention as the
+/// ExeGPT runner): completions after warm-up over the elapsed window.
+pub(crate) fn windowed(completion_times: &[f64], warmup_frac: f64) -> (f64, f64) {
+    if completion_times.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut times = completion_times.to_vec();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    let warm = ((times.len() as f64 * warmup_frac) as usize).min(times.len() - 1);
+    let t0 = if warm == 0 { 0.0 } else { times[warm - 1] };
+    let t1 = *times.last().expect("non-empty");
+    if t1 <= t0 {
+        // Degenerate window (one static batch): whole-run average.
+        return (times.len() as f64 / t1.max(f64::MIN_POSITIVE), t1);
+    }
+    ((times.len() - warm) as f64 / (t1 - t0), t1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exegpt_cluster::ClusterSpec;
+    use exegpt_model::ModelConfig;
+    use exegpt_profiler::{ProfileOptions, Profiler};
+    use exegpt_workload::Task;
+    use std::sync::Arc;
+
+    fn sim(gpus: usize) -> Simulator {
+        let model = ModelConfig::opt_13b();
+        let cluster = ClusterSpec::a40_cluster().subcluster(gpus).expect("fits");
+        let profile = Profiler::new(model.clone(), cluster.clone())
+            .run(&ProfileOptions::default())
+            .expect("profiles");
+        Simulator::new(model, cluster, Arc::new(profile), Task::Translation.workload().unwrap())
+    }
+
+    #[test]
+    fn paper_parallelism_maximizes_intra_node_tp() {
+        let (tp, pp) = paper_parallelism(&sim(4));
+        assert_eq!((tp, pp), (4, 1));
+        let (tp, pp) = paper_parallelism(&sim(16));
+        assert_eq!((tp, pp), (8, 2));
+    }
+
+    #[test]
+    fn grid_covers_all_layers() {
+        let s = sim(16);
+        let g = build_grid(&s, 8).expect("valid");
+        assert_eq!(g.stages(), 2);
+        assert_eq!(g.dec_alloc.iter().sum::<usize>(), 40);
+        assert_eq!(g.enc_alloc, g.dec_alloc, "decoder-only shares one allocation");
+        assert!(build_grid(&s, 3).is_err());
+    }
+
+    #[test]
+    fn batch_sweep_is_multiples_of_four() {
+        let v: Vec<usize> = batch_sweep(17).collect();
+        assert_eq!(v, vec![4, 8, 12, 16]);
+    }
+}

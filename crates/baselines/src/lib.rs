@@ -1,0 +1,62 @@
+//! Executable models of the LLM inference systems ExeGPT is compared
+//! against (paper §2, §7.2): NVIDIA FasterTransformer, DeepSpeed-Inference,
+//! ORCA, and vLLM.
+//!
+//! Each baseline reproduces the *scheduling policy* that differentiates it —
+//! which queries are batched when, what is early-terminated, how KV-cache
+//! space is reserved, and what host overheads apply — and executes it on the
+//! same profile/cost substrate as ExeGPT's runner, so throughput/latency
+//! comparisons isolate scheduling (exactly what the paper's evaluation
+//! compares):
+//!
+//! * [`FasterTransformer`] — static batches on a PP×TP grid (maximum TP per
+//!   node, the paper's baseline configuration); no early termination: every
+//!   query in a batch decodes until the batch's longest output finishes;
+//!   KV reserved up-front for the maximum output length.
+//! * [`DeepSpeedInference`] — FasterTransformer's regime plus hybrid
+//!   encode micro-batching and small-batch GeMM kernels, but public-version
+//!   tensor parallelism only (no pipeline parallelism, §7.2).
+//! * [`Orca`] — iteration-level scheduling: completed queries leave and new
+//!   queries join the running batch each iteration, with their (expensive)
+//!   prefill executed *inside* the decoding iteration — the pipeline-bubble
+//!   and latency-jitter source the paper highlights.
+//! * [`Vllm`] — ORCA's iteration-level mode (the paper's stand-in for
+//!   proprietary ORCA) plus paged KV management, at most one prefill
+//!   admission per iteration, and the un-maskable host overhead the paper
+//!   measures for its Python executor.
+//!
+//! # Example
+//!
+//! ```
+//! use exegpt_baselines::FasterTransformer;
+//! use exegpt_cluster::ClusterSpec;
+//! use exegpt_model::ModelConfig;
+//! use exegpt_profiler::{ProfileOptions, Profiler};
+//! use exegpt_sim::Simulator;
+//! use exegpt_workload::Task;
+//!
+//! let model = ModelConfig::opt_13b();
+//! let cluster = ClusterSpec::a40_cluster().subcluster(4)?;
+//! let profile = Profiler::new(model.clone(), cluster.clone())
+//!     .run(&ProfileOptions::default())?;
+//! let sim = Simulator::new(model, cluster, profile.into(),
+//!     Task::Translation.workload()?);
+//! let ft = FasterTransformer::paper_default(sim)?;
+//! let (batch, est) = ft.plan(f64::INFINITY).expect("some batch is feasible");
+//! assert!(batch >= 4 && est.throughput > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod common;
+mod dsi;
+mod ft;
+mod orca;
+mod vllm;
+
+pub use dsi::DeepSpeedInference;
+pub use ft::FasterTransformer;
+pub use orca::{IterationLevel, Orca};
+pub use vllm::Vllm;

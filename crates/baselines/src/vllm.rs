@@ -1,0 +1,54 @@
+//! vLLM in its iteration-level scheduling mode (paper §7.1): the stand-in
+//! the paper uses for proprietary ORCA, with paged KV management, one
+//! prefill admission per iteration, and the per-sequence Python host
+//! overhead the paper identifies (§7.2).
+
+use exegpt_runner::{RunError, RunOptions, RunReport};
+use exegpt_sim::{Estimate, SimError, Simulator};
+
+use crate::orca::{IterationLevel, Orca};
+
+/// vLLM: a thin configuration of the shared iteration-level engine.
+#[derive(Debug, Clone)]
+pub struct Vllm {
+    inner: Orca,
+}
+
+impl Vllm {
+    /// Creates vLLM with the paper's parallel configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if no valid grid exists.
+    pub fn new(sim: Simulator) -> Result<Self, SimError> {
+        Ok(Self { inner: Orca::new(sim, IterationLevel::vllm())? })
+    }
+
+    /// The underlying simulator context.
+    pub fn simulator(&self) -> &Simulator {
+        self.inner.simulator()
+    }
+
+    /// Closed-form steady-state estimate for `batch` slots.
+    ///
+    /// # Errors
+    ///
+    /// See [`Orca::estimate`].
+    pub fn estimate(&self, batch: usize) -> Result<Estimate, SimError> {
+        self.inner.estimate(batch)
+    }
+
+    /// Best slot count under a latency bound.
+    pub fn plan(&self, bound: f64) -> Option<(usize, Estimate)> {
+        self.inner.plan(bound)
+    }
+
+    /// Executes vLLM serving with `batch` slots.
+    ///
+    /// # Errors
+    ///
+    /// See [`Orca::run`].
+    pub fn run(&self, batch: usize, opts: &RunOptions) -> Result<RunReport, RunError> {
+        self.inner.run(batch, opts)
+    }
+}

@@ -1,0 +1,118 @@
+//! Planning-protocol invariants shared by every baseline: bounds are
+//! respected, relaxing a bound never hurts, and estimates track replays.
+
+use std::sync::Arc;
+
+use exegpt_baselines::{DeepSpeedInference, FasterTransformer, IterationLevel, Orca, Vllm};
+use exegpt_cluster::ClusterSpec;
+use exegpt_model::ModelConfig;
+use exegpt_profiler::{ProfileOptions, Profiler};
+use exegpt_runner::RunOptions;
+use exegpt_sim::Simulator;
+use exegpt_workload::Task;
+
+fn sim(task: Task) -> Simulator {
+    let model = ModelConfig::opt_13b();
+    let cluster = ClusterSpec::a40_cluster().subcluster(4).expect("fits");
+    let profile = Profiler::new(model.clone(), cluster.clone())
+        .run(&ProfileOptions::default())
+        .expect("profiles");
+    Simulator::new(model, cluster, Arc::new(profile), task.workload().expect("valid"))
+}
+
+/// Relaxing the bound never lowers any system's planned throughput.
+#[test]
+fn planned_throughput_is_monotone_in_the_bound() {
+    let s = sim(Task::ConversationalQa1);
+    let ft = FasterTransformer::paper_default(s.clone()).expect("grid");
+    let bounds = exegpt_workload::latency_bounds(&ft.latency_sweep()).expect("non-empty");
+
+    let check = |name: &str, plans: Vec<Option<f64>>| {
+        let mut last = 0.0f64;
+        for (i, t) in plans.into_iter().enumerate() {
+            if let Some(t) = t {
+                assert!(
+                    t >= last - 1e-9,
+                    "{name}: bound {i} planned {t} below earlier {last}"
+                );
+                last = t;
+            }
+        }
+        assert!(last > 0.0, "{name}: the infinite bound must be plannable");
+    };
+
+    check(
+        "FT",
+        bounds.iter().map(|&b| ft.plan(b).map(|(_, e)| e.throughput)).collect(),
+    );
+    let dsi = DeepSpeedInference::new(s.clone()).expect("single node");
+    check(
+        "DSI",
+        bounds.iter().map(|&b| dsi.plan(b).map(|(_, e)| e.throughput)).collect(),
+    );
+    let orca = Orca::new(s.clone(), IterationLevel::orca()).expect("grid");
+    check(
+        "ORCA",
+        bounds.iter().map(|&b| orca.plan(b).map(|(_, e)| e.throughput)).collect(),
+    );
+    let vllm = Vllm::new(s).expect("grid");
+    check(
+        "vLLM",
+        bounds.iter().map(|&b| vllm.plan(b).map(|(_, e)| e.throughput)).collect(),
+    );
+}
+
+/// Every planned configuration's estimate respects the bound it was planned
+/// for, across all five tasks.
+#[test]
+fn plans_respect_their_bounds_on_all_tasks() {
+    for task in Task::all() {
+        let s = sim(task);
+        let ft = FasterTransformer::paper_default(s.clone()).expect("grid");
+        let bounds = exegpt_workload::latency_bounds(&ft.latency_sweep()).expect("non-empty");
+        for &b in &bounds {
+            if let Some((_, est)) = ft.plan(b) {
+                assert!(est.latency <= b, "{task}: FT {} > {b}", est.latency);
+            }
+            let orca = Orca::new(s.clone(), IterationLevel::orca()).expect("grid");
+            if let Some((_, est)) = orca.plan(b) {
+                assert!(est.latency <= b, "{task}: ORCA {} > {b}", est.latency);
+            }
+        }
+    }
+}
+
+/// FT's estimate is *conservative* relative to its replay: the estimate
+/// decodes every batch to the distribution maximum, so measured throughput
+/// on sampled lengths is at least the planned one.
+#[test]
+fn ft_estimates_are_conservative() {
+    let s = sim(Task::Translation);
+    let ft = FasterTransformer::paper_default(s).expect("grid");
+    for batch in [8usize, 32, 64] {
+        let est = ft.estimate(batch).expect("feasible");
+        let rep = ft
+            .run(batch, &RunOptions { num_queries: 4 * batch, ..Default::default() })
+            .expect("runs");
+        assert!(
+            rep.throughput >= est.throughput * 0.95,
+            "batch {batch}: measured {} vs planned {}",
+            rep.throughput,
+            est.throughput
+        );
+    }
+}
+
+/// ORCA's estimate tracks its replay within a modest tolerance (both
+/// directions): the iteration-level steady state is well modelled.
+#[test]
+fn orca_estimates_track_replays() {
+    let s = sim(Task::Summarization);
+    let orca = Orca::new(s, IterationLevel::orca()).expect("grid");
+    let est = orca.estimate(64).expect("feasible");
+    let rep = orca
+        .run(64, &RunOptions { num_queries: 600, ..Default::default() })
+        .expect("runs");
+    let ratio = rep.throughput / est.throughput;
+    assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+}

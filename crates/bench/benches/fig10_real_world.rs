@@ -1,0 +1,30 @@
+//! Figure 10 bench: prints the real-world-dataset comparison, then times
+//! the dataset-to-workload estimation step.
+
+use criterion::{criterion_group, Criterion};
+use exegpt_bench::fig10;
+use exegpt_workload::Dataset;
+
+fn print_figure() {
+    let rows = fig10::generate(150);
+    println!("{}", fig10::render(&rows));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let dataset = Dataset::alpaca(4000, 7);
+    c.bench_function("fig10/estimate_workload_from_4k_pairs", |b| {
+        b.iter(|| dataset.estimate_workload().expect("non-empty"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernel
+}
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

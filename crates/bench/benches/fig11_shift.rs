@@ -1,0 +1,45 @@
+//! Figure 11 bench: prints the distribution-shift study (WAA side), then
+//! times the re-optimization a distribution change triggers (§7.6-§7.7).
+
+use criterion::{criterion_group, Criterion};
+use exegpt::{Policy, SchedulerOptions};
+use exegpt_bench::scenarios::opt_4xa40;
+use exegpt_bench::{fig11, support};
+use exegpt_sim::Workload;
+use exegpt_workload::Task;
+
+fn print_figure() {
+    let rows = fig11::generate(vec![Policy::WaaCompute, Policy::WaaMemory], 150);
+    println!("{}", fig11::render(&rows));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let system = opt_4xa40();
+    let base = Task::Translation.workload().expect("valid");
+    let bound = support::bounds_for(&system, &base)[1];
+    let engine = system.engine(base.clone());
+    let shifted = Workload::new(
+        base.input().clone(),
+        base.output().with_scaled_mean(1.15).expect("valid"),
+    );
+    c.bench_function("fig11/reschedule_after_shift", |b| {
+        b.iter(|| {
+            engine
+                .with_workload(shifted.clone())
+                .schedule_with(&SchedulerOptions::bounded(bound))
+                .ok()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel
+}
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

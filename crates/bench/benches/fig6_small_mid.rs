@@ -1,0 +1,35 @@
+//! Figure 6 bench: prints the ExeGPT-vs-FT comparison for the 4-GPU
+//! deployment (the full figure is `figures -- fig6`), then times one
+//! constraint-aware scheduling run — the paper's §7.7 scheduling cost.
+
+use criterion::{criterion_group, Criterion};
+use exegpt_bench::scenarios::opt_4xa40;
+use exegpt_bench::{fig6, support};
+use exegpt_workload::Task;
+
+fn print_figure() {
+    let rows = fig6::generate(&[opt_4xa40()], 150);
+    println!("{}", fig6::render(&rows));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let system = opt_4xa40();
+    let workload = Task::Summarization.workload().expect("valid");
+    let bound = support::bounds_for(&system, &workload)[1];
+    let engine = system.engine(workload);
+    c.bench_function("fig6/schedule_opt13b_taskS_bounded", |b| {
+        b.iter(|| engine.schedule(bound).expect("feasible"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel
+}
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

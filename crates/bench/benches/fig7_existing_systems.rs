@@ -1,0 +1,33 @@
+//! Figure 7 bench: prints the existing-systems comparison, then times the
+//! FT baseline's batch-sweep planning.
+
+use criterion::{criterion_group, Criterion};
+use exegpt_baselines::FasterTransformer;
+use exegpt_bench::fig7;
+use exegpt_bench::scenarios::opt_4xa40;
+use exegpt_workload::Task;
+
+fn print_figure() {
+    let rows = fig7::generate(150);
+    println!("{}", fig7::render(&rows));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let sim = opt_4xa40().simulator_for(Task::Translation);
+    let ft = FasterTransformer::paper_default(sim).expect("grid builds");
+    c.bench_function("fig7/ft_plan_unbounded", |b| {
+        b.iter(|| ft.plan(f64::INFINITY).expect("feasible"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel
+}
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

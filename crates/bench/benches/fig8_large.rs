@@ -1,0 +1,44 @@
+//! Figure 8 bench: prints the large-model comparison for the 16xA100
+//! deployment (the full figure is `figures -- fig8`), then times a
+//! large-model scheduling run.
+
+use criterion::{criterion_group, Criterion};
+use exegpt::Policy;
+use exegpt_bench::scenarios::large_systems;
+use exegpt_bench::{fig8, support};
+use exegpt_workload::Task;
+
+fn print_figure() {
+    let systems = &large_systems()[..1]; // GPT-3 101B / 16xA100
+    let rows = fig8::generate(systems, 150);
+    println!("{}", fig8::render(&rows));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let system = large_systems().remove(0);
+    let workload = Task::CodeGeneration.workload().expect("valid");
+    let bound = support::bounds_for(&system, &workload)[1];
+    let engine = system.engine(workload);
+    c.bench_function("fig8/schedule_gpt3_101b_taskG_rra", |b| {
+        b.iter(|| {
+            engine
+                .schedule_with(&exegpt::SchedulerOptions {
+                    policies: vec![Policy::Rra],
+                    ..exegpt::SchedulerOptions::bounded(bound)
+                })
+                .expect("feasible")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel
+}
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

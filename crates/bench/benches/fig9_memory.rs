@@ -1,0 +1,33 @@
+//! Figure 9 bench: prints the FT-vs-WAA memory comparison, then times one
+//! WAA evaluation (the memory accounting path).
+
+use criterion::{criterion_group, Criterion};
+use exegpt::{TpConfig, WaaConfig, WaaVariant};
+use exegpt_bench::fig9;
+use exegpt_bench::scenarios::opt_4xa40;
+use exegpt_workload::Task;
+
+fn print_figure() {
+    let rows = fig9::generate();
+    println!("{}", fig9::render(&rows));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let sim = opt_4xa40().simulator_for(Task::Translation);
+    let cfg = WaaConfig::new(2, 3, TpConfig::none(), WaaVariant::Memory);
+    c.bench_function("fig9/evaluate_waa_memory_variant", |b| {
+        b.iter(|| sim.evaluate_waa(&cfg).expect("feasible"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernel
+}
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,114 @@
+//! Scheduling-cost study (paper §7.7 and §5): branch-and-bound versus
+//! exhaustive grid search and the black-box alternative (§5 mentions
+//! Bayesian optimization; a budget-matched random search stands in for the
+//! black-box family) — solution quality, evaluation counts, and wall-clock
+//! time. The paper reports seconds-to-minutes for its scheduler
+//! versus five-plus hours for exhaustive search; this bench reproduces the
+//! same orders-of-magnitude gap in evaluation counts on the simulated
+//! substrate, and the Criterion timings below are genuine wall-clock
+//! measurements of the same algorithm the paper runs.
+
+use criterion::{criterion_group, Criterion};
+use exegpt::{RraConfig, SchedulerOptions, TpConfig};
+use exegpt_bench::scenarios::opt_4xa40;
+use exegpt_bench::support;
+use exegpt_workload::Task;
+
+/// Exhaustive reference: evaluate every (B_E, N_D) RRA point at TP=none.
+fn exhaustive(sim: &exegpt_sim::Simulator, bound: f64, max_b_e: usize, max_n_d: usize) -> (f64, usize) {
+    let mut best = 0.0f64;
+    let mut evals = 0usize;
+    for b_e in 1..=max_b_e {
+        for n_d in 1..=max_n_d {
+            evals += 1;
+            if let Ok(est) = sim.evaluate_rra(&RraConfig::new(b_e, n_d, TpConfig::none())) {
+                if est.latency <= bound {
+                    best = best.max(est.throughput);
+                }
+            }
+        }
+    }
+    (best, evals)
+}
+
+fn print_comparison() {
+    let system = opt_4xa40();
+    let workload = Task::Summarization.workload().expect("valid");
+    let bound = support::bounds_for(&system, &workload)[1];
+    let engine = system.engine(workload);
+
+    // Same space for both searches: RRA over B_E x N_D at TP=none.
+    let opts = SchedulerOptions {
+        policies: vec![exegpt::Policy::Rra],
+        max_b_e: Some(128),
+        max_n_d: Some(64),
+        tp_configs: Some(vec![TpConfig::none()]),
+        ..SchedulerOptions::bounded(bound)
+    };
+    let bnb = engine.schedule_with(&opts).expect("feasible");
+    let (ex_best, ex_evals) = exhaustive(engine.simulator(), bound, 128, 64);
+
+    // Budget-matched black-box baseline over the same RRA space.
+    let sim = engine.simulator();
+    let rnd = exegpt::search::random_search(
+        (1, 128),
+        (1, 64),
+        bound,
+        bnb.evals,
+        42,
+        |b_e, n_d| match sim.evaluate_rra(&RraConfig::new(b_e, n_d, TpConfig::none())) {
+            Ok(e) => exegpt::bnb::Perf { latency: e.latency, throughput: e.throughput },
+            Err(_) => exegpt::bnb::Perf::INFEASIBLE,
+        },
+    );
+
+    println!("Scheduling cost (paper 7.7): branch-and-bound vs alternatives");
+    println!("setup: OPT-13B / 4xA40, task S, L_B = {bound:.1}s, RRA over B_E x N_D at TP=none");
+    println!("  branch-and-bound: throughput {:.2} q/s with {} evaluations", bnb.estimate.throughput, bnb.evals);
+    println!("  exhaustive      : throughput {:.2} q/s with {} evaluations", ex_best, ex_evals);
+    match rnd {
+        Some(r) => println!(
+            "  random search   : throughput {:.2} q/s with {} evaluations (budget-matched)",
+            r.perf.throughput, r.evals
+        ),
+        None => println!("  random search   : found nothing feasible at the matched budget"),
+    }
+    println!(
+        "  quality {:.1}% of exhaustive at {:.1}x fewer evaluations\n",
+        100.0 * bnb.estimate.throughput / ex_best.max(f64::MIN_POSITIVE),
+        ex_evals as f64 / bnb.evals.max(1) as f64
+    );
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let system = opt_4xa40();
+    let workload = Task::Summarization.workload().expect("valid");
+    let bound = support::bounds_for(&system, &workload)[1];
+    let engine = system.engine(workload);
+    let opts = SchedulerOptions {
+        policies: vec![exegpt::Policy::Rra],
+        max_b_e: Some(128),
+        max_n_d: Some(64),
+        tp_configs: Some(vec![TpConfig::none()]),
+        ..SchedulerOptions::bounded(bound)
+    };
+    c.bench_function("sched_cost/branch_and_bound", |b| {
+        b.iter(|| engine.schedule_with(&opts).expect("feasible"))
+    });
+    let sim = engine.simulator().clone();
+    c.bench_function("sched_cost/exhaustive_128x64", |b| {
+        b.iter(|| exhaustive(&sim, bound, 128, 64))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel
+}
+
+fn main() {
+    print_comparison();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,31 @@
+//! Table 4 bench: prints the deployment-cost table, then times the loading
+//! model itself.
+
+use criterion::{criterion_group, Criterion};
+use exegpt_bench::tab4;
+use exegpt_cluster::{ClusterSpec, LoadCostModel, LoadSource};
+use exegpt_model::ModelConfig;
+
+fn print_figure() {
+    println!("{}", tab4::render(&tab4::generate()));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let lcm = LoadCostModel::new(ClusterSpec::a40_cluster());
+    let bytes = ModelConfig::gpt3_341b().param_bytes();
+    c.bench_function("tab4/load_time_341b", |b| {
+        b.iter(|| lcm.load_time(bytes, 48, LoadSource::Ssd))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_kernel
+}
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,35 @@
+//! Table 5 bench: prints the monotonicity measurements, then times one
+//! full control-variable sweep.
+
+use criterion::{criterion_group, Criterion};
+use exegpt::{RraConfig, TpConfig};
+use exegpt_bench::scenarios::gpt39b_for_tab5;
+use exegpt_bench::tab5;
+use exegpt_workload::Task;
+
+fn print_figure() {
+    println!("{}", tab5::render(&tab5::generate()));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let sim = gpt39b_for_tab5().simulator_for(Task::Summarization);
+    c.bench_function("tab5/sweep_b_e_24_points", |b| {
+        b.iter(|| {
+            (1..=24)
+                .filter_map(|i| sim.evaluate_rra(&RraConfig::new(4 * i, 16, TpConfig::none())).ok())
+                .count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernel
+}
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

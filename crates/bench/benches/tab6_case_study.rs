@@ -1,0 +1,33 @@
+//! Table 6 bench: prints the trade-off case study, then times the
+//! portfolio scheduling run behind one of its rows.
+
+use criterion::{criterion_group, Criterion};
+use exegpt_bench::scenarios::opt_4xa40;
+use exegpt_bench::{support, tab6};
+use exegpt_workload::Task;
+
+fn print_figure() {
+    println!("{}", tab6::render(&tab6::generate()));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let system = opt_4xa40();
+    let workload = Task::Summarization.workload().expect("valid");
+    let bound = support::bounds_for(&system, &workload)[0];
+    let engine = system.engine(workload);
+    c.bench_function("tab6/schedule_tightest_bound", |b| {
+        b.iter(|| engine.schedule(bound).expect("feasible"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel
+}
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

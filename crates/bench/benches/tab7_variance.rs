@@ -1,0 +1,34 @@
+//! Table 7 bench: prints the stage-time variance table, then times one
+//! runner replay (the measurement instrument itself).
+
+use criterion::{criterion_group, Criterion};
+use exegpt::{RraConfig, ScheduleConfig, TpConfig};
+use exegpt_bench::scenarios::opt_4xa40;
+use exegpt_bench::tab7;
+use exegpt_runner::{RunOptions, Runner};
+use exegpt_workload::Task;
+
+fn print_figure() {
+    println!("{}", tab7::render(&tab7::generate(1000)));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let runner = Runner::from_simulator(opt_4xa40().simulator_for(Task::Summarization));
+    let cfg = ScheduleConfig::Rra(RraConfig::new(16, 16, TpConfig::none()));
+    let opts = RunOptions { num_queries: 200, ..Default::default() };
+    c.bench_function("tab7/replay_200_queries", |b| {
+        b.iter(|| runner.run(&cfg, &opts).expect("runs"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel
+}
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

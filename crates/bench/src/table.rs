@@ -1,0 +1,92 @@
+//! Minimal fixed-width text-table rendering for the figure/table output.
+
+/// Renders rows of cells as an aligned text table with a header rule.
+///
+/// # Example
+///
+/// ```
+/// let t = exegpt_bench::table::render(
+///     &["model", "tput"],
+///     &[vec!["OPT".to_string(), "12.3".to_string()]],
+/// );
+/// assert!(t.contains("model"));
+/// assert!(t.contains("OPT"));
+/// ```
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", c, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a throughput/latency value compactly (`-` for missing, `NS` for
+/// not-satisfiable, matching the paper's figures).
+pub fn opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.2}"),
+        Some(_) => "inf".to_string(),
+        None => "NS".to_string(),
+    }
+}
+
+/// Formats a latency bound (`inf` for the unconstrained case).
+pub fn bound(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "inf".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(
+            &["a", "bbbb"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["long".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("x"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(opt_f64(None), "NS");
+        assert_eq!(opt_f64(Some(1.234)), "1.23");
+        assert_eq!(opt_f64(Some(f64::INFINITY)), "inf");
+        assert_eq!(bound(f64::INFINITY), "inf");
+        assert_eq!(bound(9.85), "9.8");
+    }
+}

@@ -1,0 +1,77 @@
+//! ASCII regeneration of the paper's illustrative timelines (Figures 1, 3
+//! and 4): how RRA alternates encode/decode phases on shared GPUs and how
+//! WAA dedicates GPU groups to asynchronous encode/decode pipelines.
+
+use exegpt::{Policy, SchedulerOptions};
+use exegpt_runner::{RunOptions, Runner};
+use exegpt_workload::Task;
+
+use crate::scenarios::opt_4xa40;
+
+/// Renders a labelled proportional bar.
+fn bar(label: &str, seconds: f64, scale: f64) -> String {
+    let width = ((seconds * scale).round() as usize).clamp(1, 60);
+    format!("{label:<18} |{}| {seconds:.3}s", "█".repeat(width))
+}
+
+/// Regenerates the RRA and WAA phase timelines for OPT-13B / task T.
+pub fn generate() -> String {
+    let system = opt_4xa40();
+    let workload = Task::Translation.workload().expect("task statistics are valid");
+    let engine = system.engine(workload);
+    let mut out = String::from(
+        "Illustrative execution timelines (cf. paper Figures 1/3/4)\n\
+         One steady-state period per schedule family; bar length ∝ time.\n\n",
+    );
+    for (name, policies) in [
+        ("RRA", vec![Policy::Rra]),
+        ("WAA", vec![Policy::WaaCompute, Policy::WaaMemory]),
+    ] {
+        let opts = SchedulerOptions { policies, ..SchedulerOptions::bounded(f64::INFINITY) };
+        let Ok(s) = engine.schedule_with(&opts) else { continue };
+        let b = s.estimate.breakdown;
+        let scale = 50.0 / b.period.max(1e-9);
+        out.push_str(&format!("{name}: {}\n", s.config.describe()));
+        match name {
+            "RRA" => {
+                // All GPUs alternate: encode phase then N_D decode iterations.
+                out.push_str(&bar("  all GPUs: encode", b.encode_time, scale));
+                out.push('\n');
+                out.push_str(&bar("  all GPUs: decode", b.decode_time, scale));
+                out.push('\n');
+            }
+            _ => {
+                // Dedicated groups run concurrently; the period is the max.
+                out.push_str(&bar("  enc GPUs: encode", b.encode_time, scale));
+                out.push('\n');
+                out.push_str(&bar("  dec GPUs: decode", b.decode_time, scale));
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "  period {:.3}s, stages {}, decode pool {}\n",
+            b.period, b.stages, b.decode_batch
+        ));
+        // A real replay's Gantt over the first few periods.
+        let runner = Runner::from_simulator(engine.simulator().clone());
+        if let Ok(rep) = runner.run(
+            &s.config,
+            &RunOptions {
+                num_queries: (2 * b.decode_batch).max(120),
+                record_trace: true,
+                ..Default::default()
+            },
+        ) {
+            if let Some(trace) = rep.trace {
+                out.push_str("  replay (first 4 periods):\n");
+                for line in trace.render_gantt(4.0 * b.period, 64).lines() {
+                    out.push_str("    ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}

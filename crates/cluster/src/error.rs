@@ -1,0 +1,48 @@
+//! Error types for the cluster crate.
+
+/// Errors produced when constructing cluster specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// A device or topology parameter was invalid.
+    InvalidSpec {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// Why it was rejected.
+        why: &'static str,
+    },
+    /// A sub-cluster request exceeded the available GPUs.
+    InsufficientGpus {
+        /// GPUs requested.
+        requested: usize,
+        /// GPUs available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::InvalidSpec { what, why } => {
+                write!(f, "invalid cluster spec `{what}`: {why}")
+            }
+            ClusterError::InsufficientGpus { requested, available } => {
+                write!(f, "requested {requested} gpus but only {available} are available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_counts() {
+        let e = ClusterError::InsufficientGpus { requested: 64, available: 48 };
+        let s = e.to_string();
+        assert!(s.contains("64") && s.contains("48"));
+    }
+}

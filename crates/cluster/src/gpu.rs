@@ -1,0 +1,172 @@
+//! GPU device capability descriptions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusterError;
+
+/// Capability description of a single GPU device.
+///
+/// The two presets correspond to the devices in Table 2 of the paper. Peak
+/// numbers are the published dense-FP16 tensor-core throughput and HBM
+/// bandwidth; the [`CostModel`](crate::CostModel) applies saturating
+/// efficiency curves on top of them, so these are *ceilings*, not achieved
+/// rates.
+///
+/// # Example
+///
+/// ```
+/// use exegpt_cluster::GpuSpec;
+///
+/// let a100 = GpuSpec::a100_80gb();
+/// assert!(a100.peak_flops() > GpuSpec::a40().peak_flops());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    name: String,
+    mem_bytes: u64,
+    peak_flops: f64,
+    mem_bandwidth: f64,
+    launch_overhead_s: f64,
+    max_compute_efficiency: f64,
+    max_memory_efficiency: f64,
+    /// FLOPs at which compute efficiency reaches half of its maximum.
+    compute_half_sat_flops: f64,
+    /// Bytes at which memory efficiency reaches half of its maximum.
+    memory_half_sat_bytes: f64,
+}
+
+impl GpuSpec {
+    /// Creates a custom GPU spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidSpec`] if any capacity/throughput is
+    /// non-positive or an efficiency is outside `(0, 1]`.
+    pub fn new(
+        name: impl Into<String>,
+        mem_bytes: u64,
+        peak_flops: f64,
+        mem_bandwidth: f64,
+    ) -> Result<Self, ClusterError> {
+        if mem_bytes == 0 {
+            return Err(ClusterError::InvalidSpec {
+                what: "mem_bytes",
+                why: "must be non-zero",
+            });
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
+        if !(peak_flops > 0.0) || !(mem_bandwidth > 0.0) {
+            return Err(ClusterError::InvalidSpec {
+                what: "throughput",
+                why: "peak_flops and mem_bandwidth must be positive",
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            mem_bytes,
+            peak_flops,
+            mem_bandwidth,
+            launch_overhead_s: 12e-6,
+            max_compute_efficiency: 0.62,
+            max_memory_efficiency: 0.82,
+            compute_half_sat_flops: 3.0e9,
+            memory_half_sat_bytes: 24.0e6,
+        })
+    }
+
+    /// NVIDIA A40: 48 GB, ~149.7 TFLOPS dense FP16, 696 GB/s GDDR6.
+    pub fn a40() -> Self {
+        Self::new("A40", 48 * (1 << 30) as u64, 149.7e12, 696e9)
+            .expect("preset spec is valid")
+    }
+
+    /// NVIDIA A100 80 GB SXM: ~312 TFLOPS dense FP16, 2039 GB/s HBM2e.
+    pub fn a100_80gb() -> Self {
+        Self::new("A100-80GB", 80 * (1 << 30) as u64, 312e12, 2039e9)
+            .expect("preset spec is valid")
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Device memory capacity in bytes.
+    pub fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    /// Peak dense-FP16 throughput in FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_flops
+    }
+
+    /// Peak device-memory bandwidth in B/s.
+    pub fn mem_bandwidth(&self) -> f64 {
+        self.mem_bandwidth
+    }
+
+    /// Fixed per-kernel launch overhead in seconds.
+    pub fn launch_overhead_s(&self) -> f64 {
+        self.launch_overhead_s
+    }
+
+    /// Achieved fraction of peak compute for a kernel of `flops` work.
+    ///
+    /// Saturating curve `max_eff · x / (x + k)`: tiny kernels achieve a small
+    /// fraction of peak (launch ramp, low occupancy), large GEMMs approach
+    /// `max_eff`. This is the mechanism by which batch size trades latency
+    /// for throughput throughout the reproduction.
+    pub fn compute_efficiency(&self, flops: f64) -> f64 {
+        let x = flops.max(0.0);
+        self.max_compute_efficiency * x / (x + self.compute_half_sat_flops)
+    }
+
+    /// Achieved fraction of peak bandwidth for a kernel moving `bytes`.
+    pub fn memory_efficiency(&self, bytes: f64) -> f64 {
+        let x = bytes.max(0.0);
+        self.max_memory_efficiency * x / (x + self.memory_half_sat_bytes)
+    }
+
+    /// Overrides the launch overhead (used by baseline models that add host
+    /// overhead, and by tests).
+    pub fn with_launch_overhead(mut self, seconds: f64) -> Self {
+        self.launch_overhead_s = seconds;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_specs() {
+        assert!(GpuSpec::new("bad", 0, 1.0, 1.0).is_err());
+        assert!(GpuSpec::new("bad", 1, 0.0, 1.0).is_err());
+        assert!(GpuSpec::new("bad", 1, 1.0, -1.0).is_err());
+        assert!(GpuSpec::new("bad", 1, f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn efficiency_is_monotone_and_bounded() {
+        let g = GpuSpec::a40();
+        let mut prev = 0.0;
+        for exp in 0..15 {
+            let e = g.compute_efficiency(10f64.powi(exp));
+            assert!(e >= prev);
+            assert!(e < 1.0);
+            prev = e;
+        }
+        assert!(g.compute_efficiency(1e15) > 0.6);
+    }
+
+    #[test]
+    fn a100_beats_a40() {
+        let a40 = GpuSpec::a40();
+        let a100 = GpuSpec::a100_80gb();
+        assert!(a100.peak_flops() > a40.peak_flops());
+        assert!(a100.mem_bandwidth() > a40.mem_bandwidth());
+        assert!(a100.mem_bytes() > a40.mem_bytes());
+    }
+}

@@ -1,0 +1,151 @@
+//! Interconnect links and collective-communication cost formulas.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusterError;
+
+/// A communication link characterized by bandwidth and base latency.
+///
+/// Presets match the paper's clusters (Table 2): NVLink 3.0 and 8×200 Gb HDR
+/// InfiniBand on the A100 cluster; PCIe 4.0 ×16 and 100 Gb InfiniBand on the
+/// A40 cluster.
+///
+/// # Example
+///
+/// ```
+/// use exegpt_cluster::Interconnect;
+///
+/// let nv = Interconnect::nvlink3();
+/// let pcie = Interconnect::pcie4_x16();
+/// // All-reducing 100 MB across 8 GPUs is much cheaper over NVLink.
+/// assert!(nv.allreduce_time(100e6, 8) < pcie.allreduce_time(100e6, 8) / 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    name: String,
+    bandwidth: f64,
+    latency_s: f64,
+}
+
+impl Interconnect {
+    /// Creates a custom link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidSpec`] for non-positive bandwidth or
+    /// negative latency.
+    pub fn new(
+        name: impl Into<String>,
+        bandwidth: f64,
+        latency_s: f64,
+    ) -> Result<Self, ClusterError> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
+        if !(bandwidth > 0.0) {
+            return Err(ClusterError::InvalidSpec {
+                what: "bandwidth",
+                why: "must be positive",
+            });
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
+        if !(latency_s >= 0.0) {
+            return Err(ClusterError::InvalidSpec {
+                what: "latency",
+                why: "must be non-negative",
+            });
+        }
+        Ok(Self { name: name.into(), bandwidth, latency_s })
+    }
+
+    /// NVLink 3.0: ~300 GB/s effective per-GPU pairwise, ~3 µs latency.
+    pub fn nvlink3() -> Self {
+        Self::new("NVLink 3.0", 300e9, 3e-6).expect("preset link is valid")
+    }
+
+    /// PCIe 4.0 ×16: ~25 GB/s effective, ~5 µs latency.
+    pub fn pcie4_x16() -> Self {
+        Self::new("PCIe 4.0 x16", 25e9, 5e-6).expect("preset link is valid")
+    }
+
+    /// 100 Gb InfiniBand: ~12 GB/s effective, ~10 µs latency.
+    pub fn infiniband_100gb() -> Self {
+        Self::new("InfiniBand 100Gb", 12e9, 10e-6).expect("preset link is valid")
+    }
+
+    /// 8×200 Gb HDR InfiniBand (A100 cluster inter-node): ~190 GB/s, ~8 µs.
+    pub fn infiniband_hdr_8x200gb() -> Self {
+        Self::new("InfiniBand 8x200Gb HDR", 190e9, 8e-6).expect("preset link is valid")
+    }
+
+    /// Link name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Effective bandwidth in B/s.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Base message latency in seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.latency_s
+    }
+
+    /// Time to send `bytes` point-to-point over this link.
+    pub fn p2p_time(&self, bytes: f64) -> f64 {
+        self.latency_s + bytes.max(0.0) / self.bandwidth
+    }
+
+    /// Time for a ring all-reduce of `bytes` across `group_size` peers.
+    ///
+    /// Standard ring cost: each peer sends `2·(n−1)/n · bytes` in `2·(n−1)`
+    /// latency-bound steps. A group of 1 costs nothing.
+    pub fn allreduce_time(&self, bytes: f64, group_size: usize) -> f64 {
+        if group_size <= 1 {
+            return 0.0;
+        }
+        let n = group_size as f64;
+        let steps = 2.0 * (n - 1.0);
+        steps * self.latency_s + 2.0 * (n - 1.0) / n * bytes.max(0.0) / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_links() {
+        assert!(Interconnect::new("x", 0.0, 0.0).is_err());
+        assert!(Interconnect::new("x", 1.0, -1.0).is_err());
+        assert!(Interconnect::new("x", f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn p2p_includes_latency_floor() {
+        let l = Interconnect::pcie4_x16();
+        assert!(l.p2p_time(0.0) >= l.latency_s());
+        assert!(l.p2p_time(1e9) > l.p2p_time(1e6));
+    }
+
+    #[test]
+    fn allreduce_trivial_group_is_free() {
+        let l = Interconnect::nvlink3();
+        assert_eq!(l.allreduce_time(1e9, 1), 0.0);
+        assert_eq!(l.allreduce_time(1e9, 0), 0.0);
+    }
+
+    #[test]
+    fn allreduce_bandwidth_term_approaches_2x() {
+        let l = Interconnect::new("ideal", 1e9, 0.0).expect("valid");
+        // 2(n-1)/n -> 2 as n grows.
+        let t = l.allreduce_time(1e9, 64);
+        assert!((t - 2.0 * 63.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allreduce_grows_with_group() {
+        let l = Interconnect::pcie4_x16();
+        assert!(l.allreduce_time(1e8, 8) > l.allreduce_time(1e8, 2));
+    }
+}

@@ -1,0 +1,290 @@
+//! Cluster topology: nodes, GPUs, and the links between them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusterError;
+use crate::gpu::GpuSpec;
+use crate::interconnect::Interconnect;
+
+/// Identifier of a GPU within a cluster (dense, `0..total_gpus`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct GpuId(pub usize);
+
+impl std::fmt::Display for GpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// A homogeneous GPU cluster: `num_nodes` machines of `gpus_per_node`
+/// identical GPUs, with an intra-node and an inter-node interconnect.
+///
+/// Presets mirror Table 2 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use exegpt_cluster::{ClusterSpec, GpuId};
+///
+/// let c = ClusterSpec::a40_cluster();
+/// assert_eq!(c.total_gpus(), 48);
+/// // GPUs 0 and 1 share a node; 0 and 8 do not.
+/// assert!(c.same_node(GpuId(0), GpuId(1)));
+/// assert!(!c.same_node(GpuId(0), GpuId(8)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    name: String,
+    gpu: GpuSpec,
+    gpus_per_node: usize,
+    num_nodes: usize,
+    intra: Interconnect,
+    inter: Interconnect,
+    /// Per-node SSD read bandwidth (for deployment cost, Table 4).
+    ssd_bandwidth: f64,
+    /// Effective per-GPU host-DRAM→device bandwidth under full fan-out.
+    dram_to_gpu_bandwidth: f64,
+}
+
+impl ClusterSpec {
+    /// Creates a custom cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidSpec`] for zero node/GPU counts.
+    pub fn new(
+        name: impl Into<String>,
+        gpu: GpuSpec,
+        gpus_per_node: usize,
+        num_nodes: usize,
+        intra: Interconnect,
+        inter: Interconnect,
+    ) -> Result<Self, ClusterError> {
+        if gpus_per_node == 0 {
+            return Err(ClusterError::InvalidSpec {
+                what: "gpus_per_node",
+                why: "must be non-zero",
+            });
+        }
+        if num_nodes == 0 {
+            return Err(ClusterError::InvalidSpec {
+                what: "num_nodes",
+                why: "must be non-zero",
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            gpu,
+            gpus_per_node,
+            num_nodes,
+            intra,
+            inter,
+            ssd_bandwidth: 7.5e9,
+            dram_to_gpu_bandwidth: 5.0e9,
+        })
+    }
+
+    /// The paper's A40 cluster: 6 nodes × 8 A40, PCIe 4.0 intra-node,
+    /// 100 Gb InfiniBand inter-node.
+    pub fn a40_cluster() -> Self {
+        Self::new(
+            "A40 cluster",
+            GpuSpec::a40(),
+            8,
+            6,
+            Interconnect::pcie4_x16(),
+            Interconnect::infiniband_100gb(),
+        )
+        .expect("preset cluster is valid")
+    }
+
+    /// The paper's A100 cluster: 2 nodes × 8 A100-80GB, NVLink 3.0
+    /// intra-node, 8×200 Gb HDR InfiniBand inter-node.
+    pub fn a100_cluster() -> Self {
+        Self::new(
+            "A100 cluster",
+            GpuSpec::a100_80gb(),
+            8,
+            2,
+            Interconnect::nvlink3(),
+            Interconnect::infiniband_hdr_8x200gb(),
+        )
+        .expect("preset cluster is valid")
+    }
+
+    /// Cluster name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The (homogeneous) GPU device spec.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// GPUs per node.
+    pub fn gpus_per_node(&self) -> usize {
+        self.gpus_per_node
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total GPU count.
+    pub fn total_gpus(&self) -> usize {
+        self.gpus_per_node * self.num_nodes
+    }
+
+    /// Intra-node link.
+    pub fn intra(&self) -> &Interconnect {
+        &self.intra
+    }
+
+    /// Inter-node link.
+    pub fn inter(&self) -> &Interconnect {
+        &self.inter
+    }
+
+    /// Per-node SSD read bandwidth in B/s.
+    pub fn ssd_bandwidth(&self) -> f64 {
+        self.ssd_bandwidth
+    }
+
+    /// Effective per-GPU host-DRAM→device bandwidth in B/s.
+    pub fn dram_to_gpu_bandwidth(&self) -> f64 {
+        self.dram_to_gpu_bandwidth
+    }
+
+    /// Node index hosting `gpu`.
+    pub fn node_of(&self, gpu: GpuId) -> usize {
+        gpu.0 / self.gpus_per_node
+    }
+
+    /// Whether two GPUs share a node.
+    pub fn same_node(&self, a: GpuId, b: GpuId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// The link connecting two GPUs (intra-node if they share a node).
+    pub fn link(&self, a: GpuId, b: GpuId) -> &Interconnect {
+        if self.same_node(a, b) {
+            &self.intra
+        } else {
+            &self.inter
+        }
+    }
+
+    /// The link used by a tensor-parallel group of `group` GPUs starting at
+    /// consecutive ids from `first`: intra-node if the whole group fits in
+    /// one node, otherwise the inter-node link (the bottleneck).
+    pub fn group_link(&self, first: GpuId, group: usize) -> &Interconnect {
+        if group <= 1 {
+            return &self.intra;
+        }
+        let last = GpuId(first.0 + group - 1);
+        self.link(first, last)
+    }
+
+    /// Restricts the cluster to its first `gpus` GPUs (whole nodes plus a
+    /// possibly partial final node), as when a model uses a sub-cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InsufficientGpus`] if `gpus` exceeds the total
+    /// or [`ClusterError::InvalidSpec`] if `gpus` is zero.
+    pub fn subcluster(&self, gpus: usize) -> Result<ClusterSpec, ClusterError> {
+        if gpus == 0 {
+            return Err(ClusterError::InvalidSpec {
+                what: "gpus",
+                why: "must be non-zero",
+            });
+        }
+        if gpus > self.total_gpus() {
+            return Err(ClusterError::InsufficientGpus {
+                requested: gpus,
+                available: self.total_gpus(),
+            });
+        }
+        let mut sub = self.clone();
+        if gpus <= self.gpus_per_node {
+            sub.gpus_per_node = gpus;
+            sub.num_nodes = 1;
+        } else {
+            // Whole nodes; require divisibility to keep the topology regular.
+            if !gpus.is_multiple_of(self.gpus_per_node) {
+                return Err(ClusterError::InvalidSpec {
+                    what: "gpus",
+                    why: "multi-node sub-clusters must use whole nodes",
+                });
+            }
+            sub.num_nodes = gpus / self.gpus_per_node;
+        }
+        Ok(sub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_node_mapping() {
+        let c = ClusterSpec::a100_cluster();
+        assert_eq!(c.total_gpus(), 16);
+        assert_eq!(c.node_of(GpuId(7)), 0);
+        assert_eq!(c.node_of(GpuId(8)), 1);
+    }
+
+    #[test]
+    fn link_selection() {
+        let c = ClusterSpec::a40_cluster();
+        assert_eq!(c.link(GpuId(0), GpuId(7)).name(), "PCIe 4.0 x16");
+        assert_eq!(c.link(GpuId(0), GpuId(8)).name(), "InfiniBand 100Gb");
+        assert_eq!(c.group_link(GpuId(0), 8).name(), "PCIe 4.0 x16");
+        assert_eq!(c.group_link(GpuId(4), 8).name(), "InfiniBand 100Gb");
+    }
+
+    #[test]
+    fn subcluster_within_node() {
+        let c = ClusterSpec::a40_cluster();
+        let s = c.subcluster(4).expect("4 gpus fit in one node");
+        assert_eq!(s.total_gpus(), 4);
+        assert_eq!(s.num_nodes(), 1);
+    }
+
+    #[test]
+    fn subcluster_whole_nodes() {
+        let c = ClusterSpec::a40_cluster();
+        let s = c.subcluster(16).expect("two whole nodes");
+        assert_eq!(s.num_nodes(), 2);
+        assert_eq!(s.total_gpus(), 16);
+        assert!(c.subcluster(12).is_err(), "1.5 nodes is rejected");
+    }
+
+    #[test]
+    fn subcluster_bounds() {
+        let c = ClusterSpec::a100_cluster();
+        assert!(c.subcluster(0).is_err());
+        assert!(matches!(
+            c.subcluster(64),
+            Err(ClusterError::InsufficientGpus { requested: 64, available: 16 })
+        ));
+    }
+
+    #[test]
+    fn rejects_degenerate_topology() {
+        assert!(ClusterSpec::new(
+            "x",
+            GpuSpec::a40(),
+            0,
+            1,
+            Interconnect::pcie4_x16(),
+            Interconnect::infiniband_100gb()
+        )
+        .is_err());
+    }
+}

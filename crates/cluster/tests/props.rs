@@ -1,0 +1,51 @@
+//! Property-based invariants of the roofline cost model and collectives.
+
+use exegpt_cluster::{ClusterSpec, CostModel, GpuSpec, Interconnect};
+use exegpt_model::KernelCost;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Kernel time is monotone in both FLOPs and bytes, and always at
+    /// least the launch overhead.
+    #[test]
+    fn kernel_time_is_monotone(
+        flops in 0.0f64..1e15,
+        bytes in 0.0f64..1e12,
+        df in 0.0f64..1e14,
+        db in 0.0f64..1e11,
+    ) {
+        let cm = CostModel::new(GpuSpec::a40());
+        let t0 = cm.kernel_time(KernelCost { flops, bytes });
+        let t1 = cm.kernel_time(KernelCost { flops: flops + df, bytes });
+        let t2 = cm.kernel_time(KernelCost { flops, bytes: bytes + db });
+        prop_assert!(t0 >= cm.gpu().launch_overhead_s());
+        prop_assert!(t1 >= t0 - 1e-15);
+        prop_assert!(t2 >= t0 - 1e-15);
+        prop_assert!(t0.is_finite());
+    }
+
+    /// All-reduce time grows with message size and group size, and a
+    /// faster link is never slower.
+    #[test]
+    fn allreduce_is_well_behaved(bytes in 0.0f64..1e10, group in 1usize..64) {
+        let nv = Interconnect::nvlink3();
+        let pcie = Interconnect::pcie4_x16();
+        prop_assert!(nv.allreduce_time(bytes, group) <= pcie.allreduce_time(bytes, group) + 1e-12);
+        prop_assert!(pcie.allreduce_time(bytes + 1e6, group) >= pcie.allreduce_time(bytes, group));
+        prop_assert!(pcie.allreduce_time(bytes, group + 1) >= pcie.allreduce_time(bytes, group) - 1e-12);
+    }
+
+    /// Sub-clusters preserve the node-local GPU mapping.
+    #[test]
+    fn subcluster_mapping_is_consistent(gpus in 1usize..8) {
+        let c = ClusterSpec::a40_cluster();
+        let s = c.subcluster(gpus).expect("within one node");
+        prop_assert_eq!(s.total_gpus(), gpus);
+        prop_assert_eq!(s.num_nodes(), 1);
+        for i in 0..gpus {
+            prop_assert_eq!(s.node_of(exegpt_cluster::GpuId(i)), 0);
+        }
+    }
+}

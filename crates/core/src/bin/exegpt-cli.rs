@@ -1,0 +1,280 @@
+//! `exegpt-cli` — constraint-aware LLM inference scheduling from the shell.
+//!
+//! ```text
+//! exegpt-cli schedule --model opt-13b --gpus 4 --task T --bound 20
+//! exegpt-cli frontier --model gpt3-39b --gpus 16 --task S
+//! exegpt-cli deploy   --model gpt3-175b --gpus 32
+//! exegpt-cli models
+//! ```
+//!
+//! The CLI is a thin shell over [`exegpt::Engine`]; all argument parsing and
+//! rendering lives in testable helpers below `main`.
+
+use std::fmt::Write as _;
+
+use exegpt::{Engine, ScheduleError};
+use exegpt_cluster::{ClusterSpec, LoadSource};
+use exegpt_model::ModelConfig;
+use exegpt_sim::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("exegpt-cli: {e}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  exegpt-cli models\n  exegpt-cli schedule --model <id> --gpus <n> --task <S|T|G|C1|C2> [--bound <secs>] [--cluster <a40|a100>]\n  exegpt-cli frontier --model <id> --gpus <n> --task <id> [--cluster <a40|a100>]\n  exegpt-cli deploy --model <id> --gpus <n> [--cluster <a40|a100>]\nmodels: t5-11b opt-13b gpt3-39b gpt3-101b gpt3-175b gpt3-341b"
+}
+
+/// Parsed command-line options.
+struct Opts {
+    model: Option<String>,
+    gpus: usize,
+    task: Option<String>,
+    bound: f64,
+    cluster: String,
+}
+
+fn parse_flags(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        model: None,
+        gpus: 4,
+        task: None,
+        bound: f64::INFINITY,
+        cluster: "a40".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match a.as_str() {
+            "--model" => opts.model = Some(value("--model")?),
+            "--gpus" => {
+                opts.gpus = value("--gpus")?
+                    .parse()
+                    .map_err(|_| "--gpus needs a positive integer".to_string())?
+            }
+            "--task" => opts.task = Some(value("--task")?),
+            "--bound" => {
+                let v = value("--bound")?;
+                opts.bound = if v == "inf" {
+                    f64::INFINITY
+                } else {
+                    v.parse().map_err(|_| "--bound needs seconds or `inf`".to_string())?
+                };
+            }
+            "--cluster" => opts.cluster = value("--cluster")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn model_by_id(id: &str) -> Result<ModelConfig, String> {
+    match id {
+        "t5-11b" => Ok(ModelConfig::t5_11b()),
+        "opt-13b" => Ok(ModelConfig::opt_13b()),
+        "gpt3-39b" => Ok(ModelConfig::gpt3_39b()),
+        "gpt3-101b" => Ok(ModelConfig::gpt3_101b()),
+        "gpt3-175b" => Ok(ModelConfig::gpt3_175b()),
+        "gpt3-341b" => Ok(ModelConfig::gpt3_341b()),
+        other => Err(format!("unknown model `{other}` (see `exegpt-cli models`)")),
+    }
+}
+
+fn workload_by_task(id: &str) -> Result<Workload, String> {
+    use exegpt_workload::Task;
+    let task = match id {
+        "S" => Task::Summarization,
+        "T" => Task::Translation,
+        "G" => Task::CodeGeneration,
+        "C1" => Task::ConversationalQa1,
+        "C2" => Task::ConversationalQa2,
+        other => return Err(format!("unknown task `{other}` (S T G C1 C2)")),
+    };
+    task.workload().map_err(|e| e.to_string())
+}
+
+fn cluster_by_id(id: &str, gpus: usize) -> Result<ClusterSpec, String> {
+    let base = match id {
+        "a40" => ClusterSpec::a40_cluster(),
+        "a100" => ClusterSpec::a100_cluster(),
+        other => return Err(format!("unknown cluster `{other}` (a40, a100)")),
+    };
+    base.subcluster(gpus).map_err(|e| e.to_string())
+}
+
+fn build_engine(opts: &Opts) -> Result<Engine, String> {
+    let model = model_by_id(opts.model.as_deref().ok_or("--model is required")?)?;
+    let cluster = cluster_by_id(&opts.cluster, opts.gpus)?;
+    let task = opts.task.as_deref().ok_or("--task is required")?;
+    Engine::builder()
+        .model(model)
+        .cluster(cluster)
+        .workload(workload_by_task(task)?)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+/// Executes a CLI invocation and returns its stdout.
+fn run(args: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("a command is required".to_string());
+    };
+    match cmd.as_str() {
+        "models" => Ok(render_models()),
+        "schedule" => {
+            let opts = parse_flags(rest)?;
+            let engine = build_engine(&opts)?;
+            match engine.schedule(opts.bound) {
+                Ok(s) => {
+                    let mut out = String::new();
+                    let _ = writeln!(out, "schedule : {}", s.config.describe());
+                    let _ = writeln!(
+                        out,
+                        "estimate : {:.2} queries/s at {:.2} s latency",
+                        s.estimate.throughput, s.estimate.latency
+                    );
+                    let _ = writeln!(
+                        out,
+                        "memory   : {:.1} GiB peak per gpu of {:.1} GiB usable",
+                        s.estimate.memory.peak() as f64 / (1u64 << 30) as f64,
+                        s.estimate.memory.capacity as f64 / (1u64 << 30) as f64
+                    );
+                    let _ = writeln!(out, "searched : {} configurations", s.evals);
+                    Ok(out)
+                }
+                Err(ScheduleError::NoFeasibleSchedule { latency_bound }) => Ok(format!(
+                    "no schedule satisfies {latency_bound} s on this deployment (NS)\n"
+                )),
+                Err(e) => Err(e.to_string()),
+            }
+        }
+        "frontier" => {
+            let opts = parse_flags(rest)?;
+            let engine = build_engine(&opts)?;
+            let best = engine.schedule(f64::INFINITY).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            let _ = writeln!(out, "{:>10}  {:>9}  {:>10}  schedule", "bound(s)", "tput", "latency");
+            let mut bound = best.estimate.latency / 16.0;
+            while bound < best.estimate.latency * 1.01 {
+                match engine.schedule(bound) {
+                    Ok(s) => {
+                        let _ = writeln!(
+                            out,
+                            "{bound:>10.2}  {:>9.2}  {:>10.2}  {}",
+                            s.estimate.throughput,
+                            s.estimate.latency,
+                            s.config.describe()
+                        );
+                    }
+                    Err(_) => {
+                        let _ = writeln!(out, "{bound:>10.2}  {:>9}  {:>10}  NS", "-", "-");
+                    }
+                }
+                bound *= 2.0;
+            }
+            let _ = writeln!(
+                out,
+                "{:>10}  {:>9.2}  {:>10.2}  {}",
+                "inf",
+                best.estimate.throughput,
+                best.estimate.latency,
+                best.config.describe()
+            );
+            Ok(out)
+        }
+        "deploy" => {
+            let mut opts = parse_flags(rest)?;
+            // Deploy cost needs no workload; default one for engine assembly.
+            if opts.task.is_none() {
+                opts.task = Some("T".to_string());
+            }
+            let engine = build_engine(&opts)?;
+            Ok(format!(
+                "load from SSD : {:.1} s\nreload (DRAM) : {:.1} s\n",
+                engine.deploy_time(LoadSource::Ssd),
+                engine.deploy_time(LoadSource::Dram)
+            ))
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn render_models() -> String {
+    let mut out = String::from("model      params   layers  hidden  heads  kind\n");
+    for m in ModelConfig::paper_models() {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6.1}B  {:>6}  {:>6}  {:>5}  {:?}",
+            m.name().to_lowercase().replace(' ', "-").replace("gpt-3", "gpt3"),
+            m.param_count() as f64 / 1e9,
+            m.num_layers(),
+            m.d_model(),
+            m.num_heads(),
+            m.kind()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn models_lists_all_six() {
+        let out = run(&sv(&["models"])).expect("runs");
+        for id in ["t5-11b", "opt-13b", "gpt3-39b", "gpt3-101b", "gpt3-175b", "gpt3-341b"] {
+            assert!(out.contains(id), "missing {id} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn schedule_produces_a_configuration() {
+        let out = run(&sv(&[
+            "schedule", "--model", "opt-13b", "--gpus", "4", "--task", "S", "--bound", "10",
+        ]))
+        .expect("runs");
+        assert!(out.contains("schedule :"));
+        assert!(out.contains("queries/s"));
+    }
+
+    #[test]
+    fn impossible_bound_reports_ns() {
+        let out = run(&sv(&[
+            "schedule", "--model", "opt-13b", "--gpus", "4", "--task", "S", "--bound", "0.001",
+        ]))
+        .expect("runs");
+        assert!(out.contains("NS"));
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(run(&sv(&["schedule", "--model", "nope", "--task", "S"])).is_err());
+        assert!(run(&sv(&["schedule", "--model", "opt-13b", "--task", "Z"])).is_err());
+        assert!(run(&sv(&["schedule", "--model", "opt-13b", "--task", "S", "--gpus", "x"]))
+            .is_err());
+        assert!(run(&sv(&["nonsense"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn deploy_reports_both_sources() {
+        let out =
+            run(&sv(&["deploy", "--model", "gpt3-39b", "--gpus", "16"])).expect("runs");
+        assert!(out.contains("SSD") && out.contains("DRAM"));
+    }
+}

@@ -1,0 +1,176 @@
+//! The batteries-included entry point tying profiler, simulator and
+//! scheduler together (the whole Figure 2 pipeline).
+
+use std::sync::Arc;
+
+use exegpt_cluster::{ClusterSpec, LoadCostModel, LoadSource};
+use exegpt_model::ModelConfig;
+use exegpt_profiler::{LayerProfile, ProfileOptions, Profiler};
+use exegpt_sim::{Simulator, Workload};
+
+use crate::error::ScheduleError;
+use crate::scheduler::{Schedule, Scheduler, SchedulerOptions};
+
+/// End-to-end ExeGPT pipeline: profile once, then schedule for any latency
+/// bound or workload (paper Figure 2).
+///
+/// See the crate-level docs for a full example.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    scheduler: Scheduler,
+    load_cost: LoadCostModel,
+}
+
+impl Engine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Finds the best schedule for a latency bound (seconds;
+    /// `f64::INFINITY` for unconstrained), across all policies.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::schedule`].
+    pub fn schedule(&self, latency_bound: f64) -> Result<Schedule, ScheduleError> {
+        self.scheduler.schedule(&SchedulerOptions::bounded(latency_bound))
+    }
+
+    /// Finds the best schedule with full option control.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::schedule`].
+    pub fn schedule_with(&self, opts: &SchedulerOptions) -> Result<Schedule, ScheduleError> {
+        self.scheduler.schedule(opts)
+    }
+
+    /// The underlying scheduler.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The underlying simulator.
+    pub fn simulator(&self) -> &Simulator {
+        self.scheduler.simulator()
+    }
+
+    /// Returns an engine for the same deployment serving a different
+    /// workload (re-scheduling after a distribution change, §7.6; the
+    /// profile is reused, as profiling is per model/cluster).
+    pub fn with_workload(&self, workload: Workload) -> Self {
+        Self {
+            scheduler: Scheduler::new(self.simulator().with_workload(workload)),
+            load_cost: self.load_cost.clone(),
+        }
+    }
+
+    /// Estimated cost of (re-)deploying the model according to a new
+    /// schedule (paper §7.7, Table 4): loading weights from SSD on first
+    /// deployment or from host DRAM on re-deployment.
+    pub fn deploy_time(&self, source: LoadSource) -> f64 {
+        let sim = self.simulator();
+        self.load_cost.load_time(
+            sim.model().param_bytes(),
+            sim.cluster().total_gpus(),
+            source,
+        )
+    }
+}
+
+/// Builder for [`Engine`]: supply a model, cluster and workload; profiling
+/// runs at `build()` (once per model/cluster, §7.7).
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    model: Option<ModelConfig>,
+    cluster: Option<ClusterSpec>,
+    workload: Option<Workload>,
+    profile: Option<Arc<LayerProfile>>,
+    profile_options: Option<ProfileOptions>,
+}
+
+impl EngineBuilder {
+    /// Sets the model to serve.
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the GPU cluster to serve on.
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Sets the sequence-length workload.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Supplies a pre-computed profile (skips profiling in `build`).
+    pub fn profile(mut self, profile: Arc<LayerProfile>) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Overrides the profiling sweep options.
+    pub fn profile_options(mut self, opts: ProfileOptions) -> Self {
+        self.profile_options = Some(opts);
+        self
+    }
+
+    /// Profiles (if needed) and assembles the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::MissingComponent`] if a required part was
+    /// not supplied, or a profiling error.
+    pub fn build(self) -> Result<Engine, ScheduleError> {
+        let model = self.model.ok_or(ScheduleError::MissingComponent { what: "model" })?;
+        let cluster = self.cluster.ok_or(ScheduleError::MissingComponent { what: "cluster" })?;
+        let workload =
+            self.workload.ok_or(ScheduleError::MissingComponent { what: "workload" })?;
+        let profile = match self.profile {
+            Some(p) => p,
+            None => {
+                let opts = self.profile_options.unwrap_or_default();
+                Arc::new(Profiler::new(model.clone(), cluster.clone()).run(&opts)?)
+            }
+        };
+        let sim = Simulator::new(model, cluster.clone(), profile, workload);
+        Ok(Engine { scheduler: Scheduler::new(sim), load_cost: LoadCostModel::new(cluster) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exegpt_dist::LengthDist;
+
+    #[test]
+    fn builder_requires_all_components() {
+        let err = Engine::builder().build().expect_err("missing everything");
+        assert!(matches!(err, ScheduleError::MissingComponent { what: "model" }));
+        let err = Engine::builder()
+            .model(ModelConfig::opt_13b())
+            .build()
+            .expect_err("missing cluster");
+        assert!(matches!(err, ScheduleError::MissingComponent { what: "cluster" }));
+    }
+
+    #[test]
+    fn deploy_time_is_slower_from_ssd() {
+        let engine = Engine::builder()
+            .model(ModelConfig::opt_13b())
+            .cluster(ClusterSpec::a40_cluster().subcluster(4).expect("fits"))
+            .workload(Workload::new(
+                LengthDist::point_mass(64, 128).expect("valid"),
+                LengthDist::point_mass(32, 64).expect("valid"),
+            ))
+            .build()
+            .expect("builds");
+        assert!(engine.deploy_time(LoadSource::Ssd) > engine.deploy_time(LoadSource::Dram));
+    }
+}

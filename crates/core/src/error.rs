@@ -1,0 +1,103 @@
+//! Error types for the scheduling crate.
+
+use exegpt_cluster::ClusterError;
+use exegpt_profiler::ProfileError;
+use exegpt_sim::SimError;
+
+/// Errors produced while building an engine or searching for a schedule.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// No configuration of any requested policy satisfies the latency bound
+    /// on this cluster (the paper's "NS" outcome).
+    NoFeasibleSchedule {
+        /// The latency bound that could not be met, in seconds.
+        latency_bound: f64,
+    },
+    /// The search was configured with invalid parameters.
+    InvalidOptions {
+        /// Which option was rejected.
+        what: &'static str,
+        /// Why it was rejected.
+        why: String,
+    },
+    /// A required engine component was not supplied to the builder.
+    MissingComponent {
+        /// The component that is missing.
+        what: &'static str,
+    },
+    /// Profiling the (model, cluster) pair failed.
+    Profile(ProfileError),
+    /// The cluster specification was invalid.
+    Cluster(ClusterError),
+    /// A simulator failure not attributable to a single candidate (candidate
+    /// infeasibilities are handled internally by the search).
+    Sim(SimError),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NoFeasibleSchedule { latency_bound } => {
+                write!(f, "no schedule satisfies the latency bound of {latency_bound} s")
+            }
+            ScheduleError::InvalidOptions { what, why } => {
+                write!(f, "invalid scheduler option `{what}`: {why}")
+            }
+            ScheduleError::MissingComponent { what } => {
+                write!(f, "engine builder is missing `{what}`")
+            }
+            ScheduleError::Profile(e) => write!(f, "profiling failed: {e}"),
+            ScheduleError::Cluster(e) => write!(f, "cluster setup failed: {e}"),
+            ScheduleError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScheduleError::Profile(e) => Some(e),
+            ScheduleError::Cluster(e) => Some(e),
+            ScheduleError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProfileError> for ScheduleError {
+    fn from(e: ProfileError) -> Self {
+        ScheduleError::Profile(e)
+    }
+}
+
+impl From<ClusterError> for ScheduleError {
+    fn from(e: ClusterError) -> Self {
+        ScheduleError::Cluster(e)
+    }
+}
+
+impl From<SimError> for ScheduleError {
+    fn from(e: SimError) -> Self {
+        ScheduleError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_reports_bound() {
+        let e = ScheduleError::NoFeasibleSchedule { latency_bound: 3.1 };
+        assert!(e.to_string().contains("3.1"));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        use std::error::Error;
+        let e: ScheduleError =
+            SimError::NoSteadyState { why: "x".into() }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,127 @@
+//! Measurement of control-variable monotonicity (paper §7.8, Table 5).
+//!
+//! The paper quantifies, per control variable and tolerance, the fraction of
+//! swept points at which latency/throughput violate the expected monotone
+//! direction by more than the tolerance. This module provides that
+//! measurement; the Table 5 bench drives it over real schedule sweeps.
+
+/// Expected direction of a metric along a swept control variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// The metric should not decrease as the variable increases.
+    NonDecreasing,
+    /// The metric should not increase as the variable increases.
+    NonIncreasing,
+}
+
+/// Fraction of adjacent steps in `values` violating `direction` by more than
+/// `tolerance` (an absolute slack).
+///
+/// Returns 0.0 for sequences with fewer than two points.
+///
+/// # Example
+///
+/// ```
+/// use exegpt::monotonicity::{non_monotonic_fraction, Direction};
+///
+/// let vals = [1.0, 2.0, 1.95, 3.0]; // one tiny dip
+/// assert_eq!(non_monotonic_fraction(&vals, Direction::NonDecreasing, 0.1), 0.0);
+/// assert!(non_monotonic_fraction(&vals, Direction::NonDecreasing, 0.0) > 0.0);
+/// ```
+pub fn non_monotonic_fraction(values: &[f64], direction: Direction, tolerance: f64) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let violations = values
+        .windows(2)
+        .filter(|w| match direction {
+            Direction::NonDecreasing => w[1] < w[0] - tolerance,
+            Direction::NonIncreasing => w[1] > w[0] + tolerance,
+        })
+        .count();
+    violations as f64 / (values.len() - 1) as f64
+}
+
+/// Result of sweeping one control variable: per-metric violation fractions,
+/// as reported in each Table 5 cell `(latency, throughput)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepReport {
+    /// Fraction of points where latency violates its expected direction.
+    pub latency_violations: f64,
+    /// Fraction of points where throughput violates its expected direction.
+    pub throughput_violations: f64,
+}
+
+/// Measures a sweep of `(latency, throughput)` pairs against expected
+/// directions with tolerances given as *fractions* of the metric's range
+/// (the paper expresses tolerance as a percentage of `L_b` and of the
+/// achieved throughput).
+pub fn measure_sweep(
+    points: &[(f64, f64)],
+    latency_dir: Direction,
+    throughput_dir: Direction,
+    tol_frac: f64,
+    latency_scale: f64,
+    throughput_scale: f64,
+) -> SweepReport {
+    let lats: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let thrs: Vec<f64> = points.iter().map(|p| p.1).collect();
+    SweepReport {
+        latency_violations: non_monotonic_fraction(&lats, latency_dir, tol_frac * latency_scale),
+        throughput_violations: non_monotonic_fraction(
+            &thrs,
+            throughput_dir,
+            tol_frac * throughput_scale,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_monotone_has_zero_violations() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(non_monotonic_fraction(&v, Direction::NonDecreasing, 0.0), 0.0);
+        assert_eq!(non_monotonic_fraction(&v, Direction::NonIncreasing, 0.0), 1.0);
+    }
+
+    #[test]
+    fn tolerance_forgives_small_dips() {
+        let v = [10.0, 9.9, 11.0];
+        assert!(non_monotonic_fraction(&v, Direction::NonDecreasing, 0.0) > 0.0);
+        assert_eq!(non_monotonic_fraction(&v, Direction::NonDecreasing, 0.2), 0.0);
+    }
+
+    #[test]
+    fn short_sequences_are_trivially_monotone() {
+        assert_eq!(non_monotonic_fraction(&[], Direction::NonDecreasing, 0.0), 0.0);
+        assert_eq!(non_monotonic_fraction(&[5.0], Direction::NonDecreasing, 0.0), 0.0);
+    }
+
+    #[test]
+    fn sweep_report_uses_scaled_tolerances() {
+        // Latency expected up, throughput expected up; one 3% throughput dip.
+        let pts = [(1.0, 100.0), (2.0, 97.0), (3.0, 110.0)];
+        let strict = measure_sweep(
+            &pts,
+            Direction::NonDecreasing,
+            Direction::NonDecreasing,
+            0.02,
+            3.0,
+            100.0,
+        );
+        assert!(strict.throughput_violations > 0.0);
+        let lax = measure_sweep(
+            &pts,
+            Direction::NonDecreasing,
+            Direction::NonDecreasing,
+            0.05,
+            3.0,
+            100.0,
+        );
+        assert_eq!(lax.throughput_violations, 0.0);
+        assert_eq!(lax.latency_violations, 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! XScheduler: policy orchestration over the branch-and-bound search
+//! (paper §5).
+//!
+//! For each requested policy the scheduler runs Algorithm 1 over that
+//! policy's two monotone control variables, with the partial-TP variable
+//! handled as the paper prescribes: the tensor-parallel *degree* is fixed
+//! per run and the runs are repeated for every feasible `(degree, #gpus)`
+//! setting (§5.1). Runs are independent and execute in parallel.
+//!
+//! Axis orientation (both variables increase throughput *and* latency):
+//!
+//! * RRA: `x1 = B_E`, `x2 = F_E` (encoding frequency — the reverse of
+//!   `N_D`, since more frequent encoding raises throughput and latency).
+//! * WAA: `x1 = B_E`. The decoder micro-batch count `B_m` is *enumerated*
+//!   rather than searched: the paper itself reports it as the least
+//!   monotone variable (Table 5), and on this substrate it is unimodal
+//!   (optimal near the decode stage count), so a handful of candidate
+//!   values per (policy, TP) run is both cheaper and safer than trusting a
+//!   monotone direction that does not hold.
+
+use crossbeam::thread;
+use serde::{Deserialize, Serialize};
+
+use exegpt_sim::{
+    RraConfig, ScheduleConfig, SimError, Simulator, TpConfig, WaaConfig, WaaVariant,
+};
+
+use crate::bnb::{self, BnbOptions, Perf};
+use crate::error::ScheduleError;
+
+/// A scheduling policy the scheduler may select (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// Round-Robin Allocation.
+    Rra,
+    /// Workload-Aware Allocation balanced by computation time.
+    WaaCompute,
+    /// Workload-Aware Allocation balanced by memory consumption.
+    WaaMemory,
+}
+
+impl Policy {
+    /// All three policies, the scheduler's default portfolio.
+    pub fn all() -> Vec<Policy> {
+        vec![Policy::Rra, Policy::WaaCompute, Policy::WaaMemory]
+    }
+}
+
+/// Options controlling one scheduling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerOptions {
+    /// Latency bound `L_Bound` in seconds for generating the
+    /// 99th-percentile-length sequence (`f64::INFINITY` = unconstrained).
+    pub latency_bound: f64,
+    /// Latency tolerance `ε_L` as a fraction of the bound (default 5%).
+    pub eps_latency_frac: f64,
+    /// Throughput tolerance `ε_T` as a fraction of the incumbent (blocks
+    /// within this fraction of the best known throughput are not pruned;
+    /// default 2%).
+    pub eps_throughput_frac: f64,
+    /// Policies to search (default: all three).
+    pub policies: Vec<Policy>,
+    /// Upper limit for `B_E` (default: derived from the profile).
+    pub max_b_e: Option<usize>,
+    /// Upper limit for `N_D` (default: the output distribution's maximum).
+    pub max_n_d: Option<usize>,
+    /// Restrict the search to these partial-TP settings (default: all
+    /// profiled degrees at every feasible GPU count).
+    pub tp_configs: Option<Vec<TpConfig>>,
+    /// Run per-TP-setting searches on parallel threads (default true).
+    pub parallel: bool,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        Self {
+            latency_bound: f64::INFINITY,
+            eps_latency_frac: 0.05,
+            eps_throughput_frac: 0.02,
+            policies: Policy::all(),
+            max_b_e: None,
+            max_n_d: None,
+            tp_configs: None,
+            parallel: true,
+        }
+    }
+}
+
+impl SchedulerOptions {
+    /// Convenience constructor for a latency bound with default tolerances.
+    pub fn bounded(latency_bound: f64) -> Self {
+        Self { latency_bound, ..Self::default() }
+    }
+}
+
+/// The outcome of scheduling: a concrete configuration and its estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// The selected configuration.
+    pub config: ScheduleConfig,
+    /// The simulator's estimate for it.
+    pub estimate: exegpt_sim::Estimate,
+    /// Total distinct configuration evaluations across all searches.
+    pub evals: usize,
+}
+
+/// XScheduler: searches the configuration space for the highest-throughput
+/// schedule satisfying a latency bound (paper §5).
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    sim: Simulator,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over a simulator.
+    pub fn new(sim: Simulator) -> Self {
+        Self { sim }
+    }
+
+    /// The underlying simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Finds the best schedule across all requested policies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NoFeasibleSchedule`] when nothing satisfies
+    /// the bound, or [`ScheduleError::InvalidOptions`] for bad options.
+    pub fn schedule(&self, opts: &SchedulerOptions) -> Result<Schedule, ScheduleError> {
+        validate(opts)?;
+        let tasks = self.search_tasks(opts);
+        let results: Vec<Option<Schedule>> = if opts.parallel && tasks.len() > 1 {
+            thread::scope(|s| {
+                let handles: Vec<_> = tasks
+                    .iter()
+                    .map(|t| s.spawn(move |_| self.run_task(t, opts)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("search thread panicked")).collect()
+            })
+            .expect("scheduler scope")
+        } else {
+            tasks.iter().map(|t| self.run_task(t, opts)).collect()
+        };
+
+        let mut evals = 0;
+        let mut best: Option<Schedule> = None;
+        for r in results.into_iter().flatten() {
+            evals += r.evals;
+            if best.as_ref().is_none_or(|b| r.estimate.throughput > b.estimate.throughput) {
+                best = Some(r);
+            }
+        }
+        match best {
+            Some(mut b) => {
+                b.evals = evals;
+                Ok(b)
+            }
+            None => Err(ScheduleError::NoFeasibleSchedule { latency_bound: opts.latency_bound }),
+        }
+    }
+
+    /// Finds the best schedule for a single policy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scheduler::schedule`].
+    pub fn schedule_policy(
+        &self,
+        policy: Policy,
+        opts: &SchedulerOptions,
+    ) -> Result<Schedule, ScheduleError> {
+        let narrowed = SchedulerOptions { policies: vec![policy], ..opts.clone() };
+        self.schedule(&narrowed)
+    }
+
+    /// Enumerates the independent (policy, TP setting) searches, fixing the
+    /// TP degree per run as §5.1 prescribes.
+    fn search_tasks(&self, opts: &SchedulerOptions) -> Vec<SearchTask> {
+        let n = self.sim.cluster().total_gpus();
+        let tps = opts.tp_configs.clone().unwrap_or_else(|| {
+            let mut tps = vec![TpConfig::none()];
+            for &degree in &self.sim.profile().tp_degrees() {
+                if degree < 2 {
+                    continue;
+                }
+                let mut gpus = degree;
+                while gpus <= n {
+                    tps.push(TpConfig { degree, gpus });
+                    gpus += degree;
+                }
+            }
+            tps
+        });
+        let b_m_candidates: Vec<usize> = [1usize, 2, 3, 4, 6, 8, 12, 16, 24, 32]
+            .into_iter()
+            .filter(|&m| m <= (4 * n).max(2))
+            .collect();
+        let mut tasks = Vec::new();
+        for &policy in &opts.policies {
+            for &tp in &tps {
+                match policy {
+                    Policy::Rra => tasks.push(SearchTask { policy, tp, b_m: 1 }),
+                    Policy::WaaCompute | Policy::WaaMemory => {
+                        for &b_m in &b_m_candidates {
+                            tasks.push(SearchTask { policy, tp, b_m });
+                        }
+                    }
+                }
+            }
+        }
+        tasks
+    }
+
+    /// Runs one branch-and-bound search; returns `None` when the task's
+    /// space contains no feasible point.
+    fn run_task(&self, task: &SearchTask, opts: &SchedulerOptions) -> Option<Schedule> {
+        let profile = self.sim.profile();
+        let out = self.sim.workload().output();
+        let bnb_opts = BnbOptions {
+            latency_bound: opts.latency_bound,
+            eps_latency: if opts.latency_bound.is_finite() {
+                opts.latency_bound * opts.eps_latency_frac
+            } else {
+                0.0
+            },
+            eps_throughput: opts.eps_throughput_frac.max(0.0),
+            max_evals: 20_000,
+        };
+
+        match task.policy {
+            Policy::Rra => {
+                let max_b_e = opts.max_b_e.unwrap_or_else(|| (profile.max_batch() / 4).max(2));
+                let max_n_d =
+                    opts.max_n_d.unwrap_or_else(|| out.max_len().min(profile.max_seq())).max(1);
+                // x2 is the encoding-frequency axis: x2 = max_n_d + 1 - n_d.
+                let to_nd = move |x2: usize| max_n_d + 1 - x2;
+                let eval = |x1: usize, x2: usize| {
+                    let cfg = RraConfig::new(x1, to_nd(x2), task.tp);
+                    perf_of(self.sim.evaluate_rra(&cfg))
+                };
+                let r = bnb::optimize((1, max_b_e), (1, max_n_d), &bnb_opts, eval)?;
+                let cfg = RraConfig::new(r.point.0, to_nd(r.point.1), task.tp);
+                let estimate = self.sim.evaluate_rra(&cfg).ok()?;
+                Some(Schedule { config: ScheduleConfig::Rra(cfg), estimate, evals: r.evals })
+            }
+            Policy::WaaCompute | Policy::WaaMemory => {
+                let variant = if task.policy == Policy::WaaCompute {
+                    WaaVariant::Compute
+                } else {
+                    WaaVariant::Memory
+                };
+                let s_d = self.sim.workload().output().mean().max(1.0);
+                let max_b_e = opts
+                    .max_b_e
+                    .unwrap_or_else(|| ((profile.max_batch() as f64 / s_d) as usize).max(2));
+                // B_m is fixed per task (see module docs); clamp it to the
+                // derived pool so small-B_E points stay evaluable.
+                let eval = |x1: usize, _x2: usize| {
+                    let b_d = ((x1 as f64 * s_d).round() as usize).max(1);
+                    let cfg = WaaConfig::new(x1, task.b_m.min(b_d), task.tp, variant);
+                    perf_of(self.sim.evaluate_waa(&cfg))
+                };
+                let r = bnb::optimize((1, max_b_e), (1, 1), &bnb_opts, eval)?;
+                let b_d = ((r.point.0 as f64 * s_d).round() as usize).max(1);
+                let cfg = WaaConfig::new(r.point.0, task.b_m.min(b_d), task.tp, variant);
+                let estimate = self.sim.evaluate_waa(&cfg).ok()?;
+                Some(Schedule { config: ScheduleConfig::Waa(cfg), estimate, evals: r.evals })
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SearchTask {
+    policy: Policy,
+    tp: TpConfig,
+    /// Fixed decoder micro-batch count for WAA tasks (ignored for RRA).
+    b_m: usize,
+}
+
+fn perf_of(result: Result<exegpt_sim::Estimate, SimError>) -> Perf {
+    match result {
+        Ok(e) => Perf { latency: e.latency, throughput: e.throughput },
+        Err(_) => Perf::INFEASIBLE,
+    }
+}
+
+fn validate(opts: &SchedulerOptions) -> Result<(), ScheduleError> {
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
+    if !(opts.latency_bound > 0.0) {
+        return Err(ScheduleError::InvalidOptions {
+            what: "latency_bound",
+            why: "must be positive".into(),
+        });
+    }
+    if opts.policies.is_empty() {
+        return Err(ScheduleError::InvalidOptions {
+            what: "policies",
+            why: "must request at least one policy".into(),
+        });
+    }
+    if !(0.0..1.0).contains(&opts.eps_latency_frac) {
+        return Err(ScheduleError::InvalidOptions {
+            what: "eps_latency_frac",
+            why: "must be in [0, 1)".into(),
+        });
+    }
+    Ok(())
+}

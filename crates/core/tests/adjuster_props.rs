@@ -1,0 +1,74 @@
+//! Property-based invariants of the §5.2 dynamic workload adjuster.
+
+use exegpt::DynamicAdjuster;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Selected indices are valid, unique, and sorted; something is always
+    /// admitted from a non-empty queue.
+    #[test]
+    fn selection_is_well_formed(
+        lens in prop::collection::vec(1usize..512, 0..128),
+        b_e in 1usize..32,
+        mean in 8.0f64..400.0,
+        thr in 0.0f64..0.5,
+        cur in 0usize..256,
+        sched in 0usize..256,
+    ) {
+        let adj = DynamicAdjuster::new(b_e, mean, thr);
+        let chosen = adj.select_batch(&lens, cur, sched);
+        if lens.is_empty() {
+            prop_assert!(chosen.is_empty());
+        } else {
+            prop_assert!(!chosen.is_empty(), "a non-empty queue must admit something");
+        }
+        for w in chosen.windows(2) {
+            prop_assert!(w[0] < w[1], "indices sorted and unique");
+        }
+        for &i in &chosen {
+            prop_assert!(i < lens.len());
+        }
+    }
+
+    /// With a rich queue of near-average queries, the admitted workload
+    /// lands inside the threshold band around the (feedback-shifted) budget.
+    #[test]
+    fn workload_stays_in_band_for_rich_queues(
+        b_e in 2usize..24,
+        jitter in 0usize..16,
+    ) {
+        let mean = 100.0;
+        let thr = 0.15;
+        let adj = DynamicAdjuster::new(b_e, mean, thr);
+        let lens: Vec<usize> = (0..256).map(|i| 92 + ((i + jitter) * 7) % 16).collect();
+        let chosen = adj.select_batch(&lens, 0, 0);
+        let sum: usize = chosen.iter().map(|&i| lens[i]).sum();
+        let target = b_e as f64 * mean;
+        prop_assert!(
+            (sum as f64) >= target * (1.0 - thr) - 108.0,
+            "undershoot: {sum} vs target {target}"
+        );
+        prop_assert!(
+            (sum as f64) <= target * (1.0 + thr) + 108.0,
+            "overshoot: {sum} vs target {target}"
+        );
+    }
+
+    /// The decode-pool feedback never moves the budget outside the band:
+    /// admission counts are bounded regardless of pool drift.
+    #[test]
+    fn feedback_is_band_limited(
+        b_e in 2usize..24,
+        cur in 0usize..10_000,
+        sched in 0usize..10_000,
+    ) {
+        let adj = DynamicAdjuster::new(b_e, 100.0, 0.1);
+        let lens = vec![100usize; 512];
+        let n = adj.encoder_batch(&lens, cur, sched);
+        // Band of +-10% around b_e * 100 tokens of 100-token queries.
+        prop_assert!(n >= b_e.saturating_sub(b_e / 5 + 1));
+        prop_assert!(n <= b_e + b_e / 5 + 1, "admitted {n} for b_e {b_e}");
+    }
+}

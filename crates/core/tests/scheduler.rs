@@ -1,0 +1,144 @@
+//! End-to-end behaviour of the constraint-aware scheduler.
+
+use exegpt::{Engine, Policy, ScheduleConfig, ScheduleError, SchedulerOptions};
+use exegpt_cluster::ClusterSpec;
+use exegpt_dist::LengthDist;
+use exegpt_model::ModelConfig;
+use exegpt_sim::Workload;
+
+/// OPT-13B on four A40s serving the paper's summarization task S.
+fn engine_task_s() -> Engine {
+    Engine::builder()
+        .model(ModelConfig::opt_13b())
+        .cluster(ClusterSpec::a40_cluster().subcluster(4).expect("fits"))
+        .workload(Workload::new(
+            LengthDist::truncated_normal(256.0, 252.0, 512).expect("valid"),
+            LengthDist::truncated_normal(32.0, 13.0, 80).expect("valid"),
+        ))
+        .build()
+        .expect("builds")
+}
+
+#[test]
+fn schedules_satisfy_their_latency_bound() {
+    let engine = engine_task_s();
+    for bound in [5.0, 10.0, 30.0] {
+        let s = engine.schedule(bound).expect("feasible");
+        assert!(
+            s.estimate.latency <= bound * 1.0001,
+            "bound {bound}: selected latency {}",
+            s.estimate.latency
+        );
+        assert!(s.estimate.throughput > 0.0);
+    }
+}
+
+#[test]
+fn relaxing_the_bound_never_hurts_throughput() {
+    // The essence of constraint-aware scheduling: the feasible set only
+    // grows as the bound relaxes (Table 6's trend).
+    let engine = engine_task_s();
+    let mut last = 0.0;
+    for bound in [4.0, 8.0, 16.0, 64.0, f64::INFINITY] {
+        if let Ok(s) = engine.schedule(bound) {
+            assert!(
+                s.estimate.throughput >= last * 0.999,
+                "throughput regressed at bound {bound}: {} < {last}",
+                s.estimate.throughput
+            );
+            last = s.estimate.throughput;
+        }
+    }
+    assert!(last > 0.0, "the unconstrained case must be feasible");
+}
+
+#[test]
+fn impossible_bound_is_reported() {
+    let engine = engine_task_s();
+    let err = engine.schedule(1e-3).expect_err("1 ms is impossible");
+    assert!(matches!(err, ScheduleError::NoFeasibleSchedule { .. }));
+}
+
+#[test]
+fn policy_restriction_is_respected() {
+    let engine = engine_task_s();
+    let opts = SchedulerOptions {
+        policies: vec![Policy::Rra],
+        ..SchedulerOptions::bounded(f64::INFINITY)
+    };
+    let s = engine.schedule_with(&opts).expect("feasible");
+    assert!(matches!(s.config, ScheduleConfig::Rra(_)));
+
+    let opts = SchedulerOptions {
+        policies: vec![Policy::WaaCompute],
+        ..SchedulerOptions::bounded(f64::INFINITY)
+    };
+    let s = engine.schedule_with(&opts).expect("feasible");
+    assert!(matches!(s.config, ScheduleConfig::Waa(_)));
+}
+
+#[test]
+fn portfolio_beats_or_matches_each_single_policy() {
+    let engine = engine_task_s();
+    let bound = 12.0;
+    let all = engine.schedule(bound).expect("feasible").estimate.throughput;
+    for policy in Policy::all() {
+        let opts =
+            SchedulerOptions { policies: vec![policy], ..SchedulerOptions::bounded(bound) };
+        if let Ok(s) = engine.schedule_with(&opts) {
+            assert!(
+                all >= s.estimate.throughput * 0.999,
+                "{policy:?} alone beat the portfolio: {} > {all}",
+                s.estimate.throughput
+            );
+        }
+    }
+}
+
+#[test]
+fn invalid_options_are_rejected() {
+    let engine = engine_task_s();
+    let err = engine.schedule(0.0).expect_err("zero bound");
+    assert!(matches!(err, ScheduleError::InvalidOptions { what: "latency_bound", .. }));
+    let opts = SchedulerOptions { policies: vec![], ..SchedulerOptions::bounded(10.0) };
+    assert!(matches!(
+        engine.schedule_with(&opts),
+        Err(ScheduleError::InvalidOptions { what: "policies", .. })
+    ));
+    let opts =
+        SchedulerOptions { eps_latency_frac: 1.5, ..SchedulerOptions::bounded(10.0) };
+    assert!(matches!(
+        engine.schedule_with(&opts),
+        Err(ScheduleError::InvalidOptions { what: "eps_latency_frac", .. })
+    ));
+}
+
+#[test]
+fn sequential_and_parallel_search_agree() {
+    let engine = engine_task_s();
+    let bound = 10.0;
+    let par = engine
+        .schedule_with(&SchedulerOptions { parallel: true, ..SchedulerOptions::bounded(bound) })
+        .expect("feasible");
+    let seq = engine
+        .schedule_with(&SchedulerOptions { parallel: false, ..SchedulerOptions::bounded(bound) })
+        .expect("feasible");
+    assert_eq!(par.config, seq.config);
+    assert_eq!(par.estimate, seq.estimate);
+}
+
+#[test]
+fn rescheduling_for_a_new_workload_reuses_the_profile() {
+    let engine = engine_task_s();
+    // Shift to longer outputs (task-T-like); schedules still found.
+    let shifted = engine.with_workload(Workload::new(
+        LengthDist::truncated_normal(128.0, 81.0, 256).expect("valid"),
+        LengthDist::truncated_normal(128.0, 68.0, 320).expect("valid"),
+    ));
+    let s = shifted.schedule(f64::INFINITY).expect("feasible");
+    assert!(s.estimate.throughput > 0.0 && s.estimate.throughput.is_finite());
+    // Longer outputs mean ~4x the decode tokens per query; the optimizer
+    // must adapt the configuration rather than reuse task S's choice.
+    let base = engine.schedule(f64::INFINITY).expect("feasible");
+    assert_ne!(s.config, base.config, "schedule should adapt to the new workload");
+}

@@ -1,0 +1,40 @@
+//! Error types for the distribution crate.
+
+/// Errors produced when constructing distributions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DistError {
+    /// A distribution parameter was invalid.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// Why it was rejected.
+        why: &'static str,
+    },
+    /// An empirical distribution was built from no samples.
+    EmptySamples,
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::InvalidParameter { what, why } => {
+                write!(f, "invalid distribution parameter `{what}`: {why}")
+            }
+            DistError::EmptySamples => write!(f, "empirical distribution needs at least one sample"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_parameter() {
+        let e = DistError::InvalidParameter { what: "std", why: "must be non-negative" };
+        assert!(e.to_string().contains("std"));
+    }
+}

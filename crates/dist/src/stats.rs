@@ -1,0 +1,134 @@
+//! Sample statistics used when deriving distributions from datasets.
+//!
+//! The paper reports Pearson correlation between input and output lengths
+//! for each dataset (§7.1) and 99th-percentile execution-time ranges
+//! (Table 7); these helpers compute both.
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `None` if the slices differ in length, have fewer than two
+/// elements, or either sample has zero variance.
+///
+/// # Example
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// let r = exegpt_dist::stats::pearson(&x, &y).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// The `p`-th percentile (nearest-rank) of a sample; `p` in `[0, 1]`.
+///
+/// Returns `None` for an empty sample.
+///
+/// # Example
+///
+/// ```
+/// let xs = [5.0, 1.0, 3.0];
+/// assert_eq!(exegpt_dist::stats::percentile(&xs, 0.5), Some(3.0));
+/// ```
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    let p = p.clamp(0.0, 1.0);
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Mean of a sample (`None` if empty).
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Sample standard deviation with Bessel's correction (`None` if `< 2`
+/// elements).
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// The symmetric 99th-percentile half-range around the mean,
+/// `(p99 - p01) / 2`, as reported in Table 7 of the paper.
+///
+/// Returns `None` for an empty sample.
+pub fn pctl99_half_range(xs: &[f64]) -> Option<f64> {
+    let hi = percentile(xs, 0.99)?;
+    let lo = percentile(xs, 0.01)?;
+    Some((hi - lo) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_detects_anticorrelation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_edge_cases() {
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 0.25), Some(10.0));
+        assert_eq!(percentile(&xs, 0.26), Some(20.0));
+        assert_eq!(percentile(&xs, 1.0), Some(40.0));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn std_dev_bessel() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = std_dev(&xs).unwrap();
+        assert!((s - 2.138_089_935).abs() < 1e-6);
+        assert_eq!(std_dev(&[1.0]), None);
+    }
+
+    #[test]
+    fn half_range_is_symmetric_measure() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let r = pctl99_half_range(&xs).unwrap();
+        assert!((r - 49.5).abs() < 1.5);
+    }
+}

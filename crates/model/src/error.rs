@@ -1,0 +1,54 @@
+//! Error types for the model crate.
+
+/// Errors produced when constructing or partitioning models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A structural dimension was invalid.
+    InvalidDimension {
+        /// Which dimension was rejected.
+        what: &'static str,
+        /// Why it was rejected.
+        why: &'static str,
+    },
+    /// A partition request could not be satisfied.
+    InvalidPartition {
+        /// Human-readable description of the violated requirement.
+        why: String,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::InvalidDimension { what, why } => {
+                write!(f, "invalid model dimension `{what}`: {why}")
+            }
+            ModelError::InvalidPartition { why } => write!(f, "invalid partition: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = ModelError::InvalidDimension {
+            what: "d_model",
+            why: "must be non-zero",
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("invalid model dimension"));
+        assert!(s.contains("d_model"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based invariants of the model substrate.
+
+use exegpt_model::{LayerKind, ModelConfig, ModelKind, Partition};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = ModelConfig> {
+    (
+        prop_oneof![Just(ModelKind::DecoderOnly), Just(ModelKind::EncoderDecoder)],
+        1usize..32,                       // layer pairs
+        prop_oneof![Just(64usize), Just(128), Just(256), Just(512)], // d_model
+        1usize..16,                       // heads
+        1usize..8,                        // head_dim multiplier
+    )
+        .prop_map(|(kind, pairs, d_model, heads, hd)| {
+            let layers = match kind {
+                ModelKind::EncoderDecoder => pairs * 2,
+                ModelKind::DecoderOnly => pairs,
+            };
+            let d_attn = heads * hd * 16;
+            ModelConfig::new(
+                "prop",
+                kind,
+                layers,
+                d_model,
+                d_attn,
+                4 * d_model,
+                heads,
+                1000,
+                4096,
+                2,
+            )
+            .expect("generated dimensions are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// FLOPs and byte counts are monotone in batch and sequence length.
+    #[test]
+    fn costs_are_monotone(model in arb_model(), b in 1usize..64, s in 1usize..512) {
+        let e1 = model.encode_rest_cost(b, s);
+        let e2 = model.encode_rest_cost(b + 1, s);
+        let e3 = model.encode_rest_cost(b, s + 1);
+        prop_assert!(e2.flops >= e1.flops && e3.flops >= e1.flops);
+        let a1 = model.encode_attention_cost(b, s);
+        let a2 = model.encode_attention_cost(b, s + 1);
+        prop_assert!(a2.flops > a1.flops);
+        let d1 = model.decode_attention_cost(LayerKind::Decoder, b, s, 0);
+        let d2 = model.decode_attention_cost(LayerKind::Decoder, b, s + 1, 0);
+        prop_assert!(d2.bytes >= d1.bytes);
+    }
+
+    /// Total parameter bytes equal the sum over layers plus embeddings.
+    #[test]
+    fn param_accounting_is_consistent(model in arb_model()) {
+        let enc = model.num_encoder_layers() as u64
+            * model.layer_param_count(LayerKind::Encoder);
+        let dec = model.num_decoder_layers() as u64
+            * model.layer_param_count(LayerKind::Decoder);
+        let embed = (model.vocab_size() * model.d_model()) as u64;
+        prop_assert_eq!(model.param_count(), enc + dec + embed);
+        prop_assert_eq!(
+            model.param_bytes(),
+            model.param_count() * model.dtype_bytes() as u64
+        );
+    }
+
+    /// KV accounting scales exactly linearly in each factor.
+    #[test]
+    fn kv_cache_is_multilinear(
+        model in arb_model(),
+        b in 1usize..64,
+        ctx in 1usize..512,
+        layers in 1usize..32,
+    ) {
+        let unit = model.kv_bytes_per_token_per_layer();
+        prop_assert_eq!(
+            model.kv_cache_bytes(b, ctx, layers),
+            unit * (b * ctx * layers) as u64
+        );
+    }
+
+    /// Even partitions cover every layer exactly once with balanced stages.
+    #[test]
+    fn even_partition_invariants(layers in 1usize..512, stages in 1usize..64) {
+        prop_assume!(stages <= layers);
+        let p = Partition::even(layers, stages).expect("stages <= layers");
+        prop_assert_eq!(p.num_stages(), stages);
+        prop_assert_eq!(p.iter().map(|r| r.len()).sum::<usize>(), layers);
+        // Contiguity and coverage.
+        let mut next = 0;
+        for r in p.iter() {
+            prop_assert_eq!(r.start, next);
+            prop_assert!(!r.is_empty());
+            next = r.end;
+        }
+        prop_assert_eq!(next, layers);
+        // Balance: stage sizes differ by at most one.
+        let lens: Vec<usize> = p.iter().map(|r| r.len()).collect();
+        let min = *lens.iter().min().expect("non-empty");
+        let max = *lens.iter().max().expect("non-empty");
+        prop_assert!(max - min <= 1);
+    }
+}

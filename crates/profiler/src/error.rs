@@ -1,0 +1,59 @@
+//! Error types for the profiler crate.
+
+/// Errors produced when building or querying profiles.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// A sweep axis was empty or not strictly increasing.
+    InvalidAxis {
+        /// Which axis was rejected.
+        what: &'static str,
+        /// Why it was rejected.
+        why: &'static str,
+    },
+    /// The requested tensor-parallel degree was not profiled.
+    UnprofiledTpDegree {
+        /// The requested degree.
+        requested: usize,
+        /// The degrees that were profiled.
+        available: Vec<usize>,
+    },
+    /// A query lay outside the profiled region and extrapolation was
+    /// disabled for it.
+    OutOfRange {
+        /// Which quantity was out of range.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::InvalidAxis { what, why } => {
+                write!(f, "invalid profile axis `{what}`: {why}")
+            }
+            ProfileError::UnprofiledTpDegree { requested, available } => write!(
+                f,
+                "tensor-parallel degree {requested} was not profiled (available: {available:?})"
+            ),
+            ProfileError::OutOfRange { what, value } => {
+                write!(f, "profile query `{what}` = {value} is out of the profiled range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_degree() {
+        let e = ProfileError::UnprofiledTpDegree { requested: 3, available: vec![1, 2, 4] };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,140 @@
+//! The queryable profile produced by a profiling run.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ProfileError;
+use crate::grid::{Grid1D, Grid2D};
+
+/// Per-tensor-parallel-degree sweep tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct TpTables {
+    /// Encode attention kernel time over (batch, seq).
+    pub enc_attn: Grid2D,
+    /// Encode non-attention time over total tokens (batch × seq).
+    pub enc_rest: Grid1D,
+    /// Encode-layer tensor-parallel sync time over total tokens
+    /// (2 all-reduces per encoder layer, after Megatron).
+    pub enc_sync: Grid1D,
+    /// Decode self-attention kernel time over (batch, context length).
+    pub dec_attn: Grid2D,
+    /// Decode cross-attention kernel time over (batch, input length);
+    /// present only for encoder–decoder models.
+    pub dec_cross: Option<Grid2D>,
+    /// Decode non-attention time over batch size.
+    pub dec_rest: Grid1D,
+    /// Decode-layer tensor-parallel sync time over batch size
+    /// (3 all-reduces per decoder layer).
+    pub dec_sync: Grid1D,
+}
+
+/// Execution-time profile of a single encoder/decoder layer on a specific
+/// (model, cluster) pair, across all profiled tensor-parallel degrees.
+///
+/// Built by [`Profiler::run`](crate::Profiler::run); queried by the
+/// simulator and runner. All returned times are in seconds and refer to
+/// *one* layer; callers multiply by per-stage layer counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    pub(crate) model_name: String,
+    pub(crate) cluster_name: String,
+    pub(crate) per_tp: BTreeMap<usize, TpTables>,
+    /// Pipeline-stage handoff time over tokens transferred, intra-node.
+    pub(crate) handoff_intra: Grid1D,
+    /// Pipeline-stage handoff time over tokens transferred, inter-node.
+    pub(crate) handoff_inter: Grid1D,
+    /// Seconds to move one token's KV entry for one layer from an encoding
+    /// GPU to a decoding GPU via CPU staging (WAA handover, §3).
+    pub(crate) kv_transfer_per_token_layer: f64,
+    /// Largest batch size swept (upper bound for scheduler search ranges).
+    pub(crate) max_batch: usize,
+    /// Largest sequence/context length swept.
+    pub(crate) max_seq: usize,
+}
+
+impl LayerProfile {
+    /// Name of the profiled model.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// Name of the profiled cluster.
+    pub fn cluster_name(&self) -> &str {
+        &self.cluster_name
+    }
+
+    /// The tensor-parallel degrees this profile was swept over.
+    pub fn tp_degrees(&self) -> Vec<usize> {
+        self.per_tp.keys().copied().collect()
+    }
+
+    /// Largest batch size covered by the sweep.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Largest sequence length covered by the sweep.
+    pub fn max_seq(&self) -> usize {
+        self.max_seq
+    }
+
+    fn tables(&self, tp: usize) -> Result<&TpTables, ProfileError> {
+        self.per_tp.get(&tp).ok_or_else(|| ProfileError::UnprofiledTpDegree {
+            requested: tp,
+            available: self.tp_degrees(),
+        })
+    }
+
+    /// Time for one layer to *encode* `batch` sequences of `seq` tokens at
+    /// tensor-parallel degree `tp` (attention + rest + TP sync).
+    ///
+    /// Fractional `batch`/`seq` are allowed: the simulator evaluates
+    /// expected micro-batch sizes that need not be whole queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::UnprofiledTpDegree`] if `tp` was not swept.
+    pub fn encode_layer_time(&self, batch: f64, seq: f64, tp: usize) -> Result<f64, ProfileError> {
+        let t = self.tables(tp)?;
+        let tokens = batch * seq;
+        Ok(t.enc_attn.eval(batch, seq) + t.enc_rest.eval(tokens) + t.enc_sync.eval(tokens))
+    }
+
+    /// Time for one layer to run one *decode* iteration for `batch` queries
+    /// whose mean total context is `ctx` tokens, with `input_len` cached
+    /// input tokens for cross-attention (ignored for decoder-only models),
+    /// at tensor-parallel degree `tp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::UnprofiledTpDegree`] if `tp` was not swept.
+    pub fn decode_layer_time(
+        &self,
+        batch: f64,
+        ctx: f64,
+        input_len: f64,
+        tp: usize,
+    ) -> Result<f64, ProfileError> {
+        let t = self.tables(tp)?;
+        let cross = t.dec_cross.as_ref().map_or(0.0, |g| g.eval(batch, input_len));
+        Ok(t.dec_attn.eval(batch, ctx) + cross + t.dec_rest.eval(batch) + t.dec_sync.eval(batch))
+    }
+
+    /// Pipeline-stage handoff time for an activation tensor of
+    /// `tokens` tokens (`intra_node` selects the link).
+    pub fn handoff_time(&self, tokens: f64, intra_node: bool) -> f64 {
+        if intra_node {
+            self.handoff_intra.eval(tokens)
+        } else {
+            self.handoff_inter.eval(tokens)
+        }
+    }
+
+    /// Time to transfer the KV-cache entries of `tokens` tokens across
+    /// `layers` layers from encoding GPUs to decoding GPUs via CPU staging
+    /// (WAA handover).
+    pub fn kv_transfer_time(&self, tokens: f64, layers: usize) -> f64 {
+        self.kv_transfer_per_token_layer * tokens * layers as f64
+    }
+}

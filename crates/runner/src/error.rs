@@ -1,0 +1,74 @@
+//! Error types for the runner crate.
+
+use exegpt_profiler::ProfileError;
+use exegpt_sim::SimError;
+
+/// Errors produced when executing a schedule.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The run options were invalid.
+    InvalidOptions {
+        /// Which option was rejected.
+        what: &'static str,
+        /// Why it was rejected.
+        why: String,
+    },
+    /// The schedule itself is invalid or infeasible on this cluster (as
+    /// diagnosed by the same checks the simulator applies).
+    Schedule(SimError),
+    /// A profile lookup failed during execution.
+    Profile(ProfileError),
+    /// The run made no progress (e.g. the very first admission cannot fit
+    /// in device memory).
+    Stalled {
+        /// Human-readable explanation.
+        why: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::InvalidOptions { what, why } => {
+                write!(f, "invalid run option `{what}`: {why}")
+            }
+            RunError::Schedule(e) => write!(f, "schedule cannot run: {e}"),
+            RunError::Profile(e) => write!(f, "profile lookup failed: {e}"),
+            RunError::Stalled { why } => write!(f, "run stalled: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Schedule(e) => Some(e),
+            RunError::Profile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Schedule(e)
+    }
+}
+
+impl From<ProfileError> for RunError {
+    fn from(e: ProfileError) -> Self {
+        RunError::Profile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RunError::Stalled { why: "first batch does not fit".into() };
+        assert!(e.to_string().contains("first batch"));
+    }
+}

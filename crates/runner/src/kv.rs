@@ -1,0 +1,238 @@
+//! Key/value-cache accounting under the three disciplines that
+//! differentiate the evaluated systems (paper §2, §3).
+//!
+//! * [`ReservePolicy::UpFront`] — FasterTransformer/DSI: a query reserves
+//!   cache for its input plus the *maximum* output length at admission, and
+//!   nothing is reclaimed before the whole batch finishes.
+//! * [`ReservePolicy::Incremental`] — ExeGPT/ORCA: a query reserves its
+//!   input at admission and one token per decoding iteration; early
+//!   termination releases (compacts) its entries immediately.
+//! * [`ReservePolicy::Paged`] — vLLM: like incremental, but space is
+//!   granted in fixed-size pages, wasting at most one partial page per
+//!   query.
+
+use std::collections::HashMap;
+
+/// Cache reservation discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReservePolicy {
+    /// Reserve `input + max_output` tokens at admission (FT/DSI).
+    UpFront,
+    /// Reserve exactly the tokens held, grow per iteration (ExeGPT/ORCA).
+    Incremental,
+    /// Incremental, rounded up to pages of the given token count (vLLM).
+    Paged {
+        /// Tokens per page (vLLM's default block size is 16).
+        page_tokens: usize,
+    },
+}
+
+/// Tracks KV-cache bytes on the most loaded GPU of a deployment.
+///
+/// The tracker works in *tokens × bytes-per-token* on the bottleneck GPU
+/// (the stage holding the most layers, divided by its tensor-parallel
+/// degree) — the GPU whose capacity constrains the whole schedule.
+///
+/// # Example
+///
+/// ```
+/// use exegpt_runner::{KvTracker, ReservePolicy};
+///
+/// let mut kv = KvTracker::new(1000.0, 1_000_000, ReservePolicy::Incremental);
+/// assert!(kv.try_admit(1, 100, 0));
+/// assert!(kv.grow(1, 1));
+/// kv.release(1);
+/// assert_eq!(kv.used_bytes(), 0);
+/// assert!(kv.peak_bytes() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvTracker {
+    bytes_per_token: f64,
+    capacity_bytes: u64,
+    policy: ReservePolicy,
+    held_tokens: HashMap<u64, usize>,
+    used_bytes: u64,
+    peak_bytes: u64,
+}
+
+impl KvTracker {
+    /// Creates a tracker with `bytes_per_token` per cached token on the
+    /// bottleneck GPU and `capacity_bytes` available for KV entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_token` is not positive.
+    pub fn new(bytes_per_token: f64, capacity_bytes: u64, policy: ReservePolicy) -> Self {
+        assert!(bytes_per_token > 0.0, "bytes per token must be positive");
+        Self {
+            bytes_per_token,
+            capacity_bytes,
+            policy,
+            held_tokens: HashMap::new(),
+            used_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    fn tokens_to_bytes(&self, tokens: usize) -> u64 {
+        (tokens as f64 * self.bytes_per_token).ceil() as u64
+    }
+
+    fn reserved_tokens(&self, held: usize) -> usize {
+        match self.policy {
+            ReservePolicy::UpFront | ReservePolicy::Incremental => held,
+            ReservePolicy::Paged { page_tokens } => {
+                held.div_ceil(page_tokens.max(1)) * page_tokens.max(1)
+            }
+        }
+    }
+
+    /// Tries to admit query `id` holding `input_tokens`; `max_output`
+    /// matters only for [`ReservePolicy::UpFront`], which reserves it all
+    /// immediately. Returns `false` (admitting nothing) on overflow.
+    pub fn try_admit(&mut self, id: u64, input_tokens: usize, max_output: usize) -> bool {
+        let held = match self.policy {
+            ReservePolicy::UpFront => input_tokens + max_output,
+            _ => input_tokens,
+        };
+        let add = self.tokens_to_bytes(self.reserved_tokens(held));
+        if self.used_bytes + add > self.capacity_bytes {
+            return false;
+        }
+        self.held_tokens.insert(id, held);
+        self.used_bytes += add;
+        self.peak_bytes = self.peak_bytes.max(self.used_bytes);
+        true
+    }
+
+    /// Grows query `id` by `tokens` newly generated tokens. Under
+    /// [`ReservePolicy::UpFront`] this is a no-op (space was pre-reserved).
+    /// Returns `false` on overflow (the growth is not applied).
+    pub fn grow(&mut self, id: u64, tokens: usize) -> bool {
+        if matches!(self.policy, ReservePolicy::UpFront) {
+            return true;
+        }
+        let Some(held) = self.held_tokens.get(&id).copied() else {
+            return false;
+        };
+        let before = self.tokens_to_bytes(self.reserved_tokens(held));
+        let after = self.tokens_to_bytes(self.reserved_tokens(held + tokens));
+        let add = after - before;
+        if self.used_bytes + add > self.capacity_bytes {
+            return false;
+        }
+        self.held_tokens.insert(id, held + tokens);
+        self.used_bytes += add;
+        self.peak_bytes = self.peak_bytes.max(self.used_bytes);
+        true
+    }
+
+    /// Releases all entries of query `id` (early-termination compaction).
+    /// Unknown ids are ignored.
+    pub fn release(&mut self, id: u64) {
+        if let Some(held) = self.held_tokens.remove(&id) {
+            let bytes = self.tokens_to_bytes(self.reserved_tokens(held));
+            self.used_bytes = self.used_bytes.saturating_sub(bytes);
+        }
+    }
+
+    /// Bytes currently reserved.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// High-water mark of reserved bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Number of resident queries.
+    pub fn resident(&self) -> usize {
+        self.held_tokens.len()
+    }
+
+    /// The capacity this tracker enforces.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upfront_reserves_max_output() {
+        let mut ft = KvTracker::new(10.0, 10_000, ReservePolicy::UpFront);
+        assert!(ft.try_admit(1, 100, 400)); // 5000 bytes
+        assert!(!ft.try_admit(2, 100, 500)); // would be 6000 more
+        assert!(ft.grow(1, 50), "growth is free under up-front");
+        assert_eq!(ft.used_bytes(), 5000);
+    }
+
+    #[test]
+    fn incremental_grows_per_token() {
+        let mut kv = KvTracker::new(10.0, 2_000, ReservePolicy::Incremental);
+        assert!(kv.try_admit(1, 100, 999));
+        assert_eq!(kv.used_bytes(), 1000);
+        assert!(kv.grow(1, 100));
+        assert_eq!(kv.used_bytes(), 2000);
+        assert!(!kv.grow(1, 1), "capacity reached");
+        assert_eq!(kv.used_bytes(), 2000, "failed growth is not applied");
+    }
+
+    #[test]
+    fn release_compacts_and_keeps_peak() {
+        let mut kv = KvTracker::new(1.0, 1000, ReservePolicy::Incremental);
+        assert!(kv.try_admit(1, 600, 0));
+        kv.release(1);
+        assert_eq!(kv.used_bytes(), 0);
+        assert_eq!(kv.peak_bytes(), 600);
+        assert!(kv.try_admit(2, 900, 0), "space was reclaimed");
+        kv.release(42); // unknown id is fine
+    }
+
+    #[test]
+    fn paged_rounds_to_pages() {
+        let mut kv = KvTracker::new(1.0, 1000, ReservePolicy::Paged { page_tokens: 16 });
+        assert!(kv.try_admit(1, 17, 0)); // 2 pages = 32
+        assert_eq!(kv.used_bytes(), 32);
+        assert!(kv.grow(1, 10)); // 27 tokens still 2 pages
+        assert_eq!(kv.used_bytes(), 32);
+        assert!(kv.grow(1, 10)); // 37 tokens -> 3 pages
+        assert_eq!(kv.used_bytes(), 48);
+    }
+
+    #[test]
+    fn paged_wastes_less_than_upfront() {
+        let cap = 100_000u64;
+        let mut up = KvTracker::new(1.0, cap, ReservePolicy::UpFront);
+        let mut pg = KvTracker::new(1.0, cap, ReservePolicy::Paged { page_tokens: 16 });
+        // Queries with input 100, actual output 20, max output 500.
+        let mut up_count = 0;
+        let mut pg_count = 0;
+        for id in 0..10_000 {
+            if up.try_admit(id, 100, 500) {
+                up_count += 1;
+            }
+            if pg.try_admit(id, 100, 500) && pg.grow(id, 20) {
+                pg_count += 1;
+            }
+        }
+        // Up-front reserves 600 tokens/query, paging ~128 (8 pages of 16):
+        // a ~4.7x capacity advantage.
+        assert!(pg_count > 4 * up_count, "paging should fit far more queries");
+    }
+
+    #[test]
+    fn grow_unknown_id_fails() {
+        let mut kv = KvTracker::new(1.0, 100, ReservePolicy::Incremental);
+        assert!(!kv.grow(9, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "bytes per token")]
+    fn zero_bytes_per_token_panics() {
+        let _ = KvTracker::new(0.0, 100, ReservePolicy::Incremental);
+    }
+}

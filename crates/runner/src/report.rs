@@ -1,0 +1,140 @@
+//! Measured results of one execution run.
+
+use exegpt_dist::stats;
+use serde::{Deserialize, Serialize};
+
+use crate::trace::Trace;
+
+/// Measurements collected by the runner over one run.
+///
+/// Throughput is measured over the post-warm-up window; latencies are per
+/// completed query (from the start of the query's encoding to its final
+/// token); stage-time vectors feed the Table 7 variance analysis; peak KV
+/// bytes feed the Figure 9 memory comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Queries completed over the whole run.
+    pub completed: usize,
+    /// Output tokens generated over the whole run.
+    pub tokens_generated: u64,
+    /// Virtual end time of the run in seconds.
+    pub makespan: f64,
+    /// Completed queries per second over the measurement window.
+    pub throughput: f64,
+    /// Per-query latencies in seconds (encode start → last token).
+    pub latencies: Vec<f64>,
+    /// Bottleneck-stage execution time of each encoding phase.
+    pub encoder_stage_times: Vec<f64>,
+    /// Bottleneck-stage execution time of each decoding iteration.
+    pub decoder_stage_times: Vec<f64>,
+    /// Peak KV-cache bytes observed on the bottleneck GPU.
+    pub peak_kv_bytes: u64,
+    /// Parameter bytes resident on the bottleneck GPU.
+    pub param_bytes: u64,
+    /// Execution trace, when requested via
+    /// [`RunOptions::record_trace`](crate::RunOptions).
+    pub trace: Option<Trace>,
+    /// Per-query sojourn times (arrival → last token), populated only for
+    /// open-loop runs ([`RunOptions::arrival_rate`](crate::RunOptions)) —
+    /// the §7.6 SLA-(a) quantity.
+    pub sojourn_times: Vec<f64>,
+}
+
+impl RunReport {
+    /// Mean per-query latency (0 when nothing completed).
+    pub fn mean_latency(&self) -> f64 {
+        stats::mean(&self.latencies).unwrap_or(0.0)
+    }
+
+    /// 99th-percentile per-query latency (0 when nothing completed).
+    pub fn p99_latency(&self) -> f64 {
+        stats::percentile(&self.latencies, 0.99).unwrap_or(0.0)
+    }
+
+    /// Maximum per-query latency (0 when nothing completed).
+    pub fn max_latency(&self) -> f64 {
+        self.latencies.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// 99th-percentile sojourn time (0 when not an open-loop run) — the
+    /// SLA-(a) quantity of §7.6: the timeframe within which 99% of all
+    /// queries complete, including queueing.
+    pub fn p99_sojourn(&self) -> f64 {
+        stats::percentile(&self.sojourn_times, 0.99).unwrap_or(0.0)
+    }
+
+    /// Mean and ±99th-percentile half-range of encoder stage times, the
+    /// form Table 7 reports.
+    pub fn encoder_stage_stats(&self) -> (f64, f64) {
+        (
+            stats::mean(&self.encoder_stage_times).unwrap_or(0.0),
+            stats::pctl99_half_range(&self.encoder_stage_times).unwrap_or(0.0),
+        )
+    }
+
+    /// Mean and ±99th-percentile half-range of decoder stage times.
+    pub fn decoder_stage_stats(&self) -> (f64, f64) {
+        (
+            stats::mean(&self.decoder_stage_times).unwrap_or(0.0),
+            stats::pctl99_half_range(&self.decoder_stage_times).unwrap_or(0.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            completed: 3,
+            tokens_generated: 30,
+            makespan: 10.0,
+            throughput: 0.3,
+            latencies: vec![1.0, 2.0, 9.0],
+            encoder_stage_times: vec![1.0, 1.2, 0.8],
+            decoder_stage_times: vec![0.1; 10],
+            peak_kv_bytes: 100,
+            param_bytes: 200,
+            trace: None,
+            sojourn_times: vec![2.0, 3.0, 10.0],
+        }
+    }
+
+    #[test]
+    fn latency_stats() {
+        let r = report();
+        assert!((r.mean_latency() - 4.0).abs() < 1e-12);
+        assert_eq!(r.p99_latency(), 9.0);
+        assert_eq!(r.max_latency(), 9.0);
+        assert_eq!(r.p99_sojourn(), 10.0);
+    }
+
+    #[test]
+    fn stage_stats_are_mean_and_half_range() {
+        let (mean, half) = report().encoder_stage_stats();
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert!(half > 0.0);
+        let (_, dec_half) = report().decoder_stage_stats();
+        assert_eq!(dec_half, 0.0, "constant stage times have no spread");
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = RunReport {
+            completed: 0,
+            tokens_generated: 0,
+            makespan: 0.0,
+            throughput: 0.0,
+            latencies: vec![],
+            encoder_stage_times: vec![],
+            decoder_stage_times: vec![],
+            peak_kv_bytes: 0,
+            param_bytes: 0,
+            trace: None,
+            sojourn_times: vec![],
+        };
+        assert_eq!(r.mean_latency(), 0.0);
+        assert_eq!(r.p99_latency(), 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Discrete-event replay of an RRA schedule.
+
+use exegpt::DynamicAdjuster;
+use exegpt_dist::CompletionDist;
+use exegpt_sim::{RraConfig, SimError, Simulator};
+use exegpt_workload::{PoissonStream, Request, RequestStream, TimedRequest};
+
+use crate::error::RunError;
+use crate::kv::{KvTracker, ReservePolicy};
+use crate::report::RunReport;
+use crate::runner::{windowed_throughput, RunOptions};
+use crate::trace::{SpanKind, Trace};
+
+struct Active {
+    req: Request,
+    progress: usize,
+    t_encoded: f64,
+    arrival: f64,
+}
+
+pub(crate) fn run(
+    sim: &Simulator,
+    cfg: &RraConfig,
+    opts: &RunOptions,
+) -> Result<RunReport, RunError> {
+    // The simulator's feasibility checks and derived pool size apply as-is.
+    let estimate = sim.evaluate_rra(cfg)?;
+    let scheduled_b_d = estimate.breakdown.decode_batch;
+    let plan = sim.rra_plan(cfg, scheduled_b_d)?;
+    let stages = plan.layout.num_stages();
+    let profile = sim.profile();
+    let w = sim.workload();
+
+    // KV accounting on the bottleneck GPU (most decode layers per TP rank).
+    let worst_layers = plan
+        .dec_alloc
+        .iter()
+        .zip(plan.layout.stages())
+        .map(|(&l, s)| l as f64 / s.tp as f64)
+        .fold(0.0f64, f64::max);
+    let bytes_per_token =
+        sim.model().kv_bytes_per_token_per_layer() as f64 * worst_layers;
+    let kv_capacity = sim
+        .usable_capacity()
+        .saturating_sub(estimate.memory.decoder_gpu.param_bytes)
+        .saturating_sub(estimate.memory.decoder_gpu.activation_bytes);
+    let mut kv = KvTracker::new(bytes_per_token, kv_capacity, ReservePolicy::Incremental);
+
+    let adjuster = DynamicAdjuster::new(cfg.b_e, w.input().mean(), opts.adjust_threshold);
+    let _ = CompletionDist::new(w.output(), cfg.n_d); // distribution sanity only
+
+    let stream_workload = opts.request_workload.as_ref().unwrap_or(w);
+    // FIFO queue (front = oldest), sorted by arrival time.
+    let mut pending: Vec<TimedRequest> = match opts.arrival_rate {
+        Some(rate) => {
+            PoissonStream::new(stream_workload, rate, opts.seed).take(opts.num_queries).collect()
+        }
+        None => RequestStream::new(stream_workload, opts.seed)
+            .take(opts.num_queries)
+            .map(|request| TimedRequest { request, arrival: 0.0 })
+            .collect(),
+    };
+
+    let mut pool: Vec<Active> = Vec::new();
+    let mut t = 0.0f64;
+    let mut latencies = Vec::with_capacity(opts.num_queries);
+    let mut sojourns = Vec::new();
+    let mut completion_times = Vec::with_capacity(opts.num_queries);
+    let mut enc_stage_times = Vec::new();
+    let mut dec_stage_times = Vec::new();
+    let mut tokens: u64 = 0;
+    let mut trace = opts.record_trace.then(Trace::new);
+
+    while latencies.len() < opts.num_queries {
+        // ---- Encoding phase: dynamic admission (§5.2) -------------------
+        // Only queries that have arrived are admissible (prefix: the queue
+        // is arrival-sorted).
+        let arrived = pending.partition_point(|r| r.arrival <= t);
+        let lens: Vec<usize> =
+            pending[..arrived].iter().map(|r| r.request.input_len).collect();
+        let selected = adjuster.select_batch(&lens, pool.len(), scheduled_b_d);
+        let mut admitted: Vec<TimedRequest> = Vec::with_capacity(selected.len());
+        let mut taken = vec![false; pending.len()];
+        for &idx in &selected {
+            let req = pending[idx];
+            if !kv.try_admit(req.request.id, req.request.input_len, 0) {
+                break; // cache full: stop admitting this phase
+            }
+            taken[idx] = true;
+            admitted.push(req);
+        }
+        if !admitted.is_empty() {
+            let mut keep = Vec::with_capacity(pending.len() - admitted.len());
+            for (i, req) in pending.into_iter().enumerate() {
+                if !taken[i] {
+                    keep.push(req);
+                }
+            }
+            pending = keep;
+        }
+        if admitted.is_empty() && pool.is_empty() {
+            if pending.is_empty() {
+                break;
+            }
+            if arrived == 0 {
+                // Idle: nothing has arrived yet; advance to the next arrival.
+                t = pending[0].arrival;
+                continue;
+            }
+            return Err(RunError::Stalled {
+                why: format!(
+                    "query {} ({} input tokens) cannot fit in the kv cache",
+                    pending[0].request.id, pending[0].request.input_len
+                ),
+            });
+        }
+
+        if !admitted.is_empty() {
+            let mean_in: f64 = admitted.iter().map(|r| r.request.input_len as f64).sum::<f64>()
+                / admitted.len() as f64;
+            let m_e = stages.min(admitted.len()).max(1);
+            let micro = admitted.len() as f64 / m_e as f64;
+            let mut stage_times = Vec::with_capacity(stages);
+            for (i, stage) in plan.layout.stages().iter().enumerate() {
+                let t_layer = profile
+                    .encode_layer_time(micro, mean_in, stage.tp)
+                    .map_err(SimError::from)?;
+                let handoff =
+                    profile.handoff_time(micro * mean_in, plan.layout.boundary_intra_node(i));
+                stage_times.push(plan.enc_alloc[i] as f64 * t_layer + handoff);
+            }
+            let bottleneck = stage_times.iter().copied().fold(0.0, f64::max);
+            let t_enc: f64 = stage_times.iter().sum::<f64>() + (m_e as f64 - 1.0) * bottleneck;
+            enc_stage_times.push(bottleneck);
+            let t_start = t;
+            t += t_enc;
+            if let Some(tr) = trace.as_mut() {
+                tr.record("workers", SpanKind::Encode, t_start, t, admitted.len());
+            }
+            for tr in admitted {
+                pool.push(Active {
+                    req: tr.request,
+                    progress: 0,
+                    t_encoded: t_start,
+                    arrival: tr.arrival,
+                });
+            }
+        }
+
+        // ---- Decoding phase: N_D iterations with early termination ------
+        let m_d = stages.min(pool.len()).max(1);
+        let dec_phase_start = t;
+        let dec_phase_batch = pool.len();
+        for u in 0..cfg.n_d {
+            if pool.is_empty() {
+                break;
+            }
+            let active = pool.len() as f64;
+            let ctx: f64 = pool
+                .iter()
+                .map(|a| (a.req.input_len + a.progress) as f64)
+                .sum::<f64>()
+                / active;
+            let micro = active / m_d as f64;
+            let mut worst = 0.0f64;
+            for (i, stage) in plan.layout.stages().iter().enumerate() {
+                let t_layer = profile
+                    .decode_layer_time(micro, ctx, w.input().mean(), stage.tp)
+                    .map_err(SimError::from)?;
+                let handoff = profile.handoff_time(micro, plan.layout.boundary_intra_node(i));
+                worst = worst.max(plan.dec_alloc[i] as f64 * t_layer + handoff);
+            }
+            let mut t_iter = m_d as f64 * worst;
+            if u == 0 {
+                t_iter += (stages as f64 - 1.0) * worst; // pipeline fill
+            }
+            dec_stage_times.push(worst);
+            t += t_iter;
+            tokens += pool.len() as u64;
+
+            // Advance and early-terminate (with cache compaction).
+            let mut i = 0;
+            while i < pool.len() {
+                pool[i].progress += 1;
+                let _ = kv.grow(pool[i].req.id, 1);
+                if pool[i].progress >= pool[i].req.output_len {
+                    let done = pool.swap_remove(i);
+                    kv.release(done.req.id);
+                    latencies.push(t - done.t_encoded);
+                    if opts.arrival_rate.is_some() {
+                        sojourns.push(t - done.arrival);
+                    }
+                    completion_times.push(t);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if let Some(tr) = trace.as_mut() {
+            tr.record("workers", SpanKind::Decode, dec_phase_start, t, dec_phase_batch);
+        }
+    }
+
+    let (throughput, makespan) = windowed_throughput(&completion_times, opts.warmup_frac);
+    Ok(RunReport {
+        completed: latencies.len(),
+        tokens_generated: tokens,
+        makespan,
+        throughput,
+        latencies,
+        encoder_stage_times: enc_stage_times,
+        decoder_stage_times: dec_stage_times,
+        peak_kv_bytes: kv.peak_bytes(),
+        param_bytes: estimate.memory.decoder_gpu.param_bytes,
+        trace,
+        sojourn_times: sojourns,
+    })
+}

@@ -1,0 +1,219 @@
+//! Discrete-event replay of a WAA schedule.
+//!
+//! The encode and decode groups run as coupled pipelines; the replay steps
+//! in *rounds*, one decoding iteration of the pool per round, with one
+//! encoder hand-over (batch + KV transfer via CPU staging) joining the pool
+//! at each round boundary.
+
+use exegpt::DynamicAdjuster;
+use exegpt_sim::{SimError, Simulator, WaaConfig};
+use exegpt_workload::{PoissonStream, Request, RequestStream, TimedRequest};
+
+use crate::error::RunError;
+use crate::kv::{KvTracker, ReservePolicy};
+use crate::report::RunReport;
+use crate::runner::{windowed_throughput, RunOptions};
+use crate::trace::{SpanKind, Trace};
+
+/// Exposed fraction of the KV handover (matches the simulator's overlap
+/// assumption).
+const KV_TRANSFER_EXPOSED: f64 = 0.3;
+
+struct Active {
+    req: Request,
+    progress: usize,
+    t_encoded: f64,
+    arrival: f64,
+}
+
+pub(crate) fn run(
+    sim: &Simulator,
+    cfg: &WaaConfig,
+    opts: &RunOptions,
+) -> Result<RunReport, RunError> {
+    let estimate = sim.evaluate_waa(cfg)?;
+    let plan = sim.waa_plan(cfg)?;
+    let profile = sim.profile();
+    let w = sim.workload();
+    let stages_d = plan.dec_layout.num_stages();
+
+    // KV accounting on the bottleneck decode GPU.
+    let worst_layers = plan
+        .dec_alloc
+        .iter()
+        .zip(plan.dec_layout.stages())
+        .map(|(&l, s)| l as f64 / s.tp as f64)
+        .fold(0.0f64, f64::max);
+    let bytes_per_token = sim.model().kv_bytes_per_token_per_layer() as f64 * worst_layers;
+    let kv_capacity = sim
+        .usable_capacity()
+        .saturating_sub(estimate.memory.decoder_gpu.param_bytes)
+        .saturating_sub(estimate.memory.decoder_gpu.activation_bytes);
+    let mut kv = KvTracker::new(bytes_per_token, kv_capacity, ReservePolicy::Incremental);
+
+    let adjuster = DynamicAdjuster::new(cfg.b_e, w.input().mean(), opts.adjust_threshold);
+
+    let stream_workload = opts.request_workload.as_ref().unwrap_or(w);
+    // FIFO queue (front = oldest), sorted by arrival time.
+    let mut pending: Vec<TimedRequest> = match opts.arrival_rate {
+        Some(rate) => {
+            PoissonStream::new(stream_workload, rate, opts.seed).take(opts.num_queries).collect()
+        }
+        None => RequestStream::new(stream_workload, opts.seed)
+            .take(opts.num_queries)
+            .map(|request| TimedRequest { request, arrival: 0.0 })
+            .collect(),
+    };
+
+    let mut pool: Vec<Active> = Vec::new();
+    let mut t = 0.0f64;
+    let mut latencies = Vec::with_capacity(opts.num_queries);
+    let mut sojourns = Vec::new();
+    let mut completion_times = Vec::with_capacity(opts.num_queries);
+    let mut enc_stage_times = Vec::new();
+    let mut dec_stage_times = Vec::new();
+    let mut tokens: u64 = 0;
+    let mut trace = opts.record_trace.then(Trace::new);
+
+    while latencies.len() < opts.num_queries {
+        // ---- Encoder side of this round ---------------------------------
+        // Only queries that have arrived are admissible (prefix: the queue
+        // is arrival-sorted).
+        let arrived = pending.partition_point(|r| r.arrival <= t);
+        let lens: Vec<usize> =
+            pending[..arrived].iter().map(|r| r.request.input_len).collect();
+        let selected = adjuster.select_batch(&lens, pool.len(), plan.b_d);
+        let mut admitted: Vec<TimedRequest> = Vec::with_capacity(selected.len());
+        let mut taken = vec![false; pending.len()];
+        for &idx in &selected {
+            let req = pending[idx];
+            if !kv.try_admit(req.request.id, req.request.input_len, 0) {
+                break;
+            }
+            taken[idx] = true;
+            admitted.push(req);
+        }
+        if !admitted.is_empty() {
+            let mut keep = Vec::with_capacity(pending.len() - admitted.len());
+            for (i, req) in pending.into_iter().enumerate() {
+                if !taken[i] {
+                    keep.push(req);
+                }
+            }
+            pending = keep;
+        }
+        if admitted.is_empty() && pool.is_empty() {
+            if pending.is_empty() {
+                break;
+            }
+            if arrived == 0 {
+                t = pending[0].arrival;
+                continue;
+            }
+            return Err(RunError::Stalled {
+                why: format!(
+                    "query {} ({} input tokens) cannot fit in the kv cache",
+                    pending[0].request.id, pending[0].request.input_len
+                ),
+            });
+        }
+
+        let (p_enc, enc_tokens) = if admitted.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let mean_in: f64 = admitted.iter().map(|r| r.request.input_len as f64).sum::<f64>()
+                / admitted.len() as f64;
+            let mut bottleneck = 0.0f64;
+            for (i, _) in plan.enc_layout.stages().iter().enumerate() {
+                let t_layer = profile
+                    .encode_layer_time(admitted.len() as f64, mean_in, 1)
+                    .map_err(SimError::from)?;
+                let handoff = profile.handoff_time(
+                    admitted.len() as f64 * mean_in,
+                    plan.enc_layout.boundary_intra_node(i),
+                );
+                bottleneck = bottleneck.max(plan.enc_alloc[i] as f64 * t_layer + handoff);
+            }
+            enc_stage_times.push(bottleneck);
+            (bottleneck, admitted.len() as f64 * mean_in)
+        };
+
+        // ---- Decoder side of this round ----------------------------------
+        let p_dec = if pool.is_empty() {
+            0.0
+        } else {
+            let active = pool.len() as f64;
+            let ctx: f64 = pool
+                .iter()
+                .map(|a| (a.req.input_len + a.progress) as f64)
+                .sum::<f64>()
+                / active;
+            let b_m = cfg.b_m.min(pool.len()).max(1);
+            let micro = active / b_m as f64;
+            let mut worst = 0.0f64;
+            for (i, stage) in plan.dec_layout.stages().iter().enumerate() {
+                let t_layer = profile
+                    .decode_layer_time(micro, ctx, w.input().mean(), stage.tp)
+                    .map_err(SimError::from)?;
+                let handoff =
+                    profile.handoff_time(micro, plan.dec_layout.boundary_intra_node(i));
+                worst = worst.max(plan.dec_alloc[i] as f64 * t_layer + handoff);
+            }
+            dec_stage_times.push(worst);
+            b_m.max(stages_d) as f64 * worst
+        };
+
+        // ---- Round boundary: handover + advance ---------------------------
+        let t_kv = profile.kv_transfer_time(enc_tokens, plan.kv_layers) * KV_TRANSFER_EXPOSED;
+        let round = p_enc.max(p_dec).max(t_kv);
+        let t_start = t;
+        t += round;
+        if let Some(tr) = trace.as_mut() {
+            tr.record("encoders", SpanKind::Encode, t_start, t_start + p_enc, admitted.len());
+            tr.record("decoders", SpanKind::Decode, t_start, t_start + p_dec, pool.len());
+            tr.record("handover", SpanKind::KvTransfer, t_start, t_start + t_kv, admitted.len());
+        }
+        if !pool.is_empty() {
+            tokens += pool.len() as u64;
+            let mut i = 0;
+            while i < pool.len() {
+                pool[i].progress += 1;
+                let _ = kv.grow(pool[i].req.id, 1);
+                if pool[i].progress >= pool[i].req.output_len {
+                    let done = pool.swap_remove(i);
+                    kv.release(done.req.id);
+                    latencies.push(t - done.t_encoded);
+                    if opts.arrival_rate.is_some() {
+                        sojourns.push(t - done.arrival);
+                    }
+                    completion_times.push(t);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for tr in admitted {
+            pool.push(Active {
+                req: tr.request,
+                progress: 0,
+                t_encoded: t_start,
+                arrival: tr.arrival,
+            });
+        }
+    }
+
+    let (throughput, makespan) = windowed_throughput(&completion_times, opts.warmup_frac);
+    Ok(RunReport {
+        completed: latencies.len(),
+        tokens_generated: tokens,
+        makespan,
+        throughput,
+        latencies,
+        encoder_stage_times: enc_stage_times,
+        decoder_stage_times: dec_stage_times,
+        peak_kv_bytes: kv.peak_bytes(),
+        param_bytes: estimate.memory.decoder_gpu.param_bytes,
+        trace,
+        sojourn_times: sojourns,
+    })
+}

@@ -1,0 +1,88 @@
+//! Error types for the simulator crate.
+
+use exegpt_profiler::ProfileError;
+
+/// Errors produced when evaluating a schedule configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The configuration is structurally invalid (bad batch sizes, TP degree
+    /// not dividing the GPU count, …).
+    InvalidConfig {
+        /// Which part of the configuration was rejected.
+        what: &'static str,
+        /// Why it was rejected.
+        why: String,
+    },
+    /// The schedule cannot run on the cluster: a GPU's memory capacity is
+    /// exceeded. This is how the paper's "NS" (not-satisfiable) entries and
+    /// WAA's large-model failures (§7.4) arise.
+    OutOfMemory {
+        /// Which GPU role overflowed ("encoder" / "decoder" / "worker").
+        role: &'static str,
+        /// Bytes the schedule needs on that GPU.
+        needed: u64,
+        /// Usable bytes on that GPU.
+        capacity: u64,
+    },
+    /// The schedule cannot reach a steady state (e.g. no query can complete
+    /// within the decode-phase support).
+    NoSteadyState {
+        /// Human-readable explanation.
+        why: String,
+    },
+    /// An underlying profile lookup failed.
+    Profile(ProfileError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidConfig { what, why } => {
+                write!(f, "invalid schedule configuration `{what}`: {why}")
+            }
+            SimError::OutOfMemory { role, needed, capacity } => write!(
+                f,
+                "{role} gpu out of memory: schedule needs {:.1} GiB of {:.1} GiB usable",
+                *needed as f64 / (1u64 << 30) as f64,
+                *capacity as f64 / (1u64 << 30) as f64
+            ),
+            SimError::NoSteadyState { why } => write!(f, "no steady state: {why}"),
+            SimError::Profile(e) => write!(f, "profile lookup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Profile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProfileError> for SimError {
+    fn from(e: ProfileError) -> Self {
+        SimError::Profile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_display_shows_gib() {
+        let e = SimError::OutOfMemory { role: "decoder", needed: 3 << 30, capacity: 2 << 30 };
+        let s = e.to_string();
+        assert!(s.contains("decoder") && s.contains("3.0") && s.contains("2.0"));
+    }
+
+    #[test]
+    fn profile_error_chains_as_source() {
+        use std::error::Error;
+        let e = SimError::from(ProfileError::OutOfRange { what: "batch", value: 1.0 });
+        assert!(e.source().is_some());
+    }
+}

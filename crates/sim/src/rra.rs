@@ -1,0 +1,218 @@
+//! Closed-form timeline of the RRA (Round-Robin Allocation) schedule
+//! (paper §4.1 Figure 4a, §6 "Simulating RRA Schedule").
+//!
+//! Every GPU owns a round-robin slice of the model's encoders and decoders.
+//! Execution alternates one *encoding phase* (admitting `B_E` new queries)
+//! with `N_D` *decoding iterations* over the merged pool of `B_D` queries.
+//! Early termination shrinks the active pool within a phase according to
+//! the completion distribution `P_D(U)`; the next encoding phase refills it.
+
+use exegpt_dist::CompletionDist;
+use exegpt_model::{MemoryFootprint, ModelKind};
+
+use crate::config::RraConfig;
+use crate::error::SimError;
+use crate::estimate::{Breakdown, Estimate, MemoryReport};
+use crate::layout::PipelineLayout;
+use crate::simulator::Simulator;
+
+pub(crate) fn evaluate(sim: &Simulator, cfg: &RraConfig) -> Result<Estimate, SimError> {
+    if cfg.b_e == 0 {
+        return Err(SimError::InvalidConfig { what: "b_e", why: "must be at least 1".into() });
+    }
+    if cfg.n_d == 0 {
+        return Err(SimError::InvalidConfig { what: "n_d", why: "must be at least 1".into() });
+    }
+    let w = sim.workload();
+    let profile = sim.profile();
+
+    // Steady-state decode pool: B_D such that expected completions per phase
+    // refill exactly B_E slots (paper §6).
+    let completion = CompletionDist::new(w.output(), cfg.n_d)
+        .map_err(|e| SimError::InvalidConfig { what: "n_d", why: e.to_string() })?;
+    let b_d = completion
+        .decode_batch_for(cfg.b_e)
+        .ok_or_else(|| SimError::NoSteadyState {
+            why: format!("no query completes within N_D = {} iterations", cfg.n_d),
+        })?;
+    if b_d > profile.max_batch() {
+        return Err(SimError::InvalidConfig {
+            what: "b_e",
+            why: format!(
+                "derived decode batch {b_d} exceeds the profiled maximum {}",
+                profile.max_batch()
+            ),
+        });
+    }
+
+    // Pipeline structure under partial TP; layers allocated by stage speed.
+    let plan = plan(sim, cfg, b_d)?;
+    let RraPlan { layout, enc_alloc, dec_alloc } = plan;
+    let stages = layout.num_stages();
+
+    let s_e = w.input().mean();
+    let ctx = w.mean_decode_context();
+
+    // --- Encoding phase -------------------------------------------------
+    // B_E is split into one micro-batch per stage to fill the pipeline.
+    let m_e = stages.min(cfg.b_e).max(1);
+    let enc_micro = cfg.b_e as f64 / m_e as f64;
+    let mut enc_stage_times = Vec::with_capacity(stages);
+    for (i, stage) in layout.stages().iter().enumerate() {
+        let t_layer = profile.encode_layer_time(enc_micro, s_e, stage.tp)?;
+        let handoff = profile.handoff_time(enc_micro * s_e, layout.boundary_intra_node(i));
+        enc_stage_times.push(enc_alloc[i] as f64 * t_layer + handoff);
+    }
+    let enc_bottleneck = max_f(&enc_stage_times);
+    let t_enc: f64 =
+        enc_stage_times.iter().sum::<f64>() + (m_e as f64 - 1.0) * enc_bottleneck;
+
+    // --- Decoding phase: N_D iterations over the shrinking pool ----------
+    // The pool circulates as one micro-batch per stage; iteration `u` runs
+    // with the expected active pool after earlier completions.
+    let m_d = stages.min(b_d).max(1);
+    let mut t_dec = 0.0;
+    let mut fill = 0.0;
+    for u in 1..=cfg.n_d {
+        let active = completion.expected_active(b_d, u).max(1.0);
+        let micro = active / m_d as f64;
+        let mut worst = 0.0f64;
+        for (i, stage) in layout.stages().iter().enumerate() {
+            let t_layer = profile.decode_layer_time(micro, ctx, s_e, stage.tp)?;
+            let handoff = profile.handoff_time(micro, layout.boundary_intra_node(i));
+            worst = worst.max(dec_alloc[i] as f64 * t_layer + handoff);
+        }
+        if u == 1 {
+            fill = (stages as f64 - 1.0) * worst;
+        }
+        t_dec += m_d as f64 * worst;
+    }
+    t_dec += fill;
+
+    let t_phase = t_enc + t_dec;
+    let throughput = cfg.b_e as f64 / t_phase;
+    // A query of 99th-percentile length spans ceil(L99 / N_D) full phases.
+    let phases = w.l99().div_ceil(cfg.n_d) as f64;
+    let latency = phases * t_phase;
+
+    let memory = memory_report(sim, &layout, &enc_alloc, &dec_alloc, b_d, enc_micro * s_e)?;
+    check_memory(&memory)?;
+
+    Ok(Estimate {
+        latency,
+        throughput,
+        memory,
+        breakdown: Breakdown {
+            encode_time: t_enc,
+            decode_time: t_dec,
+            period: t_phase,
+            stages,
+            decode_batch: b_d,
+        },
+    })
+}
+
+/// The resolved pipeline structure of an RRA schedule: the stage layout and
+/// the per-stage layer allocations for the encoding and decoding passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RraPlan {
+    /// Stage structure (partial TP applied).
+    pub layout: PipelineLayout,
+    /// Layers each stage traverses during encoding.
+    pub enc_alloc: Vec<usize>,
+    /// Layers each stage traverses per decoding iteration.
+    pub dec_alloc: Vec<usize>,
+}
+
+/// Builds the pipeline plan for an RRA configuration with a known decode
+/// pool size. For encoder–decoder models each stage gets a share of the
+/// encoders *and* of the decoders (paper Figure 3, RRA); decoder-only
+/// models use one shared allocation for both passes.
+pub(crate) fn plan(sim: &Simulator, cfg: &RraConfig, b_d: usize) -> Result<RraPlan, SimError> {
+    let n = sim.cluster().total_gpus();
+    let stages_f = if cfg.tp.is_none() {
+        n as f64
+    } else if cfg.tp.degree > 0 && cfg.tp.gpus.is_multiple_of(cfg.tp.degree) {
+        ((n.saturating_sub(cfg.tp.gpus)) + cfg.tp.gpus / cfg.tp.degree).max(1) as f64
+    } else {
+        n as f64
+    };
+    let speedup = sim.tp_speedup(
+        cfg.tp,
+        (cfg.b_e as f64 / stages_f).max(1.0),
+        b_d as f64 / stages_f.max(1.0),
+    )?;
+    let layout = PipelineLayout::build(n, cfg.tp, speedup, sim.cluster().gpus_per_node())?;
+    let (enc_alloc, dec_alloc) = match sim.model().kind() {
+        ModelKind::EncoderDecoder => (
+            layout.allocate_layers(sim.enc_layers_total())?,
+            layout.allocate_layers(sim.dec_layers_total())?,
+        ),
+        ModelKind::DecoderOnly => {
+            let alloc = layout.allocate_layers(sim.model().num_layers())?;
+            (alloc.clone(), alloc)
+        }
+    };
+    Ok(RraPlan { layout, enc_alloc, dec_alloc })
+}
+
+fn memory_report(
+    sim: &Simulator,
+    layout: &PipelineLayout,
+    enc_alloc: &[usize],
+    dec_alloc: &[usize],
+    b_d: usize,
+    enc_tokens: f64,
+) -> Result<MemoryReport, SimError> {
+    let m = sim.model();
+    let kv_ctx = sim.kv_ctx_tokens();
+    let dec_layers_total = sim.dec_layers_total().max(1);
+    let mut worst = MemoryFootprint::default();
+    for (i, stage) in layout.stages().iter().enumerate() {
+        let params = match m.kind() {
+            // Encoder-decoder stages hold their encoder and decoder slices.
+            ModelKind::EncoderDecoder => {
+                enc_alloc[i] as u64 * sim.enc_layer_bytes()
+                    + dec_alloc[i] as u64 * sim.dec_layer_bytes()
+            }
+            // Decoder-only stages hold one copy serving both passes.
+            ModelKind::DecoderOnly => dec_alloc[i] as u64 * sim.dec_layer_bytes(),
+        } / stage.tp as u64;
+        // Self-attention KV for the stage's decoder layers, sharded by TP.
+        let kv_self = (b_d as f64 * kv_ctx * m.kv_bytes_per_token_per_layer() as f64
+            * dec_alloc[i] as f64
+            / stage.tp as f64) as u64;
+        // Cross-attention KV over the cached inputs (encoder-decoder only).
+        let kv_cross = (m.cross_kv_cache_bytes(b_d, sim.workload().input().mean() as usize, 1)
+            as f64
+            * dec_alloc[i] as f64
+            / stage.tp as f64) as u64;
+        let kv = kv_self + kv_cross;
+        let act = m.activation_bytes(1, enc_tokens.ceil() as usize) / stage.tp as u64;
+        let fp = MemoryFootprint { param_bytes: params, kv_bytes: kv, activation_bytes: act };
+        if fp.total() > worst.total() {
+            worst = fp;
+        }
+    }
+    let _ = dec_layers_total;
+    Ok(MemoryReport {
+        encoder_gpu: worst,
+        decoder_gpu: worst,
+        capacity: sim.usable_capacity(),
+    })
+}
+
+fn check_memory(report: &MemoryReport) -> Result<(), SimError> {
+    if report.peak() > report.capacity {
+        return Err(SimError::OutOfMemory {
+            role: "worker",
+            needed: report.peak(),
+            capacity: report.capacity,
+        });
+    }
+    Ok(())
+}
+
+fn max_f(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}

@@ -1,0 +1,189 @@
+//! The simulator facade and shared helpers.
+
+use std::sync::Arc;
+
+use exegpt_cluster::ClusterSpec;
+use exegpt_model::{LayerKind, ModelConfig, ModelKind};
+use exegpt_profiler::LayerProfile;
+
+use crate::config::{RraConfig, ScheduleConfig, TpConfig, WaaConfig, Workload};
+use crate::error::SimError;
+use crate::estimate::Estimate;
+use crate::{rra, waa};
+
+/// Fraction of device memory usable by the schedule (the rest is reserved
+/// for workspace buffers, fragmentation and the framework, as in real
+/// deployments).
+pub(crate) const WORKSPACE_FACTOR: f64 = 0.92;
+
+/// Headroom multiplier on the expected steady-state KV pool, covering the
+/// transient peaks between early-termination compactions.
+pub(crate) const KV_HEADROOM: f64 = 1.25;
+
+/// XSimulator: estimates throughput, latency and memory of a schedule
+/// configuration from profiled layer times (paper §3, §6).
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    profile: Arc<LayerProfile>,
+    workload: Workload,
+}
+
+impl Simulator {
+    /// Creates a simulator for a (model, cluster, profile, workload) tuple.
+    pub fn new(
+        model: ModelConfig,
+        cluster: ClusterSpec,
+        profile: Arc<LayerProfile>,
+        workload: Workload,
+    ) -> Self {
+        Self { model, cluster, profile, workload }
+    }
+
+    /// The simulated model.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The layer profile driving all time estimates.
+    pub fn profile(&self) -> &Arc<LayerProfile> {
+        &self.profile
+    }
+
+    /// The sequence-length workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Returns a simulator for the same system under a different workload
+    /// (used by the distribution-shift experiments, Figure 11).
+    pub fn with_workload(&self, workload: Workload) -> Self {
+        Self { workload, ..self.clone() }
+    }
+
+    /// Evaluates either schedule family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the configuration is invalid, does not fit in
+    /// memory, or cannot reach a steady state.
+    pub fn evaluate(&self, cfg: &ScheduleConfig) -> Result<Estimate, SimError> {
+        match cfg {
+            ScheduleConfig::Rra(c) => self.evaluate_rra(c),
+            ScheduleConfig::Waa(c) => self.evaluate_waa(c),
+        }
+    }
+
+    /// Evaluates an RRA schedule (see [`RraConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::evaluate`].
+    pub fn evaluate_rra(&self, cfg: &RraConfig) -> Result<Estimate, SimError> {
+        rra::evaluate(self, cfg)
+    }
+
+    /// Evaluates a WAA schedule (see [`WaaConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::evaluate`].
+    pub fn evaluate_waa(&self, cfg: &WaaConfig) -> Result<Estimate, SimError> {
+        waa::evaluate(self, cfg)
+    }
+
+    /// Resolves the pipeline plan (layout + per-stage layer allocations) of
+    /// an RRA configuration whose decode pool size is `b_d` (as returned in
+    /// [`Estimate`](crate::Estimate)`::breakdown.decode_batch`). The runner
+    /// uses the same plan the simulator timed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for structurally invalid
+    /// configurations.
+    pub fn rra_plan(&self, cfg: &RraConfig, b_d: usize) -> Result<crate::rra::RraPlan, SimError> {
+        crate::rra::plan(self, cfg, b_d)
+    }
+
+    /// Resolves the group split and pipeline plans of a WAA configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for structurally invalid
+    /// configurations.
+    pub fn waa_plan(&self, cfg: &WaaConfig) -> Result<crate::waa::WaaPlan, SimError> {
+        crate::waa::plan(self, cfg)
+    }
+
+    /// Usable per-GPU memory in bytes (device capacity minus the workspace
+    /// reserve).
+    pub fn usable_capacity(&self) -> u64 {
+        (self.cluster.gpu().mem_bytes() as f64 * WORKSPACE_FACTOR) as u64
+    }
+
+    /// Expected per-query KV context (tokens) accounted per decode-pool slot,
+    /// including the compaction headroom.
+    pub fn kv_ctx_tokens(&self) -> f64 {
+        self.workload.mean_decode_context() * KV_HEADROOM
+    }
+
+    /// Measured speedup of a fused TP stage over a single GPU at this
+    /// schedule's operating point (blend of encode and decode work).
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile-lookup failures (unprofiled degree).
+    pub fn tp_speedup(
+        &self,
+        tp: TpConfig,
+        enc_batch: f64,
+        dec_batch: f64,
+    ) -> Result<f64, SimError> {
+        if tp.is_none() {
+            return Ok(1.0);
+        }
+        let s_e = self.workload.input().mean();
+        let ctx = self.workload.mean_decode_context();
+        let p = &self.profile;
+        let e1 = p.encode_layer_time(enc_batch, s_e, 1)?;
+        let ed = p.encode_layer_time(enc_batch, s_e, tp.degree)?;
+        let d1 = p.decode_layer_time(dec_batch, ctx, s_e, 1)?;
+        let dd = p.decode_layer_time(dec_batch, ctx, s_e, tp.degree)?;
+        Ok(((e1 + d1) / (ed + dd)).max(0.05))
+    }
+
+    /// Parameter bytes of one layer used for encoding work.
+    pub fn enc_layer_bytes(&self) -> u64 {
+        let kind = match self.model.kind() {
+            ModelKind::EncoderDecoder => LayerKind::Encoder,
+            ModelKind::DecoderOnly => LayerKind::Decoder,
+        };
+        self.model.layer_run_param_bytes(kind, 1)
+    }
+
+    /// Parameter bytes of one decoder layer.
+    pub fn dec_layer_bytes(&self) -> u64 {
+        self.model.layer_run_param_bytes(LayerKind::Decoder, 1)
+    }
+
+    /// Number of layers traversed during the encoding phase.
+    pub fn enc_layers_total(&self) -> usize {
+        match self.model.kind() {
+            ModelKind::EncoderDecoder => self.model.num_encoder_layers(),
+            ModelKind::DecoderOnly => self.model.num_layers(),
+        }
+    }
+
+    /// Number of layers traversed per decoding iteration.
+    pub fn dec_layers_total(&self) -> usize {
+        self.model.num_decoder_layers()
+    }
+}

@@ -1,0 +1,282 @@
+//! Closed-form timeline of the WAA (Workload-Aware Allocation) schedule
+//! (paper §4.1 Figures 3 and 4b–d, §6 "Simulating WAA Schedule").
+//!
+//! GPUs are partitioned into an *encoding group* and a *decoding group*
+//! that run asynchronously as two coupled pipelines. One encoder batch
+//! `B_E` is handed over (with its KV cache, via CPU staging) per decoding
+//! iteration, and joins the decode pool of `B_D = B_E · S_D` queries. The
+//! group split is sized by computation time (WAA-C) or by memory (WAA-M).
+
+use exegpt_model::{MemoryFootprint, ModelKind};
+
+use crate::config::{WaaConfig, WaaVariant};
+use crate::error::SimError;
+use crate::estimate::{Breakdown, Estimate, MemoryReport};
+use crate::layout::PipelineLayout;
+use crate::simulator::Simulator;
+
+/// Fraction of the KV handover that cannot be hidden behind compute
+/// (the paper overlaps the staged copies with computation, §3).
+const KV_TRANSFER_EXPOSED: f64 = 0.3;
+
+/// Latency margin for the runtime's dynamic workload adjustment buffers
+/// (paper §5.2, §6 "including buffer time for dynamic adjustments").
+const ADJUSTMENT_BUFFER: f64 = 1.05;
+
+/// The resolved structure of a WAA schedule: the encode/decode GPU split,
+/// both pipelines' layouts and layer allocations, and the decode pool size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaaPlan {
+    /// GPUs dedicated to encoding.
+    pub n_enc: usize,
+    /// Encoding pipeline layout (single-GPU stages).
+    pub enc_layout: PipelineLayout,
+    /// Layers per encoding stage.
+    pub enc_alloc: Vec<usize>,
+    /// Decoding pipeline layout (partial TP applied).
+    pub dec_layout: PipelineLayout,
+    /// Layers per decoding stage.
+    pub dec_alloc: Vec<usize>,
+    /// Steady-state decode pool size `B_D = B_E · S_D`.
+    pub b_d: usize,
+    /// Layers whose KV entries cross the encode→decode handover.
+    pub kv_layers: usize,
+}
+
+/// Validates a WAA configuration and resolves its group split and layouts.
+pub(crate) fn plan(sim: &Simulator, cfg: &WaaConfig) -> Result<WaaPlan, SimError> {
+    if cfg.b_e == 0 {
+        return Err(SimError::InvalidConfig { what: "b_e", why: "must be at least 1".into() });
+    }
+    if cfg.b_m == 0 {
+        return Err(SimError::InvalidConfig { what: "b_m", why: "must be at least 1".into() });
+    }
+    let n = sim.cluster().total_gpus();
+    if n < 2 {
+        return Err(SimError::InvalidConfig {
+            what: "cluster",
+            why: "WAA needs at least one encoding and one decoding gpu".into(),
+        });
+    }
+    let w = sim.workload();
+    let profile = sim.profile();
+    let s_e = w.input().mean();
+    let s_d = w.output().mean();
+    let ctx = w.mean_decode_context();
+
+    // Decode pool sized for steady state: B_D = B_E * S_D (paper §4.1).
+    let b_d = ((cfg.b_e as f64 * s_d).round() as usize).max(1);
+    if b_d > profile.max_batch() {
+        return Err(SimError::InvalidConfig {
+            what: "b_e",
+            why: format!(
+                "derived decode pool {b_d} exceeds the profiled maximum {}",
+                profile.max_batch()
+            ),
+        });
+    }
+    if cfg.b_m > b_d {
+        return Err(SimError::InvalidConfig {
+            what: "b_m",
+            why: format!("cannot split a pool of {b_d} into {} micro-batches", cfg.b_m),
+        });
+    }
+
+    // --- Group split -----------------------------------------------------
+    let enc_layers = sim.enc_layers_total();
+    let dec_layers = sim.dec_layers_total();
+    let c_e = enc_layers as f64 * profile.encode_layer_time(cfg.b_e as f64, s_e, 1)?;
+    let c_d = dec_layers as f64 * profile.decode_layer_time(b_d as f64, ctx, s_e, 1)?;
+    let n_e = match cfg.variant {
+        WaaVariant::Compute => split_by_ratio(n, c_e / (c_e + c_d)),
+        WaaVariant::Memory => {
+            let m_e = enc_side_param_bytes(sim) as f64;
+            let m_d = dec_side_param_bytes(sim) as f64 + kv_pool_bytes(sim, b_d) as f64;
+            split_by_ratio(n, m_e / (m_e + m_d))
+        }
+    };
+    let n_dec = n - n_e;
+
+    let enc_stages = n_e.min(enc_layers);
+    let enc_layout = PipelineLayout::build(
+        enc_stages,
+        crate::config::TpConfig::none(),
+        1.0,
+        sim.cluster().gpus_per_node(),
+    )?;
+    let enc_alloc = enc_layout.allocate_layers(enc_layers)?;
+
+    if cfg.tp.gpus > n_dec {
+        return Err(SimError::InvalidConfig {
+            what: "tp",
+            why: format!("tp covers {} gpus but the decode group has {n_dec}", cfg.tp.gpus),
+        });
+    }
+    let micro = b_d as f64 / cfg.b_m as f64;
+    let speedup = sim.tp_speedup(cfg.tp, cfg.b_e as f64, micro)?;
+    let dec_layout = PipelineLayout::build(n_dec, cfg.tp, speedup, sim.cluster().gpus_per_node())?;
+    let dec_alloc = dec_layout.allocate_layers(dec_layers)?;
+
+    // Decoder-only models hand over the full prefill KV (all layers);
+    // encoder-decoder models hand over the cross-attention KV.
+    let kv_layers = match sim.model().kind() {
+        ModelKind::DecoderOnly => sim.model().num_layers(),
+        ModelKind::EncoderDecoder => dec_layers,
+    };
+    Ok(WaaPlan { n_enc: n_e, enc_layout, enc_alloc, dec_layout, dec_alloc, b_d, kv_layers })
+}
+
+pub(crate) fn evaluate(sim: &Simulator, cfg: &WaaConfig) -> Result<Estimate, SimError> {
+    let WaaPlan { enc_layout, enc_alloc, dec_layout, dec_alloc, b_d, kv_layers, .. } =
+        plan(sim, cfg)?;
+    let w = sim.workload();
+    let profile = sim.profile();
+    let s_e = w.input().mean();
+    let ctx = w.mean_decode_context();
+
+    // --- Encoding pipeline (single-GPU stages) ---------------------------
+    let mut enc_stage_times = Vec::with_capacity(enc_layout.num_stages());
+    for (i, _) in enc_layout.stages().iter().enumerate() {
+        let t_layer = profile.encode_layer_time(cfg.b_e as f64, s_e, 1)?;
+        let handoff =
+            profile.handoff_time(cfg.b_e as f64 * s_e, enc_layout.boundary_intra_node(i));
+        enc_stage_times.push(enc_alloc[i] as f64 * t_layer + handoff);
+    }
+    let p_enc = enc_stage_times.iter().copied().fold(0.0, f64::max);
+    let enc_latency: f64 = enc_stage_times.iter().sum();
+
+    // --- Decoding pipeline (partial TP allowed) --------------------------
+    let micro = b_d as f64 / cfg.b_m as f64;
+    let stages_d = dec_layout.num_stages();
+    let mut t_dstage = 0.0f64;
+    for (i, stage) in dec_layout.stages().iter().enumerate() {
+        let t_layer = profile.decode_layer_time(micro, ctx, s_e, stage.tp)?;
+        let handoff = profile.handoff_time(micro, dec_layout.boundary_intra_node(i));
+        t_dstage = t_dstage.max(dec_alloc[i] as f64 * t_layer + handoff);
+    }
+    // Micro-batches circulate the stage ring: the period of one decoding
+    // iteration of the full pool is bounded by stage occupancy (m per
+    // stage) or ring traversal (stages_d), whichever is longer.
+    let p_dec = cfg.b_m.max(stages_d) as f64 * t_dstage;
+
+    // --- KV handover ------------------------------------------------------
+    let t_kv = profile.kv_transfer_time(cfg.b_e as f64 * s_e, kv_layers);
+
+    // --- Steady state ------------------------------------------------------
+    let period = p_enc.max(p_dec).max(t_kv * KV_TRANSFER_EXPOSED);
+    let throughput = cfg.b_e as f64 / period;
+    let fill = stages_d as f64 * t_dstage;
+    let latency =
+        ADJUSTMENT_BUFFER * (enc_latency + t_kv + fill + (w.l99() as f64 - 1.0).max(0.0) * period);
+
+    let memory = memory_report(sim, cfg, &enc_alloc, &dec_layout, &dec_alloc, b_d)?;
+    check_memory(&memory)?;
+
+    Ok(Estimate {
+        latency,
+        throughput,
+        memory,
+        breakdown: Breakdown {
+            encode_time: p_enc,
+            decode_time: p_dec,
+            period,
+            stages: stages_d,
+            decode_batch: b_d,
+        },
+    })
+}
+
+/// Rounded GPU split with both sides kept non-empty.
+fn split_by_ratio(n: usize, enc_fraction: f64) -> usize {
+    ((n as f64 * enc_fraction).round() as usize).clamp(1, n - 1)
+}
+
+/// Parameter bytes the encoding group must hold in total: the encoder stack
+/// for encoder-decoder models, a full replica for decoder-only models (the
+/// paper's WAA memory overhead, §4.1).
+fn enc_side_param_bytes(sim: &Simulator) -> u64 {
+    sim.enc_layers_total() as u64 * sim.enc_layer_bytes()
+}
+
+/// Parameter bytes the decoding group must hold in total.
+fn dec_side_param_bytes(sim: &Simulator) -> u64 {
+    sim.dec_layers_total() as u64 * sim.dec_layer_bytes()
+}
+
+/// Total self+cross KV bytes of the decode pool.
+fn kv_pool_bytes(sim: &Simulator, b_d: usize) -> u64 {
+    let m = sim.model();
+    let kv_self = (b_d as f64
+        * sim.kv_ctx_tokens()
+        * m.kv_bytes_per_token_per_layer() as f64
+        * sim.dec_layers_total() as f64) as u64;
+    let kv_cross =
+        m.cross_kv_cache_bytes(b_d, sim.workload().input().mean() as usize, sim.dec_layers_total());
+    kv_self + kv_cross
+}
+
+fn memory_report(
+    sim: &Simulator,
+    cfg: &WaaConfig,
+    enc_alloc: &[usize],
+    dec_layout: &PipelineLayout,
+    dec_alloc: &[usize],
+    b_d: usize,
+) -> Result<MemoryReport, SimError> {
+    let m = sim.model();
+    let s_e = sim.workload().input().mean();
+    // Encoder GPU: its layer slice, prefill activations, and the in-flight
+    // KV it produces before handover (double-buffered).
+    let enc_worst_layers = enc_alloc.iter().copied().max().unwrap_or(0) as u64;
+    let enc_params = enc_worst_layers * sim.enc_layer_bytes();
+    let enc_tokens = (cfg.b_e as f64 * s_e).ceil() as usize;
+    let enc_kv = 2 * m.kv_cache_bytes(cfg.b_e, s_e.ceil() as usize, enc_alloc.len().max(1))
+        / enc_alloc.len().max(1) as u64;
+    let encoder_gpu = MemoryFootprint {
+        param_bytes: enc_params,
+        kv_bytes: enc_kv,
+        activation_bytes: m.activation_bytes(1, enc_tokens),
+    };
+
+    // Decoder GPU: its layer slice (TP-sharded) plus its share of the pool.
+    let kv_ctx = sim.kv_ctx_tokens();
+    let mut decoder_gpu = MemoryFootprint::default();
+    for (i, stage) in dec_layout.stages().iter().enumerate() {
+        let params = dec_alloc[i] as u64 * sim.dec_layer_bytes() / stage.tp as u64;
+        let kv_self = (b_d as f64 * kv_ctx * m.kv_bytes_per_token_per_layer() as f64
+            * dec_alloc[i] as f64
+            / stage.tp as f64) as u64;
+        let kv_cross = (m.cross_kv_cache_bytes(b_d, s_e as usize, 1) as f64
+            * dec_alloc[i] as f64
+            / stage.tp as f64) as u64;
+        let act = m.activation_bytes((b_d / cfg.b_m).max(1), 1);
+        let fp = MemoryFootprint {
+            param_bytes: params,
+            kv_bytes: kv_self + kv_cross,
+            activation_bytes: act,
+        };
+        if fp.total() > decoder_gpu.total() {
+            decoder_gpu = fp;
+        }
+    }
+
+    Ok(MemoryReport { encoder_gpu, decoder_gpu, capacity: sim.usable_capacity() })
+}
+
+fn check_memory(report: &MemoryReport) -> Result<(), SimError> {
+    if report.encoder_gpu.total() > report.capacity {
+        return Err(SimError::OutOfMemory {
+            role: "encoder",
+            needed: report.encoder_gpu.total(),
+            capacity: report.capacity,
+        });
+    }
+    if report.decoder_gpu.total() > report.capacity {
+        return Err(SimError::OutOfMemory {
+            role: "decoder",
+            needed: report.decoder_gpu.total(),
+            capacity: report.capacity,
+        });
+    }
+    Ok(())
+}

@@ -1,0 +1,268 @@
+//! Behavioural tests of the RRA/WAA timeline simulation: trade-off
+//! directions, feasibility boundaries, and model-family differences.
+
+use std::sync::Arc;
+
+use exegpt_cluster::ClusterSpec;
+use exegpt_dist::LengthDist;
+use exegpt_model::ModelConfig;
+use exegpt_profiler::{ProfileOptions, Profiler};
+use exegpt_sim::{RraConfig, SimError, Simulator, TpConfig, WaaConfig, WaaVariant, Workload};
+
+/// OPT-13B on 4 A40 GPUs with the paper's task-T (translation) workload —
+/// the setup of Figures 7 and 11.
+fn opt_on_4xa40() -> Simulator {
+    let model = ModelConfig::opt_13b();
+    let cluster = ClusterSpec::a40_cluster().subcluster(4).expect("fits");
+    let profile = Profiler::new(model.clone(), cluster.clone())
+        .run(&ProfileOptions::default())
+        .expect("profiling succeeds");
+    Simulator::new(model, cluster, Arc::new(profile), task_t())
+}
+
+fn task_t() -> Workload {
+    Workload::new(
+        LengthDist::truncated_normal(128.0, 81.0, 256).expect("valid"),
+        LengthDist::truncated_normal(128.0, 68.0, 320).expect("valid"),
+    )
+}
+
+fn task_s() -> Workload {
+    Workload::new(
+        LengthDist::truncated_normal(256.0, 252.0, 512).expect("valid"),
+        LengthDist::truncated_normal(32.0, 13.0, 80).expect("valid"),
+    )
+}
+
+#[test]
+fn rra_produces_finite_positive_estimates() {
+    let sim = opt_on_4xa40();
+    let est = sim.evaluate_rra(&RraConfig::new(32, 16, TpConfig::none())).expect("feasible");
+    assert!(est.throughput > 0.0 && est.throughput.is_finite());
+    assert!(est.latency > 0.0 && est.latency.is_finite());
+    assert!(est.breakdown.decode_batch > 32, "pool must exceed the refill batch");
+    assert!(est.memory.peak() <= est.memory.capacity);
+}
+
+#[test]
+fn rra_larger_batch_trades_latency_for_throughput() {
+    let sim = opt_on_4xa40();
+    let small = sim.evaluate_rra(&RraConfig::new(8, 16, TpConfig::none())).expect("feasible");
+    let large = sim.evaluate_rra(&RraConfig::new(64, 16, TpConfig::none())).expect("feasible");
+    assert!(large.throughput > small.throughput, "B_E up => throughput up");
+    assert!(large.latency > small.latency, "B_E up => latency up");
+}
+
+#[test]
+fn rra_encoding_frequency_trades_throughput_for_latency() {
+    // Paper §4.2: decreasing N_D (more frequent encoding) increases
+    // throughput at the cost of latency.
+    let sim = opt_on_4xa40();
+    let frequent = sim.evaluate_rra(&RraConfig::new(16, 8, TpConfig::none())).expect("feasible");
+    let rare = sim.evaluate_rra(&RraConfig::new(16, 64, TpConfig::none())).expect("feasible");
+    assert!(
+        frequent.throughput > rare.throughput,
+        "smaller N_D should win throughput: {} vs {}",
+        frequent.throughput,
+        rare.throughput
+    );
+    assert!(
+        frequent.latency > rare.latency,
+        "smaller N_D should cost latency: {} vs {}",
+        frequent.latency,
+        rare.latency
+    );
+}
+
+#[test]
+fn rra_partial_tp_monotonically_cuts_latency() {
+    // Paper §5.1: with the degree fixed, adding GPUs to tensor-parallel
+    // groups shrinks the pipeline depth and reduces latency monotonically.
+    // (The throughput direction is workload-dependent in practice — the
+    // paper's own Table 5 reports non-monotonic TP points and Table 6
+    // selects *more* TP at relaxed bounds — so only latency is asserted.)
+    let sim = opt_on_4xa40();
+    let lat = |gpus: usize| {
+        let tp = if gpus == 0 { TpConfig::none() } else { TpConfig { degree: 2, gpus } };
+        sim.evaluate_rra(&RraConfig::new(32, 16, tp)).expect("feasible").latency
+    };
+    let (l0, l2, l4) = (lat(0), lat(2), lat(4));
+    assert!(l2 < l0, "tp 2x2 should beat no-TP latency: {l2} vs {l0}");
+    assert!(l4 < l2, "tp 2x4 should beat tp 2x2 latency: {l4} vs {l2}");
+}
+
+#[test]
+fn rra_rejects_degenerate_configs() {
+    let sim = opt_on_4xa40();
+    assert!(matches!(
+        sim.evaluate_rra(&RraConfig::new(0, 16, TpConfig::none())),
+        Err(SimError::InvalidConfig { what: "b_e", .. })
+    ));
+    assert!(matches!(
+        sim.evaluate_rra(&RraConfig::new(8, 0, TpConfig::none())),
+        Err(SimError::InvalidConfig { what: "n_d", .. })
+    ));
+    // TP degree that does not divide the group.
+    assert!(sim.evaluate_rra(&RraConfig::new(8, 8, TpConfig { degree: 2, gpus: 3 })).is_err());
+}
+
+#[test]
+fn rra_out_of_memory_for_huge_pools() {
+    let sim = opt_on_4xa40();
+    // B_E = 512 with N_D = 4 on 128-token outputs derives a pool of
+    // ~16k queries; KV alone far exceeds 4 x 48 GB.
+    let err = sim.evaluate_rra(&RraConfig::new(512, 4, TpConfig::none()));
+    assert!(
+        matches!(err, Err(SimError::OutOfMemory { .. }) | Err(SimError::InvalidConfig { .. })),
+        "expected infeasibility, got {err:?}"
+    );
+}
+
+#[test]
+fn waa_produces_finite_positive_estimates() {
+    let sim = opt_on_4xa40();
+    let sim = sim.with_workload(task_s());
+    let est = sim
+        .evaluate_waa(&WaaConfig::new(2, 1, TpConfig::none(), WaaVariant::Compute))
+        .expect("feasible");
+    assert!(est.throughput > 0.0 && est.latency > 0.0);
+    assert!(est.breakdown.stages >= 1);
+    // Decode pool = B_E * mean output length.
+    let expected = (2.0 * sim.workload().output().mean()).round() as usize;
+    assert_eq!(est.breakdown.decode_batch, expected);
+}
+
+#[test]
+fn waa_memory_variant_balances_gpu_memory() {
+    let sim = opt_on_4xa40().with_workload(task_t());
+    let c = sim
+        .evaluate_waa(&WaaConfig::new(2, 3, TpConfig::none(), WaaVariant::Compute))
+        .expect("feasible");
+    let m = sim
+        .evaluate_waa(&WaaConfig::new(2, 3, TpConfig::none(), WaaVariant::Memory))
+        .expect("feasible");
+    let imbalance = |e: &exegpt_sim::Estimate| {
+        let a = e.memory.encoder_gpu.total() as f64;
+        let b = e.memory.decoder_gpu.total() as f64;
+        (a - b).abs() / a.max(b)
+    };
+    assert!(
+        imbalance(&m) <= imbalance(&c) + 0.25,
+        "WAA-M should not be much less balanced than WAA-C"
+    );
+}
+
+#[test]
+fn waa_needs_two_gpus() {
+    let model = ModelConfig::opt_13b();
+    let cluster = ClusterSpec::a40_cluster().subcluster(1).expect("fits");
+    let profile = Profiler::new(model.clone(), cluster.clone())
+        .run(&ProfileOptions::default())
+        .expect("profiling succeeds");
+    let sim = Simulator::new(model, cluster, Arc::new(profile), task_s());
+    assert!(matches!(
+        sim.evaluate_waa(&WaaConfig::new(2, 1, TpConfig::none(), WaaVariant::Compute)),
+        Err(SimError::InvalidConfig { what: "cluster", .. })
+    ));
+}
+
+#[test]
+fn waa_encoder_gpus_hold_a_replica_for_decoder_only_models() {
+    // The paper's WAA memory overhead: decoder-only models store two copies.
+    let sim = opt_on_4xa40().with_workload(task_s());
+    let est = sim
+        .evaluate_waa(&WaaConfig::new(2, 1, TpConfig::none(), WaaVariant::Compute))
+        .expect("feasible");
+    assert!(est.memory.encoder_gpu.param_bytes > 0);
+    assert!(est.memory.decoder_gpu.param_bytes > 0);
+    // Both sides together exceed one full copy of the model.
+    let n = 4;
+    let total_params = est.memory.encoder_gpu.param_bytes
+        + est.memory.decoder_gpu.param_bytes * (n - 1);
+    assert!(total_params as f64 > ModelConfig::opt_13b().param_bytes() as f64 * 0.9);
+}
+
+#[test]
+fn waa_micro_batches_fill_pipeline_bubbles() {
+    // Task T gives the decode group several stages; matching the paper's
+    // Figure 4b vs 4c, raising the micro-batch count to the stage count
+    // removes ring bubbles and improves the token period, while going far
+    // beyond it re-streams weights and hurts again (the non-monotonicity
+    // the paper reports for B_m in Table 5).
+    let sim = opt_on_4xa40();
+    let eval = |bm: usize| {
+        sim.evaluate_waa(&WaaConfig::new(2, bm, TpConfig::none(), WaaVariant::Compute))
+            .expect("feasible")
+    };
+    let one = eval(1);
+    let stages = one.breakdown.stages;
+    assert!(stages >= 2, "task T decode group should have several stages");
+    let filled = eval(stages);
+    let excessive = eval(stages * 4);
+    assert!(filled.breakdown.period < one.breakdown.period);
+    assert!(excessive.breakdown.period > filled.breakdown.period);
+}
+
+#[test]
+fn waa_micro_batch_count_cannot_exceed_pool() {
+    let sim = opt_on_4xa40().with_workload(task_s());
+    let err = sim.evaluate_waa(&WaaConfig::new(1, 4096, TpConfig::none(), WaaVariant::Compute));
+    assert!(matches!(err, Err(SimError::InvalidConfig { what: "b_m", .. })));
+}
+
+#[test]
+fn t5_rra_schedules_run() {
+    let model = ModelConfig::t5_11b();
+    let cluster = ClusterSpec::a40_cluster().subcluster(8).expect("fits");
+    let profile = Profiler::new(model.clone(), cluster.clone())
+        .run(&ProfileOptions::default())
+        .expect("profiling succeeds");
+    let sim = Simulator::new(model, cluster, Arc::new(profile), task_s());
+    let est = sim.evaluate_rra(&RraConfig::new(16, 8, TpConfig::none())).expect("feasible");
+    assert!(est.throughput > 0.0);
+    // Encoder-decoder stages hold encoder and decoder slices.
+    assert!(est.memory.decoder_gpu.param_bytes > 0);
+}
+
+#[test]
+fn waa_beats_rra_for_short_outputs_on_small_models() {
+    // Paper §4.1 "Comparison of the Strategies": WAA excels when outputs
+    // are short (task S); this is the headline qualitative claim.
+    let sim = opt_on_4xa40().with_workload(task_s());
+    let rra_best = [8usize, 16, 32, 48]
+        .iter()
+        .filter_map(|&b| {
+            [8usize, 16, 32]
+                .iter()
+                .filter_map(|&nd| sim.evaluate_rra(&RraConfig::new(b, nd, TpConfig::none())).ok())
+                .map(|e| e.throughput)
+                .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.max(t))))
+        })
+        .fold(0.0f64, f64::max);
+    let waa_best = [1usize, 2, 4]
+        .iter()
+        .flat_map(|&b| [1usize, 2, 3].iter().map(move |&bm| (b, bm)).collect::<Vec<_>>())
+        .filter_map(|(b, bm)| {
+            sim.evaluate_waa(&WaaConfig::new(b, bm, TpConfig::none(), WaaVariant::Compute))
+                .ok()
+                .map(|e| e.throughput)
+        })
+        .fold(0.0f64, f64::max);
+    assert!(
+        waa_best > rra_best * 0.8,
+        "WAA ({waa_best:.2} q/s) should be competitive with RRA ({rra_best:.2} q/s) on task S"
+    );
+}
+
+#[test]
+fn simulator_accessors_and_dispatch() {
+    use exegpt_sim::ScheduleConfig;
+    let sim = opt_on_4xa40();
+    assert_eq!(sim.cluster().total_gpus(), 4);
+    assert_eq!(sim.model().name(), "OPT 13B");
+    let via_enum = sim
+        .evaluate(&ScheduleConfig::Rra(RraConfig::new(16, 16, TpConfig::none())))
+        .expect("feasible");
+    let direct = sim.evaluate_rra(&RraConfig::new(16, 16, TpConfig::none())).expect("feasible");
+    assert_eq!(via_enum, direct);
+}

@@ -1,0 +1,49 @@
+//! The paper's latency-bound derivation protocol (§7.1).
+//!
+//! For each model/task, the paper runs the FasterTransformer baseline over
+//! its feasible batch sizes, collects the resulting latencies, and uses the
+//! bottom 10%, 30% and 70% of that latency range — plus infinity — as the
+//! four evaluation bounds.
+
+use exegpt_dist::stats;
+
+/// Derives the four evaluation latency bounds from a sweep of baseline
+/// latencies: the 10th, 30th and 70th percentiles plus `+∞`.
+///
+/// Returns `None` for an empty sweep.
+///
+/// # Example
+///
+/// ```
+/// let sweep: Vec<f64> = (1..=10).map(|b| b as f64).collect();
+/// let bounds = exegpt_workload::latency_bounds(&sweep).unwrap();
+/// assert_eq!(bounds[0], 1.0);
+/// assert_eq!(bounds[1], 3.0);
+/// assert_eq!(bounds[2], 7.0);
+/// assert!(bounds[3].is_infinite());
+/// ```
+pub fn latency_bounds(ft_latencies: &[f64]) -> Option<[f64; 4]> {
+    Some([
+        stats::percentile(ft_latencies, 0.10)?,
+        stats::percentile(ft_latencies, 0.30)?,
+        stats::percentile(ft_latencies, 0.70)?,
+        f64::INFINITY,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_sorted() {
+        let sweep = [9.0, 2.0, 7.5, 4.0, 3.3, 12.0, 1.1];
+        let b = latency_bounds(&sweep).expect("non-empty");
+        assert!(b[0] <= b[1] && b[1] <= b[2] && b[2] < b[3]);
+    }
+
+    #[test]
+    fn empty_sweep_is_none() {
+        assert!(latency_bounds(&[]).is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Concrete inference requests sampled from a workload.
+
+use exegpt_sim::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One inference request with its (enforced) sequence lengths.
+///
+/// As in the paper's methodology (§7.1), output lengths are *enforced*: the
+/// runner decodes exactly `output_len` tokens for the query, mimicking the
+/// suppressed end-of-sequence token of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id (assignment order).
+    pub id: u64,
+    /// Number of input tokens.
+    pub input_len: usize,
+    /// Number of output tokens to generate.
+    pub output_len: usize,
+}
+
+/// Deterministic stream of requests sampled from a workload.
+///
+/// # Example
+///
+/// ```
+/// use exegpt_workload::{RequestStream, Task};
+///
+/// let w = Task::Summarization.workload()?;
+/// let reqs: Vec<_> = RequestStream::new(&w, 42).take(100).collect();
+/// assert_eq!(reqs.len(), 100);
+/// assert!(reqs.iter().all(|r| r.input_len >= 1 && r.output_len >= 1));
+/// # Ok::<(), exegpt_dist::DistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    workload: Workload,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl RequestStream {
+    /// Creates a stream over `workload` with a deterministic `seed`.
+    pub fn new(workload: &Workload, seed: u64) -> Self {
+        Self { workload: workload.clone(), rng: StdRng::seed_from_u64(seed), next_id: 0 }
+    }
+
+    /// Samples the next request.
+    pub fn next_request(&mut self) -> Request {
+        let input_len = self.workload.input().sample(&mut self.rng);
+        let output_len = self.workload.output().sample(&mut self.rng);
+        let id = self.next_id;
+        self.next_id += 1;
+        Request { id, input_len, output_len }
+    }
+}
+
+impl Iterator for RequestStream {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        Some(self.next_request())
+    }
+}
+
+/// A request paired with its (open-loop) arrival time in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedRequest {
+    /// The request.
+    pub request: Request,
+    /// Arrival time in virtual seconds.
+    pub arrival: f64,
+}
+
+/// A deterministic open-loop arrival stream: requests sampled from a
+/// workload, arriving as a Poisson process of the given rate.
+///
+/// Where [`RequestStream`] models the paper's saturated throughput regime
+/// (everything queued at time zero), this models *serving*: queries arrive
+/// over time and latency includes queueing — the quantity behind the
+/// §7.6 SLA-(a) discussion ("99% of all queries completed within a given
+/// timeframe").
+///
+/// # Example
+///
+/// ```
+/// use exegpt_workload::{PoissonStream, Task};
+///
+/// let w = Task::Translation.workload()?;
+/// let reqs: Vec<_> = PoissonStream::new(&w, 10.0, 7).take(100).collect();
+/// assert!(reqs.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+/// # Ok::<(), exegpt_dist::DistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonStream {
+    inner: RequestStream,
+    gaps: StdRng,
+    rate: f64,
+    now: f64,
+}
+
+impl PoissonStream {
+    /// Creates a stream over `workload` with mean arrival rate `rate_qps`
+    /// queries per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_qps` is not positive.
+    pub fn new(workload: &Workload, rate_qps: f64, seed: u64) -> Self {
+        assert!(rate_qps > 0.0, "arrival rate must be positive");
+        Self {
+            inner: RequestStream::new(workload, seed),
+            gaps: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            rate: rate_qps,
+            now: 0.0,
+        }
+    }
+}
+
+impl Iterator for PoissonStream {
+    type Item = TimedRequest;
+
+    fn next(&mut self) -> Option<TimedRequest> {
+        use rand::Rng;
+        let u: f64 = self.gaps.gen_range(f64::MIN_POSITIVE..1.0);
+        self.now += -u.ln() / self.rate;
+        Some(TimedRequest { request: self.inner.next_request(), arrival: self.now })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::Task;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let w = Task::Translation.workload().expect("valid");
+        let a: Vec<_> = RequestStream::new(&w, 7).take(50).collect();
+        let b: Vec<_> = RequestStream::new(&w, 7).take(50).collect();
+        let c: Vec<_> = RequestStream::new(&w, 8).take(50).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let w = Task::Translation.workload().expect("valid");
+        let reqs: Vec<_> = RequestStream::new(&w, 1).take(10).collect();
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_have_the_requested_rate() {
+        let w = Task::Translation.workload().expect("valid");
+        let reqs: Vec<_> = PoissonStream::new(&w, 20.0, 5).take(4000).collect();
+        let span = reqs.last().expect("non-empty").arrival;
+        let rate = reqs.len() as f64 / span;
+        assert!((rate - 20.0).abs() < 1.5, "measured rate {rate}");
+        assert!(reqs.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+        // Deterministic per seed.
+        let again: Vec<_> = PoissonStream::new(&w, 20.0, 5).take(10).collect();
+        assert_eq!(&reqs[..10], &again[..]);
+    }
+
+    #[test]
+    fn sampled_lengths_respect_bounds_and_mean() {
+        let w = Task::CodeGeneration.workload().expect("valid");
+        let reqs: Vec<_> = RequestStream::new(&w, 3).take(5000).collect();
+        assert!(reqs.iter().all(|r| r.input_len <= 128 && r.output_len <= 480));
+        let mean_out: f64 =
+            reqs.iter().map(|r| r.output_len as f64).sum::<f64>() / reqs.len() as f64;
+        assert!((mean_out - w.output().mean()).abs() < 5.0);
+    }
+}

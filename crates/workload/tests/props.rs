@@ -1,0 +1,70 @@
+//! Property-based invariants of workload generation.
+
+use exegpt_workload::{Dataset, PoissonStream, RequestStream, Task};
+use proptest::prelude::*;
+
+fn arb_task() -> impl Strategy<Value = Task> {
+    prop_oneof![
+        Just(Task::Summarization),
+        Just(Task::Translation),
+        Just(Task::CodeGeneration),
+        Just(Task::ConversationalQa1),
+        Just(Task::ConversationalQa2),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every sampled request respects its task's Table 3 maxima, and ids
+    /// are dense.
+    #[test]
+    fn requests_respect_task_bounds(task in arb_task(), seed in any::<u64>()) {
+        let w = task.workload().expect("valid");
+        let (_, _, in_max) = task.input_stats();
+        let (_, _, out_max) = task.output_stats();
+        for (i, r) in RequestStream::new(&w, seed).take(64).enumerate() {
+            prop_assert_eq!(r.id, i as u64);
+            prop_assert!(r.input_len >= 1 && r.input_len <= in_max);
+            prop_assert!(r.output_len >= 1 && r.output_len <= out_max);
+        }
+    }
+
+    /// Poisson arrivals are strictly ordered in time with positive gaps.
+    #[test]
+    fn poisson_arrivals_are_ordered(
+        task in arb_task(),
+        rate in 0.5f64..200.0,
+        seed in any::<u64>(),
+    ) {
+        let w = task.workload().expect("valid");
+        let reqs: Vec<_> = PoissonStream::new(&w, rate, seed).take(64).collect();
+        prop_assert!(reqs[0].arrival > 0.0);
+        for pair in reqs.windows(2) {
+            prop_assert!(pair[1].arrival > pair[0].arrival);
+        }
+    }
+
+    /// Dataset splits partition the pairs exactly and preserve order.
+    #[test]
+    fn dataset_split_partitions(size in 10usize..500, frac in 0.05f64..0.95, seed in any::<u64>()) {
+        let d = Dataset::alpaca(size, seed);
+        let (a, b) = d.split(frac);
+        prop_assert_eq!(a.len() + b.len(), size);
+        let rejoined: Vec<_> = a.pairs().iter().chain(b.pairs()).copied().collect();
+        prop_assert_eq!(rejoined, d.pairs().to_vec());
+    }
+
+    /// Estimated workloads reproduce the sample means of their dataset.
+    #[test]
+    fn estimated_workload_matches_means(size in 50usize..400, seed in any::<u64>()) {
+        let d = Dataset::wmt(size, seed);
+        let w = d.estimate_workload().expect("non-empty");
+        let mean_in: f64 =
+            d.pairs().iter().map(|p| p.0 as f64).sum::<f64>() / size as f64;
+        let mean_out: f64 =
+            d.pairs().iter().map(|p| p.1 as f64).sum::<f64>() / size as f64;
+        prop_assert!((w.input().mean() - mean_in).abs() < 1e-9);
+        prop_assert!((w.output().mean() - mean_out).abs() < 1e-9);
+    }
+}

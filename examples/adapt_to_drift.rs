@@ -1,0 +1,80 @@
+//! Adapting to workload drift (paper §7.6–§7.7): a service's output
+//! lengths grow 30% over time; keep serving with the stale schedule, or
+//! pay a re-deployment to re-optimize?
+//!
+//! The example quantifies both sides: throughput/latency of the
+//! non-adjusted schedule on the drifted traffic, the re-optimized
+//! schedule's numbers, and the re-deployment cost of switching (reloading
+//! weights from host DRAM, Table 4).
+//!
+//! Run with: `cargo run --release --example adapt_to_drift`
+
+use exegpt::Engine;
+use exegpt_cluster::{ClusterSpec, LoadSource};
+use exegpt_model::ModelConfig;
+use exegpt_runner::{RunOptions, Runner};
+use exegpt_sim::Workload;
+use exegpt_workload::Task;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = Task::Translation.workload()?;
+    let engine = Engine::builder()
+        .model(ModelConfig::opt_13b())
+        .cluster(ClusterSpec::a40_cluster().subcluster(4)?)
+        .workload(base.clone())
+        .build()?;
+
+    // Schedule for the observed distribution with a 25 s bound.
+    let bound = 25.0;
+    let schedule = engine.schedule(bound)?;
+    println!("scheduled for mean output {:.0} tokens: {}", base.output().mean(), schedule.config.describe());
+
+    // The service drifts: outputs grow 30%.
+    let drifted = Workload::new(
+        base.input().clone(),
+        base.output().with_scaled_mean(1.3)?,
+    );
+    println!("\ntraffic drifted to mean output {:.0} tokens", drifted.output().mean());
+
+    // Option A: keep the stale schedule (plans stay sized for the old
+    // distribution; only the traffic changes).
+    let runner = Runner::from_simulator(engine.simulator().clone());
+    let stale = runner.run(
+        &schedule.config,
+        &RunOptions {
+            num_queries: 800,
+            request_workload: Some(drifted.clone()),
+            ..Default::default()
+        },
+    )?;
+    println!(
+        "  stale schedule : {:.2} q/s, p99 latency {:.2} s{}",
+        stale.throughput,
+        stale.p99_latency(),
+        if stale.p99_latency() > bound { "  (BOUND VIOLATED)" } else { "" }
+    );
+
+    // Option B: re-optimize for the drifted distribution and re-deploy.
+    let adapted_engine = engine.with_workload(drifted);
+    match adapted_engine.schedule(bound) {
+        Ok(adapted) => {
+            let rep = Runner::from_simulator(adapted_engine.simulator().clone()).run(
+                &adapted.config,
+                &RunOptions { num_queries: 800, ..Default::default() },
+            )?;
+            println!(
+                "  re-optimized   : {:.2} q/s, p99 latency {:.2} s  <- {}",
+                rep.throughput,
+                rep.p99_latency(),
+                adapted.config.describe()
+            );
+        }
+        Err(_) => println!("  re-optimized   : the bound is no longer satisfiable; renegotiate the SLA"),
+    }
+    println!(
+        "  re-deploy cost : {:.1} s reloading weights from host DRAM ({:.1} s from SSD)",
+        engine.deploy_time(LoadSource::Dram),
+        engine.deploy_time(LoadSource::Ssd)
+    );
+    Ok(())
+}

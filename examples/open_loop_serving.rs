@@ -1,0 +1,58 @@
+//! Open-loop serving: queries arrive over time (Poisson), latency includes
+//! queueing — the SLA-(a) regime the paper's §7.6 discusses ("99% of all
+//! queries completed within a given timeframe").
+//!
+//! Sweeps the arrival rate toward the schedule's capacity and reports the
+//! 99th-percentile sojourn time at each load level, showing where the SLA
+//! knee sits.
+//!
+//! Run with: `cargo run --release --example open_loop_serving`
+
+use exegpt::Engine;
+use exegpt_cluster::ClusterSpec;
+use exegpt_model::ModelConfig;
+use exegpt_runner::{RunOptions, Runner};
+use exegpt_workload::Task;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Engine::builder()
+        .model(ModelConfig::opt_13b())
+        .cluster(ClusterSpec::a40_cluster().subcluster(4)?)
+        .workload(Task::ConversationalQa1.workload()?)
+        .build()?;
+
+    // Schedule for a generation-latency bound (SLA-(b) style)...
+    let schedule = engine.schedule(15.0)?;
+    let capacity = schedule.estimate.throughput;
+    println!(
+        "schedule {} — estimated capacity {capacity:.1} q/s\n",
+        schedule.config.describe()
+    );
+    println!(
+        "{:>8}  {:>10}  {:>12}  {:>14}",
+        "load", "rate q/s", "tput q/s", "p99 sojourn(s)"
+    );
+
+    // ...then study what SLA-(a) timeframe each load level supports.
+    let runner = Runner::from_simulator(engine.simulator().clone());
+    for load in [0.3, 0.5, 0.7, 0.85, 0.95] {
+        let rate = capacity * load;
+        let rep = runner.run(
+            &schedule.config,
+            &RunOptions {
+                num_queries: 600,
+                arrival_rate: Some(rate),
+                ..Default::default()
+            },
+        )?;
+        println!(
+            "{:>7.0}%  {rate:>10.2}  {:>12.2}  {:>14.2}",
+            load * 100.0,
+            rep.throughput,
+            rep.p99_sojourn()
+        );
+    }
+    println!("\nthe p99 sojourn rises sharply as load approaches capacity:");
+    println!("an SLA-(a) operator provisions at the knee, not at capacity.");
+    Ok(())
+}

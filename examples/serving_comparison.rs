@@ -1,0 +1,85 @@
+//! Serving-system shoot-out: ExeGPT versus FasterTransformer, ORCA and
+//! vLLM on the same deployment and workload — the paper's §7.2/§7.3
+//! comparison as a runnable program.
+//!
+//! Every system plans itself for the same latency bound (derived from FT's
+//! batch sweep, the paper's protocol) and then serves the same sampled
+//! query stream; measured throughput and latency are reported.
+//!
+//! Run with: `cargo run --release --example serving_comparison`
+
+use exegpt::Engine;
+use exegpt_baselines::{FasterTransformer, IterationLevel, Orca, Vllm};
+use exegpt_cluster::ClusterSpec;
+use exegpt_model::ModelConfig;
+use exegpt_runner::{RunOptions, Runner};
+use exegpt_workload::{latency_bounds, Task};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let task = Task::ConversationalQa1;
+    let model = ModelConfig::opt_13b();
+    let cluster = ClusterSpec::a40_cluster().subcluster(4)?;
+    println!("{} on 4xA40, task {task} (conversational Q/A)\n", model.name());
+
+    let engine = Engine::builder()
+        .model(model)
+        .cluster(cluster)
+        .workload(task.workload()?)
+        .build()?;
+    let sim = engine.simulator().clone();
+
+    // The paper's bound protocol: percentiles of FT's batch-latency sweep.
+    let ft = FasterTransformer::paper_default(sim.clone())?;
+    let bounds = latency_bounds(&ft.latency_sweep()).ok_or("empty sweep")?;
+    let bound = bounds[1]; // the bottom-30% bound
+    println!("latency bound: {bound:.1} s (FT bottom-30%)\n");
+    println!("{:<18} {:>10} {:>12} {:>10}", "system", "tput q/s", "p99 lat(s)", "max lat(s)");
+
+    let opts = RunOptions { num_queries: 800, ..Default::default() };
+
+    // ExeGPT: constraint-aware schedule, then replay.
+    let schedule = engine.schedule(bound)?;
+    let rep = Runner::from_simulator(sim.clone()).run(&schedule.config, &opts)?;
+    println!(
+        "{:<18} {:>10.2} {:>12.2} {:>10.2}   <- {}",
+        "ExeGPT",
+        rep.throughput,
+        rep.p99_latency(),
+        rep.max_latency(),
+        schedule.config.describe()
+    );
+
+    // FasterTransformer: best static batch under the bound.
+    if let Some((batch, _)) = ft.plan(bound) {
+        let rep = ft.run(batch, &opts)?;
+        println!(
+            "{:<18} {:>10.2} {:>12.2} {:>10.2}   <- batch {batch}",
+            "FasterTransformer",
+            rep.throughput,
+            rep.p99_latency(),
+            rep.max_latency()
+        );
+    }
+
+    // ORCA and vLLM: iteration-level scheduling.
+    for (name, sys) in [
+        ("ORCA", Orca::new(sim.clone(), IterationLevel::orca())?),
+        ("vLLM", Orca::new(sim.clone(), IterationLevel::vllm())?),
+    ] {
+        match sys.plan(bound) {
+            Some((slots, _)) => {
+                let rep = sys.run(slots, &opts)?;
+                println!(
+                    "{:<18} {:>10.2} {:>12.2} {:>10.2}   <- {slots} slots",
+                    name,
+                    rep.throughput,
+                    rep.p99_latency(),
+                    rep.max_latency()
+                );
+            }
+            None => println!("{name:<18} {:>10} (cannot satisfy the bound)", "NS"),
+        }
+    }
+    let _ = Vllm::new(sim)?; // the dedicated wrapper offers the same API
+    Ok(())
+}

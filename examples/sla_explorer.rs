@@ -1,0 +1,60 @@
+//! SLA explorer: map the latency/throughput frontier of a deployment.
+//!
+//! For a chosen model, GPU count and NLP task, sweeps latency bounds from
+//! tight to unconstrained and prints the schedule the optimizer selects at
+//! each point — the tool an operator would use to pick an SLA (cf. paper
+//! Table 6).
+//!
+//! Run with: `cargo run --release --example sla_explorer -- [task] [gpus]`
+//! where `task` is one of `S T G C1 C2` (default `S`) and `gpus` divides
+//! the A40 cluster (default 4).
+
+use exegpt::Engine;
+use exegpt_cluster::ClusterSpec;
+use exegpt_model::ModelConfig;
+use exegpt_workload::Task;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let task = match args.next().as_deref() {
+        None | Some("S") => Task::Summarization,
+        Some("T") => Task::Translation,
+        Some("G") => Task::CodeGeneration,
+        Some("C1") => Task::ConversationalQa1,
+        Some("C2") => Task::ConversationalQa2,
+        Some(other) => return Err(format!("unknown task {other}; use S T G C1 C2").into()),
+    };
+    let gpus: usize = args.next().map(|g| g.parse()).transpose()?.unwrap_or(4);
+
+    let engine = Engine::builder()
+        .model(ModelConfig::opt_13b())
+        .cluster(ClusterSpec::a40_cluster().subcluster(gpus)?)
+        .workload(task.workload()?)
+        .build()?;
+
+    // Find the achievable range: the unconstrained optimum anchors the top.
+    let best = engine.schedule(f64::INFINITY)?;
+    println!(
+        "OPT-13B on {gpus}xA40, task {task}: unconstrained optimum {:.2} q/s at {:.2} s",
+        best.estimate.throughput, best.estimate.latency
+    );
+    println!();
+    println!("{:>10}  {:>9}  {:>10}  schedule", "bound (s)", "tput q/s", "latency(s)");
+
+    // Sweep bounds geometrically from very tight to the unconstrained point.
+    let mut bound = best.estimate.latency / 16.0;
+    while bound < best.estimate.latency * 2.0 {
+        match engine.schedule(bound) {
+            Ok(s) => println!(
+                "{bound:>10.2}  {:>9.2}  {:>10.2}  {}",
+                s.estimate.throughput,
+                s.estimate.latency,
+                s.config.describe()
+            ),
+            Err(_) => println!("{bound:>10.2}  {:>9}  {:>10}  (not satisfiable)", "NS", "-"),
+        }
+        bound *= 1.6;
+    }
+    println!("{:>10}  {:>9.2}  {:>10.2}  {}", "inf", best.estimate.throughput, best.estimate.latency, best.config.describe());
+    Ok(())
+}

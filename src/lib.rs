@@ -1,0 +1,3 @@
+//! Workspace umbrella for the ExeGPT reproduction: hosts the cross-crate
+//! integration tests in `tests/` and the runnable examples in `examples/`.
+//! See the `exegpt` crate for the library entry point.

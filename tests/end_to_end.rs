@@ -1,0 +1,127 @@
+//! Cross-crate integration: the full profile → schedule → execute pipeline,
+//! exercised exactly as a downstream user would drive it.
+
+use exegpt::{Engine, Policy, SchedulerOptions};
+use exegpt_cluster::ClusterSpec;
+use exegpt_model::ModelConfig;
+use exegpt_runner::{RunOptions, Runner};
+use exegpt_workload::Task;
+
+fn engine(task: Task) -> Engine {
+    Engine::builder()
+        .model(ModelConfig::opt_13b())
+        .cluster(ClusterSpec::a40_cluster().subcluster(4).expect("fits"))
+        .workload(task.workload().expect("valid"))
+        .build()
+        .expect("builds")
+}
+
+/// The whole pipeline holds together: a schedule found under a bound
+/// executes, meets the bound (within measurement tolerance), and the
+/// measured throughput tracks the simulator's estimate.
+#[test]
+fn schedule_then_execute_agrees_with_estimates() {
+    for task in [Task::Summarization, Task::Translation] {
+        let engine = engine(task);
+        let best = engine.schedule(f64::INFINITY).expect("feasible");
+        let bound = best.estimate.latency * 0.6;
+        let schedule = engine.schedule(bound).expect("feasible");
+        assert!(schedule.estimate.latency <= bound);
+
+        let runner = Runner::from_simulator(engine.simulator().clone());
+        let nq = 400usize.max(4 * schedule.estimate.breakdown.decode_batch);
+        let report = runner
+            .run(&schedule.config, &RunOptions { num_queries: nq, ..Default::default() })
+            .expect("runs");
+        assert_eq!(report.completed, nq);
+
+        let ratio = report.throughput / schedule.estimate.throughput;
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "task {task}: measured {:.2} vs estimated {:.2}",
+            report.throughput,
+            schedule.estimate.throughput
+        );
+        assert!(
+            report.p99_latency() <= bound * 1.3,
+            "task {task}: measured p99 {:.2} vs bound {bound:.2}",
+            report.p99_latency()
+        );
+    }
+}
+
+/// The headline claim at this scale: ExeGPT's constraint-aware schedule
+/// beats the FasterTransformer baseline at every bound of the paper's
+/// protocol.
+#[test]
+fn exegpt_beats_fastertransformer_at_every_bound() {
+    use exegpt_baselines::FasterTransformer;
+
+    for task in [Task::Summarization, Task::ConversationalQa1] {
+        let engine = engine(task);
+        let ft = FasterTransformer::paper_default(engine.simulator().clone()).expect("grid");
+        let bounds = exegpt_workload::latency_bounds(&ft.latency_sweep()).expect("non-empty");
+        for bound in bounds {
+            let Some((batch, _)) = ft.plan(bound) else { continue };
+            let ft_rep = ft
+                .run(batch, &RunOptions { num_queries: 4 * batch, ..Default::default() })
+                .expect("ft runs");
+            let schedule = engine.schedule(bound).expect("exegpt feasible");
+            let runner = Runner::from_simulator(engine.simulator().clone());
+            let nq = 400usize.max(4 * schedule.estimate.breakdown.decode_batch);
+            let rep = runner
+                .run(&schedule.config, &RunOptions { num_queries: nq, ..Default::default() })
+                .expect("exegpt runs");
+            assert!(
+                rep.throughput > ft_rep.throughput,
+                "task {task} bound {bound:.1}: ExeGPT {:.2} vs FT {:.2}",
+                rep.throughput,
+                ft_rep.throughput
+            );
+        }
+    }
+}
+
+/// A policy-restricted engine produces configurations of that family, and
+/// the runner accepts every family the scheduler can emit.
+#[test]
+fn every_emitted_schedule_family_is_executable() {
+    let engine = engine(Task::Summarization);
+    let runner = Runner::from_simulator(engine.simulator().clone());
+    for policy in Policy::all() {
+        let opts =
+            SchedulerOptions { policies: vec![policy], ..SchedulerOptions::bounded(f64::INFINITY) };
+        let schedule = engine.schedule_with(&opts).expect("feasible");
+        let rep = runner
+            .run(&schedule.config, &RunOptions { num_queries: 150, ..Default::default() })
+            .expect("runs");
+        assert_eq!(rep.completed, 150, "{policy:?}");
+    }
+}
+
+/// Profiles are reusable across engines (the paper's profile-once flow):
+/// two engines sharing a profile agree exactly.
+#[test]
+fn shared_profiles_give_identical_schedules() {
+    let model = ModelConfig::opt_13b();
+    let cluster = ClusterSpec::a40_cluster().subcluster(4).expect("fits");
+    let workload = Task::Translation.workload().expect("valid");
+    let profile = std::sync::Arc::new(
+        exegpt_profiler::Profiler::new(model.clone(), cluster.clone())
+            .run(&exegpt_profiler::ProfileOptions::default())
+            .expect("profiles"),
+    );
+    let mk = || {
+        Engine::builder()
+            .model(model.clone())
+            .cluster(cluster.clone())
+            .workload(workload.clone())
+            .profile(profile.clone())
+            .build()
+            .expect("builds")
+    };
+    let a = mk().schedule(30.0).expect("feasible");
+    let b = mk().schedule(30.0).expect("feasible");
+    assert_eq!(a.config, b.config);
+    assert_eq!(a.estimate, b.estimate);
+}
