@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, release build, and the full test
+# suite. Run from the repository root. All cargo invocations are --offline:
+# every dependency is vendored in third_party/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release
+
+echo "==> cargo test -q"
+cargo test --offline --workspace -q
+
+echo "CI OK"

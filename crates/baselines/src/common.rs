@@ -89,8 +89,7 @@ impl GridPlan {
         let mut worst = 0.0f64;
         for (i, stage) in self.layout.stages().iter().enumerate() {
             let t = profile.encode_layer_time(micro, mean_in, stage.tp)?;
-            let handoff =
-                profile.handoff_time(micro * mean_in, self.layout.boundary_intra_node(i));
+            let handoff = profile.handoff_time(micro * mean_in, self.layout.boundary_intra_node(i));
             worst = worst.max(self.enc_alloc[i] as f64 * t + handoff);
         }
         Ok(worst)

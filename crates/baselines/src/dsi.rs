@@ -47,7 +47,9 @@ impl DeepSpeedInference {
             .profile()
             .tp_degrees()
             .into_iter()
-            .filter(|&d| sim.cluster().total_gpus().is_multiple_of(d) && d <= sim.cluster().total_gpus())
+            .filter(|&d| {
+                sim.cluster().total_gpus().is_multiple_of(d) && d <= sim.cluster().total_gpus()
+            })
             .max()
             .unwrap_or(1);
         let mean_out = sim.workload().output().mean().max(1.0);

@@ -88,7 +88,8 @@ impl FasterTransformer {
 
         // Prefill with encode micro-batching (m_e = 2 per stage).
         let m_e = (2 * stages).min(batch).max(1);
-        let enc_stage = self.plan.encode_stage_time(&self.sim, batch as f64 / m_e as f64, mean_in)?;
+        let enc_stage =
+            self.plan.encode_stage_time(&self.sim, batch as f64 / m_e as f64, mean_in)?;
         let t_prefill = enc_stage * (stages + m_e - 1) as f64;
 
         // Decode s_max iterations at constant batch; context grows.
@@ -99,7 +100,8 @@ impl FasterTransformer {
             let ctx = mean_in + u as f64;
             t_decode += m_d as f64 * self.plan.decode_stage_time(&self.sim, micro, ctx)?;
         }
-        t_decode += (stages as f64 - 1.0) * self.plan.decode_stage_time(&self.sim, micro, mean_in)?;
+        t_decode +=
+            (stages as f64 - 1.0) * self.plan.decode_stage_time(&self.sim, micro, mean_in)?;
 
         let t_batch = t_prefill + t_decode;
         let footprint = exegpt_model::MemoryFootprint {
@@ -300,9 +302,7 @@ mod tests {
     fn run_matches_estimate_roughly() {
         let ft = ft(Task::Translation);
         let est = ft.estimate(16).expect("feasible");
-        let rep = ft
-            .run(16, &RunOptions { num_queries: 200, ..Default::default() })
-            .expect("runs");
+        let rep = ft.run(16, &RunOptions { num_queries: 200, ..Default::default() }).expect("runs");
         assert_eq!(rep.completed, 200);
         let ratio = rep.throughput / est.throughput;
         // The estimate decodes to the distribution max; sampled batches
@@ -313,9 +313,7 @@ mod tests {
     #[test]
     fn all_queries_in_a_batch_share_its_completion_time() {
         let ft = ft(Task::Summarization);
-        let rep = ft
-            .run(8, &RunOptions { num_queries: 16, ..Default::default() })
-            .expect("runs");
+        let rep = ft.run(8, &RunOptions { num_queries: 16, ..Default::default() }).expect("runs");
         // Two batches of 8: exactly two distinct latencies per batch start.
         let mut unique: Vec<u64> = rep.latencies.iter().map(|l| l.to_bits()).collect();
         unique.sort_unstable();

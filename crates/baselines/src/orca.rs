@@ -134,8 +134,8 @@ impl Orca {
 
         // Steady state: batch/mean_out queries complete (and are admitted)
         // per iteration; their prefill executes inside the iteration.
-        let admissions = (batch as f64 / mean_out)
-            .min(self.settings.max_admissions_per_iter as f64);
+        let admissions =
+            (batch as f64 / mean_out).min(self.settings.max_admissions_per_iter as f64);
         let m_d = stages.min(batch).max(1);
         let micro = batch as f64 / m_d as f64;
         let dec_stage = self.plan.decode_stage_time(&self.sim, micro, ctx)?;
@@ -144,19 +144,17 @@ impl Orca {
         } else {
             0.0
         };
-        let host = self.settings.base_overhead_s
-            + self.settings.per_seq_overhead_s * batch as f64;
+        let host = self.settings.base_overhead_s + self.settings.per_seq_overhead_s * batch as f64;
         let t_iter = m_d as f64 * dec_stage + enc_stage + host;
 
         // Throughput is limited by admissions when they are capped below
         // the completion rate (vLLM's one-per-iteration mode).
-        let completions_per_iter = (batch as f64 / mean_out).min(
-            if self.settings.max_admissions_per_iter == usize::MAX {
+        let completions_per_iter =
+            (batch as f64 / mean_out).min(if self.settings.max_admissions_per_iter == usize::MAX {
                 f64::INFINITY
             } else {
                 self.settings.max_admissions_per_iter as f64
-            },
-        );
+            });
         let throughput = completions_per_iter / t_iter;
         let latency = w.l99() as f64 * t_iter;
 
@@ -240,9 +238,7 @@ impl Orca {
             // Admit into free slots (up to the per-iteration cap).
             let mut admitted = 0usize;
             let mut admitted_tokens = 0usize;
-            while running.len() < batch
-                && admitted < self.settings.max_admissions_per_iter
-            {
+            while running.len() < batch && admitted < self.settings.max_admissions_per_iter {
                 let Some(req) = pending.last().copied() else { break };
                 if !kv.try_admit(req.id, req.input_len, w.output().max_len()) {
                     break;
@@ -263,18 +259,16 @@ impl Orca {
 
             // One iteration: decode everyone + the admitted prefills.
             let active = running.len();
-            let ctx: f64 = running
-                .iter()
-                .map(|s| (s.req.input_len + s.progress) as f64)
-                .sum::<f64>()
-                / active as f64;
+            let ctx: f64 =
+                running.iter().map(|s| (s.req.input_len + s.progress) as f64).sum::<f64>()
+                    / active as f64;
             let m_d = stages.min(active).max(1);
             let micro = active as f64 / m_d as f64;
             let dec_stage =
                 self.plan.decode_stage_time(&self.sim, micro, ctx).map_err(RunError::from)?;
             dec_stage_times.push(dec_stage);
-            let host = self.settings.base_overhead_s
-                + self.settings.per_seq_overhead_s * active as f64;
+            let host =
+                self.settings.base_overhead_s + self.settings.per_seq_overhead_s * active as f64;
             let mut t_iter = m_d as f64 * dec_stage + host;
             if admitted > 0 {
                 let mean_in = admitted_tokens as f64 / admitted as f64;

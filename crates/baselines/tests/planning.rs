@@ -31,35 +31,20 @@ fn planned_throughput_is_monotone_in_the_bound() {
         let mut last = 0.0f64;
         for (i, t) in plans.into_iter().enumerate() {
             if let Some(t) = t {
-                assert!(
-                    t >= last - 1e-9,
-                    "{name}: bound {i} planned {t} below earlier {last}"
-                );
+                assert!(t >= last - 1e-9, "{name}: bound {i} planned {t} below earlier {last}");
                 last = t;
             }
         }
         assert!(last > 0.0, "{name}: the infinite bound must be plannable");
     };
 
-    check(
-        "FT",
-        bounds.iter().map(|&b| ft.plan(b).map(|(_, e)| e.throughput)).collect(),
-    );
+    check("FT", bounds.iter().map(|&b| ft.plan(b).map(|(_, e)| e.throughput)).collect());
     let dsi = DeepSpeedInference::new(s.clone()).expect("single node");
-    check(
-        "DSI",
-        bounds.iter().map(|&b| dsi.plan(b).map(|(_, e)| e.throughput)).collect(),
-    );
+    check("DSI", bounds.iter().map(|&b| dsi.plan(b).map(|(_, e)| e.throughput)).collect());
     let orca = Orca::new(s.clone(), IterationLevel::orca()).expect("grid");
-    check(
-        "ORCA",
-        bounds.iter().map(|&b| orca.plan(b).map(|(_, e)| e.throughput)).collect(),
-    );
+    check("ORCA", bounds.iter().map(|&b| orca.plan(b).map(|(_, e)| e.throughput)).collect());
     let vllm = Vllm::new(s).expect("grid");
-    check(
-        "vLLM",
-        bounds.iter().map(|&b| vllm.plan(b).map(|(_, e)| e.throughput)).collect(),
-    );
+    check("vLLM", bounds.iter().map(|&b| vllm.plan(b).map(|(_, e)| e.throughput)).collect());
 }
 
 /// Every planned configuration's estimate respects the bound it was planned
@@ -110,9 +95,7 @@ fn orca_estimates_track_replays() {
     let s = sim(Task::Summarization);
     let orca = Orca::new(s, IterationLevel::orca()).expect("grid");
     let est = orca.estimate(64).expect("feasible");
-    let rep = orca
-        .run(64, &RunOptions { num_queries: 600, ..Default::default() })
-        .expect("runs");
+    let rep = orca.run(64, &RunOptions { num_queries: 600, ..Default::default() }).expect("runs");
     let ratio = rep.throughput / est.throughput;
     assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
 }

@@ -52,10 +52,7 @@ fn ft_beats_vllm_on_the_paper_setup() {
     let vllm = Vllm::new(s).expect("grid");
     let ft_best = ft.plan(f64::INFINITY).expect("feasible").1.throughput;
     let vllm_best = vllm.plan(f64::INFINITY).expect("feasible").1.throughput;
-    assert!(
-        ft_best > vllm_best,
-        "FT {ft_best:.2} q/s should beat vLLM {vllm_best:.2} q/s"
-    );
+    assert!(ft_best > vllm_best, "FT {ft_best:.2} q/s should beat vLLM {vllm_best:.2} q/s");
 }
 
 #[test]

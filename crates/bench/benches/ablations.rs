@@ -92,9 +92,7 @@ fn bench_kernel(c: &mut Criterion) {
     let cfg = ScheduleConfig::Rra(RraConfig::new(16, 16, TpConfig::none()));
     c.bench_function("ablations/replay_with_adjustment", |b| {
         b.iter(|| {
-            runner
-                .run(&cfg, &RunOptions { num_queries: 200, ..Default::default() })
-                .expect("runs")
+            runner.run(&cfg, &RunOptions { num_queries: 200, ..Default::default() }).expect("runs")
         })
     });
     c.bench_function("ablations/replay_without_adjustment", |b| {

@@ -18,10 +18,8 @@ fn bench_kernel(c: &mut Criterion) {
     let base = Task::Translation.workload().expect("valid");
     let bound = support::bounds_for(&system, &base)[1];
     let engine = system.engine(base.clone());
-    let shifted = Workload::new(
-        base.input().clone(),
-        base.output().with_scaled_mean(1.15).expect("valid"),
-    );
+    let shifted =
+        Workload::new(base.input().clone(), base.output().with_scaled_mean(1.15).expect("valid"));
     c.bench_function("fig11/reschedule_after_shift", |b| {
         b.iter(|| {
             engine

@@ -44,8 +44,18 @@ fn parse_args() -> Args {
         }
     }
     const KNOWN: [&str; 12] = [
-        "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tab4", "tab5", "tab6", "tab7",
-        "timelines", "all",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "tab4",
+        "tab5",
+        "tab6",
+        "tab7",
+        "timelines",
+        "all",
     ];
     if experiments.is_empty() {
         die("expected an experiment id (fig6 fig7 fig8 fig9 fig10 fig11 tab4 tab5 tab6 tab7 timelines all)");
@@ -80,9 +90,7 @@ fn save_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) 
 
 fn main() {
     let args = parse_args();
-    let wants = |name: &str| {
-        args.experiments.iter().any(|e| e == name || e == "all")
-    };
+    let wants = |name: &str| args.experiments.iter().any(|e| e == name || e == "all");
     let q = args.queries;
 
     if wants("fig6") {

@@ -51,8 +51,7 @@ pub fn generate(num_queries: usize) -> Vec<Row> {
             // distribution (input-length randomization across batches, as
             // the paper applies for correlated tasks).
             let (estimate_split, eval_split) = dataset.split(0.1);
-            let sched_workload =
-                estimate_split.estimate_workload().expect("non-empty split");
+            let sched_workload = estimate_split.estimate_workload().expect("non-empty split");
             let eval_workload = eval_split.estimate_workload().expect("non-empty split");
 
             let ft_bounds = bounds_for(system, &sched_workload);
@@ -60,13 +59,8 @@ pub fn generate(num_queries: usize) -> Vec<Row> {
             // the unconstrained case.
             for bound in [ft_bounds[1], f64::INFINITY] {
                 let ft = measured_ft(system, &eval_workload, bound, num_queries);
-                let rra = measured_exegpt(
-                    system,
-                    &eval_workload,
-                    vec![Policy::Rra],
-                    bound,
-                    num_queries,
-                );
+                let rra =
+                    measured_exegpt(system, &eval_workload, vec![Policy::Rra], bound, num_queries);
                 let waa = measured_exegpt(
                     system,
                     &eval_workload,

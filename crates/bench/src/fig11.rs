@@ -174,9 +174,6 @@ pub fn render(rows: &[Row]) -> String {
         .collect();
     format!(
         "Figure 11: distribution shift, OPT-13B task T (queries/s; p99 normalized)\n{}",
-        table::render(
-            &["policy", "shift", "factor", "non-adj", "re-opt", "p99/base"],
-            &body
-        )
+        table::render(&["policy", "shift", "factor", "non-adj", "re-opt", "p99/base"], &body)
     )
 }

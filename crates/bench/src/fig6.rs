@@ -43,13 +43,7 @@ pub fn generate(systems: &[System], num_queries: usize) -> Vec<Row> {
             let bounds = bounds_for(system, &workload);
             for bound in bounds {
                 let ft = measured_ft(system, &workload, bound, num_queries);
-                let rra = measured_exegpt(
-                    system,
-                    &workload,
-                    vec![Policy::Rra],
-                    bound,
-                    num_queries,
-                );
+                let rra = measured_exegpt(system, &workload, vec![Policy::Rra], bound, num_queries);
                 let waa = measured_exegpt(
                     system,
                     &workload,
@@ -90,10 +84,7 @@ pub fn render(rows: &[Row]) -> String {
         .collect();
     format!(
         "Figure 6: ExeGPT vs FT throughput (queries/s), small-to-mid LLMs\n{}",
-        table::render(
-            &["system", "task", "L_B(s)", "FT", "RRA", "WAA", "speedup"],
-            &body
-        )
+        table::render(&["system", "task", "L_B(s)", "FT", "RRA", "WAA", "speedup"], &body)
     )
 }
 

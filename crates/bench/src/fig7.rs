@@ -45,22 +45,17 @@ pub fn generate(num_queries: usize) -> Vec<Row> {
                 num_queries: num_queries.max(4 * batch),
                 ..Default::default()
             };
-            let run =
-                |planned: Option<(usize, exegpt_sim::Estimate)>,
-                 exec: &dyn Fn(usize, &RunOptions) -> Option<f64>| {
-                    planned.and_then(|(batch, _)| exec(batch, &opts_for(batch)))
-                };
+            let run = |planned: Option<(usize, exegpt_sim::Estimate)>,
+                       exec: &dyn Fn(usize, &RunOptions) -> Option<f64>| {
+                planned.and_then(|(batch, _)| exec(batch, &opts_for(batch)))
+            };
             rows.push(Row {
                 task: task.id().to_string(),
                 bound,
                 ft: run(ft.plan(bound), &|b, o| ft.run(b, o).ok().map(|r| r.throughput)),
                 dsi: run(dsi.plan(bound), &|b, o| dsi.run(b, o).ok().map(|r| r.throughput)),
-                orca: run(orca.plan(bound), &|b, o| {
-                    orca.run(b, o).ok().map(|r| r.throughput)
-                }),
-                vllm: run(vllm.plan(bound), &|b, o| {
-                    vllm.run(b, o).ok().map(|r| r.throughput)
-                }),
+                orca: run(orca.plan(bound), &|b, o| orca.run(b, o).ok().map(|r| r.throughput)),
+                vllm: run(vllm.plan(bound), &|b, o| vllm.run(b, o).ok().map(|r| r.throughput)),
             });
         }
     }

@@ -41,8 +41,7 @@ pub fn generate(systems: &[System], num_queries: usize) -> Vec<Row> {
             let bounds = bounds_for(system, &workload);
             for bound in bounds {
                 let ft = measured_ft(system, &workload, bound, num_queries);
-                let rra =
-                    measured_exegpt(system, &workload, vec![Policy::Rra], bound, num_queries);
+                let rra = measured_exegpt(system, &workload, vec![Policy::Rra], bound, num_queries);
                 rows.push(Row {
                     system: system.name.clone(),
                     task: task.id().to_string(),

@@ -4,8 +4,8 @@
 
 use exegpt::{Policy, SchedulerOptions};
 use exegpt_baselines::FasterTransformer;
-use exegpt_model::ModelConfig;
 use exegpt_cluster::ClusterSpec;
+use exegpt_model::ModelConfig;
 use exegpt_workload::Task;
 use serde::{Deserialize, Serialize};
 

@@ -34,12 +34,7 @@ impl System {
     /// Panics if the sub-cluster is invalid (fixed scenario definitions).
     pub fn new(model: ModelConfig, base: ClusterSpec, gpus: usize) -> Self {
         let cluster = base.subcluster(gpus).expect("scenario sub-cluster is valid");
-        let name = format!(
-            "{}/{}x{}",
-            model.name().replace(' ', "-"),
-            gpus,
-            cluster.gpu().name()
-        );
+        let name = format!("{}/{}x{}", model.name().replace(' ', "-"), gpus, cluster.gpu().name());
         Self { name, model, cluster }
     }
 

@@ -25,8 +25,12 @@ pub struct Measured {
 pub fn bounds_for(system: &System, workload: &Workload) -> [f64; 4] {
     let ft = FasterTransformer::paper_default(system.simulator(workload.clone()))
         .expect("baseline grid builds");
-    exegpt_workload::latency_bounds(&ft.latency_sweep())
-        .unwrap_or([f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY])
+    exegpt_workload::latency_bounds(&ft.latency_sweep()).unwrap_or([
+        f64::INFINITY,
+        f64::INFINITY,
+        f64::INFINITY,
+        f64::INFINITY,
+    ])
 }
 
 /// FT planned for `bound` and replayed; `None` when no batch satisfies it.
@@ -41,9 +45,8 @@ pub fn measured_ft(
     // Run enough queries for several static batches so the steady-state
     // window is meaningful, and discard the ramp-up quarter.
     let num_queries = num_queries.max(4 * batch);
-    let rep = ft
-        .run(batch, &RunOptions { num_queries, warmup_frac: 0.25, ..Default::default() })
-        .ok()?;
+    let rep =
+        ft.run(batch, &RunOptions { num_queries, warmup_frac: 0.25, ..Default::default() }).ok()?;
     Some(Measured { throughput: rep.throughput, max_latency: rep.max_latency() })
 }
 
@@ -62,17 +65,12 @@ pub fn measured_exegpt(
     // Cover several steady-state decode pools so the measurement window is
     // genuinely steady state (one pool draining in a single phase would
     // inflate throughput).
-    let num_queries = num_queries
-        .max(4 * schedule.estimate.breakdown.decode_batch)
-        .min(40_000);
+    let num_queries = num_queries.max(4 * schedule.estimate.breakdown.decode_batch).min(40_000);
     let runner = Runner::from_simulator(engine.simulator().clone());
     // The first ~quarter of completions covers filling the decode pool;
     // exclude that ramp from the steady-state window.
     let rep = runner
-        .run(
-            &schedule.config,
-            &RunOptions { num_queries, warmup_frac: 0.25, ..Default::default() },
-        )
+        .run(&schedule.config, &RunOptions { num_queries, warmup_frac: 0.25, ..Default::default() })
         .ok()?;
     Some(Measured { throughput: rep.throughput, max_latency: rep.max_latency() })
 }

@@ -70,7 +70,13 @@ fn collect_sweeps(sim: &Simulator) -> Vec<Sweep> {
             }
         }
     }
-    sweeps.push(Sweep { policy: "RRA", variable: "B_E", latency_dir: up, throughput_dir: up, series });
+    sweeps.push(Sweep {
+        policy: "RRA",
+        variable: "B_E",
+        latency_dir: up,
+        throughput_dir: up,
+        series,
+    });
 
     // RRA N_D: less frequent encoding lowers both latency and throughput.
     let mut series = Vec::new();
@@ -110,7 +116,13 @@ fn collect_sweeps(sim: &Simulator) -> Vec<Sweep> {
             series.push(pts);
         }
     }
-    sweeps.push(Sweep { policy: "WAA", variable: "B_E", latency_dir: up, throughput_dir: up, series });
+    sweeps.push(Sweep {
+        policy: "WAA",
+        variable: "B_E",
+        latency_dir: up,
+        throughput_dir: up,
+        series,
+    });
 
     // WAA TP (degree fixed at 2, number of TP GPUs swept): the paper's
     // expectation is latency down, throughput down.
@@ -119,11 +131,8 @@ fn collect_sweeps(sim: &Simulator) -> Vec<Sweep> {
         for b_m in [4usize, 8] {
             let pts: Vec<(f64, f64)> = (0..=7)
                 .filter_map(|i| {
-                    let tp = if i == 0 {
-                        TpConfig::none()
-                    } else {
-                        TpConfig { degree: 2, gpus: 2 * i }
-                    };
+                    let tp =
+                        if i == 0 { TpConfig::none() } else { TpConfig { degree: 2, gpus: 2 * i } };
                     sim.evaluate_waa(&WaaConfig::new(b_e, b_m, tp, WaaVariant::Compute))
                         .ok()
                         .map(|e| (e.latency, e.throughput))
@@ -134,7 +143,13 @@ fn collect_sweeps(sim: &Simulator) -> Vec<Sweep> {
             }
         }
     }
-    sweeps.push(Sweep { policy: "WAA", variable: "TP", latency_dir: down, throughput_dir: down, series });
+    sweeps.push(Sweep {
+        policy: "WAA",
+        variable: "TP",
+        latency_dir: down,
+        throughput_dir: down,
+        series,
+    });
 
     // WAA B_m: the paper's expectation is latency down, throughput down;
     // this is its least monotone variable and ours too.
@@ -151,7 +166,13 @@ fn collect_sweeps(sim: &Simulator) -> Vec<Sweep> {
             series.push(pts);
         }
     }
-    sweeps.push(Sweep { policy: "WAA", variable: "B_m", latency_dir: down, throughput_dir: down, series });
+    sweeps.push(Sweep {
+        policy: "WAA",
+        variable: "B_m",
+        latency_dir: down,
+        throughput_dir: down,
+        series,
+    });
 
     sweeps
 }
@@ -169,10 +190,7 @@ pub fn generate() -> Vec<Row> {
             for tol in tolerances() {
                 let (mut lat_sum, mut thr_sum, mut n) = (0.0, 0.0, 0usize);
                 for pts in &sweep.series {
-                    let thr_scale = pts
-                        .iter()
-                        .map(|p| p.1)
-                        .fold(0.0f64, f64::max);
+                    let thr_scale = pts.iter().map(|p| p.1).fold(0.0f64, f64::max);
                     let rep = measure_sweep(
                         pts,
                         sweep.latency_dir,

@@ -36,17 +36,15 @@ pub fn generate(num_queries: usize) -> Vec<Row> {
     let engine = system.engine(workload);
     let runner = Runner::from_simulator(engine.simulator().clone());
     let mut rows = Vec::new();
-    for (name, policies) in [
-        ("RRA", vec![Policy::Rra]),
-        ("WAA", vec![Policy::WaaCompute, Policy::WaaMemory]),
-    ] {
+    for (name, policies) in
+        [("RRA", vec![Policy::Rra]), ("WAA", vec![Policy::WaaCompute, Policy::WaaMemory])]
+    {
         let opts = SchedulerOptions { policies, ..SchedulerOptions::bounded(bound) };
         let Ok(schedule) = engine.schedule_with(&opts) else { continue };
         // Variance statistics need many phases: at least a few thousand
         // queries regardless of the caller's figure-wide default.
-        let nq = (8 * schedule.estimate.breakdown.decode_batch)
-            .max(num_queries)
-            .clamp(4000, 40_000);
+        let nq =
+            (8 * schedule.estimate.breakdown.decode_batch).max(num_queries).clamp(4000, 40_000);
         let Ok(rep) =
             runner.run(&schedule.config, &RunOptions { num_queries: nq, ..Default::default() })
         else {
@@ -54,7 +52,13 @@ pub fn generate(num_queries: usize) -> Vec<Row> {
         };
         let (enc_mean, enc_half_range) = rep.encoder_stage_stats();
         let (dec_mean, dec_half_range) = rep.decoder_stage_stats();
-        rows.push(Row { schedule: name.to_string(), enc_mean, enc_half_range, dec_mean, dec_half_range });
+        rows.push(Row {
+            schedule: name.to_string(),
+            enc_mean,
+            enc_half_range,
+            dec_mean,
+            dec_half_range,
+        });
     }
     rows
 }

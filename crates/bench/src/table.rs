@@ -70,10 +70,7 @@ mod tests {
     fn renders_aligned_columns() {
         let t = render(
             &["a", "bbbb"],
-            &[
-                vec!["x".into(), "1".into()],
-                vec!["long".into(), "2".into()],
-            ],
+            &[vec!["x".into(), "1".into()], vec!["long".into(), "2".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

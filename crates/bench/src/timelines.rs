@@ -23,10 +23,9 @@ pub fn generate() -> String {
         "Illustrative execution timelines (cf. paper Figures 1/3/4)\n\
          One steady-state period per schedule family; bar length ∝ time.\n\n",
     );
-    for (name, policies) in [
-        ("RRA", vec![Policy::Rra]),
-        ("WAA", vec![Policy::WaaCompute, Policy::WaaMemory]),
-    ] {
+    for (name, policies) in
+        [("RRA", vec![Policy::Rra]), ("WAA", vec![Policy::WaaCompute, Policy::WaaMemory])]
+    {
         let opts = SchedulerOptions { policies, ..SchedulerOptions::bounded(f64::INFINITY) };
         let Ok(s) = engine.schedule_with(&opts) else { continue };
         let b = s.estimate.breakdown;

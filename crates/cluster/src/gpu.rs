@@ -49,10 +49,7 @@ impl GpuSpec {
         mem_bandwidth: f64,
     ) -> Result<Self, ClusterError> {
         if mem_bytes == 0 {
-            return Err(ClusterError::InvalidSpec {
-                what: "mem_bytes",
-                why: "must be non-zero",
-            });
+            return Err(ClusterError::InvalidSpec { what: "mem_bytes", why: "must be non-zero" });
         }
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
         if !(peak_flops > 0.0) || !(mem_bandwidth > 0.0) {
@@ -76,14 +73,12 @@ impl GpuSpec {
 
     /// NVIDIA A40: 48 GB, ~149.7 TFLOPS dense FP16, 696 GB/s GDDR6.
     pub fn a40() -> Self {
-        Self::new("A40", 48 * (1 << 30) as u64, 149.7e12, 696e9)
-            .expect("preset spec is valid")
+        Self::new("A40", 48 * (1 << 30) as u64, 149.7e12, 696e9).expect("preset spec is valid")
     }
 
     /// NVIDIA A100 80 GB SXM: ~312 TFLOPS dense FP16, 2039 GB/s HBM2e.
     pub fn a100_80gb() -> Self {
-        Self::new("A100-80GB", 80 * (1 << 30) as u64, 312e12, 2039e9)
-            .expect("preset spec is valid")
+        Self::new("A100-80GB", 80 * (1 << 30) as u64, 312e12, 2039e9).expect("preset spec is valid")
     }
 
     /// Device name.

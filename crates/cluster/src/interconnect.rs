@@ -41,17 +41,11 @@ impl Interconnect {
     ) -> Result<Self, ClusterError> {
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
         if !(bandwidth > 0.0) {
-            return Err(ClusterError::InvalidSpec {
-                what: "bandwidth",
-                why: "must be positive",
-            });
+            return Err(ClusterError::InvalidSpec { what: "bandwidth", why: "must be positive" });
         }
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
         if !(latency_s >= 0.0) {
-            return Err(ClusterError::InvalidSpec {
-                what: "latency",
-                why: "must be non-negative",
-            });
+            return Err(ClusterError::InvalidSpec { what: "latency", why: "must be non-negative" });
         }
         Ok(Self { name: name.into(), bandwidth, latency_s })
     }

@@ -69,10 +69,7 @@ impl ClusterSpec {
             });
         }
         if num_nodes == 0 {
-            return Err(ClusterError::InvalidSpec {
-                what: "num_nodes",
-                why: "must be non-zero",
-            });
+            return Err(ClusterError::InvalidSpec { what: "num_nodes", why: "must be non-zero" });
         }
         Ok(Self {
             name: name.into(),
@@ -198,10 +195,7 @@ impl ClusterSpec {
     /// or [`ClusterError::InvalidSpec`] if `gpus` is zero.
     pub fn subcluster(&self, gpus: usize) -> Result<ClusterSpec, ClusterError> {
         if gpus == 0 {
-            return Err(ClusterError::InvalidSpec {
-                what: "gpus",
-                why: "must be non-zero",
-            });
+            return Err(ClusterError::InvalidSpec { what: "gpus", why: "must be non-zero" });
         }
         if gpus > self.total_gpus() {
             return Err(ClusterError::InsufficientGpus {

@@ -43,18 +43,12 @@ struct Opts {
 }
 
 fn parse_flags(args: &[String]) -> Result<Opts, String> {
-    let mut opts = Opts {
-        model: None,
-        gpus: 4,
-        task: None,
-        bound: f64::INFINITY,
-        cluster: "a40".to_string(),
-    };
+    let mut opts =
+        Opts { model: None, gpus: 4, task: None, bound: f64::INFINITY, cluster: "a40".to_string() };
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| format!("flag {name} needs a value"))
-        };
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("flag {name} needs a value"));
         match a.as_str() {
             "--model" => opts.model = Some(value("--model")?),
             "--gpus" => {
@@ -152,9 +146,9 @@ fn run(args: &[String]) -> Result<String, String> {
                     let _ = writeln!(out, "searched : {} configurations", s.evals);
                     Ok(out)
                 }
-                Err(ScheduleError::NoFeasibleSchedule { latency_bound }) => Ok(format!(
-                    "no schedule satisfies {latency_bound} s on this deployment (NS)\n"
-                )),
+                Err(ScheduleError::NoFeasibleSchedule { latency_bound }) => {
+                    Ok(format!("no schedule satisfies {latency_bound} s on this deployment (NS)\n"))
+                }
                 Err(e) => Err(e.to_string()),
             }
         }
@@ -265,16 +259,16 @@ mod tests {
     fn bad_flags_are_rejected() {
         assert!(run(&sv(&["schedule", "--model", "nope", "--task", "S"])).is_err());
         assert!(run(&sv(&["schedule", "--model", "opt-13b", "--task", "Z"])).is_err());
-        assert!(run(&sv(&["schedule", "--model", "opt-13b", "--task", "S", "--gpus", "x"]))
-            .is_err());
+        assert!(
+            run(&sv(&["schedule", "--model", "opt-13b", "--task", "S", "--gpus", "x"])).is_err()
+        );
         assert!(run(&sv(&["nonsense"])).is_err());
         assert!(run(&[]).is_err());
     }
 
     #[test]
     fn deploy_reports_both_sources() {
-        let out =
-            run(&sv(&["deploy", "--model", "gpt3-39b", "--gpus", "16"])).expect("runs");
+        let out = run(&sv(&["deploy", "--model", "gpt3-39b", "--gpus", "16"])).expect("runs");
         assert!(out.contains("SSD") && out.contains("DRAM"));
     }
 }

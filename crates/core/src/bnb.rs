@@ -351,11 +351,7 @@ mod tests {
         let r = optimize((1, 512), (1, 512), &opts(600.0), eval).expect("feasible");
         let want = brute((1, 512), (1, 512), 600.0, &eval).expect("some feasible");
         assert_eq!(r.perf.throughput, want);
-        assert!(
-            r.evals < 512 * 512 / 20,
-            "expected large pruning, used {} evals",
-            r.evals
-        );
+        assert!(r.evals < 512 * 512 / 20, "expected large pruning, used {} evals", r.evals);
     }
 
     #[test]
@@ -363,10 +359,7 @@ mod tests {
         // A monotone surface with a deterministic +-2% ripple.
         let eval = |x: usize, y: usize| {
             let ripple = 1.0 + 0.02 * (((x * 7 + y * 13) % 5) as f64 - 2.0) / 2.0;
-            Perf {
-                latency: (x + y) as f64 * ripple,
-                throughput: (x * y) as f64 * ripple,
-            }
+            Perf { latency: (x + y) as f64 * ripple, throughput: (x * y) as f64 * ripple }
         };
         let o = BnbOptions {
             latency_bound: 60.0,
@@ -376,11 +369,7 @@ mod tests {
         };
         let r = optimize((1, 64), (1, 64), &o, eval).expect("feasible");
         let want = brute((1, 64), (1, 64), 60.0, &eval).expect("some feasible");
-        assert!(
-            r.perf.throughput >= want * 0.95,
-            "found {} vs brute {want}",
-            r.perf.throughput
-        );
+        assert!(r.perf.throughput >= want * 0.95, "found {} vs brute {want}", r.perf.throughput);
     }
 
     #[test]
@@ -396,10 +385,8 @@ mod tests {
 
     #[test]
     fn single_row_and_column_ranges_work() {
-        let eval = |x: usize, y: usize| Perf {
-            latency: (x + y) as f64,
-            throughput: (x * y) as f64,
-        };
+        let eval =
+            |x: usize, y: usize| Perf { latency: (x + y) as f64, throughput: (x * y) as f64 };
         let row = optimize((1, 32), (5, 5), &opts(20.0), eval).expect("feasible");
         assert_eq!(row.perf.throughput, brute((1, 32), (5, 5), 20.0, &eval).expect("any"));
         let col = optimize((5, 5), (1, 32), &opts(20.0), eval).expect("feasible");

@@ -162,8 +162,7 @@ mod tests {
         let adj = DynamicAdjuster::new(8, 100.0, 0.15);
         // A spread of lengths; every selected batch must land in the band
         // unless the queue runs dry.
-        let queue: Vec<usize> =
-            (0..200).map(|i| 40 + (i * 73) % 250).collect();
+        let queue: Vec<usize> = (0..200).map(|i| 40 + (i * 73) % 250).collect();
         let mut rest = queue.clone();
         for _ in 0..10 {
             let chosen = adj.select_batch(&rest, 0, 0);
@@ -171,10 +170,7 @@ mod tests {
                 break;
             }
             let sum: usize = chosen.iter().map(|&i| rest[i]).sum();
-            assert!(
-                (640..=920).contains(&sum),
-                "admitted workload {sum} outside the band"
-            );
+            assert!((640..=920).contains(&sum), "admitted workload {sum} outside the band");
             let keep: Vec<usize> = (0..rest.len()).filter(|i| !chosen.contains(i)).collect();
             rest = keep.into_iter().map(|i| rest[i]).collect();
         }

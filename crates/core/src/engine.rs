@@ -71,11 +71,7 @@ impl Engine {
     /// deployment or from host DRAM on re-deployment.
     pub fn deploy_time(&self, source: LoadSource) -> f64 {
         let sim = self.simulator();
-        self.load_cost.load_time(
-            sim.model().param_bytes(),
-            sim.cluster().total_gpus(),
-            source,
-        )
+        self.load_cost.load_time(sim.model().param_bytes(), sim.cluster().total_gpus(), source)
     }
 }
 
@@ -130,8 +126,7 @@ impl EngineBuilder {
     pub fn build(self) -> Result<Engine, ScheduleError> {
         let model = self.model.ok_or(ScheduleError::MissingComponent { what: "model" })?;
         let cluster = self.cluster.ok_or(ScheduleError::MissingComponent { what: "cluster" })?;
-        let workload =
-            self.workload.ok_or(ScheduleError::MissingComponent { what: "workload" })?;
+        let workload = self.workload.ok_or(ScheduleError::MissingComponent { what: "workload" })?;
         let profile = match self.profile {
             Some(p) => p,
             None => {
@@ -153,10 +148,8 @@ mod tests {
     fn builder_requires_all_components() {
         let err = Engine::builder().build().expect_err("missing everything");
         assert!(matches!(err, ScheduleError::MissingComponent { what: "model" }));
-        let err = Engine::builder()
-            .model(ModelConfig::opt_13b())
-            .build()
-            .expect_err("missing cluster");
+        let err =
+            Engine::builder().model(ModelConfig::opt_13b()).build().expect_err("missing cluster");
         assert!(matches!(err, ScheduleError::MissingComponent { what: "cluster" }));
     }
 

@@ -96,8 +96,7 @@ mod tests {
     #[test]
     fn conversions_preserve_source() {
         use std::error::Error;
-        let e: ScheduleError =
-            SimError::NoSteadyState { why: "x".into() }.into();
+        let e: ScheduleError = SimError::NoSteadyState { why: "x".into() }.into();
         assert!(e.source().is_some());
     }
 }

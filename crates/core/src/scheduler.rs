@@ -18,12 +18,12 @@
 //!   values per (policy, TP) run is both cheaper and safer than trusting a
 //!   monotone direction that does not hold.
 
-use crossbeam::thread;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
-use exegpt_sim::{
-    RraConfig, ScheduleConfig, SimError, Simulator, TpConfig, WaaConfig, WaaVariant,
-};
+use exegpt_sim::{RraConfig, ScheduleConfig, SimError, Simulator, TpConfig, WaaConfig, WaaVariant};
 
 use crate::bnb::{self, BnbOptions, Perf};
 use crate::error::ScheduleError;
@@ -69,6 +69,11 @@ pub struct SchedulerOptions {
     pub tp_configs: Option<Vec<TpConfig>>,
     /// Run per-TP-setting searches on parallel threads (default true).
     pub parallel: bool,
+    /// Worker threads of the search pool (default: the machine's available
+    /// parallelism, capped at the task count). Ignored when `parallel` is
+    /// false. [`Scheduler::schedule`] returns the same `Schedule` for every
+    /// width, so this only trades wall-clock time for CPU.
+    pub pool_threads: Option<usize>,
 }
 
 impl Default for SchedulerOptions {
@@ -82,6 +87,7 @@ impl Default for SchedulerOptions {
             max_n_d: None,
             tp_configs: None,
             parallel: true,
+            pool_threads: None,
         }
     }
 }
@@ -102,6 +108,8 @@ pub struct Schedule {
     pub estimate: exegpt_sim::Estimate,
     /// Total distinct configuration evaluations across all searches.
     pub evals: usize,
+    /// Simulator evaluations answered by the shared evaluation cache.
+    pub cache_hits: usize,
 }
 
 /// XScheduler: searches the configuration space for the highest-throughput
@@ -130,16 +138,31 @@ impl Scheduler {
     /// the bound, or [`ScheduleError::InvalidOptions`] for bad options.
     pub fn schedule(&self, opts: &SchedulerOptions) -> Result<Schedule, ScheduleError> {
         validate(opts)?;
+        let hits_before = self.sim.cache_stats().hits;
         let tasks = self.search_tasks(opts);
-        let results: Vec<Option<Schedule>> = if opts.parallel && tasks.len() > 1 {
-            thread::scope(|s| {
-                let handles: Vec<_> = tasks
-                    .iter()
-                    .map(|t| s.spawn(move |_| self.run_task(t, opts)))
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("search thread panicked")).collect()
-            })
-            .expect("scheduler scope")
+        let workers = opts
+            .pool_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .clamp(1, tasks.len().max(1));
+        let results: Vec<Option<Schedule>> = if opts.parallel && workers > 1 {
+            // Bounded work-stealing pool: a fixed set of workers pulls task
+            // indices from a shared counter and writes results into
+            // per-task slots, so the reduction below always sees them in
+            // task order regardless of which worker ran what. All workers
+            // share the simulator's evaluation cache.
+            let next = AtomicUsize::new(0);
+            let slots: Vec<OnceLock<Option<Schedule>>> =
+                (0..tasks.len()).map(|_| OnceLock::new()).collect();
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(i) else { break };
+                        let _ = slots[i].set(self.run_task(task, opts));
+                    });
+                }
+            });
+            slots.into_iter().map(|slot| slot.into_inner().expect("search task ran")).collect()
         } else {
             tasks.iter().map(|t| self.run_task(t, opts)).collect()
         };
@@ -155,6 +178,10 @@ impl Scheduler {
         match best {
             Some(mut b) => {
                 b.evals = evals;
+                // Deterministic even across pool widths: the cache counts a
+                // lost insert race as a hit, so the totals depend only on
+                // the multiset of configurations evaluated.
+                b.cache_hits = self.sim.cache_stats().hits - hits_before;
                 Ok(b)
             }
             None => Err(ScheduleError::NoFeasibleSchedule { latency_bound: opts.latency_bound }),
@@ -243,7 +270,12 @@ impl Scheduler {
                 let r = bnb::optimize((1, max_b_e), (1, max_n_d), &bnb_opts, eval)?;
                 let cfg = RraConfig::new(r.point.0, to_nd(r.point.1), task.tp);
                 let estimate = self.sim.evaluate_rra(&cfg).ok()?;
-                Some(Schedule { config: ScheduleConfig::Rra(cfg), estimate, evals: r.evals })
+                Some(Schedule {
+                    config: ScheduleConfig::Rra(cfg),
+                    estimate,
+                    evals: r.evals,
+                    cache_hits: 0,
+                })
             }
             Policy::WaaCompute | Policy::WaaMemory => {
                 let variant = if task.policy == Policy::WaaCompute {
@@ -266,7 +298,12 @@ impl Scheduler {
                 let b_d = ((r.point.0 as f64 * s_d).round() as usize).max(1);
                 let cfg = WaaConfig::new(r.point.0, task.b_m.min(b_d), task.tp, variant);
                 let estimate = self.sim.evaluate_waa(&cfg).ok()?;
-                Some(Schedule { config: ScheduleConfig::Waa(cfg), estimate, evals: r.evals })
+                Some(Schedule {
+                    config: ScheduleConfig::Waa(cfg),
+                    estimate,
+                    evals: r.evals,
+                    cache_hits: 0,
+                })
             }
         }
     }

@@ -68,10 +68,8 @@ mod tests {
 
     #[test]
     fn finds_feasible_points_and_is_deterministic() {
-        let eval = |x: usize, y: usize| Perf {
-            latency: (x + y) as f64,
-            throughput: (x * y) as f64,
-        };
+        let eval =
+            |x: usize, y: usize| Perf { latency: (x + y) as f64, throughput: (x * y) as f64 };
         let a = random_search((1, 64), (1, 64), 40.0, 500, 3, eval).expect("feasible");
         let b = random_search((1, 64), (1, 64), 40.0, 500, 3, eval).expect("feasible");
         assert_eq!(a.point, b.point);
@@ -104,8 +102,7 @@ mod tests {
             eval,
         )
         .expect("feasible");
-        let rnd = random_search((1, 256), (1, 256), bound, bnb.evals, 11, eval)
-            .expect("feasible");
+        let rnd = random_search((1, 256), (1, 256), bound, bnb.evals, 11, eval).expect("feasible");
         assert!(
             bnb.perf.throughput >= rnd.perf.throughput,
             "bnb {} < random {}",

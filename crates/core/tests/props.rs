@@ -15,11 +15,8 @@ struct Surface {
 
 fn arb_surface(n1: usize, n2: usize) -> impl Strategy<Value = Surface> {
     let cells = n1 * n2;
-    (
-        prop::collection::vec(0.0f64..5.0, cells),
-        prop::collection::vec(0.0f64..5.0, cells),
-    )
-        .prop_map(move |(dl, dt)| {
+    (prop::collection::vec(0.0f64..5.0, cells), prop::collection::vec(0.0f64..5.0, cells)).prop_map(
+        move |(dl, dt)| {
             let mut lat = vec![vec![0.0f64; n2]; n1];
             let mut thr = vec![vec![0.0f64; n2]; n1];
             for i in 0..n1 {
@@ -33,7 +30,8 @@ fn arb_surface(n1: usize, n2: usize) -> impl Strategy<Value = Surface> {
                 }
             }
             Surface { lat, thr }
-        })
+        },
+    )
 }
 
 fn brute(s: &Surface, bound: f64) -> Option<f64> {

@@ -83,8 +83,7 @@ fn portfolio_beats_or_matches_each_single_policy() {
     let bound = 12.0;
     let all = engine.schedule(bound).expect("feasible").estimate.throughput;
     for policy in Policy::all() {
-        let opts =
-            SchedulerOptions { policies: vec![policy], ..SchedulerOptions::bounded(bound) };
+        let opts = SchedulerOptions { policies: vec![policy], ..SchedulerOptions::bounded(bound) };
         if let Ok(s) = engine.schedule_with(&opts) {
             assert!(
                 all >= s.estimate.throughput * 0.999,
@@ -105,8 +104,7 @@ fn invalid_options_are_rejected() {
         engine.schedule_with(&opts),
         Err(ScheduleError::InvalidOptions { what: "policies", .. })
     ));
-    let opts =
-        SchedulerOptions { eps_latency_frac: 1.5, ..SchedulerOptions::bounded(10.0) };
+    let opts = SchedulerOptions { eps_latency_frac: 1.5, ..SchedulerOptions::bounded(10.0) };
     assert!(matches!(
         engine.schedule_with(&opts),
         Err(ScheduleError::InvalidOptions { what: "eps_latency_frac", .. })
@@ -125,6 +123,45 @@ fn sequential_and_parallel_search_agree() {
         .expect("feasible");
     assert_eq!(par.config, seq.config);
     assert_eq!(par.estimate, seq.estimate);
+}
+
+#[test]
+fn schedule_is_deterministic_across_pool_widths() {
+    // The determinism contract: byte-for-byte identical results (including
+    // the evals and cache_hits counters) for serial execution and for any
+    // search-pool width. A fresh engine per run keeps the evaluation cache
+    // cold, so the counters are comparable too.
+    let bound = 10.0;
+    let run = |parallel: bool, pool_threads: Option<usize>| {
+        engine_task_s()
+            .schedule_with(&SchedulerOptions {
+                parallel,
+                pool_threads,
+                ..SchedulerOptions::bounded(bound)
+            })
+            .expect("feasible")
+    };
+    let reference = run(false, None);
+    assert_eq!(reference, run(true, None), "auto-width pool diverged from serial");
+    for width in [1, 2, 3, 8] {
+        assert_eq!(reference, run(true, Some(width)), "pool width {width} diverged");
+    }
+}
+
+#[test]
+fn repeated_scheduling_hits_the_shared_cache() {
+    let engine = engine_task_s();
+    let first = engine.schedule(10.0).expect("feasible");
+    let second = engine.schedule(10.0).expect("feasible");
+    assert_eq!(first.config, second.config);
+    assert_eq!(first.estimate, second.estimate);
+    assert!(
+        second.cache_hits > first.cache_hits,
+        "a re-run on a warm engine must answer more lookups from the cache \
+         ({} vs {})",
+        second.cache_hits,
+        first.cache_hits
+    );
 }
 
 #[test]

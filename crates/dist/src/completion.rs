@@ -116,8 +116,29 @@ impl CompletionDist {
     /// Used by the simulator to account for early termination shrinking the
     /// batch between encoding phases.
     pub fn expected_active(&self, b_d: usize, u: usize) -> f64 {
+        b_d as f64 * self.survival(u)
+    }
+
+    /// Survival factor at iteration `u`: the expected fraction of the batch
+    /// still active at the start of decode iteration `u` of a phase,
+    /// `1 - Σ_{v<u} P_D(v)` (so `expected_active = b_d · survival`).
+    pub fn survival(&self, u: usize) -> f64 {
         let completed_before: f64 = (1..u).map(|v| self.prob(v)).sum();
-        b_d as f64 * (1.0 - completed_before)
+        1.0 - completed_before
+    }
+
+    /// The whole survival series `[survival(1), ..., survival(N_D)]` in one
+    /// O(N_D) pass — the per-phase reuse hook for simulator evaluation
+    /// caches, which would otherwise pay O(N_D²) calling
+    /// [`expected_active`](Self::expected_active) per iteration.
+    pub fn survival_series(&self) -> Vec<f64> {
+        let mut series = Vec::with_capacity(self.n_d);
+        let mut completed_before = 0.0;
+        for u in 1..=self.n_d {
+            series.push(1.0 - completed_before);
+            completed_before += self.prob(u);
+        }
+        series
     }
 }
 

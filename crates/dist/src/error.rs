@@ -21,7 +21,9 @@ impl std::fmt::Display for DistError {
             DistError::InvalidParameter { what, why } => {
                 write!(f, "invalid distribution parameter `{what}`: {why}")
             }
-            DistError::EmptySamples => write!(f, "empirical distribution needs at least one sample"),
+            DistError::EmptySamples => {
+                write!(f, "empirical distribution needs at least one sample")
+            }
         }
     }
 }

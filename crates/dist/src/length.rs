@@ -45,10 +45,7 @@ impl LengthDist {
     /// non-finite/negative entry, or sums to zero.
     pub fn from_weights(weights: Vec<f64>) -> Result<Self, DistError> {
         if weights.is_empty() {
-            return Err(DistError::InvalidParameter {
-                what: "weights",
-                why: "must be non-empty",
-            });
+            return Err(DistError::InvalidParameter { what: "weights", why: "must be non-empty" });
         }
         if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
             return Err(DistError::InvalidParameter {
@@ -74,11 +71,8 @@ impl LengthDist {
             *last = 1.0;
         }
         let mean: f64 = pmf.iter().enumerate().map(|(i, p)| (i + 1) as f64 * p).sum();
-        let var: f64 = pmf
-            .iter()
-            .enumerate()
-            .map(|(i, p)| ((i + 1) as f64 - mean).powi(2) * p)
-            .sum();
+        let var: f64 =
+            pmf.iter().enumerate().map(|(i, p)| ((i + 1) as f64 - mean).powi(2) * p).sum();
         Ok(Self { pmf, cdf, mean, std: var.sqrt() })
     }
 
@@ -100,7 +94,8 @@ impl LengthDist {
             .map(|l| {
                 let lo = if l == 1 { f64::NEG_INFINITY } else { l as f64 - 0.5 };
                 let hi = if l == max_len { f64::INFINITY } else { l as f64 + 0.5 };
-                let c_lo = if lo.is_finite() { math::cap_phi(z(lo)) } else { math::cap_phi(z(0.5)) };
+                let c_lo =
+                    if lo.is_finite() { math::cap_phi(z(lo)) } else { math::cap_phi(z(0.5)) };
                 let c_hi = if hi.is_finite() { math::cap_phi(z(hi)) } else { 1.0 };
                 (c_hi - c_lo).max(0.0)
             })
@@ -122,13 +117,12 @@ impl LengthDist {
         max_len: usize,
     ) -> Result<Self, DistError> {
         Self::validate_common(mean, std, max_len)?;
-        let (xi, omega, alpha) =
-            math::skew_normal_from_moments(mean, std, skewness).ok_or(
-                DistError::InvalidParameter {
-                    what: "skewness",
-                    why: "outside the attainable range of the skew-normal family",
-                },
-            )?;
+        let (xi, omega, alpha) = math::skew_normal_from_moments(mean, std, skewness).ok_or(
+            DistError::InvalidParameter {
+                what: "skewness",
+                why: "outside the attainable range of the skew-normal family",
+            },
+        )?;
         // Simpson's rule over each unit bin.
         let weights: Vec<f64> = (1..=max_len)
             .map(|l| {
@@ -214,24 +208,15 @@ impl LengthDist {
 
     fn validate_common(mean: f64, std: f64, max_len: usize) -> Result<(), DistError> {
         if max_len == 0 {
-            return Err(DistError::InvalidParameter {
-                what: "max_len",
-                why: "must be at least 1",
-            });
+            return Err(DistError::InvalidParameter { what: "max_len", why: "must be at least 1" });
         }
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
         if !(mean > 0.0) {
-            return Err(DistError::InvalidParameter {
-                what: "mean",
-                why: "must be positive",
-            });
+            return Err(DistError::InvalidParameter { what: "mean", why: "must be positive" });
         }
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
         if !(std >= 0.0) {
-            return Err(DistError::InvalidParameter {
-                what: "std",
-                why: "must be non-negative",
-            });
+            return Err(DistError::InvalidParameter { what: "std", why: "must be non-negative" });
         }
         Ok(())
     }
@@ -282,10 +267,7 @@ impl LengthDist {
     /// for latency bounds (§7.1).
     pub fn quantile(&self, p: f64) -> usize {
         let p = p.clamp(0.0, 1.0);
-        match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&p).expect("cdf entries are finite"))
-        {
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&p).expect("cdf entries are finite")) {
             Ok(i) => i + 1,
             Err(i) => (i + 1).min(self.pmf.len()),
         }
@@ -298,11 +280,7 @@ impl LengthDist {
 
     /// Iterator over `(length, probability)` pairs with non-zero mass.
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.pmf
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| **p > 0.0)
-            .map(|(i, p)| (i + 1, *p))
+        self.pmf.iter().enumerate().filter(|(_, p)| **p > 0.0).map(|(i, p)| (i + 1, *p))
     }
 
     /// Returns a copy with the mean scaled by `k` (std preserved), used for
@@ -397,8 +375,7 @@ mod tests {
         let d = LengthDist::truncated_normal(64.0, 23.0, 128).expect("valid");
         let mut rng = StdRng::seed_from_u64(7);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
         assert!((mean - d.mean()).abs() < 1.0, "sample mean {mean} vs {}", d.mean());
     }
 

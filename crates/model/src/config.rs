@@ -98,10 +98,7 @@ impl ModelConfig {
         ];
         for (what, v) in dims {
             if v == 0 {
-                return Err(ModelError::InvalidDimension {
-                    what,
-                    why: "must be non-zero",
-                });
+                return Err(ModelError::InvalidDimension { what, why: "must be non-zero" });
             }
         }
         if !d_attn.is_multiple_of(num_heads) {
@@ -222,11 +219,7 @@ impl ModelConfig {
         let da = self.d_attn as u64;
         let dff = self.d_ff as u64;
         let attn = 4 * d * da;
-        let cross = if self.has_cross_attention(layer) {
-            4 * d * da
-        } else {
-            0
-        };
+        let cross = if self.has_cross_attention(layer) { 4 * d * da } else { 0 };
         let ffn = 2 * d * dff;
         let norms = 4 * d;
         attn + cross + ffn + norms

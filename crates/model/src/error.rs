@@ -37,10 +37,7 @@ mod tests {
 
     #[test]
     fn display_is_nonempty_and_lowercase() {
-        let e = ModelError::InvalidDimension {
-            what: "d_model",
-            why: "must be non-zero",
-        };
+        let e = ModelError::InvalidDimension { what: "d_model", why: "must be non-zero" };
         let s = e.to_string();
         assert!(s.starts_with("invalid model dimension"));
         assert!(s.contains("d_model"));

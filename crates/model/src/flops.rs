@@ -40,18 +40,12 @@ pub struct KernelCost {
 impl KernelCost {
     /// Sum of two kernel costs (executed back to back).
     pub fn and(self, other: KernelCost) -> KernelCost {
-        KernelCost {
-            flops: self.flops + other.flops,
-            bytes: self.bytes + other.bytes,
-        }
+        KernelCost { flops: self.flops + other.flops, bytes: self.bytes + other.bytes }
     }
 
     /// Cost scaled by a factor (e.g. per-layer cost × layer count).
     pub fn scaled(self, k: f64) -> KernelCost {
-        KernelCost {
-            flops: self.flops * k,
-            bytes: self.bytes * k,
-        }
+        KernelCost { flops: self.flops * k, bytes: self.bytes * k }
     }
 }
 
@@ -67,10 +61,7 @@ impl ModelConfig {
         let s = seq as f64;
         let da = self.d_attn() as f64;
         let dt = self.dtype_bytes() as f64;
-        KernelCost {
-            flops: 4.0 * b * s * s * da,
-            bytes: 4.0 * b * s * da * dt,
-        }
+        KernelCost { flops: 4.0 * b * s * s * da, bytes: 4.0 * b * s * da * dt }
     }
 
     /// Non-attention cost of *encoding* `batch` sequences of length `seq`
@@ -88,10 +79,7 @@ impl ModelConfig {
         let ffn_flops = 2.0 * tokens * 2.0 * d * dff;
         let weight_bytes = (4.0 * d * da + 2.0 * d * dff) * dt;
         let act_bytes = 4.0 * tokens * d * dt;
-        KernelCost {
-            flops: proj_flops + ffn_flops,
-            bytes: weight_bytes + act_bytes,
-        }
+        KernelCost { flops: proj_flops + ffn_flops, bytes: weight_bytes + act_bytes }
     }
 
     /// Attention-kernel cost of one *decoding* iteration for `batch` queries
@@ -141,10 +129,7 @@ impl ModelConfig {
         let ffn_flops = 2.0 * b * 2.0 * d * dff;
         let weight_bytes = (4.0 * d * da + 2.0 * d * dff) * dt;
         let act_bytes = 4.0 * b * d * dt;
-        KernelCost {
-            flops: proj_flops + ffn_flops,
-            bytes: weight_bytes + act_bytes,
-        }
+        KernelCost { flops: proj_flops + ffn_flops, bytes: weight_bytes + act_bytes }
     }
 
     /// Extra per-iteration cost of the cross-attention *projections*
@@ -159,10 +144,7 @@ impl ModelConfig {
         let d = self.d_model() as f64;
         let da = self.d_attn() as f64;
         let dt = self.dtype_bytes() as f64;
-        KernelCost {
-            flops: 2.0 * b * 2.0 * d * da,
-            bytes: 2.0 * d * da * dt + 2.0 * b * d * dt,
-        }
+        KernelCost { flops: 2.0 * b * 2.0 * d * da, bytes: 2.0 * d * da * dt + 2.0 * b * d * dt }
     }
 
     /// One-time cost of projecting the cross-attention keys/values for
@@ -233,8 +215,10 @@ mod tests {
     fn cross_attention_costs_nonzero_for_t5_decoder() {
         let m = ModelConfig::t5_11b();
         assert!(m.cross_projection_cost(LayerKind::Decoder, 16).flops > 0.0);
-        assert!(m.decode_attention_cost(LayerKind::Decoder, 4, 10, 100).flops
-            > m.decode_attention_cost(LayerKind::Decoder, 4, 10, 0).flops);
+        assert!(
+            m.decode_attention_cost(LayerKind::Decoder, 4, 10, 100).flops
+                > m.decode_attention_cost(LayerKind::Decoder, 4, 10, 0).flops
+        );
     }
 
     #[test]

@@ -97,9 +97,7 @@ impl Partition {
         }
         let base = num_layers / num_stages;
         let rem = num_layers % num_stages;
-        let counts: Vec<usize> = (0..num_stages)
-            .map(|i| base + usize::from(i < rem))
-            .collect();
+        let counts: Vec<usize> = (0..num_stages).map(|i| base + usize::from(i < rem)).collect();
         Self::from_counts(num_layers, &counts)
     }
 

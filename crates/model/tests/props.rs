@@ -6,10 +6,10 @@ use proptest::prelude::*;
 fn arb_model() -> impl Strategy<Value = ModelConfig> {
     (
         prop_oneof![Just(ModelKind::DecoderOnly), Just(ModelKind::EncoderDecoder)],
-        1usize..32,                       // layer pairs
+        1usize..32,                                                  // layer pairs
         prop_oneof![Just(64usize), Just(128), Just(256), Just(512)], // d_model
-        1usize..16,                       // heads
-        1usize..8,                        // head_dim multiplier
+        1usize..16,                                                  // heads
+        1usize..8,                                                   // head_dim multiplier
     )
         .prop_map(|(kind, pairs, d_model, heads, hd)| {
             let layers = match kind {

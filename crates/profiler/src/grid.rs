@@ -48,10 +48,7 @@ impl Grid1D {
             });
         }
         if ys.iter().chain(xs.iter()).any(|v| !v.is_finite()) {
-            return Err(ProfileError::InvalidAxis {
-                what: "xs/ys",
-                why: "must be finite",
-            });
+            return Err(ProfileError::InvalidAxis { what: "xs/ys", why: "must be finite" });
         }
         Ok(Self { xs, ys })
     }
@@ -120,10 +117,7 @@ impl Grid2D {
             }
             #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN axis values must fail
             if axis.windows(2).any(|w| !(w[0] < w[1])) {
-                return Err(ProfileError::InvalidAxis {
-                    what,
-                    why: "must be strictly increasing",
-                });
+                return Err(ProfileError::InvalidAxis { what, why: "must be strictly increasing" });
             }
         }
         if zs.len() != xs.len() || zs.iter().any(|row| row.len() != ys.len()) {
@@ -149,6 +143,11 @@ impl Grid2D {
         };
         let t = (v - axis[i]) / (axis[i + 1] - axis[i]);
         (i, t)
+    }
+
+    /// The swept sample positions along the first axis.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
     }
 
     /// Bilinearly interpolated (or extrapolated) value at `(x, y)`, clamped
@@ -213,10 +212,8 @@ mod tests {
         // z = 2x + 3y is reproduced exactly by bilinear interpolation.
         let xs = vec![0.0, 1.0, 2.0];
         let ys = vec![0.0, 2.0];
-        let zs: Vec<Vec<f64>> = xs
-            .iter()
-            .map(|&x| ys.iter().map(|&y| 2.0 * x + 3.0 * y).collect())
-            .collect();
+        let zs: Vec<Vec<f64>> =
+            xs.iter().map(|&x| ys.iter().map(|&y| 2.0 * x + 3.0 * y).collect()).collect();
         let g = Grid2D::new(xs, ys, zs).expect("valid");
         assert!((g.eval(0.5, 1.0) - 4.0).abs() < 1e-12);
         assert!((g.eval(1.7, 0.3) - (3.4 + 0.9)).abs() < 1e-12);

@@ -121,6 +121,57 @@ impl LayerProfile {
         Ok(t.dec_attn.eval(batch, ctx) + cross + t.dec_rest.eval(batch) + t.dec_sync.eval(batch))
     }
 
+    /// Collapses the per-stage decode bottleneck term
+    /// `layers · decode_layer_time(batch) + handoff_time(batch)` at fixed
+    /// context/input lengths and TP degree into a single 1-D grid over the
+    /// batch axis.
+    ///
+    /// Every addend is piecewise-linear in `batch`, so on the union of
+    /// their sample positions the sum is too: within the sampled range the
+    /// returned grid evaluates the same function as the individual lookups
+    /// (exactly at the knots, up to floating-point association in between).
+    /// Outside the range the grid extrapolates the *sum* linearly while the
+    /// individual lookups clamp each component at zero separately — callers
+    /// that can leave the range should fall back to the direct calls there.
+    ///
+    /// This is the simulator's hot-loop hook: one lookup per pipeline-stage
+    /// class per decode iteration instead of four.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::UnprofiledTpDegree`] if `tp` was not swept.
+    pub fn decode_stage_grid(
+        &self,
+        ctx: f64,
+        input_len: f64,
+        tp: usize,
+        layers: f64,
+        intra_node: bool,
+    ) -> Result<Grid1D, ProfileError> {
+        let t = self.tables(tp)?;
+        let handoff = if intra_node { &self.handoff_intra } else { &self.handoff_inter };
+        let mut knots: Vec<f64> = t
+            .dec_attn
+            .xs()
+            .iter()
+            .chain(t.dec_cross.as_ref().map_or(&[][..], |g| g.xs()))
+            .chain(t.dec_rest.xs())
+            .chain(t.dec_sync.xs())
+            .chain(handoff.xs())
+            .copied()
+            .collect();
+        knots.sort_by(f64::total_cmp);
+        knots.dedup();
+        let ys = knots
+            .iter()
+            .map(|&b| {
+                Ok(layers * self.decode_layer_time(b, ctx, input_len, tp)?
+                    + self.handoff_time(b, intra_node))
+            })
+            .collect::<Result<Vec<_>, ProfileError>>()?;
+        Grid1D::new(knots, ys)
+    }
+
     /// Pipeline-stage handoff time for an activation tensor of
     /// `tokens` tokens (`intra_node` selects the link).
     pub fn handoff_time(&self, tokens: f64, intra_node: bool) -> f64 {

@@ -100,11 +100,8 @@ impl Profiler {
     /// the head count and fit in one node (partial TP groups are intra-node,
     /// where the fast link lives).
     pub fn tp_degrees(&self) -> Vec<usize> {
-        let cap = self
-            .cluster
-            .gpus_per_node()
-            .min(self.cluster.total_gpus())
-            .min(self.model.num_heads());
+        let cap =
+            self.cluster.gpus_per_node().min(self.cluster.total_gpus()).min(self.model.num_heads());
         let mut degs = Vec::new();
         let mut d = 1;
         while d <= cap {
@@ -152,17 +149,11 @@ impl Profiler {
         )?;
         let enc_rest = Grid1D::new(
             tokens.to_vec(),
-            tokens
-                .iter()
-                .map(|&t| measure(m.encode_rest_cost(1, t as usize)))
-                .collect(),
+            tokens.iter().map(|&t| measure(m.encode_rest_cost(1, t as usize))).collect(),
         )?;
         let enc_sync = Grid1D::new(
             tokens.to_vec(),
-            tokens
-                .iter()
-                .map(|&t| 2.0 * link.allreduce_time(t * d_bytes, tp))
-                .collect(),
+            tokens.iter().map(|&t| 2.0 * link.allreduce_time(t * d_bytes, tp)).collect(),
         )?;
 
         let dec_attn = Grid2D::new(
@@ -220,10 +211,7 @@ impl Profiler {
         )?;
         let dec_sync = Grid1D::new(
             batches.to_vec(),
-            batches
-                .iter()
-                .map(|&b| 3.0 * link.allreduce_time(b * d_bytes, tp))
-                .collect(),
+            batches.iter().map(|&b| 3.0 * link.allreduce_time(b * d_bytes, tp)).collect(),
         )?;
 
         Ok(TpTables { enc_attn, enc_rest, enc_sync, dec_attn, dec_cross, dec_rest, dec_sync })
@@ -268,10 +256,8 @@ impl ProfileCache {
         cluster: &ClusterSpec,
         opts: &ProfileOptions,
     ) -> Result<Arc<LayerProfile>, ProfileError> {
-        let key = (
-            model.name().to_string(),
-            format!("{}/{}gpus", cluster.name(), cluster.total_gpus()),
-        );
+        let key =
+            (model.name().to_string(), format!("{}/{}gpus", cluster.name(), cluster.total_gpus()));
         if let Some(hit) = self.entries.lock().get(&key) {
             return Ok(Arc::clone(hit));
         }
@@ -287,9 +273,7 @@ mod tests {
 
     fn profile(model: ModelConfig, gpus: usize) -> LayerProfile {
         let cluster = ClusterSpec::a40_cluster().subcluster(gpus).expect("fits");
-        Profiler::new(model, cluster)
-            .run(&ProfileOptions::default())
-            .expect("profiling succeeds")
+        Profiler::new(model, cluster).run(&ProfileOptions::default()).expect("profiling succeeds")
     }
 
     #[test]
@@ -390,12 +374,9 @@ mod tests {
         let cache = ProfileCache::new();
         let model = ModelConfig::opt_13b();
         let cluster = ClusterSpec::a40_cluster().subcluster(4).expect("fits");
-        let a = cache
-            .get_or_profile(&model, &cluster, &ProfileOptions::default())
-            .expect("profiles");
-        let b = cache
-            .get_or_profile(&model, &cluster, &ProfileOptions::default())
-            .expect("cached");
+        let a =
+            cache.get_or_profile(&model, &cluster, &ProfileOptions::default()).expect("profiles");
+        let b = cache.get_or_profile(&model, &cluster, &ProfileOptions::default()).expect("cached");
         assert!(Arc::ptr_eq(&a, &b));
     }
 

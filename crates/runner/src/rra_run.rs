@@ -38,8 +38,7 @@ pub(crate) fn run(
         .zip(plan.layout.stages())
         .map(|(&l, s)| l as f64 / s.tp as f64)
         .fold(0.0f64, f64::max);
-    let bytes_per_token =
-        sim.model().kv_bytes_per_token_per_layer() as f64 * worst_layers;
+    let bytes_per_token = sim.model().kv_bytes_per_token_per_layer() as f64 * worst_layers;
     let kv_capacity = sim
         .usable_capacity()
         .saturating_sub(estimate.memory.decoder_gpu.param_bytes)
@@ -76,8 +75,7 @@ pub(crate) fn run(
         // Only queries that have arrived are admissible (prefix: the queue
         // is arrival-sorted).
         let arrived = pending.partition_point(|r| r.arrival <= t);
-        let lens: Vec<usize> =
-            pending[..arrived].iter().map(|r| r.request.input_len).collect();
+        let lens: Vec<usize> = pending[..arrived].iter().map(|r| r.request.input_len).collect();
         let selected = adjuster.select_batch(&lens, pool.len(), scheduled_b_d);
         let mut admitted: Vec<TimedRequest> = Vec::with_capacity(selected.len());
         let mut taken = vec![false; pending.len()];
@@ -122,9 +120,8 @@ pub(crate) fn run(
             let micro = admitted.len() as f64 / m_e as f64;
             let mut stage_times = Vec::with_capacity(stages);
             for (i, stage) in plan.layout.stages().iter().enumerate() {
-                let t_layer = profile
-                    .encode_layer_time(micro, mean_in, stage.tp)
-                    .map_err(SimError::from)?;
+                let t_layer =
+                    profile.encode_layer_time(micro, mean_in, stage.tp).map_err(SimError::from)?;
                 let handoff =
                     profile.handoff_time(micro * mean_in, plan.layout.boundary_intra_node(i));
                 stage_times.push(plan.enc_alloc[i] as f64 * t_layer + handoff);
@@ -156,11 +153,8 @@ pub(crate) fn run(
                 break;
             }
             let active = pool.len() as f64;
-            let ctx: f64 = pool
-                .iter()
-                .map(|a| (a.req.input_len + a.progress) as f64)
-                .sum::<f64>()
-                / active;
+            let ctx: f64 =
+                pool.iter().map(|a| (a.req.input_len + a.progress) as f64).sum::<f64>() / active;
             let micro = active / m_d as f64;
             let mut worst = 0.0f64;
             for (i, stage) in plan.layout.stages().iter().enumerate() {

@@ -133,10 +133,7 @@ impl Runner {
 
 /// Computes the throughput window: completions after warm-up, over the time
 /// between the warm-up completion and the last completion.
-pub(crate) fn windowed_throughput(
-    completion_times: &[f64],
-    warmup_frac: f64,
-) -> (f64, f64) {
+pub(crate) fn windowed_throughput(completion_times: &[f64], warmup_frac: f64) -> (f64, f64) {
     if completion_times.is_empty() {
         return (0.0, 0.0);
     }

@@ -69,11 +69,8 @@ impl Trace {
     /// ```
     pub fn render_gantt(&self, window: f64, width: usize) -> String {
         let width = width.max(10);
-        let window = if window > 0.0 {
-            window
-        } else {
-            self.spans.iter().map(|s| s.t1).fold(0.0, f64::max)
-        };
+        let window =
+            if window > 0.0 { window } else { self.spans.iter().map(|s| s.t1).fold(0.0, f64::max) };
         if window <= 0.0 {
             return String::from("(empty trace)\n");
         }

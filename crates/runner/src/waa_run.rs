@@ -80,8 +80,7 @@ pub(crate) fn run(
         // Only queries that have arrived are admissible (prefix: the queue
         // is arrival-sorted).
         let arrived = pending.partition_point(|r| r.arrival <= t);
-        let lens: Vec<usize> =
-            pending[..arrived].iter().map(|r| r.request.input_len).collect();
+        let lens: Vec<usize> = pending[..arrived].iter().map(|r| r.request.input_len).collect();
         let selected = adjuster.select_batch(&lens, pool.len(), plan.b_d);
         let mut admitted: Vec<TimedRequest> = Vec::with_capacity(selected.len());
         let mut taken = vec![false; pending.len()];
@@ -143,11 +142,8 @@ pub(crate) fn run(
             0.0
         } else {
             let active = pool.len() as f64;
-            let ctx: f64 = pool
-                .iter()
-                .map(|a| (a.req.input_len + a.progress) as f64)
-                .sum::<f64>()
-                / active;
+            let ctx: f64 =
+                pool.iter().map(|a| (a.req.input_len + a.progress) as f64).sum::<f64>() / active;
             let b_m = cfg.b_m.min(pool.len()).max(1);
             let micro = active / b_m as f64;
             let mut worst = 0.0f64;
@@ -155,8 +151,7 @@ pub(crate) fn run(
                 let t_layer = profile
                     .decode_layer_time(micro, ctx, w.input().mean(), stage.tp)
                     .map_err(SimError::from)?;
-                let handoff =
-                    profile.handoff_time(micro, plan.dec_layout.boundary_intra_node(i));
+                let handoff = profile.handoff_time(micro, plan.dec_layout.boundary_intra_node(i));
                 worst = worst.max(plan.dec_alloc[i] as f64 * t_layer + handoff);
             }
             dec_stage_times.push(worst);

@@ -14,8 +14,11 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u64..16, 1usize..200, 0usize..300)
-            .prop_map(|(id, input, max_out)| Op::Admit { id, input, max_out }),
+        (0u64..16, 1usize..200, 0usize..300).prop_map(|(id, input, max_out)| Op::Admit {
+            id,
+            input,
+            max_out
+        }),
         (0u64..16, 1usize..50).prop_map(|(id, tokens)| Op::Grow { id, tokens }),
         (0u64..16).prop_map(|id| Op::Release { id }),
     ]

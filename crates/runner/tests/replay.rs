@@ -111,9 +111,8 @@ fn waa_runner_agrees_with_simulator_on_throughput() {
 fn decoder_stage_variance_is_small() {
     // Table 7: decoder execution-time variance is low (few percent).
     let r = runner(Task::Summarization);
-    let report = r
-        .run(&rra(), &RunOptions { num_queries: 500, ..Default::default() })
-        .expect("runs");
+    let report =
+        r.run(&rra(), &RunOptions { num_queries: 500, ..Default::default() }).expect("runs");
     let (mean, half_range) = report.decoder_stage_stats();
     assert!(mean > 0.0);
     assert!(
@@ -126,9 +125,8 @@ fn decoder_stage_variance_is_small() {
 #[test]
 fn kv_peak_is_tracked_and_bounded() {
     let r = runner(Task::Translation);
-    let report = r
-        .run(&rra(), &RunOptions { num_queries: 300, ..Default::default() })
-        .expect("runs");
+    let report =
+        r.run(&rra(), &RunOptions { num_queries: 300, ..Default::default() }).expect("runs");
     assert!(report.peak_kv_bytes > 0);
     let capacity = r.simulator().usable_capacity();
     assert!(report.peak_kv_bytes + report.param_bytes <= capacity);
@@ -138,10 +136,7 @@ fn kv_peak_is_tracked_and_bounded() {
 fn infeasible_schedules_are_rejected_up_front() {
     let r = runner(Task::Translation);
     let huge = ScheduleConfig::Rra(RraConfig::new(512, 4, TpConfig::none()));
-    assert!(matches!(
-        r.run(&huge, &RunOptions::default()),
-        Err(RunError::Schedule(_))
-    ));
+    assert!(matches!(r.run(&huge, &RunOptions::default()), Err(RunError::Schedule(_))));
 }
 
 #[test]
@@ -206,18 +201,13 @@ fn open_loop_serving_measures_sojourn_times() {
     let r = runner(Task::Translation);
     // A rate well under the schedule's capacity: queueing is light and the
     // system keeps up with arrivals.
-    let opts = RunOptions {
-        num_queries: 300,
-        arrival_rate: Some(4.0),
-        ..Default::default()
-    };
+    let opts = RunOptions { num_queries: 300, arrival_rate: Some(4.0), ..Default::default() };
     let rep = r.run(&rra(), &opts).expect("runs");
     assert_eq!(rep.completed, 300);
     assert_eq!(rep.sojourn_times.len(), 300);
     // Sojourn (arrival -> done) includes queueing on top of generation.
     let mean_lat = rep.mean_latency();
-    let mean_soj =
-        rep.sojourn_times.iter().sum::<f64>() / rep.sojourn_times.len() as f64;
+    let mean_soj = rep.sojourn_times.iter().sum::<f64>() / rep.sojourn_times.len() as f64;
     assert!(mean_soj >= mean_lat, "sojourn {mean_soj} < latency {mean_lat}");
     // Underloaded: completion rate tracks the arrival rate, not capacity.
     assert!(
@@ -229,9 +219,7 @@ fn open_loop_serving_measures_sojourn_times() {
     assert!(rep.p99_sojourn() > 0.0 && rep.p99_sojourn().is_finite());
 
     // Saturated runs do not report sojourns.
-    let sat = r
-        .run(&rra(), &RunOptions { num_queries: 100, ..Default::default() })
-        .expect("runs");
+    let sat = r.run(&rra(), &RunOptions { num_queries: 100, ..Default::default() }).expect("runs");
     assert!(sat.sojourn_times.is_empty());
     assert_eq!(sat.p99_sojourn(), 0.0);
 }
@@ -239,11 +227,7 @@ fn open_loop_serving_measures_sojourn_times() {
 #[test]
 fn waa_supports_open_loop_serving_too() {
     let r = runner(Task::Summarization);
-    let opts = RunOptions {
-        num_queries: 200,
-        arrival_rate: Some(5.0),
-        ..Default::default()
-    };
+    let opts = RunOptions { num_queries: 200, arrival_rate: Some(5.0), ..Default::default() };
     let rep = r.run(&waa(), &opts).expect("runs");
     assert_eq!(rep.completed, 200);
     assert_eq!(rep.sojourn_times.len(), 200);

@@ -106,7 +106,7 @@ impl WaaConfig {
 }
 
 /// Either schedule family, for APIs that evaluate both.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ScheduleConfig {
     /// A Round-Robin Allocation schedule.
     Rra(RraConfig),
@@ -118,17 +118,19 @@ impl ScheduleConfig {
     /// Short human-readable form, e.g. `RRA(B_E=32, N_D=16, TP=1x0)`.
     pub fn describe(&self) -> String {
         match self {
-            ScheduleConfig::Rra(c) => format!(
-                "RRA(B_E={}, N_D={}, TP={}x{})",
-                c.b_e, c.n_d, c.tp.degree, c.tp.gpus
-            ),
+            ScheduleConfig::Rra(c) => {
+                format!("RRA(B_E={}, N_D={}, TP={}x{})", c.b_e, c.n_d, c.tp.degree, c.tp.gpus)
+            }
             ScheduleConfig::Waa(c) => format!(
                 "WAA-{}(B_E={}, B_m={}, TP={}x{})",
                 match c.variant {
                     WaaVariant::Compute => "C",
                     WaaVariant::Memory => "M",
                 },
-                c.b_e, c.b_m, c.tp.degree, c.tp.gpus
+                c.b_e,
+                c.b_m,
+                c.tp.degree,
+                c.tp.gpus
             ),
         }
     }

@@ -142,11 +142,8 @@ impl PipelineLayout {
         let mut counts: Vec<usize> = ideal.iter().map(|&x| x.floor() as usize).collect();
         let mut assigned: usize = counts.iter().sum();
         // Largest remainders get the leftover layers.
-        let mut rema: Vec<(usize, f64)> = ideal
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| (i, x - x.floor()))
-            .collect();
+        let mut rema: Vec<(usize, f64)> =
+            ideal.iter().enumerate().map(|(i, &x)| (i, x - x.floor())).collect();
         rema.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("remainders are finite"));
         let mut k = 0;
         while assigned < spare {

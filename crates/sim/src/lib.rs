@@ -50,6 +50,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cache;
 mod config;
 mod error;
 mod estimate;
@@ -58,6 +59,7 @@ pub mod rra;
 mod simulator;
 pub mod waa;
 
+pub use cache::EvalCacheStats;
 pub use config::{RraConfig, ScheduleConfig, TpConfig, WaaConfig, WaaVariant, Workload};
 pub use error::SimError;
 pub use estimate::{Breakdown, Estimate, MemoryReport};

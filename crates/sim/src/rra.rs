@@ -7,9 +7,9 @@
 //! Early termination shrinks the active pool within a phase according to
 //! the completion distribution `P_D(U)`; the next encoding phase refills it.
 
-use exegpt_dist::CompletionDist;
 use exegpt_model::{MemoryFootprint, ModelKind};
 
+use crate::cache::{DecStageKey, RraPlanKey};
 use crate::config::RraConfig;
 use crate::error::SimError;
 use crate::estimate::{Breakdown, Estimate, MemoryReport};
@@ -27,14 +27,13 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &RraConfig) -> Result<Estimate, Sim
     let profile = sim.profile();
 
     // Steady-state decode pool: B_D such that expected completions per phase
-    // refill exactly B_E slots (paper §6).
-    let completion = CompletionDist::new(w.output(), cfg.n_d)
-        .map_err(|e| SimError::InvalidConfig { what: "n_d", why: e.to_string() })?;
-    let b_d = completion
-        .decode_batch_for(cfg.b_e)
-        .ok_or_else(|| SimError::NoSteadyState {
-            why: format!("no query completes within N_D = {} iterations", cfg.n_d),
-        })?;
+    // refill exactly B_E slots (paper §6). The completion analysis depends
+    // only on N_D, so it comes from the simulator's evaluation cache.
+    let info = sim.cache().completion(w.output(), cfg.n_d)?;
+    let completion = &info.dist;
+    let b_d = completion.decode_batch_for(cfg.b_e).ok_or_else(|| SimError::NoSteadyState {
+        why: format!("no query completes within N_D = {} iterations", cfg.n_d),
+    })?;
     if b_d > profile.max_batch() {
         return Err(SimError::InvalidConfig {
             what: "b_e",
@@ -46,8 +45,12 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &RraConfig) -> Result<Estimate, Sim
     }
 
     // Pipeline structure under partial TP; layers allocated by stage speed.
-    let plan = plan(sim, cfg, b_d)?;
-    let RraPlan { layout, enc_alloc, dec_alloc } = plan;
+    // Cached by (B_E, B_D, TP): B_E matters because the TP speedup is taken
+    // at the schedule's encode operating point.
+    let plan = sim
+        .cache()
+        .rra_plan(RraPlanKey::new(cfg.b_e, b_d, cfg.tp), || self::plan(sim, cfg, b_d))?;
+    let (layout, enc_alloc, dec_alloc) = (&plan.layout, &plan.enc_alloc, &plan.dec_alloc);
     let stages = layout.num_stages();
 
     let s_e = w.input().mean();
@@ -64,28 +67,70 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &RraConfig) -> Result<Estimate, Sim
         enc_stage_times.push(enc_alloc[i] as f64 * t_layer + handoff);
     }
     let enc_bottleneck = max_f(&enc_stage_times);
-    let t_enc: f64 =
-        enc_stage_times.iter().sum::<f64>() + (m_e as f64 - 1.0) * enc_bottleneck;
+    let t_enc: f64 = enc_stage_times.iter().sum::<f64>() + (m_e as f64 - 1.0) * enc_bottleneck;
 
     // --- Decoding phase: N_D iterations over the shrinking pool ----------
     // The pool circulates as one micro-batch per stage; iteration `u` runs
-    // with the expected active pool after earlier completions.
+    // with the expected active pool after earlier completions. The survival
+    // series is precomputed with the completion analysis (O(N_D) total),
+    // and iterations whose survival factor is bit-identical — long runs of
+    // them exist wherever P_D(U) has zero mass — share one per-stage
+    // bottleneck computation.
     let m_d = stages.min(b_d).max(1);
+    // Stages with the same TP degree and boundary link share their layer
+    // time and handoff at any micro-batch size, so within such a class only
+    // the largest layer allocation can be the bottleneck. Collapsing the
+    // per-iteration stage scan to one entry per class (typically 1–2 instead
+    // of one per GPU) removes most profile lookups from the hot loop.
+    let mut classes: Vec<(usize, bool, usize)> = Vec::with_capacity(2);
+    for (i, stage) in layout.stages().iter().enumerate() {
+        let intra = layout.boundary_intra_node(i);
+        match classes.iter_mut().find(|(tp, link, _)| *tp == stage.tp && *link == intra) {
+            Some(class) => class.2 = class.2.max(dec_alloc[i]),
+            None => classes.push((stage.tp, intra, dec_alloc[i])),
+        }
+    }
+    // Each class's bottleneck term `alloc · t_layer(µ) + handoff(µ)` is
+    // piecewise-linear in the micro-batch size, so it collapses into one
+    // cached grid: a single lookup per class per iteration. Outside the
+    // grid's sampled range the per-component zero clamps diverge from the
+    // collapsed sum, so those (rare, tiny-batch) points fall back to the
+    // direct lookups.
+    let mut class_grids = Vec::with_capacity(classes.len());
+    for &(tp, intra, alloc) in &classes {
+        let grid = sim.cache().dec_stage_grid(DecStageKey { tp, intra, alloc }, || {
+            Ok(profile.decode_stage_grid(ctx, s_e, tp, alloc as f64, intra)?)
+        })?;
+        let (lo, hi) = (grid.xs()[0], *grid.xs().last().expect("non-empty axis"));
+        class_grids.push((grid, lo, hi));
+    }
+    let survival = &info.survival;
     let mut t_dec = 0.0;
     let mut fill = 0.0;
-    for u in 1..=cfg.n_d {
-        let active = completion.expected_active(b_d, u).max(1.0);
+    let mut u = 0;
+    while u < cfg.n_d {
+        let s = survival[u];
+        let mut run = 1;
+        while u + run < cfg.n_d && survival[u + run].to_bits() == s.to_bits() {
+            run += 1;
+        }
+        let active = (b_d as f64 * s).max(1.0);
         let micro = active / m_d as f64;
         let mut worst = 0.0f64;
-        for (i, stage) in layout.stages().iter().enumerate() {
-            let t_layer = profile.decode_layer_time(micro, ctx, s_e, stage.tp)?;
-            let handoff = profile.handoff_time(micro, layout.boundary_intra_node(i));
-            worst = worst.max(dec_alloc[i] as f64 * t_layer + handoff);
+        for ((grid, lo, hi), &(tp, intra, alloc)) in class_grids.iter().zip(&classes) {
+            let t = if micro >= *lo && micro <= *hi {
+                grid.eval(micro)
+            } else {
+                alloc as f64 * profile.decode_layer_time(micro, ctx, s_e, tp)?
+                    + profile.handoff_time(micro, intra)
+            };
+            worst = worst.max(t);
         }
-        if u == 1 {
+        if u == 0 {
             fill = (stages as f64 - 1.0) * worst;
         }
-        t_dec += m_d as f64 * worst;
+        t_dec += run as f64 * m_d as f64 * worst;
+        u += run;
     }
     t_dec += fill;
 
@@ -95,7 +140,7 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &RraConfig) -> Result<Estimate, Sim
     let phases = w.l99().div_ceil(cfg.n_d) as f64;
     let latency = phases * t_phase;
 
-    let memory = memory_report(sim, &layout, &enc_alloc, &dec_alloc, b_d, enc_micro * s_e)?;
+    let memory = memory_report(sim, layout, enc_alloc, dec_alloc, b_d, enc_micro * s_e)?;
     check_memory(&memory)?;
 
     Ok(Estimate {
@@ -166,7 +211,6 @@ fn memory_report(
 ) -> Result<MemoryReport, SimError> {
     let m = sim.model();
     let kv_ctx = sim.kv_ctx_tokens();
-    let dec_layers_total = sim.dec_layers_total().max(1);
     let mut worst = MemoryFootprint::default();
     for (i, stage) in layout.stages().iter().enumerate() {
         let params = match m.kind() {
@@ -179,9 +223,9 @@ fn memory_report(
             ModelKind::DecoderOnly => dec_alloc[i] as u64 * sim.dec_layer_bytes(),
         } / stage.tp as u64;
         // Self-attention KV for the stage's decoder layers, sharded by TP.
-        let kv_self = (b_d as f64 * kv_ctx * m.kv_bytes_per_token_per_layer() as f64
-            * dec_alloc[i] as f64
-            / stage.tp as f64) as u64;
+        let kv_self =
+            (b_d as f64 * kv_ctx * m.kv_bytes_per_token_per_layer() as f64 * dec_alloc[i] as f64
+                / stage.tp as f64) as u64;
         // Cross-attention KV over the cached inputs (encoder-decoder only).
         let kv_cross = (m.cross_kv_cache_bytes(b_d, sim.workload().input().mean() as usize, 1)
             as f64
@@ -194,12 +238,7 @@ fn memory_report(
             worst = fp;
         }
     }
-    let _ = dec_layers_total;
-    Ok(MemoryReport {
-        encoder_gpu: worst,
-        decoder_gpu: worst,
-        capacity: sim.usable_capacity(),
-    })
+    Ok(MemoryReport { encoder_gpu: worst, decoder_gpu: worst, capacity: sim.usable_capacity() })
 }
 
 fn check_memory(report: &MemoryReport) -> Result<(), SimError> {

@@ -6,6 +6,7 @@ use exegpt_cluster::ClusterSpec;
 use exegpt_model::{LayerKind, ModelConfig, ModelKind};
 use exegpt_profiler::LayerProfile;
 
+use crate::cache::{EvalCache, EvalCacheStats, RraPlanKey};
 use crate::config::{RraConfig, ScheduleConfig, TpConfig, WaaConfig, Workload};
 use crate::error::SimError;
 use crate::estimate::Estimate;
@@ -30,6 +31,12 @@ pub struct Simulator {
     cluster: ClusterSpec,
     profile: Arc<LayerProfile>,
     workload: Workload,
+    /// Memoized completion analyses, pipeline plans and full estimates.
+    /// Valid only for this exact (model, cluster, profile, workload) tuple,
+    /// so it is shared by `clone()` but replaced by [`with_workload`].
+    ///
+    /// [`with_workload`]: Simulator::with_workload
+    cache: Arc<EvalCache>,
 }
 
 impl Simulator {
@@ -40,7 +47,7 @@ impl Simulator {
         profile: Arc<LayerProfile>,
         workload: Workload,
     ) -> Self {
-        Self { model, cluster, profile, workload }
+        Self { model, cluster, profile, workload, cache: Arc::new(EvalCache::new()) }
     }
 
     /// The simulated model.
@@ -66,7 +73,21 @@ impl Simulator {
     /// Returns a simulator for the same system under a different workload
     /// (used by the distribution-shift experiments, Figure 11).
     pub fn with_workload(&self, workload: Workload) -> Self {
-        Self { workload, ..self.clone() }
+        // A fresh cache, not the shared one: every cached value depends on
+        // the workload's length distributions.
+        Self { workload, cache: Arc::new(EvalCache::new()), ..self.clone() }
+    }
+
+    /// Point-in-time counters of the shared evaluation cache (hits, misses,
+    /// distinct entries).
+    pub fn cache_stats(&self) -> EvalCacheStats {
+        self.cache.stats()
+    }
+
+    /// The evaluation cache shared by everything this simulator (and its
+    /// clones) computes for the current workload.
+    pub(crate) fn cache(&self) -> &EvalCache {
+        &self.cache
     }
 
     /// Evaluates either schedule family.
@@ -88,7 +109,7 @@ impl Simulator {
     ///
     /// See [`Simulator::evaluate`].
     pub fn evaluate_rra(&self, cfg: &RraConfig) -> Result<Estimate, SimError> {
-        rra::evaluate(self, cfg)
+        self.cache.estimate(ScheduleConfig::Rra(*cfg), || rra::evaluate(self, cfg))
     }
 
     /// Evaluates a WAA schedule (see [`WaaConfig`]).
@@ -97,7 +118,7 @@ impl Simulator {
     ///
     /// See [`Simulator::evaluate`].
     pub fn evaluate_waa(&self, cfg: &WaaConfig) -> Result<Estimate, SimError> {
-        waa::evaluate(self, cfg)
+        self.cache.estimate(ScheduleConfig::Waa(*cfg), || waa::evaluate(self, cfg))
     }
 
     /// Resolves the pipeline plan (layout + per-stage layer allocations) of
@@ -110,7 +131,8 @@ impl Simulator {
     /// Returns [`SimError::InvalidConfig`] for structurally invalid
     /// configurations.
     pub fn rra_plan(&self, cfg: &RraConfig, b_d: usize) -> Result<crate::rra::RraPlan, SimError> {
-        crate::rra::plan(self, cfg, b_d)
+        let key = RraPlanKey::new(cfg.b_e, b_d, cfg.tp);
+        self.cache.rra_plan(key, || crate::rra::plan(self, cfg, b_d)).map(|p| (*p).clone())
     }
 
     /// Resolves the group split and pipeline plans of a WAA configuration.
@@ -120,7 +142,7 @@ impl Simulator {
     /// Returns [`SimError::InvalidConfig`] for structurally invalid
     /// configurations.
     pub fn waa_plan(&self, cfg: &WaaConfig) -> Result<crate::waa::WaaPlan, SimError> {
-        crate::waa::plan(self, cfg)
+        self.cache.waa_plan(*cfg, || crate::waa::plan(self, cfg)).map(|p| (*p).clone())
     }
 
     /// Usable per-GPU memory in bytes (device capacity minus the workspace

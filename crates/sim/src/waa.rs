@@ -127,19 +127,22 @@ pub(crate) fn plan(sim: &Simulator, cfg: &WaaConfig) -> Result<WaaPlan, SimError
 }
 
 pub(crate) fn evaluate(sim: &Simulator, cfg: &WaaConfig) -> Result<Estimate, SimError> {
-    let WaaPlan { enc_layout, enc_alloc, dec_layout, dec_alloc, b_d, kv_layers, .. } =
-        plan(sim, cfg)?;
+    // The group split and both layouts depend only on the config, so they
+    // come from the simulator's evaluation cache.
+    let plan = sim.cache().waa_plan(*cfg, || self::plan(sim, cfg))?;
+    let (enc_layout, enc_alloc) = (&plan.enc_layout, &plan.enc_alloc);
+    let (dec_layout, dec_alloc) = (&plan.dec_layout, &plan.dec_alloc);
+    let (b_d, kv_layers) = (plan.b_d, plan.kv_layers);
     let w = sim.workload();
     let profile = sim.profile();
     let s_e = w.input().mean();
     let ctx = w.mean_decode_context();
 
     // --- Encoding pipeline (single-GPU stages) ---------------------------
+    let t_layer = profile.encode_layer_time(cfg.b_e as f64, s_e, 1)?;
     let mut enc_stage_times = Vec::with_capacity(enc_layout.num_stages());
     for (i, _) in enc_layout.stages().iter().enumerate() {
-        let t_layer = profile.encode_layer_time(cfg.b_e as f64, s_e, 1)?;
-        let handoff =
-            profile.handoff_time(cfg.b_e as f64 * s_e, enc_layout.boundary_intra_node(i));
+        let handoff = profile.handoff_time(cfg.b_e as f64 * s_e, enc_layout.boundary_intra_node(i));
         enc_stage_times.push(enc_alloc[i] as f64 * t_layer + handoff);
     }
     let p_enc = enc_stage_times.iter().copied().fold(0.0, f64::max);
@@ -169,7 +172,7 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &WaaConfig) -> Result<Estimate, Sim
     let latency =
         ADJUSTMENT_BUFFER * (enc_latency + t_kv + fill + (w.l99() as f64 - 1.0).max(0.0) * period);
 
-    let memory = memory_report(sim, cfg, &enc_alloc, &dec_layout, &dec_alloc, b_d)?;
+    let memory = memory_report(sim, cfg, enc_alloc, dec_layout, dec_alloc, b_d)?;
     check_memory(&memory)?;
 
     Ok(Estimate {
@@ -243,11 +246,10 @@ fn memory_report(
     let mut decoder_gpu = MemoryFootprint::default();
     for (i, stage) in dec_layout.stages().iter().enumerate() {
         let params = dec_alloc[i] as u64 * sim.dec_layer_bytes() / stage.tp as u64;
-        let kv_self = (b_d as f64 * kv_ctx * m.kv_bytes_per_token_per_layer() as f64
-            * dec_alloc[i] as f64
-            / stage.tp as f64) as u64;
-        let kv_cross = (m.cross_kv_cache_bytes(b_d, s_e as usize, 1) as f64
-            * dec_alloc[i] as f64
+        let kv_self =
+            (b_d as f64 * kv_ctx * m.kv_bytes_per_token_per_layer() as f64 * dec_alloc[i] as f64
+                / stage.tp as f64) as u64;
+        let kv_cross = (m.cross_kv_cache_bytes(b_d, s_e as usize, 1) as f64 * dec_alloc[i] as f64
             / stage.tp as f64) as u64;
         let act = m.activation_bytes((b_d / cfg.b_m).max(1), 1);
         let fp = MemoryFootprint {

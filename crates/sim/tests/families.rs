@@ -9,7 +9,12 @@ use exegpt_model::ModelConfig;
 use exegpt_profiler::{ProfileOptions, Profiler};
 use exegpt_sim::{RraConfig, Simulator, TpConfig, WaaConfig, WaaVariant, Workload};
 
-fn sim_on(model: ModelConfig, cluster: ClusterSpec, input: (f64, f64, usize), output: (f64, f64, usize)) -> Simulator {
+fn sim_on(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    input: (f64, f64, usize),
+    output: (f64, f64, usize),
+) -> Simulator {
     let profile = Profiler::new(model.clone(), cluster.clone())
         .run(&ProfileOptions::default())
         .expect("profiling succeeds");
@@ -73,8 +78,8 @@ fn encoder_decoder_models_waa_without_replica() {
         // Encoder-side parameters are encoder layers only: one GPU's slice
         // can never exceed the whole encoder stack, which is itself well
         // under a full-model replica (the decoder-only penalty, §4.1).
-        let enc_stack =
-            model.layer_run_param_bytes(exegpt_model::LayerKind::Encoder, model.num_encoder_layers());
+        let enc_stack = model
+            .layer_run_param_bytes(exegpt_model::LayerKind::Encoder, model.num_encoder_layers());
         assert!(
             est.memory.encoder_gpu.param_bytes <= enc_stack,
             "{}: encoder gpu holds more than the encoder stack",

@@ -177,8 +177,8 @@ fn waa_encoder_gpus_hold_a_replica_for_decoder_only_models() {
     assert!(est.memory.decoder_gpu.param_bytes > 0);
     // Both sides together exceed one full copy of the model.
     let n = 4;
-    let total_params = est.memory.encoder_gpu.param_bytes
-        + est.memory.decoder_gpu.param_bytes * (n - 1);
+    let total_params =
+        est.memory.encoder_gpu.param_bytes + est.memory.decoder_gpu.param_bytes * (n - 1);
     assert!(total_params as f64 > ModelConfig::opt_13b().param_bytes() as f64 * 0.9);
 }
 

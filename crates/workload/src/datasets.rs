@@ -110,8 +110,9 @@ impl Dataset {
     fn synthesize(shape: &Shape, size: usize, seed: u64) -> Self {
         assert!(size > 0, "dataset must have at least one pair");
         let mut rng = StdRng::seed_from_u64(seed);
-        let input = LengthDist::truncated_normal(shape.input_mean, shape.input_std, shape.input_max)
-            .expect("surrogate shape parameters are valid");
+        let input =
+            LengthDist::truncated_normal(shape.input_mean, shape.input_std, shape.input_max)
+                .expect("surrogate shape parameters are valid");
         let body =
             LengthDist::truncated_normal(shape.output_mean, shape.output_std, shape.output_max)
                 .expect("surrogate shape parameters are valid");
@@ -168,10 +169,7 @@ impl Dataset {
     ///
     /// Panics unless `0.0 < estimate_frac < 1.0`.
     pub fn split(&self, estimate_frac: f64) -> (Dataset, Dataset) {
-        assert!(
-            estimate_frac > 0.0 && estimate_frac < 1.0,
-            "estimate fraction must be in (0, 1)"
-        );
+        assert!(estimate_frac > 0.0 && estimate_frac < 1.0, "estimate fraction must be in (0, 1)");
         let cut = ((self.pairs.len() as f64 * estimate_frac) as usize).max(1);
         (
             Dataset { name: self.name.clone(), pairs: self.pairs[..cut].to_vec() },
@@ -243,8 +241,7 @@ mod tests {
     fn estimated_workload_matches_sample_moments() {
         let d = Dataset::wmt(5000, 9);
         let w = d.estimate_workload().expect("non-empty");
-        let mean_in: f64 =
-            d.pairs().iter().map(|p| p.0 as f64).sum::<f64>() / d.len() as f64;
+        let mean_in: f64 = d.pairs().iter().map(|p| p.0 as f64).sum::<f64>() / d.len() as f64;
         assert!((w.input().mean() - mean_in).abs() < 1e-9);
     }
 

@@ -27,13 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Schedule for the observed distribution with a 25 s bound.
     let bound = 25.0;
     let schedule = engine.schedule(bound)?;
-    println!("scheduled for mean output {:.0} tokens: {}", base.output().mean(), schedule.config.describe());
+    println!(
+        "scheduled for mean output {:.0} tokens: {}",
+        base.output().mean(),
+        schedule.config.describe()
+    );
 
     // The service drifts: outputs grow 30%.
-    let drifted = Workload::new(
-        base.input().clone(),
-        base.output().with_scaled_mean(1.3)?,
-    );
+    let drifted = Workload::new(base.input().clone(), base.output().with_scaled_mean(1.3)?);
     println!("\ntraffic drifted to mean output {:.0} tokens", drifted.output().mean());
 
     // Option A: keep the stale schedule (plans stay sized for the old
@@ -58,10 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let adapted_engine = engine.with_workload(drifted);
     match adapted_engine.schedule(bound) {
         Ok(adapted) => {
-            let rep = Runner::from_simulator(adapted_engine.simulator().clone()).run(
-                &adapted.config,
-                &RunOptions { num_queries: 800, ..Default::default() },
-            )?;
+            let rep = Runner::from_simulator(adapted_engine.simulator().clone())
+                .run(&adapted.config, &RunOptions { num_queries: 800, ..Default::default() })?;
             println!(
                 "  re-optimized   : {:.2} q/s, p99 latency {:.2} s  <- {}",
                 rep.throughput,
@@ -69,7 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 adapted.config.describe()
             );
         }
-        Err(_) => println!("  re-optimized   : the bound is no longer satisfiable; renegotiate the SLA"),
+        Err(_) => {
+            println!("  re-optimized   : the bound is no longer satisfiable; renegotiate the SLA")
+        }
     }
     println!(
         "  re-deploy cost : {:.1} s reloading weights from host DRAM ({:.1} s from SSD)",

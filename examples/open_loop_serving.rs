@@ -24,14 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Schedule for a generation-latency bound (SLA-(b) style)...
     let schedule = engine.schedule(15.0)?;
     let capacity = schedule.estimate.throughput;
-    println!(
-        "schedule {} — estimated capacity {capacity:.1} q/s\n",
-        schedule.config.describe()
-    );
-    println!(
-        "{:>8}  {:>10}  {:>12}  {:>14}",
-        "load", "rate q/s", "tput q/s", "p99 sojourn(s)"
-    );
+    println!("schedule {} — estimated capacity {capacity:.1} q/s\n", schedule.config.describe());
+    println!("{:>8}  {:>10}  {:>12}  {:>14}", "load", "rate q/s", "tput q/s", "p99 sojourn(s)");
 
     // ...then study what SLA-(a) timeframe each load level supports.
     let runner = Runner::from_simulator(engine.simulator().clone());
@@ -39,11 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rate = capacity * load;
         let rep = runner.run(
             &schedule.config,
-            &RunOptions {
-                num_queries: 600,
-                arrival_rate: Some(rate),
-                ..Default::default()
-            },
+            &RunOptions { num_queries: 600, arrival_rate: Some(rate), ..Default::default() },
         )?;
         println!(
             "{:>7.0}%  {rate:>10.2}  {:>12.2}  {:>14.2}",

@@ -38,10 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Execute the schedule on 1000 sampled queries and check the bound.
     let runner = Runner::from_simulator(engine.simulator().clone());
-    let report = runner.run(
-        &schedule.config,
-        &RunOptions { num_queries: 1000, ..Default::default() },
-    )?;
+    let report =
+        runner.run(&schedule.config, &RunOptions { num_queries: 1000, ..Default::default() })?;
     println!(
         "measured         : {:.2} queries/s, p99 latency {:.2} s, max {:.2} s",
         report.throughput,
@@ -52,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // §7.1); the replay uses sampled lengths and dynamic batch adjustment,
     // so the measured p99 tracks the estimate within a modest tolerance
     // (queries longer than the 99th percentile may legitimately exceed it).
-    assert!(
-        report.p99_latency() <= bound * 1.25,
-        "measured p99 should track the scheduled bound"
-    );
+    assert!(report.p99_latency() <= bound * 1.25, "measured p99 should track the scheduled bound");
     println!("measured p99 latency tracked the scheduled bound");
     Ok(())
 }

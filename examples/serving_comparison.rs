@@ -21,11 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = ClusterSpec::a40_cluster().subcluster(4)?;
     println!("{} on 4xA40, task {task} (conversational Q/A)\n", model.name());
 
-    let engine = Engine::builder()
-        .model(model)
-        .cluster(cluster)
-        .workload(task.workload()?)
-        .build()?;
+    let engine =
+        Engine::builder().model(model).cluster(cluster).workload(task.workload()?).build()?;
     let sim = engine.simulator().clone();
 
     // The paper's bound protocol: percentiles of FT's batch-latency sweep.

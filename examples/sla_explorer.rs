@@ -55,6 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         bound *= 1.6;
     }
-    println!("{:>10}  {:>9.2}  {:>10.2}  {}", "inf", best.estimate.throughput, best.estimate.latency, best.config.describe());
+    println!(
+        "{:>10}  {:>9.2}  {:>10.2}  {}",
+        "inf",
+        best.estimate.throughput,
+        best.estimate.latency,
+        best.config.describe()
+    );
     Ok(())
 }

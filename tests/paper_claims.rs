@@ -55,7 +55,10 @@ fn policy_strengths_follow_output_length() {
             .build()
             .expect("builds");
         engine
-            .schedule_with(&SchedulerOptions { policies, ..SchedulerOptions::bounded(f64::INFINITY) })
+            .schedule_with(&SchedulerOptions {
+                policies,
+                ..SchedulerOptions::bounded(f64::INFINITY)
+            })
             .map(|s| s.estimate.throughput)
             .unwrap_or(0.0)
     };
@@ -85,10 +88,7 @@ fn real_world_tails_widen_the_gap() {
     let ft = FasterTransformer::paper_default(engine.simulator().clone()).expect("grid");
     let ft_best = ft.plan(f64::INFINITY).expect("feasible").1.throughput;
     let ex = engine.schedule(f64::INFINITY).expect("feasible").estimate.throughput;
-    assert!(
-        ex > 2.0 * ft_best,
-        "long-tail dataset: ExeGPT {ex:.1} should be >2x FT {ft_best:.1}"
-    );
+    assert!(ex > 2.0 * ft_best, "long-tail dataset: ExeGPT {ex:.1} should be >2x FT {ft_best:.1}");
 }
 
 /// §7.1's bound protocol produces bounds every system can be planned

@@ -1,0 +1,145 @@
+//! Offline shim for the subset of `criterion` this workspace uses: named
+//! benchmark functions driven by `Criterion::bench_function`, grouped with
+//! `criterion_group!`, printing simple wall-clock statistics to stdout.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites can hide values from the optimizer.
+pub use std::hint::black_box;
+
+/// Benchmark driver; collects and prints per-benchmark timing summaries.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark collects.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for compatibility; the shim has no CLI options.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; summaries print as benchmarks run.
+    pub fn final_summary(&self) {}
+
+    /// Runs one named benchmark and prints min/mean/max sample times.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // One warm-up pass, then the measured samples.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let total: Duration = bencher.samples.iter().sum();
+        let n = bencher.samples.len().max(1) as u32;
+        let mean = total / n;
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        let max = bencher.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{id}: mean {} [min {} .. max {}] ({n} samples)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            fmt_duration(max)
+        );
+        self
+    }
+}
+
+/// Times one routine; passed to the closure of `bench_function`.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        drop(black_box(out));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Declares a benchmark group function, matching criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("shim/quick", |b| b.iter(|| black_box(2u64 + 2)));
+    }
+
+    criterion_group! {
+        name = group;
+        config = Criterion::default().sample_size(3);
+        targets = quick
+    }
+
+    #[test]
+    fn group_runs() {
+        group();
+        Criterion::default().configure_from_args().final_summary();
+    }
+}

@@ -1,0 +1,391 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote, which
+//! are unavailable offline). Supports the shapes this workspace uses:
+//! non-generic named-field structs, unit structs, and enums with unit,
+//! tuple, or struct variants — serialized with serde_json's default
+//! external tagging.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize` (the shim's `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the shim's `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// --- parsing -------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let keyword = expect_ident(&mut toks);
+    let name = expect_ident(&mut toks);
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    match keyword.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item { name, kind: Kind::Struct(Fields::Named(parse_named_fields(g.stream()))) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item { name, kind: Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream()))) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Item { name, kind: Kind::Struct(Fields::Unit) }
+            }
+            other => panic!("serde shim derive: unexpected token after struct name: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item { name, kind: Kind::Enum(parse_variants(g.stream())) }
+            }
+            other => panic!("serde shim derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde shim derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if matches!(
+                    toks.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    toks.next(); // pub(crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Consumes tokens of one type expression up to a top-level `,`, tracking
+/// angle-bracket depth so commas inside `Vec<(A, B)>`-style generics do
+/// not split fields.
+fn skip_type(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    let mut prev = ' ';
+    while let Some(t) = toks.peek() {
+        match t {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    toks.next(); // consume the separator
+                    return;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                }
+                if c == '>' && prev != '-' && angle_depth > 0 {
+                    angle_depth -= 1;
+                }
+                prev = c;
+            }
+            _ => prev = ' ',
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        let field = expect_ident(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde shim derive: expected `:` after field `{field}`, found {other:?}")
+            }
+        }
+        skip_type(&mut toks);
+        fields.push(field);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_type(&mut toks);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut toks);
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                toks.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                toks.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut prev = ' ';
+        let mut angle_depth = 0i32;
+        while let Some(t) = toks.peek() {
+            match t {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        toks.next();
+                        break;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    }
+                    if c == '>' && prev != '-' && angle_depth > 0 {
+                        angle_depth -= 1;
+                    }
+                    prev = c;
+                }
+                _ => prev = ' ',
+            }
+            toks.next();
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// --- code generation -----------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!("::serde::Value::Object(vec![{pushes}])")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: String =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i}),")).collect();
+            if *n == 1 {
+                // Newtype structs serialize transparently, as in serde.
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                format!("::serde::Value::Array(vec![{items}])")
+            }
+        }
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Array(vec![{items}]))]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let pushes: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (\"{v}\".to_string(), ::serde::Value::Object(vec![{pushes}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\").ok_or_else(|| \
+                         ::serde::DeError::new(\"missing field `{f}` in {name}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Object(_) => Ok({name} {{ {inits} }}),\n\
+                     other => Err(::serde::DeError::expected(\"object\", other)),\n\
+                 }}"
+            )
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         Ok({name}({inits})),\n\
+                     other => Err(::serde::DeError::expected(\"array of {n}\", other)),\n\
+                 }}"
+            )
+        }
+        Kind::Struct(Fields::Unit) => format!("{{ let _ = v; Ok({name}) }}"),
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => String::new(),
+                    Fields::Tuple(1) => format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let inits: String = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => match inner {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {n} => \
+                                     Ok({name}::{v}({inits})),\n\
+                                 other => Err(::serde::DeError::expected(\"array of {n}\", other)),\n\
+                             }},"
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let inits: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(inner.get(\"{f}\")\
+                                     .ok_or_else(|| ::serde::DeError::new(\
+                                     \"missing field `{f}` in {name}::{v}\"))?)?,"
+                                )
+                            })
+                            .collect();
+                        format!("\"{v}\" => Ok({name}::{v} {{ {inits} }}),")
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(::serde::DeError::new(format!(\
+                             \"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => Err(::serde::DeError::new(format!(\
+                                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::DeError::expected(\"enum value\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
