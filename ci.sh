@@ -17,4 +17,10 @@ cargo build --offline --release
 echo "==> cargo test -q"
 cargo test --offline --workspace -q
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
+
+echo "==> serve smoke (SLO-accounting invariants over ~2k events)"
+cargo run --offline --release -p exegpt-serve --bin serve-smoke
+
 echo "CI OK"

@@ -1,0 +1,31 @@
+//! Serving-loop shift bench: prints the static-vs-adaptive comparison of
+//! the §7.6 experiment played end-to-end through `exegpt-serve`, then
+//! times one adaptive serving run (arrivals → drift → live reschedule).
+
+use criterion::{criterion_group, Criterion};
+use exegpt_bench::serve_shift;
+
+fn print_figure() {
+    // Reduced stream for bench output; the full 2000-request regeneration
+    // (where the SLO separation appears) runs via the `figures` binary.
+    let rows = serve_shift::generate(600);
+    println!("{}", serve_shift::render(&rows));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    c.bench_function("serve_shift/adaptive_600_requests", |b| {
+        b.iter(|| serve_shift::generate(600))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel
+}
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -14,7 +14,9 @@
 use std::path::PathBuf;
 
 use exegpt::Policy;
-use exegpt_bench::{fig10, fig11, fig6, fig7, fig8, fig9, tab4, tab5, tab6, tab7, timelines};
+use exegpt_bench::{
+    fig10, fig11, fig6, fig7, fig8, fig9, serve_shift, tab4, tab5, tab6, tab7, timelines,
+};
 
 struct Args {
     experiments: Vec<String>,
@@ -43,13 +45,14 @@ fn parse_args() -> Args {
             other => experiments.push(other.to_string()),
         }
     }
-    const KNOWN: [&str; 12] = [
+    const KNOWN: [&str; 13] = [
         "fig6",
         "fig7",
         "fig8",
         "fig9",
         "fig10",
         "fig11",
+        "serve",
         "tab4",
         "tab5",
         "tab6",
@@ -58,7 +61,7 @@ fn parse_args() -> Args {
         "all",
     ];
     if experiments.is_empty() {
-        die("expected an experiment id (fig6 fig7 fig8 fig9 fig10 fig11 tab4 tab5 tab6 tab7 timelines all)");
+        die("expected an experiment id (fig6 fig7 fig8 fig9 fig10 fig11 serve tab4 tab5 tab6 tab7 timelines all)");
     }
     if let Some(bad) = experiments.iter().find(|e| !KNOWN.contains(&e.as_str())) {
         die(&format!("unknown experiment `{bad}` (known: {})", KNOWN.join(" ")));
@@ -123,6 +126,13 @@ fn main() {
         rows.extend(fig11::generate(vec![Policy::Rra], q));
         println!("{}", fig11::render(&rows));
         save_json(&args.json_dir, "fig11", &rows);
+    }
+    if wants("serve") {
+        // Below ~2000 requests the serving run is transient-dominated and
+        // the arms don't separate; floor the stream length accordingly.
+        let rows = serve_shift::generate(q.max(serve_shift::MIN_STEADY_REQUESTS));
+        println!("{}", serve_shift::render(&rows));
+        save_json(&args.json_dir, "serve", &rows);
     }
     if wants("tab4") {
         let rows = tab4::generate();

@@ -1,0 +1,162 @@
+//! Figure 11 end-to-end through the serving loop (§7.6): a mid-run
+//! output-distribution shift served once with the stale schedule (static
+//! arm) and once with online drift detection + live rescheduling
+//! (adaptive arm), on the *same* arrival stream.
+//!
+//! Unlike [`crate::fig11`], which compares steady-state schedules via the
+//! offline runner, this scenario plays a timed Poisson arrival stream
+//! through `exegpt-serve` and reports what an operator would see: SLO
+//! violation rate, tail latency, and the number/cost of live plan swaps.
+//!
+//! The separation between the arms needs a steady-state pipeline; with
+//! fewer than ~2000 requests the run is transient-dominated and both arms
+//! look alike (see `EXPERIMENTS.md`).
+
+use exegpt::SchedulerOptions;
+use exegpt_serve::{
+    poisson_with_shift, DriftOptions, ServeLoop, ServeOptions, ServeReport, SloTargets,
+};
+use exegpt_sim::Workload;
+use exegpt_workload::Task;
+use serde::{Deserialize, Serialize};
+
+use crate::scenarios::opt_4xa40;
+use crate::table;
+
+/// Latency bound the schedules are optimized under (seconds).
+pub const LATENCY_BOUND: f64 = 30.0;
+/// Mean-scale factor of the mid-run shift (Figure 11 "Average").
+pub const SHIFT_FACTOR: f64 = 1.5;
+/// End-to-end SLO, placed between the re-optimized plan's tail-latency
+/// estimate and the stale plan's.
+pub const SLO_E2E: f64 = 1.2 * LATENCY_BOUND;
+/// Arrival seed (fixed: the runs are byte-deterministic).
+pub const SEED: u64 = 7;
+/// Shortest stream that reaches pipeline steady state (the bounded plan
+/// keeps ~500 queries in flight; shorter runs are transient-dominated).
+pub const MIN_STEADY_REQUESTS: usize = 2000;
+
+/// One serving arm of the comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// `static` (stale plan throughout) or `adaptive` (live rescheduling).
+    pub arm: String,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Completions per virtual second.
+    pub throughput: f64,
+    /// Fraction of completions violating the end-to-end SLO.
+    pub violation_rate: f64,
+    /// 99th-percentile end-to-end latency (seconds).
+    pub p99_e2e: Option<f64>,
+    /// Live reschedules triggered by the drift detector.
+    pub reschedules: usize,
+    /// Plan swaps installed at phase boundaries.
+    pub plan_swaps: usize,
+    /// Virtual seconds spent redeploying across all swaps.
+    pub swap_cost: f64,
+    /// Schedule in force when the run ended.
+    pub final_schedule: String,
+}
+
+fn row(arm: &str, r: &ServeReport) -> Row {
+    Row {
+        arm: arm.to_string(),
+        completed: r.completed,
+        throughput: r.throughput,
+        violation_rate: r.slo.violation_rate(),
+        p99_e2e: r.e2e.as_ref().map(|s| s.p99),
+        reschedules: r.reschedules,
+        plan_swaps: r.plan_swaps,
+        swap_cost: r.swap_cost,
+        final_schedule: r.final_schedule.clone(),
+    }
+}
+
+fn opts(adaptive: bool) -> ServeOptions {
+    ServeOptions {
+        slo: SloTargets::e2e(SLO_E2E),
+        adaptive,
+        scheduler: SchedulerOptions::bounded(LATENCY_BOUND),
+        drift: DriftOptions {
+            window: 128,
+            min_samples: 48,
+            check_every: 16,
+            rel_threshold: 0.15,
+            consecutive: 2,
+        },
+        ..ServeOptions::default()
+    }
+}
+
+/// Serves `total` requests (mean shift ×1.5 after the first quarter)
+/// through the static and adaptive arms and returns one row per arm.
+pub fn generate(total: usize) -> Vec<Row> {
+    let system = opt_4xa40();
+    let base = Task::Translation.workload().expect("task statistics are valid");
+    let shifted = Workload::new(
+        base.input().clone(),
+        base.output().with_scaled_mean(SHIFT_FACTOR).expect("valid shift"),
+    );
+
+    let engine = system.engine(base.clone());
+    let schedule = engine.schedule(LATENCY_BOUND).expect("bounded schedule exists");
+    // Offer load at 96% of the stale plan's capacity on the *shifted*
+    // traffic: the static arm runs near saturation post-shift while the
+    // re-optimized plan keeps headroom.
+    let rate = engine
+        .simulator()
+        .with_workload(shifted.clone())
+        .evaluate(&schedule.config)
+        .map(|e| 0.96 * e.throughput)
+        .unwrap_or(0.96 * schedule.estimate.throughput);
+    let arrivals = poisson_with_shift(&base, &shifted, rate, total / 4, total, SEED);
+
+    let mut rows = Vec::new();
+    for (arm, adaptive) in [("static", false), ("adaptive", true)] {
+        let report = ServeLoop::new(engine.clone(), &schedule.config, opts(adaptive))
+            .expect("schedule is feasible")
+            .run(arrivals.clone())
+            .expect("serving completes");
+        rows.push(row(arm, &report));
+    }
+    rows
+}
+
+/// Renders the rows as the comparison table.
+pub fn render(rows: &[Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.arm.clone(),
+                r.completed.to_string(),
+                format!("{:.2}", r.throughput),
+                format!("{:.1}%", 100.0 * r.violation_rate),
+                table::opt_f64(r.p99_e2e),
+                r.reschedules.to_string(),
+                r.plan_swaps.to_string(),
+                format!("{:.1}", r.swap_cost),
+                r.final_schedule.clone(),
+            ]
+        })
+        .collect();
+    format!(
+        "Figure 11 (end-to-end serving): ×{SHIFT_FACTOR} mean shift, OPT-13B task T, \
+         SLO {SLO_E2E:.0}s\n{}",
+        table::render(
+            &[
+                "arm",
+                "served",
+                "tput q/s",
+                "SLO viol",
+                "p99 e2e",
+                "resched",
+                "swaps",
+                "swap s",
+                "final schedule",
+            ],
+            &body,
+        )
+    )
+}

@@ -66,6 +66,27 @@ impl Engine {
         }
     }
 
+    /// Re-schedules *in place* for a new workload on the warm engine: the
+    /// profile (the expensive, per-model/cluster part, §7.7) is reused,
+    /// only the workload-dependent state is rebuilt, and the engine is left
+    /// serving `workload` afterwards. This is the online path the serving
+    /// loop takes when drift is detected (§5.2 / §7.6): a fresh
+    /// `Engine::builder().build()` would re-profile, which is exactly what
+    /// a live reschedule must avoid.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::schedule`]. On error the engine still serves the
+    /// new workload (scheduling is side-effect free).
+    pub fn reschedule(
+        &mut self,
+        workload: Workload,
+        opts: &SchedulerOptions,
+    ) -> Result<Schedule, ScheduleError> {
+        *self = self.with_workload(workload);
+        self.schedule_with(opts)
+    }
+
     /// Estimated cost of (re-)deploying the model according to a new
     /// schedule (paper §7.7, Table 4): loading weights from SSD on first
     /// deployment or from host DRAM on re-deployment.
@@ -151,6 +172,32 @@ mod tests {
         let err =
             Engine::builder().model(ModelConfig::opt_13b()).build().expect_err("missing cluster");
         assert!(matches!(err, ScheduleError::MissingComponent { what: "cluster" }));
+    }
+
+    #[test]
+    fn reschedule_swaps_workload_and_reuses_profile() {
+        let mut engine = Engine::builder()
+            .model(ModelConfig::opt_13b())
+            .cluster(ClusterSpec::a40_cluster().subcluster(4).expect("fits"))
+            .workload(Workload::new(
+                LengthDist::point_mass(64, 128).expect("valid"),
+                LengthDist::point_mass(32, 64).expect("valid"),
+            ))
+            .build()
+            .expect("builds");
+        let profile = std::sync::Arc::clone(engine.simulator().profile());
+        let before = engine.schedule(f64::INFINITY).expect("schedules");
+        let longer = Workload::new(
+            LengthDist::point_mass(64, 128).expect("valid"),
+            LengthDist::point_mass(48, 96).expect("valid"),
+        );
+        let after = engine
+            .reschedule(longer.clone(), &SchedulerOptions::bounded(f64::INFINITY))
+            .expect("reschedules");
+        assert!(std::sync::Arc::ptr_eq(&profile, engine.simulator().profile()), "profile reused");
+        assert_eq!(engine.simulator().workload(), &longer, "engine now serves the new workload");
+        // Longer outputs cost throughput; the schedules genuinely differ.
+        assert!(after.estimate.throughput < before.estimate.throughput);
     }
 
     #[test]

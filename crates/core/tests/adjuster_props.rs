@@ -72,3 +72,81 @@ proptest! {
         prop_assert!(n <= b_e + b_e / 5 + 1, "admitted {n} for b_e {b_e}");
     }
 }
+
+// Decoder-nudge path: the `scheduled − current` pool feedback that shifts
+// the admission budget inside the threshold band.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A fuller decoder pool never admits more: admission is monotone
+    /// non-increasing in the current pool size (uniform queues, so counts
+    /// order the same way workloads do).
+    #[test]
+    fn nudge_is_monotone_in_pool_size(
+        b_e in 2usize..24,
+        sched in 1usize..512,
+        cur_a in 0usize..512,
+        cur_b in 0usize..512,
+        len in 20usize..180,
+    ) {
+        let adj = DynamicAdjuster::new(b_e, 100.0, 0.2);
+        let lens = vec![len; 1024];
+        let (small, large) = if cur_a <= cur_b { (cur_a, cur_b) } else { (cur_b, cur_a) };
+        let n_small = adj.encoder_batch(&lens, small, sched);
+        let n_large = adj.encoder_batch(&lens, large, sched);
+        prop_assert!(
+            n_small >= n_large,
+            "pool {small} admitted {n_small} < pool {large} admitted {n_large}"
+        );
+    }
+
+    /// Extreme pool drift saturates the budget at the band edges: far
+    /// behind schedule admits to the band's top, far ahead to its bottom,
+    /// and a balanced pool sits in between. Fine-grained 10-token queries
+    /// make the admitted workload track the budget within one query.
+    #[test]
+    fn nudge_saturates_at_band_edges(
+        b_e in 4usize..24,
+        extreme in 1_000usize..10_000,
+        balanced in 0usize..64,
+    ) {
+        let adj = DynamicAdjuster::new(b_e, 100.0, 0.1);
+        let lens = vec![10usize; 4096];
+        let workload = |chosen: &[usize]| chosen.iter().map(|&i| lens[i] as f64).sum::<f64>();
+        let target = 100.0 * b_e as f64;
+        let behind = workload(&adj.select_batch(&lens, 0, extreme));
+        let ahead = workload(&adj.select_batch(&lens, extreme, 0));
+        let neutral = workload(&adj.select_batch(&lens, balanced, balanced));
+        prop_assert!((behind - 1.1 * target).abs() <= 10.0, "behind {behind} vs hi {}", 1.1 * target);
+        prop_assert!((ahead - 0.9 * target).abs() <= 10.0, "ahead {ahead} vs lo {}", 0.9 * target);
+        prop_assert!(behind > neutral && neutral > ahead,
+            "nudge direction: behind {behind} > neutral {neutral} > ahead {ahead}");
+    }
+
+    /// Closed-loop recovery: starting with a decoder pool well short of
+    /// schedule and terminating a steady batch per phase, the nudge pulls
+    /// the pool back to schedule and holds it in a bounded oscillation
+    /// (the budget band limits the per-phase correction to about `B_E`).
+    #[test]
+    fn closed_loop_recovers_pool_after_early_terminations(
+        b_e in 4usize..8,
+        sched in 64usize..256,
+        deficit in 16usize..64,
+    ) {
+        let adj = DynamicAdjuster::new(b_e, 100.0, 0.1);
+        let lens = vec![10usize; 8192];
+        let neutral = adj.encoder_batch(&lens, sched, sched);
+        let mut pool = sched.saturating_sub(deficit);
+        let slack = 2 * b_e;
+        for phase in 0..100 {
+            pool += adj.encoder_batch(&lens, pool, sched);
+            pool -= neutral.min(pool);
+            if phase >= 50 {
+                prop_assert!(
+                    pool + slack >= sched && pool <= sched + slack,
+                    "phase {phase}: pool {pool} escaped schedule {sched} ± {slack}"
+                );
+            }
+        }
+    }
+}

@@ -2,7 +2,11 @@
 //!
 //! The paper reports Pearson correlation between input and output lengths
 //! for each dataset (§7.1) and 99th-percentile execution-time ranges
-//! (Table 7); these helpers compute both.
+//! (Table 7); these helpers compute both. [`Summary`] is the shared
+//! latency-summary shape consumed by the runner's reports and the serving
+//! loop's metrics histograms.
+
+use serde::{Deserialize, Serialize};
 
 /// Pearson correlation coefficient of two equal-length samples.
 ///
@@ -79,6 +83,62 @@ pub fn std_dev(xs: &[f64]) -> Option<f64> {
     Some(var.sqrt())
 }
 
+/// A one-pass latency/sample summary: count, mean, and the percentiles
+/// every latency report in this workspace quotes.
+///
+/// Built via [`summary`]; shared by `exegpt-runner`'s [`RunReport`]s and
+/// `exegpt-serve`'s metrics histograms so the two never disagree on
+/// percentile semantics (nearest-rank, as [`percentile`]).
+///
+/// [`RunReport`]: https://docs.rs/exegpt-runner
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile, nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Summarizes a sample into the shared [`Summary`] shape (`None` if empty).
+///
+/// # Example
+///
+/// ```
+/// let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+/// let s = exegpt_dist::stats::summary(&xs).unwrap();
+/// assert_eq!(s.count, 100);
+/// assert_eq!(s.p50, 50.0);
+/// assert_eq!(s.p99, 99.0);
+/// assert_eq!(s.max, 100.0);
+/// ```
+pub fn summary(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    let pick = |p: f64| {
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    };
+    Some(Summary {
+        count: sorted.len(),
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p50: pick(0.50),
+        p95: pick(0.95),
+        p99: pick(0.99),
+        max: *sorted.last().expect("non-empty"),
+    })
+}
+
 /// The symmetric 99th-percentile half-range around the mean,
 /// `(p99 - p01) / 2`, as reported in Table 7 of the paper.
 ///
@@ -123,6 +183,19 @@ mod tests {
         let s = std_dev(&xs).unwrap();
         assert!((s - 2.138_089_935).abs() < 1e-6);
         assert_eq!(std_dev(&[1.0]), None);
+    }
+
+    #[test]
+    fn summary_matches_individual_helpers() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 499) as f64).collect();
+        let s = summary(&xs).unwrap();
+        assert_eq!(s.count, xs.len());
+        assert_eq!(Some(s.mean), mean(&xs));
+        assert_eq!(Some(s.p50), percentile(&xs, 0.50));
+        assert_eq!(Some(s.p95), percentile(&xs, 0.95));
+        assert_eq!(Some(s.p99), percentile(&xs, 0.99));
+        assert_eq!(s.max, xs.iter().copied().fold(f64::MIN, f64::max));
+        assert_eq!(summary(&[]), None);
     }
 
     #[test]

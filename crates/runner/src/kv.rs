@@ -105,6 +105,20 @@ impl KvTracker {
         true
     }
 
+    /// Admits query `id` holding `tokens` tokens *without* a capacity
+    /// check, used when migrating resident queries into a freshly sized
+    /// tracker at a plan swap: evicting mid-flight queries is not an
+    /// option, so a swap may transiently over-commit the new plan's
+    /// capacity (visible in [`used_bytes`](Self::used_bytes) /
+    /// [`peak_bytes`](Self::peak_bytes)); subsequent admissions still go
+    /// through [`try_admit`](Self::try_admit) and see the over-commit.
+    pub fn admit_unchecked(&mut self, id: u64, tokens: usize) {
+        let add = self.tokens_to_bytes(self.reserved_tokens(tokens));
+        self.held_tokens.insert(id, tokens);
+        self.used_bytes += add;
+        self.peak_bytes = self.peak_bytes.max(self.used_bytes);
+    }
+
     /// Grows query `id` by `tokens` newly generated tokens. Under
     /// [`ReservePolicy::UpFront`] this is a no-op (space was pre-reserved).
     /// Returns `false` on overflow (the growth is not applied).
@@ -222,6 +236,16 @@ mod tests {
         // Up-front reserves 600 tokens/query, paging ~128 (8 pages of 16):
         // a ~4.7x capacity advantage.
         assert!(pg_count > 4 * up_count, "paging should fit far more queries");
+    }
+
+    #[test]
+    fn admit_unchecked_may_overcommit_but_blocks_later_admissions() {
+        let mut kv = KvTracker::new(1.0, 100, ReservePolicy::Incremental);
+        kv.admit_unchecked(1, 150); // migration: beyond capacity
+        assert_eq!(kv.used_bytes(), 150);
+        assert!(!kv.try_admit(2, 1, 0), "over-commit blocks new admissions");
+        kv.release(1);
+        assert!(kv.try_admit(2, 50, 0), "normal accounting resumes");
     }
 
     #[test]

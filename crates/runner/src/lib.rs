@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 mod error;
+mod exec;
 mod kv;
 mod report;
 mod rra_run;
@@ -54,6 +55,7 @@ mod trace;
 mod waa_run;
 
 pub use error::RunError;
+pub use exec::{DecodeTiming, EncodeTiming, PhaseExecutor};
 pub use kv::{KvTracker, ReservePolicy};
 pub use report::RunReport;
 pub use runner::{RunOptions, Runner};

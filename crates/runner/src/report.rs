@@ -41,26 +41,39 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// The shared latency summary (count/mean/p50/p95/p99/max) of per-query
+    /// latencies; `None` when nothing completed. The same
+    /// [`stats::Summary`] shape backs the serving loop's metrics.
+    pub fn latency_summary(&self) -> Option<stats::Summary> {
+        stats::summary(&self.latencies)
+    }
+
+    /// The shared summary of sojourn times (arrival → last token); `None`
+    /// when not an open-loop run.
+    pub fn sojourn_summary(&self) -> Option<stats::Summary> {
+        stats::summary(&self.sojourn_times)
+    }
+
     /// Mean per-query latency (0 when nothing completed).
     pub fn mean_latency(&self) -> f64 {
-        stats::mean(&self.latencies).unwrap_or(0.0)
+        self.latency_summary().map_or(0.0, |s| s.mean)
     }
 
     /// 99th-percentile per-query latency (0 when nothing completed).
     pub fn p99_latency(&self) -> f64 {
-        stats::percentile(&self.latencies, 0.99).unwrap_or(0.0)
+        self.latency_summary().map_or(0.0, |s| s.p99)
     }
 
     /// Maximum per-query latency (0 when nothing completed).
     pub fn max_latency(&self) -> f64 {
-        self.latencies.iter().copied().fold(0.0, f64::max)
+        self.latency_summary().map_or(0.0, |s| s.max)
     }
 
     /// 99th-percentile sojourn time (0 when not an open-loop run) — the
     /// SLA-(a) quantity of §7.6: the timeframe within which 99% of all
     /// queries complete, including queueing.
     pub fn p99_sojourn(&self) -> f64 {
-        stats::percentile(&self.sojourn_times, 0.99).unwrap_or(0.0)
+        self.sojourn_summary().map_or(0.0, |s| s.p99)
     }
 
     /// Mean and ±99th-percentile half-range of encoder stage times, the
@@ -108,6 +121,10 @@ mod tests {
         assert_eq!(r.p99_latency(), 9.0);
         assert_eq!(r.max_latency(), 9.0);
         assert_eq!(r.p99_sojourn(), 10.0);
+        let s = r.latency_summary().expect("non-empty");
+        assert_eq!(s.count, 3);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!((s.p99, s.max), (9.0, 9.0));
     }
 
     #[test]

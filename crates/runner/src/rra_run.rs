@@ -1,12 +1,11 @@
 //! Discrete-event replay of an RRA schedule.
 
-use exegpt::DynamicAdjuster;
 use exegpt_dist::CompletionDist;
-use exegpt_sim::{RraConfig, SimError, Simulator};
+use exegpt_sim::{RraConfig, ScheduleConfig, Simulator};
 use exegpt_workload::{PoissonStream, Request, RequestStream, TimedRequest};
 
 use crate::error::RunError;
-use crate::kv::{KvTracker, ReservePolicy};
+use crate::exec::PhaseExecutor;
 use crate::report::RunReport;
 use crate::runner::{windowed_throughput, RunOptions};
 use crate::trace::{SpanKind, Trace};
@@ -24,28 +23,12 @@ pub(crate) fn run(
     opts: &RunOptions,
 ) -> Result<RunReport, RunError> {
     // The simulator's feasibility checks and derived pool size apply as-is.
-    let estimate = sim.evaluate_rra(cfg)?;
-    let scheduled_b_d = estimate.breakdown.decode_batch;
-    let plan = sim.rra_plan(cfg, scheduled_b_d)?;
-    let stages = plan.layout.num_stages();
-    let profile = sim.profile();
+    let exec = PhaseExecutor::new(sim, &ScheduleConfig::Rra(*cfg))?;
+    let scheduled_b_d = exec.scheduled_decode_batch();
     let w = sim.workload();
+    let mut kv = exec.kv_tracker();
 
-    // KV accounting on the bottleneck GPU (most decode layers per TP rank).
-    let worst_layers = plan
-        .dec_alloc
-        .iter()
-        .zip(plan.layout.stages())
-        .map(|(&l, s)| l as f64 / s.tp as f64)
-        .fold(0.0f64, f64::max);
-    let bytes_per_token = sim.model().kv_bytes_per_token_per_layer() as f64 * worst_layers;
-    let kv_capacity = sim
-        .usable_capacity()
-        .saturating_sub(estimate.memory.decoder_gpu.param_bytes)
-        .saturating_sub(estimate.memory.decoder_gpu.activation_bytes);
-    let mut kv = KvTracker::new(bytes_per_token, kv_capacity, ReservePolicy::Incremental);
-
-    let adjuster = DynamicAdjuster::new(cfg.b_e, w.input().mean(), opts.adjust_threshold);
+    let adjuster = exec.adjuster(opts.adjust_threshold);
     let _ = CompletionDist::new(w.output(), cfg.n_d); // distribution sanity only
 
     let stream_workload = opts.request_workload.as_ref().unwrap_or(w);
@@ -114,23 +97,11 @@ pub(crate) fn run(
         }
 
         if !admitted.is_empty() {
-            let mean_in: f64 = admitted.iter().map(|r| r.request.input_len as f64).sum::<f64>()
-                / admitted.len() as f64;
-            let m_e = stages.min(admitted.len()).max(1);
-            let micro = admitted.len() as f64 / m_e as f64;
-            let mut stage_times = Vec::with_capacity(stages);
-            for (i, stage) in plan.layout.stages().iter().enumerate() {
-                let t_layer =
-                    profile.encode_layer_time(micro, mean_in, stage.tp).map_err(SimError::from)?;
-                let handoff =
-                    profile.handoff_time(micro * mean_in, plan.layout.boundary_intra_node(i));
-                stage_times.push(plan.enc_alloc[i] as f64 * t_layer + handoff);
-            }
-            let bottleneck = stage_times.iter().copied().fold(0.0, f64::max);
-            let t_enc: f64 = stage_times.iter().sum::<f64>() + (m_e as f64 - 1.0) * bottleneck;
-            enc_stage_times.push(bottleneck);
+            let lens: Vec<usize> = admitted.iter().map(|r| r.request.input_len).collect();
+            let enc = exec.encode_timing(&lens)?;
+            enc_stage_times.push(enc.bottleneck);
             let t_start = t;
-            t += t_enc;
+            t += enc.total;
             if let Some(tr) = trace.as_mut() {
                 tr.record("workers", SpanKind::Encode, t_start, t, admitted.len());
             }
@@ -145,7 +116,7 @@ pub(crate) fn run(
         }
 
         // ---- Decoding phase: N_D iterations with early termination ------
-        let m_d = stages.min(pool.len()).max(1);
+        let m_d = exec.decode_parallelism(pool.len());
         let dec_phase_start = t;
         let dec_phase_batch = pool.len();
         for u in 0..cfg.n_d {
@@ -155,21 +126,9 @@ pub(crate) fn run(
             let active = pool.len() as f64;
             let ctx: f64 =
                 pool.iter().map(|a| (a.req.input_len + a.progress) as f64).sum::<f64>() / active;
-            let micro = active / m_d as f64;
-            let mut worst = 0.0f64;
-            for (i, stage) in plan.layout.stages().iter().enumerate() {
-                let t_layer = profile
-                    .decode_layer_time(micro, ctx, w.input().mean(), stage.tp)
-                    .map_err(SimError::from)?;
-                let handoff = profile.handoff_time(micro, plan.layout.boundary_intra_node(i));
-                worst = worst.max(plan.dec_alloc[i] as f64 * t_layer + handoff);
-            }
-            let mut t_iter = m_d as f64 * worst;
-            if u == 0 {
-                t_iter += (stages as f64 - 1.0) * worst; // pipeline fill
-            }
-            dec_stage_times.push(worst);
-            t += t_iter;
+            let dec = exec.decode_timing(m_d, pool.len(), ctx, u == 0)?;
+            dec_stage_times.push(dec.bottleneck);
+            t += dec.total;
             tokens += pool.len() as u64;
 
             // Advance and early-terminate (with cache compaction).
@@ -205,7 +164,7 @@ pub(crate) fn run(
         encoder_stage_times: enc_stage_times,
         decoder_stage_times: dec_stage_times,
         peak_kv_bytes: kv.peak_bytes(),
-        param_bytes: estimate.memory.decoder_gpu.param_bytes,
+        param_bytes: exec.param_bytes(),
         trace,
         sojourn_times: sojourns,
     })

@@ -5,19 +5,14 @@
 //! encoder hand-over (batch + KV transfer via CPU staging) joining the pool
 //! at each round boundary.
 
-use exegpt::DynamicAdjuster;
-use exegpt_sim::{SimError, Simulator, WaaConfig};
+use exegpt_sim::{ScheduleConfig, Simulator, WaaConfig};
 use exegpt_workload::{PoissonStream, Request, RequestStream, TimedRequest};
 
 use crate::error::RunError;
-use crate::kv::{KvTracker, ReservePolicy};
+use crate::exec::PhaseExecutor;
 use crate::report::RunReport;
 use crate::runner::{windowed_throughput, RunOptions};
 use crate::trace::{SpanKind, Trace};
-
-/// Exposed fraction of the KV handover (matches the simulator's overlap
-/// assumption).
-const KV_TRANSFER_EXPOSED: f64 = 0.3;
 
 struct Active {
     req: Request,
@@ -31,27 +26,12 @@ pub(crate) fn run(
     cfg: &WaaConfig,
     opts: &RunOptions,
 ) -> Result<RunReport, RunError> {
-    let estimate = sim.evaluate_waa(cfg)?;
-    let plan = sim.waa_plan(cfg)?;
-    let profile = sim.profile();
+    let exec = PhaseExecutor::new(sim, &ScheduleConfig::Waa(*cfg))?;
+    let scheduled_b_d = exec.scheduled_decode_batch();
     let w = sim.workload();
-    let stages_d = plan.dec_layout.num_stages();
+    let mut kv = exec.kv_tracker();
 
-    // KV accounting on the bottleneck decode GPU.
-    let worst_layers = plan
-        .dec_alloc
-        .iter()
-        .zip(plan.dec_layout.stages())
-        .map(|(&l, s)| l as f64 / s.tp as f64)
-        .fold(0.0f64, f64::max);
-    let bytes_per_token = sim.model().kv_bytes_per_token_per_layer() as f64 * worst_layers;
-    let kv_capacity = sim
-        .usable_capacity()
-        .saturating_sub(estimate.memory.decoder_gpu.param_bytes)
-        .saturating_sub(estimate.memory.decoder_gpu.activation_bytes);
-    let mut kv = KvTracker::new(bytes_per_token, kv_capacity, ReservePolicy::Incremental);
-
-    let adjuster = DynamicAdjuster::new(cfg.b_e, w.input().mean(), opts.adjust_threshold);
+    let adjuster = exec.adjuster(opts.adjust_threshold);
 
     let stream_workload = opts.request_workload.as_ref().unwrap_or(w);
     // FIFO queue (front = oldest), sorted by arrival time.
@@ -81,7 +61,7 @@ pub(crate) fn run(
         // is arrival-sorted).
         let arrived = pending.partition_point(|r| r.arrival <= t);
         let lens: Vec<usize> = pending[..arrived].iter().map(|r| r.request.input_len).collect();
-        let selected = adjuster.select_batch(&lens, pool.len(), plan.b_d);
+        let selected = adjuster.select_batch(&lens, pool.len(), scheduled_b_d);
         let mut admitted: Vec<TimedRequest> = Vec::with_capacity(selected.len());
         let mut taken = vec![false; pending.len()];
         for &idx in &selected {
@@ -120,21 +100,10 @@ pub(crate) fn run(
         let (p_enc, enc_tokens) = if admitted.is_empty() {
             (0.0, 0.0)
         } else {
-            let mean_in: f64 = admitted.iter().map(|r| r.request.input_len as f64).sum::<f64>()
-                / admitted.len() as f64;
-            let mut bottleneck = 0.0f64;
-            for (i, _) in plan.enc_layout.stages().iter().enumerate() {
-                let t_layer = profile
-                    .encode_layer_time(admitted.len() as f64, mean_in, 1)
-                    .map_err(SimError::from)?;
-                let handoff = profile.handoff_time(
-                    admitted.len() as f64 * mean_in,
-                    plan.enc_layout.boundary_intra_node(i),
-                );
-                bottleneck = bottleneck.max(plan.enc_alloc[i] as f64 * t_layer + handoff);
-            }
-            enc_stage_times.push(bottleneck);
-            (bottleneck, admitted.len() as f64 * mean_in)
+            let lens: Vec<usize> = admitted.iter().map(|r| r.request.input_len).collect();
+            let enc = exec.encode_timing(&lens)?;
+            enc_stage_times.push(enc.bottleneck);
+            (enc.bottleneck, enc.tokens)
         };
 
         // ---- Decoder side of this round ----------------------------------
@@ -144,22 +113,14 @@ pub(crate) fn run(
             let active = pool.len() as f64;
             let ctx: f64 =
                 pool.iter().map(|a| (a.req.input_len + a.progress) as f64).sum::<f64>() / active;
-            let b_m = cfg.b_m.min(pool.len()).max(1);
-            let micro = active / b_m as f64;
-            let mut worst = 0.0f64;
-            for (i, stage) in plan.dec_layout.stages().iter().enumerate() {
-                let t_layer = profile
-                    .decode_layer_time(micro, ctx, w.input().mean(), stage.tp)
-                    .map_err(SimError::from)?;
-                let handoff = profile.handoff_time(micro, plan.dec_layout.boundary_intra_node(i));
-                worst = worst.max(plan.dec_alloc[i] as f64 * t_layer + handoff);
-            }
-            dec_stage_times.push(worst);
-            b_m.max(stages_d) as f64 * worst
+            let b_m = exec.decode_parallelism(pool.len());
+            let dec = exec.decode_timing(b_m, pool.len(), ctx, false)?;
+            dec_stage_times.push(dec.bottleneck);
+            dec.total
         };
 
         // ---- Round boundary: handover + advance ---------------------------
-        let t_kv = profile.kv_transfer_time(enc_tokens, plan.kv_layers) * KV_TRANSFER_EXPOSED;
+        let t_kv = exec.handover_time(enc_tokens);
         let round = p_enc.max(p_dec).max(t_kv);
         let t_start = t;
         t += round;
@@ -207,7 +168,7 @@ pub(crate) fn run(
         encoder_stage_times: enc_stage_times,
         decoder_stage_times: dec_stage_times,
         peak_kv_bytes: kv.peak_bytes(),
-        param_bytes: estimate.memory.decoder_gpu.param_bytes,
+        param_bytes: exec.param_bytes(),
         trace,
         sojourn_times: sojourns,
     })

@@ -1,0 +1,64 @@
+//! CI smoke run for the serving loop.
+//!
+//! Serves a mid-run distribution shift (§7.6) through the adaptive loop on
+//! a small deployment and asserts the SLO accounting invariants hold over
+//! a few thousand events. Exits non-zero on any violated invariant.
+
+use exegpt::Engine;
+use exegpt_cluster::ClusterSpec;
+use exegpt_model::ModelConfig;
+use exegpt_serve::{poisson_with_shift, ServeLoop, ServeOptions, SloTargets};
+use exegpt_sim::Workload;
+use exegpt_workload::Task;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let total: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("usage: serve-smoke [num_requests]"))
+        .unwrap_or(1000);
+
+    let base = Task::Translation.workload()?;
+    let shifted = Workload::new(base.input().clone(), base.output().with_scaled_mean(1.5)?);
+    let engine = Engine::builder()
+        .model(ModelConfig::opt_13b())
+        .cluster(ClusterSpec::a40_cluster().subcluster(4)?)
+        .workload(base.clone())
+        .build()?;
+    let schedule = engine.schedule(30.0)?;
+    println!("schedule: {}", schedule.config.describe());
+    println!("estimated throughput: {:.2} q/s", schedule.estimate.throughput);
+
+    // Load at 60% of the scheduled capacity, generous SLOs: violations are
+    // possible (post-shift) but accounting must stay consistent either way.
+    let rate = 0.6 * schedule.estimate.throughput;
+    let arrivals = poisson_with_shift(&base, &shifted, rate, total / 2, total, 7);
+    let opts = ServeOptions {
+        slo: SloTargets { ttft: None, per_token: None, e2e: Some(2.0 * schedule.estimate.latency) },
+        ..ServeOptions::default()
+    };
+    let report = ServeLoop::new(engine, &schedule.config, opts)?.run(arrivals)?;
+
+    println!("{}", report.metrics.render());
+    println!(
+        "completed={} events={} violations={} ({:.2}%) reschedules={} swaps={} final={}",
+        report.completed,
+        report.events.len(),
+        report.slo.violations,
+        report.slo.violation_rate() * 100.0,
+        report.reschedules,
+        report.plan_swaps,
+        report.final_schedule,
+    );
+
+    // SLO-accounting invariants (the point of this smoke run).
+    assert!(report.slo.is_consistent(), "SLO accounting inconsistent: {:?}", report.slo);
+    assert_eq!(report.slo.checked, report.completed, "every completion is SLO-checked");
+    assert_eq!(report.completed, total, "every request completes");
+    assert!(report.events.len() >= 2000, "expected >= 2000 events, got {}", report.events.len());
+    assert!(report.makespan > 0.0 && report.throughput > 0.0);
+    if let (Some(ttft), Some(e2e)) = (&report.ttft, &report.e2e) {
+        assert!(ttft.mean <= e2e.mean, "TTFT cannot exceed end-to-end latency on average");
+    }
+    println!("serve-smoke OK");
+    Ok(())
+}

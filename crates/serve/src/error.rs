@@ -1,0 +1,78 @@
+//! Serving-loop errors.
+
+use exegpt::ScheduleError;
+use exegpt_dist::DistError;
+use exegpt_runner::RunError;
+
+/// Errors raised by the serving loop.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Execution failed (infeasible schedule, out-of-range batch, stall).
+    Run(RunError),
+    /// The initial schedule could not be built.
+    Schedule(ScheduleError),
+    /// Online distribution refitting failed.
+    Dist(DistError),
+    /// An option was invalid.
+    InvalidOption {
+        /// Which option.
+        what: &'static str,
+        /// Why it was rejected.
+        why: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Run(e) => write!(f, "serving run failed: {e}"),
+            ServeError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            ServeError::Dist(e) => write!(f, "distribution refit failed: {e}"),
+            ServeError::InvalidOption { what, why } => {
+                write!(f, "invalid serve option `{what}`: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Run(e) => Some(e),
+            ServeError::Schedule(e) => Some(e),
+            ServeError::Dist(e) => Some(e),
+            ServeError::InvalidOption { .. } => None,
+        }
+    }
+}
+
+impl From<RunError> for ServeError {
+    fn from(e: RunError) -> Self {
+        ServeError::Run(e)
+    }
+}
+
+impl From<ScheduleError> for ServeError {
+    fn from(e: ScheduleError) -> Self {
+        ServeError::Schedule(e)
+    }
+}
+
+impl From<DistError> for ServeError {
+    fn from(e: DistError) -> Self {
+        ServeError::Dist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::InvalidOption { what: "drift.window", why: "must be > 0".into() };
+        assert!(e.to_string().contains("drift.window"));
+        let e: ServeError = DistError::EmptySamples.into();
+        assert!(e.to_string().contains("refit"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Structured event log of a serving run.
+//!
+//! Every externally observable action of the loop — arrivals, phases,
+//! completions, drift checks, reschedules, plan swaps — is appended as a
+//! typed event. The JSONL rendering is byte-deterministic for a fixed seed
+//! (virtual time only, map-free payloads, stable float formatting), which
+//! is what the determinism acceptance test compares.
+
+use serde::Serialize;
+
+/// One serving-loop event, stamped with virtual time.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Event {
+    /// A request entered the admission queue.
+    Arrival {
+        /// Arrival time.
+        t: f64,
+        /// Request id.
+        id: u64,
+        /// Input tokens.
+        input_len: usize,
+        /// Output tokens (enforced).
+        output_len: usize,
+    },
+    /// Nothing in flight and nothing arrived: the loop jumped to the next
+    /// arrival.
+    Idle {
+        /// When the server went idle.
+        from: f64,
+        /// Next arrival it woke at.
+        until: f64,
+    },
+    /// An RRA encoding phase.
+    Encode {
+        /// Phase start.
+        t_start: f64,
+        /// Phase end.
+        t_end: f64,
+        /// Queries admitted into the pipeline.
+        admitted: usize,
+        /// Queue depth after admission.
+        queue_depth: usize,
+    },
+    /// An RRA decoding phase (up to `N_D` iterations).
+    Decode {
+        /// Phase start.
+        t_start: f64,
+        /// Phase end.
+        t_end: f64,
+        /// Iterations executed.
+        iters: usize,
+        /// Queries completed during the phase.
+        completed: usize,
+    },
+    /// One WAA coupled round (encode ∥ decode ∥ KV handover).
+    Round {
+        /// Round start.
+        t_start: f64,
+        /// Round end.
+        t_end: f64,
+        /// Queries admitted to the encoder group.
+        admitted: usize,
+        /// Decoder-pool size during the round.
+        pool: usize,
+    },
+    /// A request finished all its output tokens.
+    Completion {
+        /// Completion time.
+        t: f64,
+        /// Request id.
+        id: u64,
+        /// Time to first token (from arrival).
+        ttft: f64,
+        /// End-to-end latency (from arrival).
+        e2e: f64,
+        /// Whether any SLO target was violated.
+        violated: bool,
+    },
+    /// The drift detector compared its window to the scheduled
+    /// distribution.
+    DriftCheck {
+        /// Check time.
+        t: f64,
+        /// Observed window mean output length.
+        window_mean: f64,
+        /// Output mean the current schedule was optimized for.
+        scheduled_mean: f64,
+        /// Relative shift `|window − scheduled| / scheduled`.
+        rel_shift: f64,
+        /// Whether drift was declared (threshold held for enough
+        /// consecutive checks).
+        drifted: bool,
+    },
+    /// Drift triggered a live reschedule on the warm engine.
+    Reschedule {
+        /// Decision time.
+        t: f64,
+        /// Schedule being replaced.
+        from: String,
+        /// Schedule chosen for the refitted workload.
+        to: String,
+        /// Refitted output-distribution mean handed to the scheduler.
+        refit_mean: f64,
+    },
+    /// A reschedule attempt found no feasible schedule; serving continues
+    /// on the old plan.
+    RescheduleFailed {
+        /// Decision time.
+        t: f64,
+        /// Scheduler error.
+        why: String,
+    },
+    /// The new plan was installed at a phase boundary.
+    PlanSwap {
+        /// Swap time (after paying `cost`).
+        t: f64,
+        /// Virtual seconds spent redeploying (0 for compatible plans).
+        cost: f64,
+        /// In-flight queries whose KV entries migrated to the new plan.
+        migrated: usize,
+    },
+}
+
+/// Append-only event log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the log as JSON Lines (one event per line). Deterministic
+    /// for a deterministic run; the acceptance test compares runs
+    /// byte-for-byte on this output.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&serde_json::to_string(e).expect("events serialize"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_is_one_line_per_event_and_stable() {
+        let mut log = EventLog::new();
+        log.push(Event::Arrival { t: 0.25, id: 1, input_len: 128, output_len: 64 });
+        log.push(Event::Idle { from: 0.25, until: 1.5 });
+        let a = log.to_jsonl();
+        let b = log.to_jsonl();
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 2);
+        assert!(a.lines().next().unwrap().contains("Arrival"));
+    }
+}

@@ -1,0 +1,66 @@
+//! exegpt-serve: the online serving loop for ExeGPT schedules.
+//!
+//! The scheduler ([`exegpt::Scheduler`]) picks the throughput-optimal
+//! schedule for an *assumed* output-length distribution; this crate closes
+//! the loop at serving time. A [`ServeLoop`] plays a timed arrival stream
+//! (Poisson, bursty, or trace-driven — see [`exegpt_workload`]) through the
+//! same discrete-event phase machinery the offline runner uses
+//! ([`exegpt_runner::PhaseExecutor`]), while a control loop
+//!
+//! 1. tracks per-request TTFT, per-token and end-to-end latency against
+//!    [`SloTargets`],
+//! 2. re-estimates the output-length distribution online over a sliding
+//!    window of completions ([`DriftDetector`]),
+//! 3. detects drift away from the distribution the schedule was optimized
+//!    for (paper §7.6, Figure 11), and
+//! 4. reschedules on the warm engine ([`exegpt::Engine::reschedule`]) and
+//!    swaps the plan in at a phase boundary, charging a redeployment cost
+//!    when the GPU allocation changed (§7.7).
+//!
+//! Counters, gauges and latency histograms live in a [`Metrics`] registry;
+//! every externally observable action lands in a structured [`EventLog`]
+//! whose JSONL rendering is byte-deterministic for a fixed seed.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use exegpt::Engine;
+//! use exegpt_cluster::ClusterSpec;
+//! use exegpt_model::ModelConfig;
+//! use exegpt_serve::{ServeLoop, ServeOptions, SloTargets};
+//! use exegpt_workload::{PoissonStream, Task};
+//!
+//! let workload = Task::Translation.workload()?;
+//! let engine = Engine::builder()
+//!     .model(ModelConfig::opt_13b())
+//!     .cluster(ClusterSpec::a40_cluster().subcluster(4)?)
+//!     .workload(workload.clone())
+//!     .build()?;
+//! let schedule = engine.schedule(f64::INFINITY)?;
+//!
+//! let opts = ServeOptions { slo: SloTargets::e2e(60.0), ..ServeOptions::default() };
+//! let arrivals: Vec<_> = PoissonStream::new(&workload, 10.0, 7).take(500).collect();
+//! let report = ServeLoop::new(engine, &schedule.config, opts)?.run(arrivals)?;
+//! println!("p99 e2e = {:.2}s", report.e2e.unwrap().p99);
+//! println!("SLO violation rate = {:.1}%", report.slo.violation_rate() * 100.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod drift;
+mod error;
+mod events;
+mod metrics;
+mod server;
+mod slo;
+mod traffic;
+
+pub use drift::{DriftCheck, DriftDetector, DriftOptions};
+pub use error::ServeError;
+pub use events::{Event, EventLog};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use server::{ServeLoop, ServeOptions, ServeReport};
+pub use slo::{SloCheck, SloOutcome, SloTargets};
+pub use traffic::poisson_with_shift;

@@ -1,0 +1,545 @@
+//! The online serving loop: discrete-event execution of an arrival stream
+//! against a live, swappable schedule.
+
+use exegpt::{Engine, Schedule, ScheduleConfig, SchedulerOptions};
+use exegpt_cluster::LoadSource;
+use exegpt_dist::stats::Summary;
+use exegpt_runner::{PhaseExecutor, RunError};
+use exegpt_sim::Workload;
+use exegpt_workload::{Request, TimedRequest};
+use serde::Serialize;
+
+use crate::drift::{DriftDetector, DriftOptions};
+use crate::error::ServeError;
+use crate::events::{Event, EventLog};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::slo::{SloOutcome, SloTargets};
+
+/// Configuration of a [`ServeLoop`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Per-request latency targets.
+    pub slo: SloTargets,
+    /// §5.2 dynamic-adjustment threshold (fraction of the encoder-workload
+    /// target; matches the offline runner's default).
+    pub adjust_threshold: f64,
+    /// Drift-detector tuning.
+    pub drift: DriftOptions,
+    /// Whether drift triggers a live reschedule (`false` = static plan,
+    /// the Figure 11 "w/o re-optimization" arm).
+    pub adaptive: bool,
+    /// Scheduler options used for live reschedules (latency bound,
+    /// policies, tolerances).
+    pub scheduler: SchedulerOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            slo: SloTargets::unconstrained(),
+            adjust_threshold: 0.15,
+            drift: DriftOptions::default(),
+            adaptive: true,
+            scheduler: SchedulerOptions::bounded(f64::INFINITY),
+        }
+    }
+}
+
+impl ServeOptions {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.adjust_threshold.is_nan() || self.adjust_threshold < 0.0 {
+            return Err(ServeError::InvalidOption {
+                what: "adjust_threshold",
+                why: format!("must be non-negative, got {}", self.adjust_threshold),
+            });
+        }
+        let d = &self.drift;
+        if d.window == 0 || d.check_every == 0 || d.consecutive == 0 {
+            return Err(ServeError::InvalidOption {
+                what: "drift",
+                why: "window, check_every and consecutive must be positive".into(),
+            });
+        }
+        if d.min_samples > d.window {
+            return Err(ServeError::InvalidOption {
+                what: "drift.min_samples",
+                why: format!("cannot exceed window ({} > {})", d.min_samples, d.window),
+            });
+        }
+        if d.rel_threshold.is_nan() || d.rel_threshold < 0.0 {
+            return Err(ServeError::InvalidOption {
+                what: "drift.rel_threshold",
+                why: format!("must be non-negative, got {}", d.rel_threshold),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Everything a finished serving run reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Output tokens generated.
+    pub tokens_generated: u64,
+    /// Virtual time of the last completion.
+    pub makespan: f64,
+    /// Completions per virtual second over the whole run.
+    pub throughput: f64,
+    /// Time-to-first-token summary (seconds from arrival).
+    pub ttft: Option<Summary>,
+    /// Per-generated-token latency summary (seconds, outputs > 1 token).
+    pub per_token: Option<Summary>,
+    /// End-to-end latency summary (seconds from arrival).
+    pub e2e: Option<Summary>,
+    /// Queueing-delay summary (arrival → encode start).
+    pub queue_wait: Option<Summary>,
+    /// SLO accounting.
+    pub slo: SloOutcome,
+    /// Drift checks performed.
+    pub drift_checks: usize,
+    /// Live reschedules performed.
+    pub reschedules: usize,
+    /// Plan swaps installed (≤ reschedules).
+    pub plan_swaps: usize,
+    /// Total virtual seconds spent redeploying across swaps.
+    pub swap_cost: f64,
+    /// Schedule in force when the run ended.
+    pub final_schedule: String,
+    /// Full metrics snapshot.
+    pub metrics: MetricsSnapshot,
+    /// Structured event log (byte-deterministic for a fixed seed).
+    pub events: EventLog,
+}
+
+/// A query in flight through the pipeline.
+struct InFlight {
+    req: Request,
+    progress: usize,
+    arrival: f64,
+    t_encoded: f64,
+    t_first: Option<f64>,
+}
+
+/// A query that finished during the current phase.
+struct Done {
+    id: u64,
+    out_len: usize,
+    ttft: f64,
+    e2e: f64,
+    per_token: Option<f64>,
+    queue_wait: f64,
+    t: f64,
+}
+
+/// The online serving engine.
+///
+/// Owns a warm [`Engine`] (profile + evaluation caches) and the
+/// [`PhaseExecutor`] of the currently installed schedule. [`run`] consumes
+/// the loop and a timed arrival stream and plays the stream to completion:
+/// admission is dynamic (§5.2), per-request latencies are checked against
+/// the SLO, completed output lengths feed a drift detector, and — in
+/// adaptive mode — detected drift refits the output distribution, invokes
+/// [`Engine::reschedule`] on the warm engine, and installs the new plan at
+/// the next phase boundary (paying a redeployment cost if the plan's GPU
+/// allocation changed).
+///
+/// Everything runs in virtual time; for a fixed arrival stream and options
+/// the run (including the serialized event log) is byte-deterministic.
+///
+/// [`run`]: ServeLoop::run
+pub struct ServeLoop {
+    engine: Engine,
+    exec: PhaseExecutor,
+    opts: ServeOptions,
+}
+
+impl ServeLoop {
+    /// Creates a serving loop executing `schedule` on `engine`'s
+    /// deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Run`] when the schedule is infeasible on the
+    /// deployment, or [`ServeError::InvalidOption`] for bad options.
+    pub fn new(
+        engine: Engine,
+        schedule: &ScheduleConfig,
+        opts: ServeOptions,
+    ) -> Result<Self, ServeError> {
+        opts.validate()?;
+        let exec = PhaseExecutor::new(engine.simulator(), schedule)?;
+        Ok(Self { engine, exec, opts })
+    }
+
+    /// The schedule currently installed.
+    pub fn schedule(&self) -> ScheduleConfig {
+        self.exec.schedule()
+    }
+
+    /// Serves `arrivals` (must be sorted by arrival time) to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Run`] if execution stalls (a query can never
+    /// fit in the KV cache) or a batch falls outside the profiled range.
+    pub fn run(
+        mut self,
+        arrivals: impl IntoIterator<Item = TimedRequest>,
+    ) -> Result<ServeReport, ServeError> {
+        let mut upcoming = arrivals.into_iter().peekable();
+        let mut pending: Vec<TimedRequest> = Vec::new();
+        let mut pool: Vec<InFlight> = Vec::new();
+        let mut t = 0.0f64;
+
+        let mut metrics = Metrics::new();
+        let mut events = EventLog::new();
+        let mut slo_out = SloOutcome::default();
+        let mut detector = DriftDetector::new(self.opts.drift);
+        let mut adjuster = self.exec.adjuster(self.opts.adjust_threshold);
+        let mut kv = self.exec.kv_tracker();
+        let mut scheduled_b_d = self.exec.scheduled_decode_batch();
+        let mut pending_swap: Option<ScheduleConfig> = None;
+        let mut tokens: u64 = 0;
+        let mut swap_cost_total = 0.0f64;
+        let mut peak_kv: u64 = 0;
+        let mut last_completion = 0.0f64;
+
+        loop {
+            // ---- Install a pending plan swap at the phase boundary ------
+            if let Some(cfg) = pending_swap.take() {
+                let new_exec = PhaseExecutor::new(self.engine.simulator(), &cfg)?;
+                let cost = swap_cost(&self.engine, &self.exec.schedule(), &cfg);
+                t += cost;
+                peak_kv = peak_kv.max(kv.peak_bytes());
+                let mut new_kv = new_exec.kv_tracker();
+                for a in &pool {
+                    // In-flight KV entries move to the new plan's tracker
+                    // unconditionally: evicting live queries would violate
+                    // their SLO by construction.
+                    new_kv.admit_unchecked(a.req.id, a.req.input_len + a.progress);
+                }
+                events.push(Event::PlanSwap { t, cost, migrated: pool.len() });
+                metrics.inc("plan_swaps");
+                swap_cost_total += cost;
+                self.exec = new_exec;
+                kv = new_kv;
+                adjuster = self.exec.adjuster(self.opts.adjust_threshold);
+                scheduled_b_d = self.exec.scheduled_decode_batch();
+            }
+
+            // ---- Ingest arrivals up to the current virtual time ---------
+            while let Some(r) = upcoming.peek() {
+                if r.arrival > t {
+                    break;
+                }
+                events.push(Event::Arrival {
+                    t: r.arrival,
+                    id: r.request.id,
+                    input_len: r.request.input_len,
+                    output_len: r.request.output_len,
+                });
+                metrics.inc("arrivals");
+                pending.push(*r);
+                upcoming.next();
+            }
+
+            // ---- Dynamic admission (§5.2) -------------------------------
+            let lens: Vec<usize> = pending.iter().map(|r| r.request.input_len).collect();
+            let selected = adjuster.select_batch(&lens, pool.len(), scheduled_b_d);
+            let mut admitted: Vec<TimedRequest> = Vec::with_capacity(selected.len());
+            let mut taken = vec![false; pending.len()];
+            for &idx in &selected {
+                let r = pending[idx];
+                if !kv.try_admit(r.request.id, r.request.input_len, 0) {
+                    break; // cache full: stop admitting this phase
+                }
+                taken[idx] = true;
+                admitted.push(r);
+            }
+            if !admitted.is_empty() {
+                let mut keep = Vec::with_capacity(pending.len() - admitted.len());
+                for (i, r) in pending.into_iter().enumerate() {
+                    if !taken[i] {
+                        keep.push(r);
+                    }
+                }
+                pending = keep;
+                metrics.add("admitted", admitted.len() as u64);
+            }
+
+            if admitted.is_empty() && pool.is_empty() {
+                if pending.is_empty() {
+                    match upcoming.peek() {
+                        None => break, // stream drained, nothing in flight
+                        Some(r) => {
+                            events.push(Event::Idle { from: t, until: r.arrival });
+                            t = r.arrival;
+                            continue;
+                        }
+                    }
+                }
+                return Err(RunError::Stalled {
+                    why: format!(
+                        "query {} ({} input tokens) cannot fit in the kv cache",
+                        pending[0].request.id, pending[0].request.input_len
+                    ),
+                }
+                .into());
+            }
+
+            // ---- Execute one phase (RRA) or round (WAA) -----------------
+            let mut done: Vec<Done> = Vec::new();
+            if self.exec.is_coupled() {
+                let n_admitted = admitted.len();
+                let (p_enc, enc_tokens) = if admitted.is_empty() {
+                    (0.0, 0.0)
+                } else {
+                    let lens: Vec<usize> = admitted.iter().map(|r| r.request.input_len).collect();
+                    let enc = self.exec.encode_timing(&lens)?;
+                    (enc.bottleneck, enc.tokens)
+                };
+                let p_dec = if pool.is_empty() {
+                    0.0
+                } else {
+                    let b_m = self.exec.decode_parallelism(pool.len());
+                    let ctx = mean_context(&pool);
+                    self.exec.decode_timing(b_m, pool.len(), ctx, false)?.total
+                };
+                let t_kv = self.exec.handover_time(enc_tokens);
+                let round = p_enc.max(p_dec).max(t_kv);
+                let t_start = t;
+                let pool_during = pool.len();
+                t += round;
+                if !pool.is_empty() {
+                    tokens += pool.len() as u64;
+                    advance(&mut pool, &mut kv, t, &mut done);
+                }
+                metrics.inc("rounds");
+                events.push(Event::Round {
+                    t_start,
+                    t_end: t,
+                    admitted: n_admitted,
+                    pool: pool_during,
+                });
+                for r in admitted {
+                    pool.push(InFlight {
+                        req: r.request,
+                        progress: 0,
+                        arrival: r.arrival,
+                        t_encoded: t_start,
+                        t_first: None,
+                    });
+                }
+            } else {
+                if !admitted.is_empty() {
+                    let lens: Vec<usize> = admitted.iter().map(|r| r.request.input_len).collect();
+                    let enc = self.exec.encode_timing(&lens)?;
+                    let t_start = t;
+                    t += enc.total;
+                    metrics.inc("encode_phases");
+                    events.push(Event::Encode {
+                        t_start,
+                        t_end: t,
+                        admitted: admitted.len(),
+                        queue_depth: pending.len(),
+                    });
+                    for r in admitted {
+                        pool.push(InFlight {
+                            req: r.request,
+                            progress: 0,
+                            arrival: r.arrival,
+                            t_encoded: t_start,
+                            t_first: None,
+                        });
+                    }
+                }
+                let m_d = self.exec.decode_parallelism(pool.len());
+                let t_start = t;
+                let mut iters = 0usize;
+                for u in 0..self.exec.decode_iters_per_phase() {
+                    if pool.is_empty() {
+                        break;
+                    }
+                    let ctx = mean_context(&pool);
+                    let dec = self.exec.decode_timing(m_d, pool.len(), ctx, u == 0)?;
+                    t += dec.total;
+                    tokens += pool.len() as u64;
+                    iters += 1;
+                    advance(&mut pool, &mut kv, t, &mut done);
+                }
+                metrics.add("decode_iters", iters as u64);
+                events.push(Event::Decode { t_start, t_end: t, iters, completed: done.len() });
+            }
+
+            // ---- Account completions: SLO, metrics, drift ---------------
+            let scheduled_mean = self.exec.simulator().workload().output().mean();
+            let mut drift_declared = false;
+            for d in &done {
+                metrics.inc("completions");
+                metrics.observe("ttft", d.ttft);
+                metrics.observe("e2e", d.e2e);
+                metrics.observe("queue_wait", d.queue_wait);
+                if let Some(pt) = d.per_token {
+                    metrics.observe("per_token", pt);
+                }
+                let check = self.opts.slo.check(d.ttft, d.per_token, d.e2e);
+                slo_out.record(check);
+                events.push(Event::Completion {
+                    t: d.t,
+                    id: d.id,
+                    ttft: d.ttft,
+                    e2e: d.e2e,
+                    violated: check.violated(),
+                });
+                last_completion = d.t;
+                if let Some(c) = detector.observe(d.out_len, scheduled_mean) {
+                    metrics.inc("drift_checks");
+                    events.push(Event::DriftCheck {
+                        t: d.t,
+                        window_mean: c.window_mean,
+                        scheduled_mean: c.scheduled_mean,
+                        rel_shift: c.rel_shift,
+                        drifted: c.drifted,
+                    });
+                    drift_declared |= c.drifted;
+                }
+            }
+            metrics.gauge("queue_depth", pending.len() as f64);
+            metrics.gauge("pool_size", pool.len() as f64);
+
+            // ---- Live reschedule on declared drift ----------------------
+            if drift_declared && self.opts.adaptive && pending_swap.is_none() {
+                pending_swap = self.reschedule(&mut detector, t, &mut metrics, &mut events);
+            }
+        }
+
+        peak_kv = peak_kv.max(kv.peak_bytes());
+        let completed = slo_out.checked;
+        let makespan = last_completion;
+        let throughput = if makespan > 0.0 { completed as f64 / makespan } else { 0.0 };
+        metrics.gauge("swap_cost_total", swap_cost_total);
+        metrics.gauge("kv_peak_bytes", peak_kv as f64);
+        Ok(ServeReport {
+            completed,
+            tokens_generated: tokens,
+            makespan,
+            throughput,
+            ttft: metrics.summary("ttft"),
+            per_token: metrics.summary("per_token"),
+            e2e: metrics.summary("e2e"),
+            queue_wait: metrics.summary("queue_wait"),
+            slo: slo_out,
+            drift_checks: metrics.counter("drift_checks") as usize,
+            reschedules: metrics.counter("reschedules") as usize,
+            plan_swaps: metrics.counter("plan_swaps") as usize,
+            swap_cost: swap_cost_total,
+            final_schedule: self.exec.schedule().describe(),
+            metrics: metrics.snapshot(),
+            events,
+        })
+    }
+
+    /// Refits the output distribution to the drift window and re-runs the
+    /// scheduler on the warm engine. Returns the new plan to install at the
+    /// next phase boundary, or `None` if refitting/scheduling failed (the
+    /// loop keeps serving on the old plan either way).
+    fn reschedule(
+        &mut self,
+        detector: &mut DriftDetector,
+        t: f64,
+        metrics: &mut Metrics,
+        events: &mut EventLog,
+    ) -> Option<ScheduleConfig> {
+        let result: Result<Schedule, ServeError> =
+            detector.refit().map_err(ServeError::from).and_then(|refit| {
+                let workload = Workload::new(
+                    self.exec.simulator().workload().input().clone(),
+                    refit.dist.clone(),
+                );
+                metrics.gauge("refit_mean", refit.dist.mean());
+                self.engine.reschedule(workload, &self.opts.scheduler).map_err(ServeError::from)
+            });
+        detector.reset();
+        match result {
+            Ok(schedule) => {
+                metrics.inc("reschedules");
+                events.push(Event::Reschedule {
+                    t,
+                    from: self.exec.schedule().describe(),
+                    to: schedule.config.describe(),
+                    refit_mean: self.engine.simulator().workload().output().mean(),
+                });
+                // Install even an identical config: the executor must be
+                // rebound to the refitted workload so drift is measured
+                // against what the scheduler last optimized for.
+                Some(schedule.config)
+            }
+            Err(e) => {
+                metrics.inc("reschedule_failures");
+                events.push(Event::RescheduleFailed { t, why: e.to_string() });
+                None
+            }
+        }
+    }
+}
+
+/// Mean context length (input + generated so far) over the pool.
+fn mean_context(pool: &[InFlight]) -> f64 {
+    pool.iter().map(|a| (a.req.input_len + a.progress) as f64).sum::<f64>() / pool.len() as f64
+}
+
+/// Advances every pooled query by one token at time `t`, recording first
+/// tokens and harvesting completions (with KV compaction).
+fn advance(
+    pool: &mut Vec<InFlight>,
+    kv: &mut exegpt_runner::KvTracker,
+    t: f64,
+    done: &mut Vec<Done>,
+) {
+    let mut i = 0;
+    while i < pool.len() {
+        pool[i].progress += 1;
+        let _ = kv.grow(pool[i].req.id, 1);
+        if pool[i].t_first.is_none() {
+            pool[i].t_first = Some(t);
+        }
+        if pool[i].progress >= pool[i].req.output_len {
+            let a = pool.swap_remove(i);
+            kv.release(a.req.id);
+            let t_first = a.t_first.unwrap_or(t);
+            let per_token = if a.req.output_len > 1 {
+                Some((t - t_first) / (a.req.output_len - 1) as f64)
+            } else {
+                None
+            };
+            done.push(Done {
+                id: a.req.id,
+                out_len: a.req.output_len,
+                ttft: t_first - a.arrival,
+                e2e: t - a.arrival,
+                per_token,
+                queue_wait: a.t_encoded - a.arrival,
+                t,
+            });
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Virtual cost of swapping from `old` to `new`.
+///
+/// RRA time-shares every GPU between encode and decode, so changing `B_E` /
+/// `N_D` is a pure runtime adjustment; only a tensor-parallelism change
+/// re-partitions the deployment. WAA physically splits GPUs into encoder
+/// and decoder groups, so any config change re-allocates and pays a
+/// DRAM-sourced redeployment (§7.7, Table 4).
+fn swap_cost(engine: &Engine, old: &ScheduleConfig, new: &ScheduleConfig) -> f64 {
+    match (old, new) {
+        (ScheduleConfig::Rra(a), ScheduleConfig::Rra(b)) if a.tp == b.tp => 0.0,
+        (ScheduleConfig::Waa(a), ScheduleConfig::Waa(b)) if a == b => 0.0,
+        _ => engine.deploy_time(LoadSource::Dram),
+    }
+}

@@ -1,0 +1,99 @@
+//! Arrival-stream constructors for serving experiments.
+
+use exegpt_sim::Workload;
+use exegpt_workload::{PoissonStream, TimedRequest};
+
+/// A Poisson arrival stream whose request population switches from `base`
+/// to `shifted` after `shift_after` requests — the paper's §7.6
+/// distribution-shift experiment (Figure 11) expressed as live traffic.
+///
+/// The rate is held constant across the shift; only the sampled
+/// input/output lengths change. Ids are reassigned sequentially so the
+/// combined stream has unique ids, and the second segment's clock is
+/// offset to continue where the first left off. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `shift_after > total` or `rate_qps` is not positive.
+///
+/// # Example
+///
+/// ```
+/// use exegpt_serve::poisson_with_shift;
+/// use exegpt_workload::Task;
+///
+/// let base = Task::Translation.workload()?;
+/// let shifted = exegpt_sim::Workload::new(
+///     base.input().clone(),
+///     base.output().with_scaled_mean(1.5)?,
+/// );
+/// let arrivals = poisson_with_shift(&base, &shifted, 10.0, 50, 100, 7);
+/// assert_eq!(arrivals.len(), 100);
+/// assert!(arrivals.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+/// assert!(arrivals.iter().enumerate().all(|(i, r)| r.request.id == i as u64));
+/// # Ok::<(), exegpt_dist::DistError>(())
+/// ```
+pub fn poisson_with_shift(
+    base: &Workload,
+    shifted: &Workload,
+    rate_qps: f64,
+    shift_after: usize,
+    total: usize,
+    seed: u64,
+) -> Vec<TimedRequest> {
+    assert!(shift_after <= total, "shift point beyond stream length");
+    let mut out: Vec<TimedRequest> =
+        PoissonStream::new(base, rate_qps, seed).take(shift_after).collect();
+    let offset = out.last().map_or(0.0, |r| r.arrival);
+    out.extend(
+        PoissonStream::new(shifted, rate_qps, seed ^ 0xd1f7_65aa_20c3_9e4b)
+            .take(total - shift_after)
+            .map(|mut r| {
+                r.arrival += offset;
+                r
+            }),
+    );
+    for (i, r) in out.iter_mut().enumerate() {
+        r.request.id = i as u64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exegpt_workload::Task;
+
+    #[test]
+    fn shift_changes_the_sampled_population() {
+        let base = Task::Translation.workload().expect("valid");
+        let shifted = Workload::new(
+            base.input().clone(),
+            base.output().with_scaled_mean(2.0).expect("valid"),
+        );
+        let arrivals = poisson_with_shift(&base, &shifted, 20.0, 300, 600, 11);
+        assert_eq!(arrivals.len(), 600);
+        let mean = |rs: &[TimedRequest]| {
+            rs.iter().map(|r| r.request.output_len as f64).sum::<f64>() / rs.len() as f64
+        };
+        let before = mean(&arrivals[..300]);
+        let after = mean(&arrivals[300..]);
+        assert!(after > before * 1.5, "post-shift outputs are much longer ({before} → {after})");
+        // Arrival clock is monotone across the splice point.
+        assert!(arrivals.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let base = Task::Translation.workload().expect("valid");
+        let shifted = Workload::new(
+            base.input().clone(),
+            base.output().with_scaled_mean(1.5).expect("valid"),
+        );
+        let a = poisson_with_shift(&base, &shifted, 10.0, 50, 120, 3);
+        let b = poisson_with_shift(&base, &shifted, 10.0, 50, 120, 3);
+        let c = poisson_with_shift(&base, &shifted, 10.0, 50, 120, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

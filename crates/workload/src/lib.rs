@@ -29,5 +29,5 @@ mod tasks;
 
 pub use datasets::Dataset;
 pub use latency::latency_bounds;
-pub use requests::{PoissonStream, Request, RequestStream, TimedRequest};
+pub use requests::{BurstyStream, PoissonStream, Request, RequestStream, TimedRequest};
 pub use tasks::Task;

@@ -129,6 +129,127 @@ impl Iterator for PoissonStream {
     }
 }
 
+/// A deterministic *bursty* open-loop arrival stream: a two-state Markov-
+/// modulated Poisson process (MMPP-2).
+///
+/// The process alternates between a *burst* state and a *lull* state, each
+/// with exponentially distributed dwell times; within a state, arrivals are
+/// Poisson at that state's rate. This is the classic on-off traffic model
+/// for flash crowds and diurnal swings — the regime where a serving layer's
+/// SLO accounting (queueing during bursts) and drift detection earn their
+/// keep, versus the memoryless [`PoissonStream`].
+///
+/// With `rate_lull = 0` the process degenerates to an interrupted Poisson
+/// process (pure on-off). The long-run mean rate is
+/// `(rate_burst·dwell_burst + rate_lull·dwell_lull) / (dwell_burst + dwell_lull)`,
+/// exposed as [`mean_rate`](BurstyStream::mean_rate).
+///
+/// # Example
+///
+/// ```
+/// use exegpt_workload::{BurstyStream, Task};
+///
+/// let w = Task::Translation.workload()?;
+/// // 30 qps bursts of ~5 s, 5 qps lulls of ~15 s: ~11.25 qps on average.
+/// let s = BurstyStream::new(&w, 30.0, 5.0, 5.0, 15.0, 7);
+/// assert!((s.mean_rate() - 11.25).abs() < 1e-12);
+/// let reqs: Vec<_> = s.take(100).collect();
+/// assert!(reqs.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+/// # Ok::<(), exegpt_dist::DistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BurstyStream {
+    inner: RequestStream,
+    gaps: StdRng,
+    rate_burst: f64,
+    rate_lull: f64,
+    dwell_burst: f64,
+    dwell_lull: f64,
+    now: f64,
+    in_burst: bool,
+    next_switch: f64,
+}
+
+impl BurstyStream {
+    /// Creates a bursty stream over `workload`: Poisson at `rate_burst`
+    /// queries/second during bursts of mean length `dwell_burst` seconds,
+    /// and at `rate_lull` during lulls of mean length `dwell_lull`. The
+    /// process starts in a burst. Fully determined by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_burst` is not positive, `rate_lull` is negative, or
+    /// either dwell time is not positive.
+    pub fn new(
+        workload: &Workload,
+        rate_burst: f64,
+        rate_lull: f64,
+        dwell_burst: f64,
+        dwell_lull: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(rate_burst > 0.0, "burst arrival rate must be positive");
+        assert!(rate_lull >= 0.0, "lull arrival rate must be non-negative");
+        assert!(dwell_burst > 0.0 && dwell_lull > 0.0, "dwell times must be positive");
+        let mut gaps = StdRng::seed_from_u64(seed ^ 0x94d0_49bb_1331_11eb);
+        let first_switch = exponential(&mut gaps, 1.0 / dwell_burst);
+        Self {
+            inner: RequestStream::new(workload, seed),
+            gaps,
+            rate_burst,
+            rate_lull,
+            dwell_burst,
+            dwell_lull,
+            now: 0.0,
+            in_burst: true,
+            next_switch: first_switch,
+        }
+    }
+
+    /// The long-run mean arrival rate in queries/second.
+    pub fn mean_rate(&self) -> f64 {
+        (self.rate_burst * self.dwell_burst + self.rate_lull * self.dwell_lull)
+            / (self.dwell_burst + self.dwell_lull)
+    }
+}
+
+/// An exponential draw with the given rate (`f64::INFINITY`-free: the
+/// underlying uniform is bounded away from zero).
+fn exponential(rng: &mut StdRng, rate: f64) -> f64 {
+    use rand::Rng;
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+impl Iterator for BurstyStream {
+    type Item = TimedRequest;
+
+    fn next(&mut self) -> Option<TimedRequest> {
+        // Memorylessness makes this exact: a candidate gap at the current
+        // state's rate either lands before the next state switch (a real
+        // arrival) or is discarded and redrawn from the switch point.
+        loop {
+            let rate = if self.in_burst { self.rate_burst } else { self.rate_lull };
+            let candidate = if rate > 0.0 {
+                self.now + exponential(&mut self.gaps, rate)
+            } else {
+                f64::INFINITY // silent lull: jump straight to the switch
+            };
+            if candidate <= self.next_switch {
+                self.now = candidate;
+                return Some(TimedRequest {
+                    request: self.inner.next_request(),
+                    arrival: self.now,
+                });
+            }
+            self.now = self.next_switch;
+            self.in_burst = !self.in_burst;
+            let mean_dwell = if self.in_burst { self.dwell_burst } else { self.dwell_lull };
+            self.next_switch = self.now + exponential(&mut self.gaps, 1.0 / mean_dwell);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +285,56 @@ mod tests {
         // Deterministic per seed.
         let again: Vec<_> = PoissonStream::new(&w, 20.0, 5).take(10).collect();
         assert_eq!(&reqs[..10], &again[..]);
+    }
+
+    #[test]
+    fn bursty_arrivals_match_the_modulated_rate() {
+        let w = Task::Translation.workload().expect("valid");
+        // 40 qps bursts (~4 s) alternating with 4 qps lulls (~12 s):
+        // long-run mean (40*4 + 4*12) / 16 = 13 qps.
+        let s = BurstyStream::new(&w, 40.0, 4.0, 4.0, 12.0, 11);
+        assert!((s.mean_rate() - 13.0).abs() < 1e-12);
+        let reqs: Vec<_> = s.take(20_000).collect();
+        let span = reqs.last().expect("non-empty").arrival;
+        let rate = reqs.len() as f64 / span;
+        assert!((rate - 13.0).abs() < 1.0, "measured rate {rate}");
+        assert!(reqs.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+    }
+
+    #[test]
+    fn bursty_interarrivals_are_overdispersed_vs_poisson() {
+        let w = Task::Translation.workload().expect("valid");
+        let cv2 = |reqs: &[TimedRequest]| {
+            let gaps: Vec<f64> = reqs.windows(2).map(|p| p[1].arrival - p[0].arrival).collect();
+            let m = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - m) * (g - m)).sum::<f64>() / gaps.len() as f64;
+            var / (m * m)
+        };
+        let bursty: Vec<_> = BurstyStream::new(&w, 50.0, 2.0, 3.0, 10.0, 5).take(8000).collect();
+        let poisson: Vec<_> = PoissonStream::new(&w, 13.0, 5).take(8000).collect();
+        // Poisson inter-arrivals have squared CV ~1; modulation pushes the
+        // bursty stream's well above it.
+        let (b, p) = (cv2(&bursty), cv2(&poisson));
+        assert!(p < 1.3, "poisson cv^2 {p}");
+        assert!(b > 2.0, "bursty cv^2 {b} not overdispersed");
+    }
+
+    #[test]
+    fn bursty_streams_are_deterministic_per_seed() {
+        let w = Task::Translation.workload().expect("valid");
+        let a: Vec<_> = BurstyStream::new(&w, 30.0, 5.0, 5.0, 15.0, 9).take(200).collect();
+        let b: Vec<_> = BurstyStream::new(&w, 30.0, 5.0, 5.0, 15.0, 9).take(200).collect();
+        let c: Vec<_> = BurstyStream::new(&w, 30.0, 5.0, 5.0, 15.0, 10).take(200).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn silent_lull_degenerates_to_interrupted_poisson() {
+        let w = Task::Translation.workload().expect("valid");
+        let reqs: Vec<_> = BurstyStream::new(&w, 25.0, 0.0, 2.0, 6.0, 3).take(2000).collect();
+        assert_eq!(reqs.len(), 2000, "the stream still yields arrivals");
+        assert!(reqs.windows(2).all(|p| p[0].arrival <= p[1].arrival));
     }
 
     #[test]
