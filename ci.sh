@@ -14,6 +14,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --offline --release
 
+echo "==> xlint (workspace determinism lint)"
+cargo run --offline -q -p exegpt-xlint -- --workspace
+
 echo "==> cargo test -q"
 cargo test --offline --workspace -q
 

@@ -139,10 +139,10 @@ pub(crate) fn windowed(completion_times: &[f64], warmup_frac: f64) -> (f64, f64)
         return (0.0, 0.0);
     }
     let mut times = completion_times.to_vec();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    times.sort_by(f64::total_cmp);
     let warm = ((times.len() as f64 * warmup_frac) as usize).min(times.len() - 1);
     let t0 = if warm == 0 { 0.0 } else { times[warm - 1] };
-    let t1 = *times.last().expect("non-empty");
+    let t1 = times.last().copied().unwrap_or(0.0);
     if t1 <= t0 {
         // Degenerate window (one static batch): whole-run average.
         return (times.len() as f64 / t1.max(f64::MIN_POSITIVE), t1);

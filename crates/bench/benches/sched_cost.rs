@@ -8,6 +8,9 @@
 //! substrate, and the Criterion timings below are genuine wall-clock
 //! measurements of the same algorithm the paper runs.
 
+// The bench crate is exempt from xlint D2; mirror that for clippy.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, Criterion};
 use exegpt::{RraConfig, SchedulerOptions, TpConfig};
 use exegpt_bench::scenarios::opt_4xa40;

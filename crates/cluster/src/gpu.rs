@@ -73,11 +73,13 @@ impl GpuSpec {
 
     /// NVIDIA A40: 48 GB, ~149.7 TFLOPS dense FP16, 696 GB/s GDDR6.
     pub fn a40() -> Self {
+        // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
         Self::new("A40", 48 * (1 << 30) as u64, 149.7e12, 696e9).expect("preset spec is valid")
     }
 
     /// NVIDIA A100 80 GB SXM: ~312 TFLOPS dense FP16, 2039 GB/s HBM2e.
     pub fn a100_80gb() -> Self {
+        // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
         Self::new("A100-80GB", 80 * (1 << 30) as u64, 312e12, 2039e9).expect("preset spec is valid")
     }
 

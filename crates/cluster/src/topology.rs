@@ -94,6 +94,7 @@ impl ClusterSpec {
             Interconnect::pcie4_x16(),
             Interconnect::infiniband_100gb(),
         )
+        // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
         .expect("preset cluster is valid")
     }
 
@@ -108,6 +109,7 @@ impl ClusterSpec {
             Interconnect::nvlink3(),
             Interconnect::infiniband_hdr_8x200gb(),
         )
+        // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
         .expect("preset cluster is valid")
     }
 

@@ -17,7 +17,7 @@
 //! that *increasing* the mapped coordinate increases both throughput and
 //! latency (e.g. RRA's `N_D` enters as the encoding frequency `F_E`).
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Evaluated performance of one configuration point.
 ///
@@ -142,7 +142,7 @@ where
     assert!(range1.0 <= range1.1, "range1 must be non-empty");
     assert!(range2.0 <= range2.1, "range2 must be non-empty");
 
-    let mut memo: HashMap<(usize, usize), Perf> = HashMap::new();
+    let mut memo: BTreeMap<(usize, usize), Perf> = BTreeMap::new();
     let mut evals = 0usize;
     let mut best: Option<((usize, usize), Perf)> = None;
 

@@ -8,6 +8,8 @@
 //! nudged back toward its scheduled size when early terminations run ahead
 //! of or behind expectation.
 
+use exegpt_dist::convert::lossless_f64;
+
 /// Runtime controller keeping encoder/decoder workloads near schedule.
 ///
 /// # Example
@@ -49,7 +51,7 @@ impl DynamicAdjuster {
 
     /// The scheduled (average) encoder workload in tokens.
     pub fn target_workload(&self) -> f64 {
-        self.base_b_e as f64 * self.mean_input_len
+        lossless_f64(self.base_b_e) * self.mean_input_len
     }
 
     /// Selects which of the `pending` queries (by input length, in queue
@@ -74,7 +76,7 @@ impl DynamicAdjuster {
         let target = self.target_workload();
         let lo = target * (1.0 - self.threshold_frac);
         let hi = target * (1.0 + self.threshold_frac);
-        let deficit = scheduled_decode_batch as f64 - current_decode_batch as f64;
+        let deficit = lossless_f64(scheduled_decode_batch) - lossless_f64(current_decode_batch);
         let budget = (target + deficit * self.mean_input_len).clamp(lo, hi).max(
             // Degenerate schedules (B_E = 1) must still admit something.
             self.mean_input_len.min(target),
@@ -84,7 +86,7 @@ impl DynamicAdjuster {
         let mut workload = 0.0;
         let mut i = 0;
         while i < pending.len() && workload < budget {
-            let len = pending[i] as f64;
+            let len = lossless_f64(pending[i]);
             if chosen.is_empty() || workload + len <= hi {
                 chosen.push(i);
                 workload += len;
@@ -94,10 +96,10 @@ impl DynamicAdjuster {
             // The next query overshoots: look ahead for one that fits.
             let gap = hi - workload;
             let window_end = (i + 1 + LOOKAHEAD).min(pending.len());
-            match (i + 1..window_end).find(|&j| pending[j] as f64 <= gap) {
+            match (i + 1..window_end).find(|&j| lossless_f64(pending[j]) <= gap) {
                 Some(j) => {
                     chosen.push(j);
-                    workload += pending[j] as f64;
+                    workload += lossless_f64(pending[j]);
                 }
                 None => break,
             }

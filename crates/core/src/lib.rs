@@ -56,6 +56,7 @@ pub mod bnb;
 mod dynamic;
 mod engine;
 mod error;
+mod invariants;
 pub mod monotonicity;
 mod scheduler;
 pub mod search;
@@ -63,6 +64,7 @@ pub mod search;
 pub use dynamic::DynamicAdjuster;
 pub use engine::{Engine, EngineBuilder};
 pub use error::ScheduleError;
+pub use invariants::{InvariantReport, PlanInvariants};
 pub use scheduler::{Policy, Schedule, Scheduler, SchedulerOptions};
 
 // Re-export the configuration vocabulary so `exegpt` is self-contained for

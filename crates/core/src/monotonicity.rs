@@ -5,6 +5,8 @@
 //! direction by more than the tolerance. This module provides that
 //! measurement; the Table 5 bench drives it over real schedule sweeps.
 
+use exegpt_dist::convert::lossless_f64;
+
 /// Expected direction of a metric along a swept control variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
@@ -39,7 +41,7 @@ pub fn non_monotonic_fraction(values: &[f64], direction: Direction, tolerance: f
             Direction::NonIncreasing => w[1] > w[0] + tolerance,
         })
         .count();
-    violations as f64 / (values.len() - 1) as f64
+    lossless_f64(violations) / lossless_f64(values.len() - 1)
 }
 
 /// Result of sweeping one control variable: per-metric violation fractions,

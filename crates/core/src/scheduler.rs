@@ -23,6 +23,7 @@ use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
+use exegpt_dist::convert::{lossless_f64, round_usize, trunc_usize};
 use exegpt_sim::{RraConfig, ScheduleConfig, SimError, Simulator, TpConfig, WaaConfig, WaaVariant};
 
 use crate::bnb::{self, BnbOptions, Perf};
@@ -162,7 +163,7 @@ impl Scheduler {
                     });
                 }
             });
-            slots.into_iter().map(|slot| slot.into_inner().expect("search task ran")).collect()
+            slots.into_iter().map(|slot| slot.into_inner().flatten()).collect()
         } else {
             tasks.iter().map(|t| self.run_task(t, opts)).collect()
         };
@@ -182,6 +183,10 @@ impl Scheduler {
                 // lost insert race as a hit, so the totals depend only on
                 // the multiset of configurations evaluated.
                 b.cache_hits = self.sim.cache_stats().hits - hits_before;
+                #[cfg(debug_assertions)]
+                if let Err(report) = crate::PlanInvariants::check(&self.sim, &b) {
+                    debug_assert!(false, "schedule violates plan invariants: {report}");
+                }
                 Ok(b)
             }
             None => Err(ScheduleError::NoFeasibleSchedule { latency_bound: opts.latency_bound }),
@@ -286,16 +291,16 @@ impl Scheduler {
                 let s_d = self.sim.workload().output().mean().max(1.0);
                 let max_b_e = opts
                     .max_b_e
-                    .unwrap_or_else(|| ((profile.max_batch() as f64 / s_d) as usize).max(2));
+                    .unwrap_or_else(|| trunc_usize(lossless_f64(profile.max_batch()) / s_d).max(2));
                 // B_m is fixed per task (see module docs); clamp it to the
                 // derived pool so small-B_E points stay evaluable.
                 let eval = |x1: usize, _x2: usize| {
-                    let b_d = ((x1 as f64 * s_d).round() as usize).max(1);
+                    let b_d = round_usize(lossless_f64(x1) * s_d).max(1);
                     let cfg = WaaConfig::new(x1, task.b_m.min(b_d), task.tp, variant);
                     perf_of(self.sim.evaluate_waa(&cfg))
                 };
                 let r = bnb::optimize((1, max_b_e), (1, 1), &bnb_opts, eval)?;
-                let b_d = ((r.point.0 as f64 * s_d).round() as usize).max(1);
+                let b_d = round_usize(lossless_f64(r.point.0) * s_d).max(1);
                 let cfg = WaaConfig::new(r.point.0, task.b_m.min(b_d), task.tp, variant);
                 let estimate = self.sim.evaluate_waa(&cfg).ok()?;
                 Some(Schedule {

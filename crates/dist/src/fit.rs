@@ -87,9 +87,9 @@ pub fn fit_all(samples: &[usize]) -> Result<Vec<Fit>, DistError> {
         return Err(DistError::EmptySamples);
     }
     let xs: Vec<f64> = samples.iter().map(|&s| s as f64).collect();
-    let mean = stats::mean(&xs).expect("non-empty");
+    let mean = stats::mean(&xs).ok_or(DistError::EmptySamples)?;
     let std = stats::std_dev(&xs).unwrap_or(0.0);
-    let max_len = samples.iter().copied().max().expect("non-empty").max(1) * 2;
+    let max_len = samples.iter().copied().max().unwrap_or(1).max(1) * 2;
     let skew = sample_skewness(&xs).clamp(-0.95, 0.95);
 
     let mut fits = Vec::new();
@@ -116,7 +116,7 @@ pub fn fit_all(samples: &[usize]) -> Result<Vec<Fit>, DistError> {
     fits.sort_by(|a, b| {
         let ka = a.log_likelihood - 0.005 * complexity(a.family);
         let kb = b.log_likelihood - 0.005 * complexity(b.family);
-        kb.partial_cmp(&ka).expect("likelihoods are finite")
+        kb.total_cmp(&ka)
     });
     Ok(fits)
 }

@@ -85,7 +85,7 @@ impl LengthDist {
     /// non-positive mean or negative std.
     pub fn truncated_normal(mean: f64, std: f64, max_len: usize) -> Result<Self, DistError> {
         Self::validate_common(mean, std, max_len)?;
-        if std == 0.0 {
+        if std <= 0.0 {
             return Self::point_mass(mean.round().max(1.0) as usize, max_len);
         }
         let z = |x: f64| (x - mean) / std;
@@ -146,7 +146,7 @@ impl LengthDist {
     /// `max_len == 0`.
     pub fn log_normal(mean: f64, std: f64, max_len: usize) -> Result<Self, DistError> {
         Self::validate_common(mean, std, max_len)?;
-        if std == 0.0 {
+        if std <= 0.0 {
             return Self::point_mass(mean.round().max(1.0) as usize, max_len);
         }
         // Moment matching: sigma^2 = ln(1 + s^2/m^2), mu = ln m - sigma^2/2.
@@ -267,7 +267,7 @@ impl LengthDist {
     /// for latency bounds (§7.1).
     pub fn quantile(&self, p: f64) -> usize {
         let p = p.clamp(0.0, 1.0);
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&p).expect("cdf entries are finite")) {
+        match self.cdf.binary_search_by(|c| c.total_cmp(&p)) {
             Ok(i) => i + 1,
             Err(i) => (i + 1).min(self.pmf.len()),
         }

@@ -16,6 +16,8 @@
 //!   decode iterations. This is what keeps RRA's batch sizes consistent.
 //! * [`stats`] — correlation and percentile helpers used when deriving
 //!   distributions from datasets.
+//! * [`convert`] — checked numeric conversions required (by xlint rule N1,
+//!   DESIGN.md §6) throughout the cost-model and scheduler arithmetic.
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 mod completion;
+pub mod convert;
 mod error;
 pub mod fit;
 mod length;

@@ -36,7 +36,7 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
         sxx += (a - mx) * (a - mx);
         syy += (b - my) * (b - my);
     }
-    if sxx == 0.0 || syy == 0.0 {
+    if sxx <= 0.0 || syy <= 0.0 {
         return None;
     }
     Some(sxy / (sxx * syy).sqrt())
@@ -57,7 +57,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 1.0);
     let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     Some(sorted[rank - 1])
@@ -124,18 +124,19 @@ pub fn summary(xs: &[f64]) -> Option<Summary> {
         return None;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    sorted.sort_by(f64::total_cmp);
     let pick = |p: f64| {
         let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         sorted[rank - 1]
     };
+    let max = *sorted.last()?;
     Some(Summary {
         count: sorted.len(),
         mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
         p50: pick(0.50),
         p95: pick(0.95),
         p99: pick(0.99),
-        max: *sorted.last().expect("non-empty"),
+        max,
     })
 }
 

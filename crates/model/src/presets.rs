@@ -25,6 +25,7 @@ impl ModelConfig {
             2048,
             FP16,
         )
+        // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
         .expect("preset dimensions are valid")
     }
 
@@ -49,6 +50,7 @@ impl ModelConfig {
             2048,
             FP16,
         )
+        // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
         .expect("preset dimensions are valid")
     }
 
@@ -102,6 +104,7 @@ impl ModelConfig {
             4096,
             FP16,
         )
+        // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
         .expect("preset dimensions are valid")
     }
 }

@@ -11,7 +11,7 @@
 //!   granted in fixed-size pages, wasting at most one partial page per
 //!   query.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Cache reservation discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +50,7 @@ pub struct KvTracker {
     bytes_per_token: f64,
     capacity_bytes: u64,
     policy: ReservePolicy,
-    held_tokens: HashMap<u64, usize>,
+    held_tokens: BTreeMap<u64, usize>,
     used_bytes: u64,
     peak_bytes: u64,
 }
@@ -68,7 +68,7 @@ impl KvTracker {
             bytes_per_token,
             capacity_bytes,
             policy,
-            held_tokens: HashMap::new(),
+            held_tokens: BTreeMap::new(),
             used_bytes: 0,
             peak_bytes: 0,
         }

@@ -138,10 +138,10 @@ pub(crate) fn windowed_throughput(completion_times: &[f64], warmup_frac: f64) ->
         return (0.0, 0.0);
     }
     let mut times = completion_times.to_vec();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    times.sort_by(f64::total_cmp);
     let warm = ((times.len() as f64 * warmup_frac) as usize).min(times.len() - 1);
     let t0 = if warm == 0 { 0.0 } else { times[warm - 1] };
-    let t1 = *times.last().expect("non-empty");
+    let t1 = times.last().copied().unwrap_or(0.0);
     let counted = (times.len() - warm) as f64;
     if t1 <= t0 {
         // Degenerate window (e.g. one static batch completing everything at

@@ -2,6 +2,9 @@
 //! double-accounting, capacity always respected, under arbitrary
 //! admit/grow/release interleavings and all three disciplines.
 
+// Test-only bookkeeping; xlint skips tests and clippy should too.
+#![allow(clippy::disallowed_types)]
+
 use exegpt_runner::{KvTracker, ReservePolicy};
 use proptest::prelude::*;
 

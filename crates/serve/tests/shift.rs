@@ -159,6 +159,20 @@ fn adaptive_loop_beats_static_plan_under_shift() {
 }
 
 #[test]
+fn static_plan_event_log_is_byte_identical_across_runs() {
+    // The static path leans on the runner's KV tracker bookkeeping
+    // (ordered maps only, xlint rule D1); two runs must not differ by a
+    // single byte.
+    let setup = setup();
+    let a = serve(&setup, false);
+    let b = serve(&setup, false);
+    let ja = a.events.to_jsonl();
+    let jb = b.events.to_jsonl();
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "static serve runs must be byte-deterministic");
+}
+
+#[test]
 fn event_log_is_byte_identical_across_runs() {
     let setup = setup();
     let a = serve(&setup, true);

@@ -1,5 +1,6 @@
 //! Error types for the simulator crate.
 
+use exegpt_dist::convert::lossless_f64;
 use exegpt_profiler::ProfileError;
 
 /// Errors produced when evaluating a schedule configuration.
@@ -44,8 +45,8 @@ impl std::fmt::Display for SimError {
             SimError::OutOfMemory { role, needed, capacity } => write!(
                 f,
                 "{role} gpu out of memory: schedule needs {:.1} GiB of {:.1} GiB usable",
-                *needed as f64 / (1u64 << 30) as f64,
-                *capacity as f64 / (1u64 << 30) as f64
+                lossless_f64(*needed) / lossless_f64(1u64 << 30),
+                lossless_f64(*capacity) / lossless_f64(1u64 << 30)
             ),
             SimError::NoSteadyState { why } => write!(f, "no steady state: {why}"),
             SimError::Profile(e) => write!(f, "profile lookup failed: {e}"),

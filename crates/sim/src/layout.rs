@@ -1,5 +1,6 @@
 //! Pipeline layout: mapping GPUs to stages under partial tensor parallelism.
 
+use exegpt_dist::convert::{lossless_f64, trunc_usize};
 use serde::{Deserialize, Serialize};
 
 use crate::config::TpConfig;
@@ -138,13 +139,13 @@ impl PipelineLayout {
         // Give every stage one layer up front, split the rest by speed.
         let spare = total_layers - n;
         let ideal: Vec<f64> =
-            self.stages.iter().map(|s| spare as f64 * s.speed / speed_sum).collect();
-        let mut counts: Vec<usize> = ideal.iter().map(|&x| x.floor() as usize).collect();
+            self.stages.iter().map(|s| lossless_f64(spare) * s.speed / speed_sum).collect();
+        let mut counts: Vec<usize> = ideal.iter().map(|&x| trunc_usize(x)).collect();
         let mut assigned: usize = counts.iter().sum();
         // Largest remainders get the leftover layers.
         let mut rema: Vec<(usize, f64)> =
             ideal.iter().enumerate().map(|(i, &x)| (i, x - x.floor())).collect();
-        rema.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("remainders are finite"));
+        rema.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut k = 0;
         while assigned < spare {
             counts[rema[k % n].0] += 1;

@@ -7,6 +7,7 @@
 //! Early termination shrinks the active pool within a phase according to
 //! the completion distribution `P_D(U)`; the next encoding phase refills it.
 
+use exegpt_dist::convert::{ceil_usize, lossless_f64, trunc_u64, trunc_usize, widen_u64};
 use exegpt_model::{MemoryFootprint, ModelKind};
 
 use crate::cache::{DecStageKey, RraPlanKey};
@@ -59,15 +60,16 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &RraConfig) -> Result<Estimate, Sim
     // --- Encoding phase -------------------------------------------------
     // B_E is split into one micro-batch per stage to fill the pipeline.
     let m_e = stages.min(cfg.b_e).max(1);
-    let enc_micro = cfg.b_e as f64 / m_e as f64;
+    let enc_micro = lossless_f64(cfg.b_e) / lossless_f64(m_e);
     let mut enc_stage_times = Vec::with_capacity(stages);
     for (i, stage) in layout.stages().iter().enumerate() {
         let t_layer = profile.encode_layer_time(enc_micro, s_e, stage.tp)?;
         let handoff = profile.handoff_time(enc_micro * s_e, layout.boundary_intra_node(i));
-        enc_stage_times.push(enc_alloc[i] as f64 * t_layer + handoff);
+        enc_stage_times.push(lossless_f64(enc_alloc[i]) * t_layer + handoff);
     }
     let enc_bottleneck = max_f(&enc_stage_times);
-    let t_enc: f64 = enc_stage_times.iter().sum::<f64>() + (m_e as f64 - 1.0) * enc_bottleneck;
+    let t_enc: f64 =
+        enc_stage_times.iter().sum::<f64>() + (lossless_f64(m_e) - 1.0) * enc_bottleneck;
 
     // --- Decoding phase: N_D iterations over the shrinking pool ----------
     // The pool circulates as one micro-batch per stage; iteration `u` runs
@@ -99,9 +101,10 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &RraConfig) -> Result<Estimate, Sim
     let mut class_grids = Vec::with_capacity(classes.len());
     for &(tp, intra, alloc) in &classes {
         let grid = sim.cache().dec_stage_grid(DecStageKey { tp, intra, alloc }, || {
-            Ok(profile.decode_stage_grid(ctx, s_e, tp, alloc as f64, intra)?)
+            Ok(profile.decode_stage_grid(ctx, s_e, tp, lossless_f64(alloc), intra)?)
         })?;
-        let (lo, hi) = (grid.xs()[0], *grid.xs().last().expect("non-empty axis"));
+        let lo = grid.xs().first().copied().unwrap_or(0.0);
+        let hi = grid.xs().last().copied().unwrap_or(lo);
         class_grids.push((grid, lo, hi));
     }
     let survival = &info.survival;
@@ -114,30 +117,30 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &RraConfig) -> Result<Estimate, Sim
         while u + run < cfg.n_d && survival[u + run].to_bits() == s.to_bits() {
             run += 1;
         }
-        let active = (b_d as f64 * s).max(1.0);
-        let micro = active / m_d as f64;
+        let active = (lossless_f64(b_d) * s).max(1.0);
+        let micro = active / lossless_f64(m_d);
         let mut worst = 0.0f64;
         for ((grid, lo, hi), &(tp, intra, alloc)) in class_grids.iter().zip(&classes) {
             let t = if micro >= *lo && micro <= *hi {
                 grid.eval(micro)
             } else {
-                alloc as f64 * profile.decode_layer_time(micro, ctx, s_e, tp)?
+                lossless_f64(alloc) * profile.decode_layer_time(micro, ctx, s_e, tp)?
                     + profile.handoff_time(micro, intra)
             };
             worst = worst.max(t);
         }
         if u == 0 {
-            fill = (stages as f64 - 1.0) * worst;
+            fill = (lossless_f64(stages) - 1.0) * worst;
         }
-        t_dec += run as f64 * m_d as f64 * worst;
+        t_dec += lossless_f64(run) * lossless_f64(m_d) * worst;
         u += run;
     }
     t_dec += fill;
 
     let t_phase = t_enc + t_dec;
-    let throughput = cfg.b_e as f64 / t_phase;
+    let throughput = lossless_f64(cfg.b_e) / t_phase;
     // A query of 99th-percentile length spans ceil(L99 / N_D) full phases.
-    let phases = w.l99().div_ceil(cfg.n_d) as f64;
+    let phases = lossless_f64(w.l99().div_ceil(cfg.n_d));
     let latency = phases * t_phase;
 
     let memory = memory_report(sim, layout, enc_alloc, dec_alloc, b_d, enc_micro * s_e)?;
@@ -176,16 +179,16 @@ pub struct RraPlan {
 pub(crate) fn plan(sim: &Simulator, cfg: &RraConfig, b_d: usize) -> Result<RraPlan, SimError> {
     let n = sim.cluster().total_gpus();
     let stages_f = if cfg.tp.is_none() {
-        n as f64
+        lossless_f64(n)
     } else if cfg.tp.degree > 0 && cfg.tp.gpus.is_multiple_of(cfg.tp.degree) {
-        ((n.saturating_sub(cfg.tp.gpus)) + cfg.tp.gpus / cfg.tp.degree).max(1) as f64
+        lossless_f64(((n.saturating_sub(cfg.tp.gpus)) + cfg.tp.gpus / cfg.tp.degree).max(1))
     } else {
-        n as f64
+        lossless_f64(n)
     };
     let speedup = sim.tp_speedup(
         cfg.tp,
-        (cfg.b_e as f64 / stages_f).max(1.0),
-        b_d as f64 / stages_f.max(1.0),
+        (lossless_f64(cfg.b_e) / stages_f).max(1.0),
+        lossless_f64(b_d) / stages_f.max(1.0),
     )?;
     let layout = PipelineLayout::build(n, cfg.tp, speedup, sim.cluster().gpus_per_node())?;
     let (enc_alloc, dec_alloc) = match sim.model().kind() {
@@ -216,23 +219,31 @@ fn memory_report(
         let params = match m.kind() {
             // Encoder-decoder stages hold their encoder and decoder slices.
             ModelKind::EncoderDecoder => {
-                enc_alloc[i] as u64 * sim.enc_layer_bytes()
-                    + dec_alloc[i] as u64 * sim.dec_layer_bytes()
+                widen_u64(enc_alloc[i]) * sim.enc_layer_bytes()
+                    + widen_u64(dec_alloc[i]) * sim.dec_layer_bytes()
             }
             // Decoder-only stages hold one copy serving both passes.
-            ModelKind::DecoderOnly => dec_alloc[i] as u64 * sim.dec_layer_bytes(),
-        } / stage.tp as u64;
+            ModelKind::DecoderOnly => widen_u64(dec_alloc[i]) * sim.dec_layer_bytes(),
+        } / widen_u64(stage.tp);
         // Self-attention KV for the stage's decoder layers, sharded by TP.
-        let kv_self =
-            (b_d as f64 * kv_ctx * m.kv_bytes_per_token_per_layer() as f64 * dec_alloc[i] as f64
-                / stage.tp as f64) as u64;
+        let kv_self = trunc_u64(
+            lossless_f64(b_d)
+                * kv_ctx
+                * lossless_f64(m.kv_bytes_per_token_per_layer())
+                * lossless_f64(dec_alloc[i])
+                / lossless_f64(stage.tp),
+        );
         // Cross-attention KV over the cached inputs (encoder-decoder only).
-        let kv_cross = (m.cross_kv_cache_bytes(b_d, sim.workload().input().mean() as usize, 1)
-            as f64
-            * dec_alloc[i] as f64
-            / stage.tp as f64) as u64;
+        let kv_cross = trunc_u64(
+            lossless_f64(m.cross_kv_cache_bytes(
+                b_d,
+                trunc_usize(sim.workload().input().mean()),
+                1,
+            )) * lossless_f64(dec_alloc[i])
+                / lossless_f64(stage.tp),
+        );
         let kv = kv_self + kv_cross;
-        let act = m.activation_bytes(1, enc_tokens.ceil() as usize) / stage.tp as u64;
+        let act = m.activation_bytes(1, ceil_usize(enc_tokens)) / widen_u64(stage.tp);
         let fp = MemoryFootprint { param_bytes: params, kv_bytes: kv, activation_bytes: act };
         if fp.total() > worst.total() {
             worst = fp;

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use exegpt_cluster::ClusterSpec;
+use exegpt_dist::convert::{lossless_f64, trunc_u64};
 use exegpt_model::{LayerKind, ModelConfig, ModelKind};
 use exegpt_profiler::LayerProfile;
 
@@ -148,7 +149,7 @@ impl Simulator {
     /// Usable per-GPU memory in bytes (device capacity minus the workspace
     /// reserve).
     pub fn usable_capacity(&self) -> u64 {
-        (self.cluster.gpu().mem_bytes() as f64 * WORKSPACE_FACTOR) as u64
+        trunc_u64(lossless_f64(self.cluster.gpu().mem_bytes()) * WORKSPACE_FACTOR)
     }
 
     /// Expected per-query KV context (tokens) accounted per decode-pool slot,

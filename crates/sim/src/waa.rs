@@ -7,6 +7,9 @@
 //! iteration, and joins the decode pool of `B_D = B_E · S_D` queries. The
 //! group split is sized by computation time (WAA-C) or by memory (WAA-M).
 
+use exegpt_dist::convert::{
+    ceil_usize, lossless_f64, round_usize, trunc_u64, trunc_usize, widen_u64,
+};
 use exegpt_model::{MemoryFootprint, ModelKind};
 
 use crate::config::{WaaConfig, WaaVariant};
@@ -65,7 +68,7 @@ pub(crate) fn plan(sim: &Simulator, cfg: &WaaConfig) -> Result<WaaPlan, SimError
     let ctx = w.mean_decode_context();
 
     // Decode pool sized for steady state: B_D = B_E * S_D (paper §4.1).
-    let b_d = ((cfg.b_e as f64 * s_d).round() as usize).max(1);
+    let b_d = round_usize(lossless_f64(cfg.b_e) * s_d).max(1);
     if b_d > profile.max_batch() {
         return Err(SimError::InvalidConfig {
             what: "b_e",
@@ -85,13 +88,16 @@ pub(crate) fn plan(sim: &Simulator, cfg: &WaaConfig) -> Result<WaaPlan, SimError
     // --- Group split -----------------------------------------------------
     let enc_layers = sim.enc_layers_total();
     let dec_layers = sim.dec_layers_total();
-    let c_e = enc_layers as f64 * profile.encode_layer_time(cfg.b_e as f64, s_e, 1)?;
-    let c_d = dec_layers as f64 * profile.decode_layer_time(b_d as f64, ctx, s_e, 1)?;
+    let c_e =
+        lossless_f64(enc_layers) * profile.encode_layer_time(lossless_f64(cfg.b_e), s_e, 1)?;
+    let c_d =
+        lossless_f64(dec_layers) * profile.decode_layer_time(lossless_f64(b_d), ctx, s_e, 1)?;
     let n_e = match cfg.variant {
         WaaVariant::Compute => split_by_ratio(n, c_e / (c_e + c_d)),
         WaaVariant::Memory => {
-            let m_e = enc_side_param_bytes(sim) as f64;
-            let m_d = dec_side_param_bytes(sim) as f64 + kv_pool_bytes(sim, b_d) as f64;
+            let m_e = lossless_f64(enc_side_param_bytes(sim));
+            let m_d =
+                lossless_f64(dec_side_param_bytes(sim)) + lossless_f64(kv_pool_bytes(sim, b_d));
             split_by_ratio(n, m_e / (m_e + m_d))
         }
     };
@@ -112,8 +118,8 @@ pub(crate) fn plan(sim: &Simulator, cfg: &WaaConfig) -> Result<WaaPlan, SimError
             why: format!("tp covers {} gpus but the decode group has {n_dec}", cfg.tp.gpus),
         });
     }
-    let micro = b_d as f64 / cfg.b_m as f64;
-    let speedup = sim.tp_speedup(cfg.tp, cfg.b_e as f64, micro)?;
+    let micro = lossless_f64(b_d) / lossless_f64(cfg.b_m);
+    let speedup = sim.tp_speedup(cfg.tp, lossless_f64(cfg.b_e), micro)?;
     let dec_layout = PipelineLayout::build(n_dec, cfg.tp, speedup, sim.cluster().gpus_per_node())?;
     let dec_alloc = dec_layout.allocate_layers(dec_layers)?;
 
@@ -139,38 +145,39 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &WaaConfig) -> Result<Estimate, Sim
     let ctx = w.mean_decode_context();
 
     // --- Encoding pipeline (single-GPU stages) ---------------------------
-    let t_layer = profile.encode_layer_time(cfg.b_e as f64, s_e, 1)?;
+    let t_layer = profile.encode_layer_time(lossless_f64(cfg.b_e), s_e, 1)?;
     let mut enc_stage_times = Vec::with_capacity(enc_layout.num_stages());
     for (i, _) in enc_layout.stages().iter().enumerate() {
-        let handoff = profile.handoff_time(cfg.b_e as f64 * s_e, enc_layout.boundary_intra_node(i));
-        enc_stage_times.push(enc_alloc[i] as f64 * t_layer + handoff);
+        let handoff =
+            profile.handoff_time(lossless_f64(cfg.b_e) * s_e, enc_layout.boundary_intra_node(i));
+        enc_stage_times.push(lossless_f64(enc_alloc[i]) * t_layer + handoff);
     }
     let p_enc = enc_stage_times.iter().copied().fold(0.0, f64::max);
     let enc_latency: f64 = enc_stage_times.iter().sum();
 
     // --- Decoding pipeline (partial TP allowed) --------------------------
-    let micro = b_d as f64 / cfg.b_m as f64;
+    let micro = lossless_f64(b_d) / lossless_f64(cfg.b_m);
     let stages_d = dec_layout.num_stages();
     let mut t_dstage = 0.0f64;
     for (i, stage) in dec_layout.stages().iter().enumerate() {
         let t_layer = profile.decode_layer_time(micro, ctx, s_e, stage.tp)?;
         let handoff = profile.handoff_time(micro, dec_layout.boundary_intra_node(i));
-        t_dstage = t_dstage.max(dec_alloc[i] as f64 * t_layer + handoff);
+        t_dstage = t_dstage.max(lossless_f64(dec_alloc[i]) * t_layer + handoff);
     }
     // Micro-batches circulate the stage ring: the period of one decoding
     // iteration of the full pool is bounded by stage occupancy (m per
     // stage) or ring traversal (stages_d), whichever is longer.
-    let p_dec = cfg.b_m.max(stages_d) as f64 * t_dstage;
+    let p_dec = lossless_f64(cfg.b_m.max(stages_d)) * t_dstage;
 
     // --- KV handover ------------------------------------------------------
-    let t_kv = profile.kv_transfer_time(cfg.b_e as f64 * s_e, kv_layers);
+    let t_kv = profile.kv_transfer_time(lossless_f64(cfg.b_e) * s_e, kv_layers);
 
     // --- Steady state ------------------------------------------------------
     let period = p_enc.max(p_dec).max(t_kv * KV_TRANSFER_EXPOSED);
-    let throughput = cfg.b_e as f64 / period;
-    let fill = stages_d as f64 * t_dstage;
-    let latency =
-        ADJUSTMENT_BUFFER * (enc_latency + t_kv + fill + (w.l99() as f64 - 1.0).max(0.0) * period);
+    let throughput = lossless_f64(cfg.b_e) / period;
+    let fill = lossless_f64(stages_d) * t_dstage;
+    let latency = ADJUSTMENT_BUFFER
+        * (enc_latency + t_kv + fill + (lossless_f64(w.l99()) - 1.0).max(0.0) * period);
 
     let memory = memory_report(sim, cfg, enc_alloc, dec_layout, dec_alloc, b_d)?;
     check_memory(&memory)?;
@@ -191,30 +198,35 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &WaaConfig) -> Result<Estimate, Sim
 
 /// Rounded GPU split with both sides kept non-empty.
 fn split_by_ratio(n: usize, enc_fraction: f64) -> usize {
-    ((n as f64 * enc_fraction).round() as usize).clamp(1, n - 1)
+    round_usize(lossless_f64(n) * enc_fraction).clamp(1, n - 1)
 }
 
 /// Parameter bytes the encoding group must hold in total: the encoder stack
 /// for encoder-decoder models, a full replica for decoder-only models (the
 /// paper's WAA memory overhead, §4.1).
 fn enc_side_param_bytes(sim: &Simulator) -> u64 {
-    sim.enc_layers_total() as u64 * sim.enc_layer_bytes()
+    widen_u64(sim.enc_layers_total()) * sim.enc_layer_bytes()
 }
 
 /// Parameter bytes the decoding group must hold in total.
 fn dec_side_param_bytes(sim: &Simulator) -> u64 {
-    sim.dec_layers_total() as u64 * sim.dec_layer_bytes()
+    widen_u64(sim.dec_layers_total()) * sim.dec_layer_bytes()
 }
 
 /// Total self+cross KV bytes of the decode pool.
 fn kv_pool_bytes(sim: &Simulator, b_d: usize) -> u64 {
     let m = sim.model();
-    let kv_self = (b_d as f64
-        * sim.kv_ctx_tokens()
-        * m.kv_bytes_per_token_per_layer() as f64
-        * sim.dec_layers_total() as f64) as u64;
-    let kv_cross =
-        m.cross_kv_cache_bytes(b_d, sim.workload().input().mean() as usize, sim.dec_layers_total());
+    let kv_self = trunc_u64(
+        lossless_f64(b_d)
+            * sim.kv_ctx_tokens()
+            * lossless_f64(m.kv_bytes_per_token_per_layer())
+            * lossless_f64(sim.dec_layers_total()),
+    );
+    let kv_cross = m.cross_kv_cache_bytes(
+        b_d,
+        trunc_usize(sim.workload().input().mean()),
+        sim.dec_layers_total(),
+    );
     kv_self + kv_cross
 }
 
@@ -230,11 +242,11 @@ fn memory_report(
     let s_e = sim.workload().input().mean();
     // Encoder GPU: its layer slice, prefill activations, and the in-flight
     // KV it produces before handover (double-buffered).
-    let enc_worst_layers = enc_alloc.iter().copied().max().unwrap_or(0) as u64;
+    let enc_worst_layers = widen_u64(enc_alloc.iter().copied().max().unwrap_or(0));
     let enc_params = enc_worst_layers * sim.enc_layer_bytes();
-    let enc_tokens = (cfg.b_e as f64 * s_e).ceil() as usize;
-    let enc_kv = 2 * m.kv_cache_bytes(cfg.b_e, s_e.ceil() as usize, enc_alloc.len().max(1))
-        / enc_alloc.len().max(1) as u64;
+    let enc_tokens = ceil_usize(lossless_f64(cfg.b_e) * s_e);
+    let enc_kv = 2 * m.kv_cache_bytes(cfg.b_e, ceil_usize(s_e), enc_alloc.len().max(1))
+        / widen_u64(enc_alloc.len().max(1));
     let encoder_gpu = MemoryFootprint {
         param_bytes: enc_params,
         kv_bytes: enc_kv,
@@ -245,12 +257,19 @@ fn memory_report(
     let kv_ctx = sim.kv_ctx_tokens();
     let mut decoder_gpu = MemoryFootprint::default();
     for (i, stage) in dec_layout.stages().iter().enumerate() {
-        let params = dec_alloc[i] as u64 * sim.dec_layer_bytes() / stage.tp as u64;
-        let kv_self =
-            (b_d as f64 * kv_ctx * m.kv_bytes_per_token_per_layer() as f64 * dec_alloc[i] as f64
-                / stage.tp as f64) as u64;
-        let kv_cross = (m.cross_kv_cache_bytes(b_d, s_e as usize, 1) as f64 * dec_alloc[i] as f64
-            / stage.tp as f64) as u64;
+        let params = widen_u64(dec_alloc[i]) * sim.dec_layer_bytes() / widen_u64(stage.tp);
+        let kv_self = trunc_u64(
+            lossless_f64(b_d)
+                * kv_ctx
+                * lossless_f64(m.kv_bytes_per_token_per_layer())
+                * lossless_f64(dec_alloc[i])
+                / lossless_f64(stage.tp),
+        );
+        let kv_cross = trunc_u64(
+            lossless_f64(m.cross_kv_cache_bytes(b_d, trunc_usize(s_e), 1))
+                * lossless_f64(dec_alloc[i])
+                / lossless_f64(stage.tp),
+        );
         let act = m.activation_bytes((b_d / cfg.b_m).max(1), 1);
         let fp = MemoryFootprint {
             param_bytes: params,

@@ -112,9 +112,11 @@ impl Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
         let input =
             LengthDist::truncated_normal(shape.input_mean, shape.input_std, shape.input_max)
+                // xlint::allow(P1, surrogate Shape presets are compile-time constants)
                 .expect("surrogate shape parameters are valid");
         let body =
             LengthDist::truncated_normal(shape.output_mean, shape.output_std, shape.output_max)
+                // xlint::allow(P1, surrogate Shape presets are compile-time constants)
                 .expect("surrogate shape parameters are valid");
         let mut pairs = Vec::with_capacity(size);
         for _ in 0..size {

@@ -1,0 +1,343 @@
+//! `exegpt-xlint`: the workspace determinism & numeric-safety linter.
+//!
+//! ExeGPT's headline properties — a branch-and-bound scheduler that trusts
+//! monotone latency estimates, and a serving loop whose JSONL event logs
+//! are byte-identical across runs — only hold if the whole workspace obeys
+//! a small set of coding rules. This crate enforces them offline, with a
+//! hand-rolled lexer (no `syn`, no dependencies): comments and string
+//! literals are stripped, the token stream is matched against the rules,
+//! and `// xlint::allow(RULE, reason)` pragmas are honored *and counted*.
+//!
+//! The rules (see DESIGN.md §6 for rationale):
+//!
+//! | id | rule |
+//! |----|------|
+//! | D1 | no `HashMap`/`HashSet` (nondeterministic iteration order) |
+//! | D2 | no `Instant::now`/`SystemTime`/`thread_rng`/`from_entropy` outside `bench` |
+//! | N1 | no bare `as` numeric casts in the cost-model/scheduler crates |
+//! | F1 | no float `==`/`!=` |
+//! | P1 | no `unwrap`/`expect`/`panic!` in non-test library code |
+//! | X0 | malformed, unknown or stale `xlint::allow` pragma |
+//!
+//! # Example
+//!
+//! ```
+//! use exegpt_xlint::{lint_source, FileContext, Rule};
+//!
+//! let report = lint_source("demo.rs", "let m = HashMap::new();", FileContext::default());
+//! assert_eq!(report.findings[0].rule, Rule::D1);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod lexer;
+mod rules;
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+pub use rules::{FileContext, FileReport, Finding, Rule, Suppressed};
+
+/// Lints a single source string. See [`FileContext`] for rule scoping.
+pub fn lint_source(file: &str, src: &str, ctx: FileContext) -> FileReport {
+    rules::lint_source(file, src, ctx)
+}
+
+/// The crates whose arithmetic is covered by N1: the scheduler (`core`)
+/// and the cost model (`sim`). Everything else may still use `as` — its
+/// numbers never feed the branch-and-bound's monotonicity assumptions.
+pub const N1_CRATES: [&str; 2] = ["core", "sim"];
+
+/// Errors from walking a workspace.
+#[derive(Debug)]
+pub enum XlintError {
+    /// No enclosing workspace `Cargo.toml` was found.
+    NoWorkspaceRoot,
+    /// An I/O failure while reading sources.
+    Io {
+        /// The path that failed.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for XlintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XlintError::NoWorkspaceRoot => {
+                write!(f, "no workspace Cargo.toml found above the current directory")
+            }
+            XlintError::Io { path, source } => write!(f, "reading {}: {source}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for XlintError {}
+
+/// Aggregated result of linting a workspace (or an explicit file list).
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All violations, ordered by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// All pragma-suppressed violations, same order.
+    pub suppressed: Vec<Suppressed>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the lint gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Count of findings for one rule.
+    pub fn count(&self, rule: Rule) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    /// Human-readable report (diagnostics plus a one-line summary).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}:{}: {} {} — {}",
+                f.file,
+                f.line,
+                f.rule.id(),
+                f.message,
+                f.suggestion
+            );
+        }
+        let per_rule: Vec<String> = Rule::ALL
+            .into_iter()
+            .map(|r| (r, self.count(r)))
+            .filter(|(_, n)| *n > 0)
+            .map(|(r, n)| format!("{}: {n}", r.id()))
+            .collect();
+        let breakdown =
+            if per_rule.is_empty() { String::new() } else { format!(" ({})", per_rule.join(", ")) };
+        let _ = writeln!(
+            out,
+            "xlint: {} finding{}{breakdown}, {} suppressed by pragma, {} files scanned",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.suppressed.len(),
+            self.files_scanned,
+        );
+        out
+    }
+
+    /// Machine-readable report: a single JSON object with `findings`,
+    /// `suppressed` and `files_scanned`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \
+                 \"suggestion\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule.id()),
+                json_str(&f.message),
+                json_str(&f.suggestion),
+            );
+        }
+        let _ = write!(out, "\n  ],\n  \"suppressed\": [");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(&s.finding.file),
+                s.finding.line,
+                json_str(s.finding.rule.id()),
+                json_str(&s.reason),
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  ],\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+            self.files_scanned,
+            self.is_clean()
+        );
+        out
+    }
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, XlintError> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    Err(XlintError::NoWorkspaceRoot)
+}
+
+/// Lints every first-party crate under `root` (`crates/*/src` plus the
+/// root package's `src/`). `third_party/`, `tests/`, `benches/` and
+/// `examples/` are out of scope: vendored shims and test code do not feed
+/// the deterministic pipeline.
+pub fn lint_workspace(root: &Path) -> Result<Report, XlintError> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = read_dir_sorted(&crates_dir)?;
+        crate_dirs.retain(|p| p.is_dir());
+        for c in crate_dirs {
+            collect_rs(&c.join("src"), &mut files)?;
+        }
+    }
+    let mut report = Report::default();
+    for path in files {
+        let src = std::fs::read_to_string(&path)
+            .map_err(|source| XlintError::Io { path: path.clone(), source })?;
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let label = rel.to_string_lossy().replace('\\', "/");
+        let file_report = lint_source(&label, &src, context_for(&label));
+        report.findings.extend(file_report.findings);
+        report.suppressed.extend(file_report.suppressed);
+        report.files_scanned += 1;
+    }
+    report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Lints an explicit list of files with per-file contexts derived from
+/// their paths (used by the CLI's non-workspace mode and the fixtures).
+pub fn lint_files(paths: &[PathBuf]) -> Result<Report, XlintError> {
+    let mut report = Report::default();
+    for path in paths {
+        let src = std::fs::read_to_string(path)
+            .map_err(|source| XlintError::Io { path: path.clone(), source })?;
+        let label = path.to_string_lossy().replace('\\', "/");
+        let file_report = lint_source(&label, &src, context_for(&label));
+        report.findings.extend(file_report.findings);
+        report.suppressed.extend(file_report.suppressed);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+/// Derives the rule scoping for a workspace-relative file path.
+pub fn context_for(label: &str) -> FileContext {
+    let crate_name =
+        label.strip_prefix("crates/").and_then(|rest| rest.split('/').next()).unwrap_or("");
+    let bin = label.contains("/bin/") || label.ends_with("main.rs");
+    FileContext {
+        allow_wall_clock: crate_name == "bench",
+        // Bin targets format results for humans; their numbers never feed
+        // the search, so N1 (like P1) is scoped to library code.
+        numeric_core: N1_CRATES.contains(&crate_name) && !bin,
+        allow_panics: crate_name == "bench" || bin,
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` in sorted order.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), XlintError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in read_dir_sorted(dir)? {
+        if entry.is_dir() {
+            collect_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// `read_dir` with deterministic (sorted) order.
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, XlintError> {
+    let rd = std::fs::read_dir(dir)
+        .map_err(|source| XlintError::Io { path: dir.to_path_buf(), source })?;
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for e in rd {
+        let e = e.map_err(|source| XlintError::Io { path: dir.to_path_buf(), source })?;
+        entries.push(e.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_scoping_matches_layout() {
+        assert!(context_for("crates/sim/src/rra.rs").numeric_core);
+        assert!(context_for("crates/core/src/bnb.rs").numeric_core);
+        assert!(!context_for("crates/runner/src/kv.rs").numeric_core);
+        assert!(context_for("crates/bench/src/bin/figures.rs").allow_wall_clock);
+        assert!(context_for("crates/core/src/bin/exegpt-cli.rs").allow_panics);
+        assert!(context_for("crates/bench/src/fig7.rs").allow_panics);
+        assert!(!context_for("crates/serve/src/server.rs").allow_panics);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn render_text_has_summary_line() {
+        let report = Report {
+            findings: vec![Finding {
+                file: "x.rs".into(),
+                line: 3,
+                rule: Rule::D1,
+                message: "m".into(),
+                suggestion: "s".into(),
+            }],
+            suppressed: vec![],
+            files_scanned: 1,
+        };
+        let text = report.render_text();
+        assert!(text.contains("x.rs:3: D1"));
+        assert!(text.contains("1 finding (D1: 1), 0 suppressed by pragma, 1 files scanned"));
+    }
+
+    #[test]
+    fn render_json_is_parseable_shape() {
+        let report = Report::default();
+        let json = report.render_json();
+        assert!(json.contains("\"findings\": []") || json.contains("\"findings\": ["));
+        assert!(json.contains("\"clean\": true"));
+    }
+}

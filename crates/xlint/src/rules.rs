@@ -1,0 +1,402 @@
+//! The lint rules and the token-stream matcher.
+//!
+//! Five rules, all motivated by keeping the scheduler's simulation
+//! deterministic and its cost arithmetic auditable (DESIGN.md §6):
+//!
+//! * **D1** — no `HashMap`/`HashSet`: hash iteration order is
+//!   nondeterministic and has leaked into ordered output before.
+//! * **D2** — no wall-clock or entropy sources (`Instant::now`,
+//!   `SystemTime`, `thread_rng`, `from_entropy`) outside `bench`.
+//! * **N1** — no bare `as` numeric casts inside the cost-model/scheduler
+//!   crates; use the checked helpers in `exegpt_dist::convert`.
+//! * **F1** — no float `==`/`!=` (literal-adjacent detection).
+//! * **P1** — no `unwrap`/`expect`/`panic!` in non-test library code.
+
+use crate::lexer::{self, Lexed, Tok, TokKind};
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Nondeterministic hash collections.
+    D1,
+    /// Wall-clock / entropy sources.
+    D2,
+    /// Bare numeric `as` casts in numeric-core crates.
+    N1,
+    /// Float equality comparison.
+    F1,
+    /// Panicking calls in library code.
+    P1,
+    /// Malformed or unused allow pragma.
+    X0,
+}
+
+impl Rule {
+    /// All reportable rules, in severity/display order.
+    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::N1, Rule::F1, Rule::P1, Rule::X0];
+
+    /// The rule's stable identifier, as used in pragmas and output.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::N1 => "N1",
+            Rule::F1 => "F1",
+            Rule::P1 => "P1",
+            Rule::X0 => "X0",
+        }
+    }
+
+    /// Parses a rule id (as written in a pragma).
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == s)
+    }
+}
+
+/// What a file's crate context enables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileContext {
+    /// D2 is waived in `bench` (benchmarks legitimately read the clock).
+    pub allow_wall_clock: bool,
+    /// N1 fires only in the numeric-core crates (cost model + scheduler).
+    pub numeric_core: bool,
+    /// P1 is waived in binary targets (`src/bin/`, `main.rs`) and in the
+    /// `bench` harness: top-level application code may terminate the
+    /// process on unrecoverable errors.
+    pub allow_panics: bool,
+}
+
+impl Default for FileContext {
+    fn default() -> Self {
+        Self { allow_wall_clock: false, numeric_core: true, allow_panics: false }
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path as reported (workspace-relative when walking a workspace).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// What was found.
+    pub message: String,
+    /// The suggested fix.
+    pub suggestion: String,
+}
+
+/// A pragma-suppressed finding (still counted and reported in summaries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppressed {
+    /// The finding that the pragma silenced.
+    pub finding: Finding,
+    /// The pragma's reason text.
+    pub reason: String,
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations to report.
+    pub findings: Vec<Finding>,
+    /// Violations silenced by `xlint::allow` pragmas.
+    pub suppressed: Vec<Suppressed>,
+}
+
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Lints one source file given its crate context.
+pub fn lint_source(file: &str, src: &str, ctx: FileContext) -> FileReport {
+    let lexed: Lexed = lexer::lex(src);
+    let in_test = lexer::test_regions(&lexed.toks);
+    let toks = &lexed.toks;
+    let mut raw: Vec<Finding> = Vec::new();
+
+    for (i, t) in toks.iter().enumerate() {
+        if in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                // D1: hash collections anywhere in non-test code.
+                "HashMap" | "HashSet" => raw.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: Rule::D1,
+                    message: format!("`{}` iterates in nondeterministic order", t.text),
+                    suggestion: format!(
+                        "use `BTree{}` (or justify with `// xlint::allow(D1, reason)`)",
+                        t.text.trim_start_matches("Hash")
+                    ),
+                }),
+                // D2: wall clock and entropy.
+                "Instant" if !ctx.allow_wall_clock && next_is(toks, i, "::", "now") => {
+                    raw.push(d2(file, t, "`Instant::now` reads the wall clock"))
+                }
+                "SystemTime" if !ctx.allow_wall_clock => {
+                    raw.push(d2(file, t, "`SystemTime` reads the wall clock"))
+                }
+                "thread_rng" if !ctx.allow_wall_clock => {
+                    raw.push(d2(file, t, "`thread_rng` draws OS entropy"))
+                }
+                "from_entropy" if !ctx.allow_wall_clock => {
+                    raw.push(d2(file, t, "`from_entropy` seeds from OS entropy"))
+                }
+                // N1: bare numeric casts in the numeric core.
+                "as" if ctx.numeric_core => {
+                    if let Some(next) = toks.get(i + 1) {
+                        if next.kind == TokKind::Ident
+                            && NUMERIC_TYPES.contains(&next.text.as_str())
+                        {
+                            raw.push(Finding {
+                                file: file.to_string(),
+                                line: t.line,
+                                rule: Rule::N1,
+                                message: format!("bare `as {}` cast in cost arithmetic", next.text),
+                                suggestion: "use the checked helpers in `exegpt_dist::convert` \
+                                             (lossless_f64 / trunc_usize / ...)"
+                                    .to_string(),
+                            });
+                        }
+                    }
+                }
+                // P1: panicking calls in library code.
+                "unwrap" | "expect" if !ctx.allow_panics && prev_is_dot(toks, i) => {
+                    raw.push(Finding {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: Rule::P1,
+                        message: format!("`.{}()` can panic in library code", t.text),
+                        suggestion: "thread the crate's error type (`?`, `ok_or_else`) or \
+                                     handle the `None`/`Err` arm"
+                            .to_string(),
+                    });
+                }
+                "panic" if !ctx.allow_panics && next_is_bang(toks, i) => {
+                    raw.push(Finding {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: Rule::P1,
+                        message: "`panic!` in library code".to_string(),
+                        suggestion: "return an error variant instead (or `debug_assert!` for \
+                                     internal invariants)"
+                            .to_string(),
+                    });
+                }
+                _ => {}
+            },
+            // F1: float equality (a float literal on either side).
+            TokKind::Punct if t.text == "==" || t.text == "!=" => {
+                let float_adjacent = matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Float)
+                    || (i > 0 && toks[i - 1].kind == TokKind::Float);
+                if float_adjacent {
+                    raw.push(Finding {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: Rule::F1,
+                        message: format!("float `{}` comparison", t.text),
+                        suggestion: "compare with an epsilon (`(a - b).abs() < eps`), an \
+                                     order test (`<= 0.0`), or an integer representation"
+                            .to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    apply_pragmas(file, raw, &lexed)
+}
+
+/// Splits raw findings into reported vs pragma-suppressed, and reports
+/// malformed or unused pragmas as X0 findings.
+fn apply_pragmas(file: &str, raw: Vec<Finding>, lexed: &Lexed) -> FileReport {
+    let mut report = FileReport::default();
+    let mut used = vec![false; lexed.pragmas.len()];
+    for f in raw {
+        // A pragma suppresses matching findings on its own line or the
+        // line directly below it (so it can sit above the offending line).
+        let hit = lexed.pragmas.iter().enumerate().find(|(_, p)| {
+            (p.line == f.line || p.line + 1 == f.line)
+                && Rule::parse(&p.rule) == Some(f.rule)
+                && !p.reason.is_empty()
+        });
+        match hit {
+            Some((idx, p)) => {
+                used[idx] = true;
+                report.suppressed.push(Suppressed { finding: f, reason: p.reason.clone() });
+            }
+            None => report.findings.push(f),
+        }
+    }
+    for (p, used) in lexed.pragmas.iter().zip(&used) {
+        if p.reason.is_empty() {
+            report.findings.push(Finding {
+                file: file.to_string(),
+                line: p.line,
+                rule: Rule::X0,
+                message: format!("`xlint::allow({})` without a reason", p.rule),
+                suggestion: "write `// xlint::allow(RULE, why this is sound)`".to_string(),
+            });
+        } else if Rule::parse(&p.rule).is_none() {
+            report.findings.push(Finding {
+                file: file.to_string(),
+                line: p.line,
+                rule: Rule::X0,
+                message: format!("`xlint::allow({})` names an unknown rule", p.rule),
+                suggestion: "use one of D1, D2, N1, F1, P1".to_string(),
+            });
+        } else if !used {
+            report.findings.push(Finding {
+                file: file.to_string(),
+                line: p.line,
+                rule: Rule::X0,
+                message: format!("`xlint::allow({})` suppresses nothing", p.rule),
+                suggestion: "remove the stale pragma".to_string(),
+            });
+        }
+    }
+    report.findings.sort_by_key(|a| (a.line, a.rule));
+    report
+}
+
+fn d2(file: &str, t: &Tok, message: &str) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line: t.line,
+        rule: Rule::D2,
+        message: message.to_string(),
+        suggestion: "simulated/virtual time and seeded RNGs only outside `bench` \
+                     (determinism of replays and event logs)"
+            .to_string(),
+    }
+}
+
+/// Whether `toks[i]` is followed by `sep` then `ident`.
+fn next_is(toks: &[Tok], i: usize, sep: &str, ident: &str) -> bool {
+    matches!(
+        (toks.get(i + 1), toks.get(i + 2)),
+        (Some(a), Some(b))
+            if a.kind == TokKind::Punct && a.text == sep
+                && b.kind == TokKind::Ident && b.text == ident
+    )
+}
+
+fn next_is_bang(toks: &[Tok], i: usize) -> bool {
+    matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Punct && n.text == "!")
+}
+
+fn prev_is_dot(toks: &[Tok], i: usize) -> bool {
+    i > 0 && toks[i - 1].kind == TokKind::Punct && toks[i - 1].text == "."
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> FileReport {
+        lint_source("t.rs", src, FileContext::default())
+    }
+
+    fn rules(r: &FileReport) -> Vec<Rule> {
+        r.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn d1_fires_on_hash_collections() {
+        let r = lint("use std::collections::HashMap;\nlet s: HashSet<u8> = HashSet::new();");
+        assert_eq!(rules(&r), vec![Rule::D1, Rule::D1, Rule::D1]);
+    }
+
+    #[test]
+    fn d2_fires_on_clock_and_entropy() {
+        let r = lint("let t = Instant::now();\nlet s = SystemTime::now();\nlet g = thread_rng();");
+        assert_eq!(rules(&r), vec![Rule::D2, Rule::D2, Rule::D2]);
+        let bench = lint_source(
+            "b.rs",
+            "let t = Instant::now();",
+            FileContext { allow_wall_clock: true, ..FileContext::default() },
+        );
+        assert!(bench.findings.is_empty(), "bench context waives D2");
+    }
+
+    #[test]
+    fn d2_needs_the_now_call() {
+        let r = lint("fn takes(i: Instant) {}");
+        assert!(r.findings.is_empty(), "a bare Instant type is not a clock read");
+    }
+
+    #[test]
+    fn n1_fires_only_in_numeric_core() {
+        let src = "let x = b_e as f64; let y = t as usize;";
+        assert_eq!(rules(&lint(src)), vec![Rule::N1, Rule::N1]);
+        let outside =
+            lint_source("o.rs", src, FileContext { numeric_core: false, ..FileContext::default() });
+        assert!(outside.findings.is_empty());
+    }
+
+    #[test]
+    fn n1_ignores_non_numeric_casts() {
+        let r = lint("let x = e as &dyn Error; let y = v as Vec<u8>;");
+        assert!(r.findings.is_empty(), "only numeric-type casts are N1: {:?}", r.findings);
+    }
+
+    #[test]
+    fn f1_fires_on_literal_float_equality() {
+        let r = lint("if std == 0.0 { } if 1.5 != x { } if a == b { }");
+        assert_eq!(rules(&r), vec![Rule::F1, Rule::F1]);
+    }
+
+    #[test]
+    fn p1_fires_on_panicking_calls() {
+        let r = lint("let v = x.unwrap(); let w = y.expect(\"msg\"); panic!(\"boom\");");
+        assert_eq!(rules(&r), vec![Rule::P1, Rule::P1, Rule::P1]);
+    }
+
+    #[test]
+    fn p1_skips_tests_bins_and_lookalikes() {
+        let r = lint("#[cfg(test)]\nmod tests { fn t() { x.unwrap(); panic!(); } }");
+        assert!(r.findings.is_empty(), "test modules are exempt");
+        let b = lint_source(
+            "src/bin/cli.rs",
+            "x.unwrap();",
+            FileContext { allow_panics: true, ..FileContext::default() },
+        );
+        assert!(b.findings.is_empty(), "bin targets are exempt from P1");
+        let ok = lint("let v = x.unwrap_or(0); let w = y.unwrap_or_else(f); debug_assert!(c);");
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+    }
+
+    #[test]
+    fn pragma_suppresses_and_is_counted() {
+        let src =
+            "// xlint::allow(D1, perf cache, order never escapes)\nuse std::collections::HashMap;";
+        let r = lint(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].reason, "perf cache, order never escapes");
+    }
+
+    #[test]
+    fn pragma_without_reason_or_target_is_x0() {
+        let r = lint("// xlint::allow(D1)\nuse std::collections::HashMap;");
+        assert_eq!(rules(&r), vec![Rule::X0, Rule::D1], "reasonless pragma suppresses nothing");
+        let stale = lint("// xlint::allow(F1, stale)\nlet x = 1;");
+        assert_eq!(rules(&stale), vec![Rule::X0]);
+        let unknown = lint("// xlint::allow(Z9, reason)\nlet x = 1;");
+        assert_eq!(rules(&unknown), vec![Rule::X0]);
+    }
+
+    #[test]
+    fn pragma_on_same_line_works() {
+        let src = "use std::collections::HashMap; // xlint::allow(D1, justified)";
+        let r = lint(src);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.suppressed.len(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Fixture round-trips: every rule fires on its fixture file, scoping
+//! waives the right rules, pragmas suppress (and stale pragmas are flagged),
+//! and — the self-test the CI gate relies on — the workspace itself is
+//! clean.
+
+use std::path::{Path, PathBuf};
+
+use exegpt_xlint::{
+    context_for, find_workspace_root, lint_files, lint_source, lint_workspace, FileReport, Rule,
+};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures").join(name)
+}
+
+/// Lints a fixture as if it lived at `label` inside the workspace, so the
+/// path-derived rule scoping applies.
+fn lint_fixture_as(name: &str, label: &str) -> FileReport {
+    let src = std::fs::read_to_string(fixture_path(name)).expect("fixture is readable");
+    lint_source(label, &src, context_for(label))
+}
+
+fn rule_lines(report: &FileReport, rule: Rule) -> Vec<usize> {
+    let mut lines: Vec<usize> =
+        report.findings.iter().filter(|f| f.rule == rule).map(|f| f.line).collect();
+    lines.dedup();
+    lines
+}
+
+#[test]
+fn d1_fixture_flags_every_hash_collection() {
+    let report = lint_fixture_as("d1.rs", "crates/serve/src/fixture.rs");
+    assert!(report.findings.iter().all(|f| f.rule == Rule::D1), "{:?}", report.findings);
+    assert_eq!(rule_lines(&report, Rule::D1), vec![1, 2, 4, 5, 6]);
+}
+
+#[test]
+fn d2_fixture_flags_clock_and_entropy() {
+    let report = lint_fixture_as("d2.rs", "crates/runner/src/fixture.rs");
+    let d2 = rule_lines(&report, Rule::D2);
+    assert_eq!(d2, vec![4, 9, 14], "{:?}", report.findings);
+    // The bench crate is allowed to time things.
+    let waived = lint_fixture_as("d2.rs", "crates/bench/src/fixture.rs");
+    assert_eq!(rule_lines(&waived, Rule::D2), Vec::<usize>::new());
+}
+
+#[test]
+fn n1_fixture_flags_casts_only_in_the_numeric_core() {
+    let report = lint_fixture_as("n1.rs", "crates/core/src/fixture.rs");
+    assert_eq!(rule_lines(&report, Rule::N1), vec![2, 3], "{:?}", report.findings);
+    let sim = lint_fixture_as("n1.rs", "crates/sim/src/fixture.rs");
+    assert_eq!(rule_lines(&sim, Rule::N1), vec![2, 3]);
+    // Other crates and bin targets present numbers; N1 does not apply.
+    let waived = lint_fixture_as("n1.rs", "crates/runner/src/fixture.rs");
+    assert_eq!(rule_lines(&waived, Rule::N1), Vec::<usize>::new());
+    let bin = lint_fixture_as("n1.rs", "crates/core/src/bin/fixture-cli.rs");
+    assert_eq!(rule_lines(&bin, Rule::N1), Vec::<usize>::new());
+}
+
+#[test]
+fn f1_fixture_flags_float_equality() {
+    let report = lint_fixture_as("f1.rs", "crates/dist/src/fixture.rs");
+    assert_eq!(rule_lines(&report, Rule::F1), vec![2, 6], "{:?}", report.findings);
+}
+
+#[test]
+fn p1_fixture_flags_panics_outside_bins_and_bench() {
+    let report = lint_fixture_as("p1.rs", "crates/model/src/fixture.rs");
+    assert_eq!(rule_lines(&report, Rule::P1), vec![2, 6, 10], "{:?}", report.findings);
+    for waived_label in ["crates/bench/src/fixture.rs", "crates/model/src/main.rs"] {
+        let waived = lint_fixture_as("p1.rs", waived_label);
+        assert_eq!(rule_lines(&waived, Rule::P1), Vec::<usize>::new(), "{waived_label}");
+    }
+}
+
+#[test]
+fn pragmas_suppress_and_stale_pragmas_are_flagged() {
+    let report = lint_fixture_as("pragmas.rs", "crates/serve/src/fixture.rs");
+    assert_eq!(report.suppressed.len(), 2, "{:?}", report.suppressed);
+    assert!(report.suppressed.iter().all(|s| s.finding.rule == Rule::D1));
+    assert!(report.suppressed.iter().all(|s| !s.reason.is_empty()));
+    // No raw D1 survives; the unknown, stale, and reasonless pragmas each
+    // surface as X0.
+    assert_eq!(rule_lines(&report, Rule::D1), Vec::<usize>::new());
+    assert_eq!(rule_lines(&report, Rule::X0), vec![6, 9, 12], "{:?}", report.findings);
+}
+
+#[test]
+fn lint_files_reports_fixture_violations_like_the_cli() {
+    let paths: Vec<PathBuf> =
+        ["d1.rs", "d2.rs", "f1.rs", "p1.rs"].iter().map(|n| fixture_path(n)).collect();
+    let report = lint_files(&paths).expect("fixtures lint");
+    assert!(!report.is_clean(), "fixtures must make the CLI exit non-zero");
+    assert_eq!(report.files_scanned, 4);
+    for rule in [Rule::D1, Rule::D2, Rule::F1, Rule::P1] {
+        assert!(report.count(rule) > 0, "expected at least one {} finding", rule.id());
+    }
+}
+
+#[test]
+fn workspace_is_clean_so_the_ci_gate_passes() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root resolves");
+    let report = lint_workspace(&root).expect("workspace lints");
+    assert!(report.is_clean(), "xlint --workspace must exit 0; found:\n{}", report.render_text());
+    assert!(report.files_scanned > 50, "scanned only {} files", report.files_scanned);
+    // The documented suppressions (cache sharding, preset constructors)
+    // stay visible in the report rather than vanishing.
+    assert!(!report.suppressed.is_empty());
+}

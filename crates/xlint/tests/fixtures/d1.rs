@@ -1,0 +1,13 @@
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn counts(keys: &[String]) -> HashMap<String, usize> {
+    let mut map = HashMap::new();
+    let mut seen: HashSet<&str> = Default::default();
+    for k in keys {
+        if seen.insert(k) {
+            map.insert(k.clone(), 1);
+        }
+    }
+    map
+}

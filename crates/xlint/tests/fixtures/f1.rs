@@ -1,0 +1,7 @@
+fn degenerate(std: f64) -> bool {
+    std == 0.0
+}
+
+fn differs(a: f64) -> bool {
+    a != 1.5
+}

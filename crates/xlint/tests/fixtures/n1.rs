@@ -1,0 +1,4 @@
+fn mix(total: usize, frac: f64) -> u64 {
+    let scaled = total as f64 * frac;
+    scaled as u64
+}

@@ -1,0 +1,11 @@
+fn take(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn must(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+fn boom() -> ! {
+    panic!("unreachable");
+}

@@ -1,0 +1,13 @@
+use std::collections::HashMap; // xlint::allow(D1, fixture shows a justified same-line suppression)
+
+// xlint::allow(D1, fixture shows a next-line suppression)
+type Cache = HashMap<u32, u32>;
+
+// xlint::allow(Q9, no such rule)
+fn unknown_rule() {}
+
+// xlint::allow(F1, nothing on the next line violates F1)
+fn stale_pragma() {}
+
+// xlint::allow(D1)
+fn reasonless_pragma() {}

@@ -9,6 +9,8 @@
 //! this repository (named-field structs; unit/tuple/struct enum variants).
 
 #![deny(missing_docs)]
+// Vendored shim: impls for std types include the hash collections.
+#![allow(clippy::disallowed_types)]
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
