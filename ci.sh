@@ -14,7 +14,19 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --offline --release
 
-echo "==> xlint (workspace determinism lint)"
+echo "==> xlint (workspace determinism + unit-safety lint)"
+# Archive the machine-readable report as a build artifact; the human run
+# below is the gate proper (non-zero on any finding).
+mkdir -p target/ci-artifacts
+cargo run --offline -q -p exegpt-xlint -- --workspace --json \
+  > target/ci-artifacts/xlint.json || true
+# Pragma hygiene is not a soft failure: any X0 (malformed/stale/unknown
+# pragma) in the archived report fails the gate even if a future rule
+# change made the text run pass.
+if grep -q '"rule": "X0"' target/ci-artifacts/xlint.json; then
+  echo "xlint: X0 pragma-hygiene findings present (see target/ci-artifacts/xlint.json)" >&2
+  exit 1
+fi
 cargo run --offline -q -p exegpt-xlint -- --workspace
 
 echo "==> cargo test -q"

@@ -1,6 +1,7 @@
 //! Shared machinery for the baseline systems.
 
 use exegpt_sim::{PipelineLayout, SimError, Simulator, TpConfig};
+use exegpt_units::Secs;
 
 /// The paper's baseline parallel configuration: maximize tensor parallelism
 /// within a node, pipeline across nodes (§7.1). Returns `(tp, pp)`.
@@ -65,10 +66,10 @@ impl GridPlan {
         sim: &Simulator,
         micro: f64,
         ctx: f64,
-    ) -> Result<f64, SimError> {
+    ) -> Result<Secs, SimError> {
         let profile = sim.profile();
         let s_e = sim.workload().input().mean();
-        let mut worst = 0.0f64;
+        let mut worst = Secs::ZERO;
         for (i, stage) in self.layout.stages().iter().enumerate() {
             let t = profile.decode_layer_time(micro, ctx, s_e, stage.tp)?;
             let handoff = profile.handoff_time(micro, self.layout.boundary_intra_node(i));
@@ -84,9 +85,9 @@ impl GridPlan {
         sim: &Simulator,
         micro: f64,
         mean_in: f64,
-    ) -> Result<f64, SimError> {
+    ) -> Result<Secs, SimError> {
         let profile = sim.profile();
-        let mut worst = 0.0f64;
+        let mut worst = Secs::ZERO;
         for (i, stage) in self.layout.stages().iter().enumerate() {
             let t = profile.encode_layer_time(micro, mean_in, stage.tp)?;
             let handoff = profile.handoff_time(micro * mean_in, self.layout.boundary_intra_node(i));

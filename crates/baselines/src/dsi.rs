@@ -10,6 +10,7 @@
 
 use exegpt_runner::{RunError, RunOptions, RunReport};
 use exegpt_sim::{Estimate, SimError, Simulator};
+use exegpt_units::Secs;
 
 use crate::ft::FasterTransformer;
 
@@ -70,16 +71,16 @@ impl DeepSpeedInference {
     pub fn estimate(&self, batch: usize) -> Result<Estimate, SimError> {
         let mut est = self.inner.estimate(batch)?;
         let iters = self.simulator().workload().output().max_len() as f64;
-        let overhead = iters * HOST_OVERHEAD_S;
+        let overhead = Secs::new(iters * HOST_OVERHEAD_S);
         est.latency += overhead;
         est.breakdown.decode_time += overhead;
         est.breakdown.period += overhead;
-        est.throughput = batch as f64 / est.breakdown.period;
+        est.throughput = batch as f64 / est.breakdown.period.as_secs();
         Ok(est)
     }
 
     /// Best static batch under a latency bound (multiples of four).
-    pub fn plan(&self, bound: f64) -> Option<(usize, Estimate)> {
+    pub fn plan(&self, bound: Secs) -> Option<(usize, Estimate)> {
         let mut best: Option<(usize, Estimate)> = None;
         let mut b = 4;
         while let Ok(est) = self.estimate(b) {
@@ -107,8 +108,9 @@ impl DeepSpeedInference {
         // The inner replay timed pure kernels; stretch the timeline by the
         // per-iteration engine overhead (iterations = decode stage samples).
         let extra = rep.decoder_stage_times.len() as f64 * HOST_OVERHEAD_S;
-        let stretch = (rep.makespan + extra) / rep.makespan.max(f64::MIN_POSITIVE);
-        rep.makespan += extra;
+        let stretch =
+            (rep.makespan.as_secs() + extra) / rep.makespan.as_secs().max(f64::MIN_POSITIVE);
+        rep.makespan += Secs::new(extra);
         rep.throughput /= stretch;
         for l in &mut rep.latencies {
             *l *= stretch;

@@ -9,6 +9,7 @@
 
 use exegpt_runner::{KvTracker, ReservePolicy, RunError, RunOptions, RunReport};
 use exegpt_sim::{Breakdown, Estimate, MemoryReport, SimError, Simulator};
+use exegpt_units::Secs;
 use exegpt_workload::{Request, RequestStream};
 
 use crate::common::{batch_sweep, build_grid, paper_parallelism, windowed, GridPlan};
@@ -95,7 +96,7 @@ impl FasterTransformer {
         // Decode s_max iterations at constant batch; context grows.
         let m_d = stages.min(batch).max(1);
         let micro = batch as f64 / m_d as f64;
-        let mut t_decode = 0.0;
+        let mut t_decode = Secs::ZERO;
         for u in 1..=s_max {
             let ctx = mean_in + u as f64;
             t_decode += m_d as f64 * self.plan.decode_stage_time(&self.sim, micro, ctx)?;
@@ -111,7 +112,7 @@ impl FasterTransformer {
         };
         Ok(Estimate {
             latency: t_batch,
-            throughput: batch as f64 / t_batch,
+            throughput: batch as f64 / t_batch.as_secs(),
             memory: MemoryReport { encoder_gpu: footprint, decoder_gpu: footprint, capacity },
             breakdown: Breakdown {
                 encode_time: t_prefill,
@@ -125,7 +126,7 @@ impl FasterTransformer {
 
     /// Sweeps batch sizes in multiples of four (§7.1) and returns the
     /// highest-throughput batch whose estimated latency meets `bound`.
-    pub fn plan(&self, bound: f64) -> Option<(usize, Estimate)> {
+    pub fn plan(&self, bound: Secs) -> Option<(usize, Estimate)> {
         let mut best: Option<(usize, Estimate)> = None;
         for b in batch_sweep(self.sim.profile().max_batch()) {
             match self.estimate(b) {
@@ -144,7 +145,7 @@ impl FasterTransformer {
 
     /// The latency sweep the paper derives its four bounds from: estimated
     /// full-batch latencies over all feasible batch sizes.
-    pub fn latency_sweep(&self) -> Vec<f64> {
+    pub fn latency_sweep(&self) -> Vec<Secs> {
         batch_sweep(self.sim.profile().max_batch())
             .map_while(|b| self.estimate(b).ok().map(|e| e.latency))
             .collect()
@@ -211,8 +212,8 @@ impl FasterTransformer {
                 .plan
                 .encode_stage_time(&self.sim, b as f64 / m_e as f64, mean_in)
                 .map_err(RunError::from)?;
-            enc_stage_times.push(enc_stage);
-            t += enc_stage * (stages + m_e - 1) as f64;
+            enc_stage_times.push(enc_stage.as_secs());
+            t += (enc_stage * (stages + m_e - 1) as f64).as_secs();
 
             // Decode to the batch's longest output with no early termination.
             let s_batch = batch_reqs.iter().map(|r| r.output_len).max().unwrap_or(0);
@@ -222,8 +223,8 @@ impl FasterTransformer {
                 let ctx = mean_in + u as f64;
                 let worst =
                     self.plan.decode_stage_time(&self.sim, micro, ctx).map_err(RunError::from)?;
-                dec_stage_times.push(worst);
-                t += m_d as f64 * worst;
+                dec_stage_times.push(worst.as_secs());
+                t += (worst * m_d as f64).as_secs();
             }
 
             for req in batch_reqs {
@@ -239,7 +240,7 @@ impl FasterTransformer {
         Ok(RunReport {
             completed: latencies.len(),
             tokens_generated: tokens,
-            makespan,
+            makespan: Secs::new(makespan),
             throughput,
             latencies,
             encoder_stage_times: enc_stage_times,
@@ -289,7 +290,7 @@ mod tests {
     #[test]
     fn plan_respects_the_bound() {
         let ft = ft(Task::Translation);
-        let unbounded = ft.plan(f64::INFINITY).expect("feasible");
+        let unbounded = ft.plan(Secs::INFINITY).expect("feasible");
         let sweep = ft.latency_sweep();
         let tight = exegpt_workload::latency_bounds(&sweep).expect("non-empty")[0];
         let bounded = ft.plan(tight).expect("feasible");

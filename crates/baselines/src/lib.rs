@@ -33,6 +33,7 @@
 //! use exegpt_model::ModelConfig;
 //! use exegpt_profiler::{ProfileOptions, Profiler};
 //! use exegpt_sim::Simulator;
+//! use exegpt_units::Secs;
 //! use exegpt_workload::Task;
 //!
 //! let model = ModelConfig::opt_13b();
@@ -42,7 +43,7 @@
 //! let sim = Simulator::new(model, cluster, profile.into(),
 //!     Task::Translation.workload()?);
 //! let ft = FasterTransformer::paper_default(sim)?;
-//! let (batch, est) = ft.plan(f64::INFINITY).expect("some batch is feasible");
+//! let (batch, est) = ft.plan(Secs::INFINITY).expect("some batch is feasible");
 //! assert!(batch >= 4 && est.throughput > 0.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

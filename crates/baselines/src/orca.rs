@@ -11,6 +11,7 @@
 
 use exegpt_runner::{KvTracker, ReservePolicy, RunError, RunOptions, RunReport};
 use exegpt_sim::{SimError, Simulator};
+use exegpt_units::Secs;
 use exegpt_workload::{Request, RequestStream};
 
 use crate::common::{batch_sweep, build_grid, paper_parallelism, windowed, GridPlan};
@@ -108,7 +109,7 @@ impl Orca {
         let w = self.sim.workload();
         let mean_in = w.input().mean();
         let mean_out = w.output().mean().max(1.0);
-        let ctx = w.mean_decode_context();
+        let ctx = w.mean_decode_context().as_f64();
         let stages = self.plan.stages();
 
         // Memory feasibility with the configured KV policy.
@@ -116,9 +117,9 @@ impl Orca {
         let params = self.plan.param_bytes_per_gpu(&self.sim);
         let per_query_tokens = match self.settings.kv_policy {
             ReservePolicy::UpFront => mean_in + w.output().max_len() as f64,
-            ReservePolicy::Incremental => self.sim.kv_ctx_tokens(),
+            ReservePolicy::Incremental => self.sim.kv_ctx_tokens().as_f64(),
             ReservePolicy::Paged { page_tokens } => {
-                let held = self.sim.kv_ctx_tokens();
+                let held = self.sim.kv_ctx_tokens().as_f64();
                 (held / page_tokens as f64).ceil() * page_tokens as f64
             }
         };
@@ -142,10 +143,10 @@ impl Orca {
         let enc_stage = if admissions > 0.0 {
             self.plan.encode_stage_time(&self.sim, admissions, mean_in)?
         } else {
-            0.0
+            Secs::ZERO
         };
         let host = self.settings.base_overhead_s + self.settings.per_seq_overhead_s * batch as f64;
-        let t_iter = m_d as f64 * dec_stage + enc_stage + host;
+        let t_iter = dec_stage * m_d as f64 + enc_stage + Secs::new(host);
 
         // Throughput is limited by admissions when they are capped below
         // the completion rate (vLLM's one-per-iteration mode).
@@ -155,8 +156,8 @@ impl Orca {
             } else {
                 self.settings.max_admissions_per_iter as f64
             });
-        let throughput = completions_per_iter / t_iter;
-        let latency = w.l99() as f64 * t_iter;
+        let throughput = completions_per_iter / t_iter.as_secs();
+        let latency = t_iter * w.l99() as f64;
 
         let footprint = exegpt_model::MemoryFootprint {
             param_bytes: params,
@@ -173,7 +174,7 @@ impl Orca {
             },
             breakdown: exegpt_sim::Breakdown {
                 encode_time: enc_stage,
-                decode_time: m_d as f64 * dec_stage,
+                decode_time: dec_stage * m_d as f64,
                 period: t_iter,
                 stages,
                 decode_batch: batch,
@@ -183,7 +184,7 @@ impl Orca {
 
     /// Sweeps slot counts (multiples of four) for the best throughput under
     /// `bound`.
-    pub fn plan(&self, bound: f64) -> Option<(usize, exegpt_sim::Estimate)> {
+    pub fn plan(&self, bound: Secs) -> Option<(usize, exegpt_sim::Estimate)> {
         let mut best: Option<(usize, exegpt_sim::Estimate)> = None;
         for b in batch_sweep(self.sim.profile().max_batch()) {
             match self.estimate(b) {
@@ -266,18 +267,18 @@ impl Orca {
             let micro = active as f64 / m_d as f64;
             let dec_stage =
                 self.plan.decode_stage_time(&self.sim, micro, ctx).map_err(RunError::from)?;
-            dec_stage_times.push(dec_stage);
+            dec_stage_times.push(dec_stage.as_secs());
             let host =
                 self.settings.base_overhead_s + self.settings.per_seq_overhead_s * active as f64;
-            let mut t_iter = m_d as f64 * dec_stage + host;
+            let mut t_iter = (dec_stage * m_d as f64).as_secs() + host;
             if admitted > 0 {
                 let mean_in = admitted_tokens as f64 / admitted as f64;
                 let enc_stage = self
                     .plan
                     .encode_stage_time(&self.sim, admitted as f64, mean_in)
                     .map_err(RunError::from)?;
-                enc_stage_times.push(enc_stage);
-                t_iter += enc_stage;
+                enc_stage_times.push(enc_stage.as_secs());
+                t_iter += enc_stage.as_secs();
             }
             t += t_iter;
 
@@ -308,7 +309,7 @@ impl Orca {
         Ok(RunReport {
             completed: latencies.len(),
             tokens_generated: tokens,
-            makespan,
+            makespan: Secs::new(makespan),
             throughput,
             latencies,
             encoder_stage_times: enc_stage_times,

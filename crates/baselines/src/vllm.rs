@@ -5,6 +5,7 @@
 
 use exegpt_runner::{RunError, RunOptions, RunReport};
 use exegpt_sim::{Estimate, SimError, Simulator};
+use exegpt_units::Secs;
 
 use crate::orca::{IterationLevel, Orca};
 
@@ -39,7 +40,7 @@ impl Vllm {
     }
 
     /// Best slot count under a latency bound.
-    pub fn plan(&self, bound: f64) -> Option<(usize, Estimate)> {
+    pub fn plan(&self, bound: Secs) -> Option<(usize, Estimate)> {
         self.inner.plan(bound)
     }
 

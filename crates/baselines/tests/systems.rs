@@ -9,6 +9,7 @@ use exegpt_model::ModelConfig;
 use exegpt_profiler::{ProfileOptions, Profiler};
 use exegpt_runner::RunOptions;
 use exegpt_sim::Simulator;
+use exegpt_units::Secs;
 use exegpt_workload::Task;
 
 /// The paper's §7.2 comparison setup: OPT-13B on four A40s.
@@ -50,8 +51,8 @@ fn ft_beats_vllm_on_the_paper_setup() {
     let s = sim(Task::Translation);
     let ft = FasterTransformer::paper_default(s.clone()).expect("grid");
     let vllm = Vllm::new(s).expect("grid");
-    let ft_best = ft.plan(f64::INFINITY).expect("feasible").1.throughput;
-    let vllm_best = vllm.plan(f64::INFINITY).expect("feasible").1.throughput;
+    let ft_best = ft.plan(Secs::INFINITY).expect("feasible").1.throughput;
+    let vllm_best = vllm.plan(Secs::INFINITY).expect("feasible").1.throughput;
     assert!(ft_best > vllm_best, "FT {ft_best:.2} q/s should beat vLLM {vllm_best:.2} q/s");
 }
 
@@ -60,8 +61,8 @@ fn ft_beats_dsi_on_the_paper_setup() {
     let s = sim(Task::Summarization);
     let ft = FasterTransformer::paper_default(s.clone()).expect("grid");
     let dsi = DeepSpeedInference::new(s).expect("single node");
-    let ft_best = ft.plan(f64::INFINITY).expect("feasible").1.throughput;
-    let dsi_best = dsi.plan(f64::INFINITY).expect("feasible").1.throughput;
+    let ft_best = ft.plan(Secs::INFINITY).expect("feasible").1.throughput;
+    let dsi_best = dsi.plan(Secs::INFINITY).expect("feasible").1.throughput;
     assert!(ft_best > dsi_best, "FT {ft_best:.2} should beat DSI {dsi_best:.2}");
 }
 

@@ -16,7 +16,7 @@ fn bench_kernel(c: &mut Criterion) {
     let sim = opt_4xa40().simulator_for(Task::Translation);
     let ft = FasterTransformer::paper_default(sim).expect("grid builds");
     c.bench_function("fig7/ft_plan_unbounded", |b| {
-        b.iter(|| ft.plan(f64::INFINITY).expect("feasible"))
+        b.iter(|| ft.plan(exegpt_units::Secs::INFINITY).expect("feasible"))
     });
 }
 

@@ -20,7 +20,7 @@ use exegpt_workload::Task;
 /// Exhaustive reference: evaluate every (B_E, N_D) RRA point at TP=none.
 fn exhaustive(
     sim: &exegpt_sim::Simulator,
-    bound: f64,
+    bound: exegpt_units::Secs,
     max_b_e: usize,
     max_n_d: usize,
 ) -> (f64, usize) {
@@ -72,7 +72,8 @@ fn print_comparison() {
         );
 
     println!("Scheduling cost (paper 7.7): branch-and-bound vs alternatives");
-    println!("setup: OPT-13B / 4xA40, task S, L_B = {bound:.1}s, RRA over B_E x N_D at TP=none");
+    let bound_s = bound.as_secs();
+    println!("setup: OPT-13B / 4xA40, task S, L_B = {bound_s:.1}s, RRA over B_E x N_D at TP=none");
     println!(
         "  branch-and-bound: throughput {:.2} q/s with {} evaluations",
         bnb.estimate.throughput, bnb.evals

@@ -3,6 +3,7 @@
 //! length distributions, the remaining 90% is served.
 
 use exegpt::Policy;
+use exegpt_units::Secs;
 use exegpt_workload::Dataset;
 use serde::{Deserialize, Serialize};
 
@@ -57,7 +58,7 @@ pub fn generate(num_queries: usize) -> Vec<Row> {
             let ft_bounds = bounds_for(system, &sched_workload);
             // The paper reports two bounds for this figure: a tight one and
             // the unconstrained case.
-            for bound in [ft_bounds[1], f64::INFINITY] {
+            for bound in [ft_bounds[1], Secs::INFINITY] {
                 let ft = measured_ft(system, &eval_workload, bound, num_queries);
                 let rra =
                     measured_exegpt(system, &eval_workload, vec![Policy::Rra], bound, num_queries);
@@ -71,7 +72,7 @@ pub fn generate(num_queries: usize) -> Vec<Row> {
                 rows.push(Row {
                     system: system.name.clone(),
                     dataset: dataset.name().to_string(),
-                    bound,
+                    bound: bound.as_secs(),
                     correlation: dataset.correlation(),
                     ft: ft.map(|m| m.throughput),
                     rra: rra.map(|m| m.throughput),

@@ -8,6 +8,7 @@ use exegpt::{Policy, ScheduleError, SchedulerOptions};
 use exegpt_dist::LengthDist;
 use exegpt_runner::{RunOptions, Runner};
 use exegpt_sim::Workload;
+use exegpt_units::Secs;
 use exegpt_workload::Task;
 use serde::{Deserialize, Serialize};
 
@@ -91,7 +92,7 @@ pub fn generate(policies: Vec<Policy>, num_queries: usize) -> Vec<Row> {
             engine
                 .schedule_with(&SchedulerOptions {
                     policies: policies.clone(),
-                    ..SchedulerOptions::bounded(f64::INFINITY)
+                    ..SchedulerOptions::bounded(Secs::INFINITY)
                 })
                 .expect("unconstrained schedule exists")
         }

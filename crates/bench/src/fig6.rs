@@ -54,7 +54,7 @@ pub fn generate(systems: &[System], num_queries: usize) -> Vec<Row> {
                 rows.push(Row {
                     system: system.name.clone(),
                     task: task.id().to_string(),
-                    bound,
+                    bound: bound.as_secs(),
                     ft: ft.map(|m| m.throughput),
                     rra: rra.map(|m| m.throughput),
                     waa: waa.map(|m| m.throughput),

@@ -51,7 +51,7 @@ pub fn generate(num_queries: usize) -> Vec<Row> {
             };
             rows.push(Row {
                 task: task.id().to_string(),
-                bound,
+                bound: bound.as_secs(),
                 ft: run(ft.plan(bound), &|b, o| ft.run(b, o).ok().map(|r| r.throughput)),
                 dsi: run(dsi.plan(bound), &|b, o| dsi.run(b, o).ok().map(|r| r.throughput)),
                 orca: run(orca.plan(bound), &|b, o| orca.run(b, o).ok().map(|r| r.throughput)),

@@ -6,6 +6,7 @@ use exegpt::{Policy, SchedulerOptions};
 use exegpt_baselines::FasterTransformer;
 use exegpt_cluster::ClusterSpec;
 use exegpt_model::ModelConfig;
+use exegpt_units::Secs;
 use exegpt_workload::Task;
 use serde::{Deserialize, Serialize};
 
@@ -54,12 +55,12 @@ pub fn generate() -> Vec<Row> {
 
             let ft = FasterTransformer::paper_default(system.simulator(workload.clone()))
                 .expect("grid builds");
-            let Some((_, ft_est)) = ft.plan(f64::INFINITY) else { continue };
+            let Some((_, ft_est)) = ft.plan(Secs::INFINITY) else { continue };
 
             let engine = system.engine(workload);
             let opts = SchedulerOptions {
                 policies: vec![Policy::WaaCompute, Policy::WaaMemory],
-                ..SchedulerOptions::bounded(f64::INFINITY)
+                ..SchedulerOptions::bounded(Secs::INFINITY)
             };
             let Ok(waa) = engine.schedule_with(&opts) else { continue };
             let variant = match waa.config {

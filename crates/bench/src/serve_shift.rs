@@ -17,6 +17,7 @@ use exegpt_serve::{
     poisson_with_shift, DriftOptions, ServeLoop, ServeOptions, ServeReport, SloTargets,
 };
 use exegpt_sim::Workload;
+use exegpt_units::Secs;
 use exegpt_workload::Task;
 use serde::{Deserialize, Serialize};
 
@@ -75,9 +76,9 @@ fn row(arm: &str, r: &ServeReport) -> Row {
 
 fn opts(adaptive: bool) -> ServeOptions {
     ServeOptions {
-        slo: SloTargets::e2e(SLO_E2E),
+        slo: SloTargets::e2e(Secs::new(SLO_E2E)),
         adaptive,
-        scheduler: SchedulerOptions::bounded(LATENCY_BOUND),
+        scheduler: SchedulerOptions::bounded(Secs::new(LATENCY_BOUND)),
         drift: DriftOptions {
             window: 128,
             min_samples: 48,
@@ -100,7 +101,7 @@ pub fn generate(total: usize) -> Vec<Row> {
     );
 
     let engine = system.engine(base.clone());
-    let schedule = engine.schedule(LATENCY_BOUND).expect("bounded schedule exists");
+    let schedule = engine.schedule(Secs::new(LATENCY_BOUND)).expect("bounded schedule exists");
     // Offer load at 96% of the stale plan's capacity on the *shifted*
     // traffic: the static arm runs near saturation post-shift while the
     // re-optimized plan keeps headroom.

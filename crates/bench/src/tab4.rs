@@ -35,8 +35,8 @@ pub fn generate() -> Vec<Row> {
         .map(|(model, gpus)| Row {
             model: model.name().to_string(),
             gpus,
-            from_dram: lcm.load_time(model.param_bytes(), gpus, LoadSource::Dram),
-            from_ssd: lcm.load_time(model.param_bytes(), gpus, LoadSource::Ssd),
+            from_dram: lcm.load_time(model.param_bytes(), gpus, LoadSource::Dram).as_secs(),
+            from_ssd: lcm.load_time(model.param_bytes(), gpus, LoadSource::Ssd).as_secs(),
         })
         .collect()
 }

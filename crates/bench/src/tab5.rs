@@ -62,7 +62,7 @@ fn collect_sweeps(sim: &Simulator) -> Vec<Sweep> {
                 .filter_map(|i| {
                     sim.evaluate_rra(&RraConfig::new(4 * i, n_d, tp))
                         .ok()
-                        .map(|e| (e.latency, e.throughput))
+                        .map(|e| (e.latency.as_secs(), e.throughput))
                 })
                 .collect();
             if pts.len() >= 2 {
@@ -86,7 +86,7 @@ fn collect_sweeps(sim: &Simulator) -> Vec<Sweep> {
                 .filter_map(|i| {
                     sim.evaluate_rra(&RraConfig::new(b_e, 2 * i, tp))
                         .ok()
-                        .map(|e| (e.latency, e.throughput))
+                        .map(|e| (e.latency.as_secs(), e.throughput))
                 })
                 .collect();
             if pts.len() >= 2 {
@@ -109,7 +109,7 @@ fn collect_sweeps(sim: &Simulator) -> Vec<Sweep> {
             .filter_map(|b_e| {
                 sim.evaluate_waa(&WaaConfig::new(b_e, b_m, TpConfig::none(), WaaVariant::Compute))
                     .ok()
-                    .map(|e| (e.latency, e.throughput))
+                    .map(|e| (e.latency.as_secs(), e.throughput))
             })
             .collect();
         if pts.len() >= 2 {
@@ -135,7 +135,7 @@ fn collect_sweeps(sim: &Simulator) -> Vec<Sweep> {
                         if i == 0 { TpConfig::none() } else { TpConfig { degree: 2, gpus: 2 * i } };
                     sim.evaluate_waa(&WaaConfig::new(b_e, b_m, tp, WaaVariant::Compute))
                         .ok()
-                        .map(|e| (e.latency, e.throughput))
+                        .map(|e| (e.latency.as_secs(), e.throughput))
                 })
                 .collect();
             if pts.len() >= 2 {
@@ -159,7 +159,7 @@ fn collect_sweeps(sim: &Simulator) -> Vec<Sweep> {
             .filter_map(|b_m| {
                 sim.evaluate_waa(&WaaConfig::new(b_e, b_m, TpConfig::none(), WaaVariant::Compute))
                     .ok()
-                    .map(|e| (e.latency, e.throughput))
+                    .map(|e| (e.latency.as_secs(), e.throughput))
             })
             .collect();
         if pts.len() >= 2 {
@@ -184,7 +184,7 @@ pub fn generate() -> Vec<Row> {
     for task in [Task::Summarization, Task::Translation] {
         let workload = task.workload().expect("task statistics are valid");
         // Latency tolerance scale: the 70th-percentile FT bound (§7.8).
-        let latency_scale = bounds_for(&system, &workload)[2];
+        let latency_scale = bounds_for(&system, &workload)[2].as_secs();
         let sim = system.simulator(workload);
         for sweep in collect_sweeps(&sim) {
             for tol in tolerances() {

@@ -42,15 +42,15 @@ pub fn generate() -> Vec<Row> {
                     },
                 };
                 Row {
-                    bound,
+                    bound: bound.as_secs(),
                     schedule: family,
                     config: s.config.describe(),
-                    latency: Some(s.estimate.latency),
+                    latency: Some(s.estimate.latency.as_secs()),
                     throughput: Some(s.estimate.throughput),
                 }
             }
             Err(_) => Row {
-                bound,
+                bound: bound.as_secs(),
                 schedule: "NS".to_string(),
                 config: "-".to_string(),
                 latency: None,

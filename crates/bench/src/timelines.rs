@@ -4,6 +4,7 @@
 
 use exegpt::{Policy, SchedulerOptions};
 use exegpt_runner::{RunOptions, Runner};
+use exegpt_units::Secs;
 use exegpt_workload::Task;
 
 use crate::scenarios::opt_4xa40;
@@ -26,30 +27,32 @@ pub fn generate() -> String {
     for (name, policies) in
         [("RRA", vec![Policy::Rra]), ("WAA", vec![Policy::WaaCompute, Policy::WaaMemory])]
     {
-        let opts = SchedulerOptions { policies, ..SchedulerOptions::bounded(f64::INFINITY) };
+        let opts = SchedulerOptions { policies, ..SchedulerOptions::bounded(Secs::INFINITY) };
         let Ok(s) = engine.schedule_with(&opts) else { continue };
         let b = s.estimate.breakdown;
-        let scale = 50.0 / b.period.max(1e-9);
+        let scale = 50.0 / b.period.as_secs().max(1e-9);
         out.push_str(&format!("{name}: {}\n", s.config.describe()));
         match name {
             "RRA" => {
                 // All GPUs alternate: encode phase then N_D decode iterations.
-                out.push_str(&bar("  all GPUs: encode", b.encode_time, scale));
+                out.push_str(&bar("  all GPUs: encode", b.encode_time.as_secs(), scale));
                 out.push('\n');
-                out.push_str(&bar("  all GPUs: decode", b.decode_time, scale));
+                out.push_str(&bar("  all GPUs: decode", b.decode_time.as_secs(), scale));
                 out.push('\n');
             }
             _ => {
                 // Dedicated groups run concurrently; the period is the max.
-                out.push_str(&bar("  enc GPUs: encode", b.encode_time, scale));
+                out.push_str(&bar("  enc GPUs: encode", b.encode_time.as_secs(), scale));
                 out.push('\n');
-                out.push_str(&bar("  dec GPUs: decode", b.decode_time, scale));
+                out.push_str(&bar("  dec GPUs: decode", b.decode_time.as_secs(), scale));
                 out.push('\n');
             }
         }
         out.push_str(&format!(
             "  period {:.3}s, stages {}, decode pool {}\n",
-            b.period, b.stages, b.decode_batch
+            b.period.as_secs(),
+            b.stages,
+            b.decode_batch
         ));
         // A real replay's Gantt over the first few periods.
         let runner = Runner::from_simulator(engine.simulator().clone());
@@ -63,7 +66,7 @@ pub fn generate() -> String {
         ) {
             if let Some(trace) = rep.trace {
                 out.push_str("  replay (first 4 periods):\n");
-                for line in trace.render_gantt(4.0 * b.period, 64).lines() {
+                for line in trace.render_gantt((b.period * 4.0).as_secs(), 64).lines() {
                     out.push_str("    ");
                     out.push_str(line);
                     out.push('\n');

@@ -1,10 +1,11 @@
 //! Roofline kernel-time model.
 
 use exegpt_model::KernelCost;
+use exegpt_units::{Bytes, Flops, Secs};
 
 use crate::gpu::GpuSpec;
 
-/// Turns a [`KernelCost`] (FLOPs + bytes) into seconds on a given GPU.
+/// Turns a [`KernelCost`] (FLOPs + bytes) into time on a given GPU.
 ///
 /// The model is a classical roofline with saturating efficiency:
 ///
@@ -44,26 +45,28 @@ impl CostModel {
         &self.gpu
     }
 
-    /// Execution time in seconds of one kernel with the given work.
+    /// Execution time of one kernel with the given work.
     ///
     /// Zero-work kernels still pay the launch overhead (a real `cudaLaunch`
     /// does too); callers that want "no kernel" should not call this.
-    pub fn kernel_time(&self, cost: KernelCost) -> f64 {
+    pub fn kernel_time(&self, cost: KernelCost) -> Secs {
+        let flops = Flops::new(cost.flops);
+        let bytes = Bytes::new(cost.bytes);
         let compute = if cost.flops > 0.0 {
-            cost.flops / (self.gpu.peak_flops() * self.gpu.compute_efficiency(cost.flops))
+            flops / (self.gpu.peak_flops() * self.gpu.compute_efficiency(flops))
         } else {
-            0.0
+            Secs::ZERO
         };
         let memory = if cost.bytes > 0.0 {
-            cost.bytes / (self.gpu.mem_bandwidth() * self.gpu.memory_efficiency(cost.bytes))
+            bytes / (self.gpu.mem_bandwidth() * self.gpu.memory_efficiency(bytes))
         } else {
-            0.0
+            Secs::ZERO
         };
-        compute.max(memory) + self.gpu.launch_overhead_s()
+        compute.max(memory) + self.gpu.launch_overhead()
     }
 
     /// Execution time of a sequence of kernels run back to back.
-    pub fn kernels_time<I>(&self, costs: I) -> f64
+    pub fn kernels_time<I>(&self, costs: I) -> Secs
     where
         I: IntoIterator<Item = KernelCost>,
     {
@@ -82,19 +85,19 @@ mod tests {
     #[test]
     fn zero_work_costs_only_overhead() {
         let t = cm().kernel_time(KernelCost::default());
-        assert_eq!(t, cm().gpu().launch_overhead_s());
+        assert_eq!(t, cm().gpu().launch_overhead());
     }
 
     #[test]
     fn time_is_monotone_in_flops_and_bytes() {
         let c = cm();
-        let mut prev = 0.0;
+        let mut prev = Secs::ZERO;
         for exp in 6..14 {
             let t = c.kernel_time(KernelCost { flops: 10f64.powi(exp), bytes: 0.0 });
             assert!(t > prev);
             prev = t;
         }
-        let mut prev = 0.0;
+        let mut prev = Secs::ZERO;
         for exp in 3..11 {
             let t = c.kernel_time(KernelCost { flops: 0.0, bytes: 10f64.powi(exp) });
             assert!(t > prev);
@@ -108,7 +111,7 @@ mod tests {
         // Typical decode: tiny flops, big bytes.
         let t_mem = c.kernel_time(KernelCost { flops: 0.0, bytes: 1e9 });
         let t_both = c.kernel_time(KernelCost { flops: 1e8, bytes: 1e9 });
-        assert!((t_both - t_mem).abs() / t_mem < 1e-9);
+        assert!((t_both - t_mem).as_secs().abs() / t_mem.as_secs() < 1e-9);
     }
 
     #[test]
@@ -117,7 +120,7 @@ mod tests {
         let k = KernelCost { flops: 1e10, bytes: 1e7 };
         let one = c.kernel_time(k);
         let three = c.kernels_time([k, k, k]);
-        assert!((three - 3.0 * one).abs() < 1e-12);
+        assert!((three - one * 3.0).as_secs().abs() < 1e-12);
     }
 
     #[test]

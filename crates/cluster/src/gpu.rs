@@ -1,5 +1,6 @@
 //! GPU device capability descriptions.
 
+use exegpt_units::{Bytes, BytesPerSec, Flops, FlopsPerSec, Secs};
 use serde::{Deserialize, Serialize};
 
 use crate::error::ClusterError;
@@ -24,15 +25,15 @@ use crate::error::ClusterError;
 pub struct GpuSpec {
     name: String,
     mem_bytes: u64,
-    peak_flops: f64,
-    mem_bandwidth: f64,
-    launch_overhead_s: f64,
+    peak_flops: FlopsPerSec,
+    mem_bandwidth: BytesPerSec,
+    launch_overhead: Secs,
     max_compute_efficiency: f64,
     max_memory_efficiency: f64,
-    /// FLOPs at which compute efficiency reaches half of its maximum.
-    compute_half_sat_flops: f64,
-    /// Bytes at which memory efficiency reaches half of its maximum.
-    memory_half_sat_bytes: f64,
+    /// Work at which compute efficiency reaches half of its maximum.
+    compute_half_sat: Flops,
+    /// Traffic at which memory efficiency reaches half of its maximum.
+    memory_half_sat: Bytes,
 }
 
 impl GpuSpec {
@@ -41,18 +42,18 @@ impl GpuSpec {
     /// # Errors
     ///
     /// Returns [`ClusterError::InvalidSpec`] if any capacity/throughput is
-    /// non-positive or an efficiency is outside `(0, 1]`.
+    /// non-positive (or NaN).
     pub fn new(
         name: impl Into<String>,
         mem_bytes: u64,
-        peak_flops: f64,
-        mem_bandwidth: f64,
+        peak_flops: FlopsPerSec,
+        mem_bandwidth: BytesPerSec,
     ) -> Result<Self, ClusterError> {
         if mem_bytes == 0 {
             return Err(ClusterError::InvalidSpec { what: "mem_bytes", why: "must be non-zero" });
         }
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
-        if !(peak_flops > 0.0) || !(mem_bandwidth > 0.0) {
+        if !(peak_flops.as_f64() > 0.0) || !(mem_bandwidth.as_f64() > 0.0) {
             return Err(ClusterError::InvalidSpec {
                 what: "throughput",
                 why: "peak_flops and mem_bandwidth must be positive",
@@ -63,24 +64,36 @@ impl GpuSpec {
             mem_bytes,
             peak_flops,
             mem_bandwidth,
-            launch_overhead_s: 12e-6,
+            launch_overhead: Secs::from_micros(12.0),
             max_compute_efficiency: 0.62,
             max_memory_efficiency: 0.82,
-            compute_half_sat_flops: 3.0e9,
-            memory_half_sat_bytes: 24.0e6,
+            compute_half_sat: Flops::new(3.0e9),
+            memory_half_sat: Bytes::new(24.0e6),
         })
     }
 
     /// NVIDIA A40: 48 GB, ~149.7 TFLOPS dense FP16, 696 GB/s GDDR6.
     pub fn a40() -> Self {
+        Self::new(
+            "A40",
+            48 * (1u64 << 30),
+            FlopsPerSec::from_tflops(149.7),
+            BytesPerSec::from_gb_per_sec(696.0),
+        )
         // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
-        Self::new("A40", 48 * (1 << 30) as u64, 149.7e12, 696e9).expect("preset spec is valid")
+        .expect("preset spec is valid")
     }
 
     /// NVIDIA A100 80 GB SXM: ~312 TFLOPS dense FP16, 2039 GB/s HBM2e.
     pub fn a100_80gb() -> Self {
+        Self::new(
+            "A100-80GB",
+            80 * (1u64 << 30),
+            FlopsPerSec::from_tflops(312.0),
+            BytesPerSec::from_gb_per_sec(2039.0),
+        )
         // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
-        Self::new("A100-80GB", 80 * (1 << 30) as u64, 312e12, 2039e9).expect("preset spec is valid")
+        .expect("preset spec is valid")
     }
 
     /// Device name.
@@ -88,24 +101,25 @@ impl GpuSpec {
         &self.name
     }
 
-    /// Device memory capacity in bytes.
+    /// Device memory capacity in bytes (integer: a discrete capacity, not a
+    /// roofline quantity).
     pub fn mem_bytes(&self) -> u64 {
         self.mem_bytes
     }
 
-    /// Peak dense-FP16 throughput in FLOP/s.
-    pub fn peak_flops(&self) -> f64 {
+    /// Peak dense-FP16 throughput.
+    pub fn peak_flops(&self) -> FlopsPerSec {
         self.peak_flops
     }
 
-    /// Peak device-memory bandwidth in B/s.
-    pub fn mem_bandwidth(&self) -> f64 {
+    /// Peak device-memory bandwidth.
+    pub fn mem_bandwidth(&self) -> BytesPerSec {
         self.mem_bandwidth
     }
 
-    /// Fixed per-kernel launch overhead in seconds.
-    pub fn launch_overhead_s(&self) -> f64 {
-        self.launch_overhead_s
+    /// Fixed per-kernel launch overhead.
+    pub fn launch_overhead(&self) -> Secs {
+        self.launch_overhead
     }
 
     /// Achieved fraction of peak compute for a kernel of `flops` work.
@@ -114,21 +128,23 @@ impl GpuSpec {
     /// fraction of peak (launch ramp, low occupancy), large GEMMs approach
     /// `max_eff`. This is the mechanism by which batch size trades latency
     /// for throughput throughout the reproduction.
-    pub fn compute_efficiency(&self, flops: f64) -> f64 {
-        let x = flops.max(0.0);
-        self.max_compute_efficiency * x / (x + self.compute_half_sat_flops)
+    // xlint::allow(U1, dimensionless efficiency ratio in (0, 1))
+    pub fn compute_efficiency(&self, flops: Flops) -> f64 {
+        let x = flops.max_zero();
+        self.max_compute_efficiency * (x / (x + self.compute_half_sat))
     }
 
     /// Achieved fraction of peak bandwidth for a kernel moving `bytes`.
-    pub fn memory_efficiency(&self, bytes: f64) -> f64 {
-        let x = bytes.max(0.0);
-        self.max_memory_efficiency * x / (x + self.memory_half_sat_bytes)
+    // xlint::allow(U1, dimensionless efficiency ratio in (0, 1))
+    pub fn memory_efficiency(&self, bytes: Bytes) -> f64 {
+        let x = bytes.max_zero();
+        self.max_memory_efficiency * (x / (x + self.memory_half_sat))
     }
 
     /// Overrides the launch overhead (used by baseline models that add host
     /// overhead, and by tests).
-    pub fn with_launch_overhead(mut self, seconds: f64) -> Self {
-        self.launch_overhead_s = seconds;
+    pub fn with_launch_overhead(mut self, overhead: Secs) -> Self {
+        self.launch_overhead = overhead;
         self
     }
 }
@@ -139,10 +155,11 @@ mod tests {
 
     #[test]
     fn rejects_invalid_specs() {
-        assert!(GpuSpec::new("bad", 0, 1.0, 1.0).is_err());
-        assert!(GpuSpec::new("bad", 1, 0.0, 1.0).is_err());
-        assert!(GpuSpec::new("bad", 1, 1.0, -1.0).is_err());
-        assert!(GpuSpec::new("bad", 1, f64::NAN, 1.0).is_err());
+        let one_bps = BytesPerSec::new(1.0);
+        assert!(GpuSpec::new("bad", 0, FlopsPerSec::new(1.0), one_bps).is_err());
+        assert!(GpuSpec::new("bad", 1, FlopsPerSec::new(0.0), one_bps).is_err());
+        assert!(GpuSpec::new("bad", 1, FlopsPerSec::new(1.0), BytesPerSec::new(-1.0)).is_err());
+        assert!(GpuSpec::new("bad", 1, FlopsPerSec::new(f64::NAN), one_bps).is_err());
     }
 
     #[test]
@@ -150,12 +167,12 @@ mod tests {
         let g = GpuSpec::a40();
         let mut prev = 0.0;
         for exp in 0..15 {
-            let e = g.compute_efficiency(10f64.powi(exp));
+            let e = g.compute_efficiency(Flops::new(10f64.powi(exp)));
             assert!(e >= prev);
             assert!(e < 1.0);
             prev = e;
         }
-        assert!(g.compute_efficiency(1e15) > 0.6);
+        assert!(g.compute_efficiency(Flops::new(1e15)) > 0.6);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Interconnect links and collective-communication cost formulas.
 
+use exegpt_dist::convert::lossless_f64;
+use exegpt_units::{Bytes, BytesPerSec, Secs};
 use serde::{Deserialize, Serialize};
 
 use crate::error::ClusterError;
@@ -14,17 +16,19 @@ use crate::error::ClusterError;
 ///
 /// ```
 /// use exegpt_cluster::Interconnect;
+/// use exegpt_units::Bytes;
 ///
 /// let nv = Interconnect::nvlink3();
 /// let pcie = Interconnect::pcie4_x16();
 /// // All-reducing 100 MB across 8 GPUs is much cheaper over NVLink.
-/// assert!(nv.allreduce_time(100e6, 8) < pcie.allreduce_time(100e6, 8) / 5.0);
+/// let payload = Bytes::new(100e6);
+/// assert!(nv.allreduce_time(payload, 8) < pcie.allreduce_time(payload, 8) * 0.2);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Interconnect {
     name: String,
-    bandwidth: f64,
-    latency_s: f64,
+    bandwidth: BytesPerSec,
+    latency: Secs,
 }
 
 impl Interconnect {
@@ -36,42 +40,50 @@ impl Interconnect {
     /// negative latency.
     pub fn new(
         name: impl Into<String>,
-        bandwidth: f64,
-        latency_s: f64,
+        bandwidth: BytesPerSec,
+        latency: Secs,
     ) -> Result<Self, ClusterError> {
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
-        if !(bandwidth > 0.0) {
+        if !(bandwidth.as_f64() > 0.0) {
             return Err(ClusterError::InvalidSpec { what: "bandwidth", why: "must be positive" });
         }
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
-        if !(latency_s >= 0.0) {
+        if !(latency.as_f64() >= 0.0) {
             return Err(ClusterError::InvalidSpec { what: "latency", why: "must be non-negative" });
         }
-        Ok(Self { name: name.into(), bandwidth, latency_s })
+        Ok(Self { name: name.into(), bandwidth, latency })
     }
 
     /// NVLink 3.0: ~300 GB/s effective per-GPU pairwise, ~3 µs latency.
     pub fn nvlink3() -> Self {
-        // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
-        Self::new("NVLink 3.0", 300e9, 3e-6).expect("preset link is valid")
+        Self::new("NVLink 3.0", BytesPerSec::from_gb_per_sec(300.0), Secs::from_micros(3.0))
+            // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
+            .expect("preset link is valid")
     }
 
     /// PCIe 4.0 ×16: ~25 GB/s effective, ~5 µs latency.
     pub fn pcie4_x16() -> Self {
-        // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
-        Self::new("PCIe 4.0 x16", 25e9, 5e-6).expect("preset link is valid")
+        Self::new("PCIe 4.0 x16", BytesPerSec::from_gb_per_sec(25.0), Secs::from_micros(5.0))
+            // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
+            .expect("preset link is valid")
     }
 
     /// 100 Gb InfiniBand: ~12 GB/s effective, ~10 µs latency.
     pub fn infiniband_100gb() -> Self {
-        // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
-        Self::new("InfiniBand 100Gb", 12e9, 10e-6).expect("preset link is valid")
+        Self::new("InfiniBand 100Gb", BytesPerSec::from_gb_per_sec(12.0), Secs::from_micros(10.0))
+            // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
+            .expect("preset link is valid")
     }
 
     /// 8×200 Gb HDR InfiniBand (A100 cluster inter-node): ~190 GB/s, ~8 µs.
     pub fn infiniband_hdr_8x200gb() -> Self {
+        Self::new(
+            "InfiniBand 8x200Gb HDR",
+            BytesPerSec::from_gb_per_sec(190.0),
+            Secs::from_micros(8.0),
+        )
         // xlint::allow(P1, preset arguments are compile-time constants covered by unit tests)
-        Self::new("InfiniBand 8x200Gb HDR", 190e9, 8e-6).expect("preset link is valid")
+        .expect("preset link is valid")
     }
 
     /// Link name.
@@ -79,32 +91,32 @@ impl Interconnect {
         &self.name
     }
 
-    /// Effective bandwidth in B/s.
-    pub fn bandwidth(&self) -> f64 {
+    /// Effective bandwidth.
+    pub fn bandwidth(&self) -> BytesPerSec {
         self.bandwidth
     }
 
-    /// Base message latency in seconds.
-    pub fn latency_s(&self) -> f64 {
-        self.latency_s
+    /// Base message latency.
+    pub fn latency(&self) -> Secs {
+        self.latency
     }
 
     /// Time to send `bytes` point-to-point over this link.
-    pub fn p2p_time(&self, bytes: f64) -> f64 {
-        self.latency_s + bytes.max(0.0) / self.bandwidth
+    pub fn p2p_time(&self, bytes: Bytes) -> Secs {
+        self.latency + bytes.max_zero() / self.bandwidth
     }
 
     /// Time for a ring all-reduce of `bytes` across `group_size` peers.
     ///
     /// Standard ring cost: each peer sends `2·(n−1)/n · bytes` in `2·(n−1)`
     /// latency-bound steps. A group of 1 costs nothing.
-    pub fn allreduce_time(&self, bytes: f64, group_size: usize) -> f64 {
+    pub fn allreduce_time(&self, bytes: Bytes, group_size: usize) -> Secs {
         if group_size <= 1 {
-            return 0.0;
+            return Secs::ZERO;
         }
-        let n = group_size as f64;
+        let n = lossless_f64(group_size);
         let steps = 2.0 * (n - 1.0);
-        steps * self.latency_s + 2.0 * (n - 1.0) / n * bytes.max(0.0) / self.bandwidth
+        self.latency * steps + bytes.max_zero() * (2.0 * (n - 1.0) / n) / self.bandwidth
     }
 }
 
@@ -114,36 +126,38 @@ mod tests {
 
     #[test]
     fn rejects_bad_links() {
-        assert!(Interconnect::new("x", 0.0, 0.0).is_err());
-        assert!(Interconnect::new("x", 1.0, -1.0).is_err());
-        assert!(Interconnect::new("x", f64::NAN, 0.0).is_err());
+        let zero = Secs::ZERO;
+        assert!(Interconnect::new("x", BytesPerSec::new(0.0), zero).is_err());
+        assert!(Interconnect::new("x", BytesPerSec::new(1.0), Secs::new(-1.0)).is_err());
+        assert!(Interconnect::new("x", BytesPerSec::new(f64::NAN), zero).is_err());
     }
 
     #[test]
     fn p2p_includes_latency_floor() {
         let l = Interconnect::pcie4_x16();
-        assert!(l.p2p_time(0.0) >= l.latency_s());
-        assert!(l.p2p_time(1e9) > l.p2p_time(1e6));
+        assert!(l.p2p_time(Bytes::ZERO) >= l.latency());
+        assert!(l.p2p_time(Bytes::new(1e9)) > l.p2p_time(Bytes::new(1e6)));
     }
 
     #[test]
     fn allreduce_trivial_group_is_free() {
         let l = Interconnect::nvlink3();
-        assert_eq!(l.allreduce_time(1e9, 1), 0.0);
-        assert_eq!(l.allreduce_time(1e9, 0), 0.0);
+        assert_eq!(l.allreduce_time(Bytes::new(1e9), 1), Secs::ZERO);
+        assert_eq!(l.allreduce_time(Bytes::new(1e9), 0), Secs::ZERO);
     }
 
     #[test]
     fn allreduce_bandwidth_term_approaches_2x() {
-        let l = Interconnect::new("ideal", 1e9, 0.0).expect("valid");
+        let l = Interconnect::new("ideal", BytesPerSec::new(1e9), Secs::ZERO).expect("valid");
         // 2(n-1)/n -> 2 as n grows.
-        let t = l.allreduce_time(1e9, 64);
-        assert!((t - 2.0 * 63.0 / 64.0).abs() < 1e-12);
+        let t = l.allreduce_time(Bytes::new(1e9), 64);
+        assert!((t.as_secs() - 2.0 * 63.0 / 64.0).abs() < 1e-12);
     }
 
     #[test]
     fn allreduce_grows_with_group() {
         let l = Interconnect::pcie4_x16();
-        assert!(l.allreduce_time(1e8, 8) > l.allreduce_time(1e8, 2));
+        let b = Bytes::new(1e8);
+        assert!(l.allreduce_time(b, 8) > l.allreduce_time(b, 2));
     }
 }

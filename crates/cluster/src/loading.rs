@@ -4,6 +4,8 @@
 //! deployment streams weights from SSD; re-deployment after a schedule change
 //! reloads from host DRAM, which is several times faster.
 
+use exegpt_dist::convert::lossless_f64;
+use exegpt_units::{Bytes, Secs};
 use serde::{Deserialize, Serialize};
 
 use crate::topology::ClusterSpec;
@@ -39,34 +41,34 @@ pub enum LoadSource {
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadCostModel {
     cluster: ClusterSpec,
-    fixed_overhead_s: f64,
+    fixed_overhead: Secs,
 }
 
 impl LoadCostModel {
     /// Creates a deployment-cost model for the cluster.
     pub fn new(cluster: ClusterSpec) -> Self {
-        Self { cluster, fixed_overhead_s: 0.35 }
+        Self { cluster, fixed_overhead: Secs::from_secs(0.35) }
     }
 
-    /// Time in seconds to load `param_bytes` of weights onto `gpus` GPUs.
+    /// Time to load `param_bytes` of weights onto `gpus` GPUs.
     ///
     /// `gpus` is clamped to at least 1. Nodes involved:
     /// `ceil(gpus / gpus_per_node)`.
-    pub fn load_time(&self, param_bytes: u64, gpus: usize, source: LoadSource) -> f64 {
+    pub fn load_time(&self, param_bytes: u64, gpus: usize, source: LoadSource) -> Secs {
         let gpus = gpus.max(1);
         let nodes = gpus.div_ceil(self.cluster.gpus_per_node());
-        let bytes = param_bytes as f64;
-        let per_gpu = bytes / gpus as f64;
+        let bytes = Bytes::new(lossless_f64(param_bytes));
+        let per_gpu = bytes / lossless_f64(gpus);
         let xfer = match source {
             LoadSource::Ssd => {
-                let per_node = bytes / nodes as f64;
+                let per_node = bytes / lossless_f64(nodes);
                 // SSD read and PCIe upload are pipelined; the slower governs.
                 (per_node / self.cluster.ssd_bandwidth())
                     .max(per_gpu / self.cluster.dram_to_gpu_bandwidth())
             }
             LoadSource::Dram => per_gpu / self.cluster.dram_to_gpu_bandwidth(),
         };
-        self.fixed_overhead_s + xfer
+        self.fixed_overhead + xfer
     }
 }
 
@@ -101,15 +103,15 @@ mod tests {
     #[test]
     fn table4_magnitudes() {
         let m = ModelConfig::gpt3_341b();
-        let ssd = lcm().load_time(m.param_bytes(), 48, LoadSource::Ssd);
+        let ssd = lcm().load_time(m.param_bytes(), 48, LoadSource::Ssd).as_secs();
         assert!((8.0..25.0).contains(&ssd), "341B SSD load was {ssd:.1}s");
-        let dram = lcm().load_time(m.param_bytes(), 48, LoadSource::Dram);
+        let dram = lcm().load_time(m.param_bytes(), 48, LoadSource::Dram).as_secs();
         assert!((1.0..6.0).contains(&dram), "341B DRAM load was {dram:.1}s");
     }
 
     #[test]
     fn zero_gpus_is_clamped() {
         let t = lcm().load_time(1 << 30, 0, LoadSource::Dram);
-        assert!(t.is_finite() && t > 0.0);
+        assert!(t.is_finite() && t > Secs::ZERO);
     }
 }

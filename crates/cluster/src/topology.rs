@@ -1,5 +1,6 @@
 //! Cluster topology: nodes, GPUs, and the links between them.
 
+use exegpt_units::BytesPerSec;
 use serde::{Deserialize, Serialize};
 
 use crate::error::ClusterError;
@@ -43,9 +44,9 @@ pub struct ClusterSpec {
     intra: Interconnect,
     inter: Interconnect,
     /// Per-node SSD read bandwidth (for deployment cost, Table 4).
-    ssd_bandwidth: f64,
+    ssd_bandwidth: BytesPerSec,
     /// Effective per-GPU host-DRAM→device bandwidth under full fan-out.
-    dram_to_gpu_bandwidth: f64,
+    dram_to_gpu_bandwidth: BytesPerSec,
 }
 
 impl ClusterSpec {
@@ -78,8 +79,8 @@ impl ClusterSpec {
             num_nodes,
             intra,
             inter,
-            ssd_bandwidth: 7.5e9,
-            dram_to_gpu_bandwidth: 5.0e9,
+            ssd_bandwidth: BytesPerSec::from_gb_per_sec(7.5),
+            dram_to_gpu_bandwidth: BytesPerSec::from_gb_per_sec(5.0),
         })
     }
 
@@ -148,13 +149,13 @@ impl ClusterSpec {
         &self.inter
     }
 
-    /// Per-node SSD read bandwidth in B/s.
-    pub fn ssd_bandwidth(&self) -> f64 {
+    /// Per-node SSD read bandwidth.
+    pub fn ssd_bandwidth(&self) -> BytesPerSec {
         self.ssd_bandwidth
     }
 
-    /// Effective per-GPU host-DRAM→device bandwidth in B/s.
-    pub fn dram_to_gpu_bandwidth(&self) -> f64 {
+    /// Effective per-GPU host-DRAM→device bandwidth.
+    pub fn dram_to_gpu_bandwidth(&self) -> BytesPerSec {
         self.dram_to_gpu_bandwidth
     }
 

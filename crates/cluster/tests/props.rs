@@ -2,6 +2,7 @@
 
 use exegpt_cluster::{ClusterSpec, CostModel, GpuSpec, Interconnect};
 use exegpt_model::KernelCost;
+use exegpt_units::{Bytes, Secs};
 use proptest::prelude::*;
 
 proptest! {
@@ -20,21 +21,23 @@ proptest! {
         let t0 = cm.kernel_time(KernelCost { flops, bytes });
         let t1 = cm.kernel_time(KernelCost { flops: flops + df, bytes });
         let t2 = cm.kernel_time(KernelCost { flops, bytes: bytes + db });
-        prop_assert!(t0 >= cm.gpu().launch_overhead_s());
-        prop_assert!(t1 >= t0 - 1e-15);
-        prop_assert!(t2 >= t0 - 1e-15);
+        prop_assert!(t0 >= cm.gpu().launch_overhead());
+        prop_assert!(t1 >= t0 - Secs::new(1e-15));
+        prop_assert!(t2 >= t0 - Secs::new(1e-15));
         prop_assert!(t0.is_finite());
     }
 
     /// All-reduce time grows with message size and group size, and a
     /// faster link is never slower.
     #[test]
-    fn allreduce_is_well_behaved(bytes in 0.0f64..1e10, group in 1usize..64) {
+    fn allreduce_is_well_behaved(raw_bytes in 0.0f64..1e10, group in 1usize..64) {
         let nv = Interconnect::nvlink3();
         let pcie = Interconnect::pcie4_x16();
-        prop_assert!(nv.allreduce_time(bytes, group) <= pcie.allreduce_time(bytes, group) + 1e-12);
-        prop_assert!(pcie.allreduce_time(bytes + 1e6, group) >= pcie.allreduce_time(bytes, group));
-        prop_assert!(pcie.allreduce_time(bytes, group + 1) >= pcie.allreduce_time(bytes, group) - 1e-12);
+        let bytes = Bytes::new(raw_bytes);
+        let eps = Secs::new(1e-12);
+        prop_assert!(nv.allreduce_time(bytes, group) <= pcie.allreduce_time(bytes, group) + eps);
+        prop_assert!(pcie.allreduce_time(bytes + Bytes::new(1e6), group) >= pcie.allreduce_time(bytes, group));
+        prop_assert!(pcie.allreduce_time(bytes, group + 1) >= pcie.allreduce_time(bytes, group) - eps);
     }
 
     /// Sub-clusters preserve the node-local GPU mapping.

@@ -16,6 +16,7 @@ use exegpt::{Engine, ScheduleError};
 use exegpt_cluster::{ClusterSpec, LoadSource};
 use exegpt_model::ModelConfig;
 use exegpt_sim::Workload;
+use exegpt_units::Secs;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,13 +39,18 @@ struct Opts {
     model: Option<String>,
     gpus: usize,
     task: Option<String>,
-    bound: f64,
+    bound: Secs,
     cluster: String,
 }
 
 fn parse_flags(args: &[String]) -> Result<Opts, String> {
-    let mut opts =
-        Opts { model: None, gpus: 4, task: None, bound: f64::INFINITY, cluster: "a40".to_string() };
+    let mut opts = Opts {
+        model: None,
+        gpus: 4,
+        task: None,
+        bound: Secs::INFINITY,
+        cluster: "a40".to_string(),
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value =
@@ -60,9 +66,9 @@ fn parse_flags(args: &[String]) -> Result<Opts, String> {
             "--bound" => {
                 let v = value("--bound")?;
                 opts.bound = if v == "inf" {
-                    f64::INFINITY
+                    Secs::INFINITY
                 } else {
-                    v.parse().map_err(|_| "--bound needs seconds or `inf`".to_string())?
+                    Secs::new(v.parse().map_err(|_| "--bound needs seconds or `inf`".to_string())?)
                 };
             }
             "--cluster" => opts.cluster = value("--cluster")?,
@@ -135,7 +141,8 @@ fn run(args: &[String]) -> Result<String, String> {
                     let _ = writeln!(
                         out,
                         "estimate : {:.2} queries/s at {:.2} s latency",
-                        s.estimate.throughput, s.estimate.latency
+                        s.estimate.throughput,
+                        s.estimate.latency.as_secs()
                     );
                     let _ = writeln!(
                         out,
@@ -146,16 +153,17 @@ fn run(args: &[String]) -> Result<String, String> {
                     let _ = writeln!(out, "searched : {} configurations", s.evals);
                     Ok(out)
                 }
-                Err(ScheduleError::NoFeasibleSchedule { latency_bound }) => {
-                    Ok(format!("no schedule satisfies {latency_bound} s on this deployment (NS)\n"))
-                }
+                Err(ScheduleError::NoFeasibleSchedule { latency_bound }) => Ok(format!(
+                    "no schedule satisfies {} s on this deployment (NS)\n",
+                    latency_bound.as_secs()
+                )),
                 Err(e) => Err(e.to_string()),
             }
         }
         "frontier" => {
             let opts = parse_flags(rest)?;
             let engine = build_engine(&opts)?;
-            let best = engine.schedule(f64::INFINITY).map_err(|e| e.to_string())?;
+            let best = engine.schedule(Secs::INFINITY).map_err(|e| e.to_string())?;
             let mut out = String::new();
             let _ = writeln!(out, "{:>10}  {:>9}  {:>10}  schedule", "bound(s)", "tput", "latency");
             let mut bound = best.estimate.latency / 16.0;
@@ -164,24 +172,26 @@ fn run(args: &[String]) -> Result<String, String> {
                     Ok(s) => {
                         let _ = writeln!(
                             out,
-                            "{bound:>10.2}  {:>9.2}  {:>10.2}  {}",
+                            "{:>10.2}  {:>9.2}  {:>10.2}  {}",
+                            bound.as_secs(),
                             s.estimate.throughput,
-                            s.estimate.latency,
+                            s.estimate.latency.as_secs(),
                             s.config.describe()
                         );
                     }
                     Err(_) => {
-                        let _ = writeln!(out, "{bound:>10.2}  {:>9}  {:>10}  NS", "-", "-");
+                        let _ =
+                            writeln!(out, "{:>10.2}  {:>9}  {:>10}  NS", bound.as_secs(), "-", "-");
                     }
                 }
-                bound *= 2.0;
+                bound = bound * 2.0;
             }
             let _ = writeln!(
                 out,
                 "{:>10}  {:>9.2}  {:>10.2}  {}",
                 "inf",
                 best.estimate.throughput,
-                best.estimate.latency,
+                best.estimate.latency.as_secs(),
                 best.config.describe()
             );
             Ok(out)
@@ -195,8 +205,8 @@ fn run(args: &[String]) -> Result<String, String> {
             let engine = build_engine(&opts)?;
             Ok(format!(
                 "load from SSD : {:.1} s\nreload (DRAM) : {:.1} s\n",
-                engine.deploy_time(LoadSource::Ssd),
-                engine.deploy_time(LoadSource::Dram)
+                engine.deploy_time(LoadSource::Ssd).as_secs(),
+                engine.deploy_time(LoadSource::Dram).as_secs()
             ))
         }
         other => Err(format!("unknown command `{other}`")),

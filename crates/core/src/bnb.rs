@@ -19,6 +19,8 @@
 
 use std::collections::{BTreeMap, BinaryHeap};
 
+use exegpt_units::Secs;
+
 /// Evaluated performance of one configuration point.
 ///
 /// Infeasible points (out of memory, structurally invalid) are represented
@@ -27,18 +29,18 @@ use std::collections::{BTreeMap, BinaryHeap};
 /// they appear as an upper-bound corner.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Perf {
-    /// Latency in seconds.
-    pub latency: f64,
+    /// Latency of the configuration.
+    pub latency: Secs,
     /// Throughput in queries per second.
     pub throughput: f64,
 }
 
 impl Perf {
     /// The sentinel for configurations that cannot run.
-    pub const INFEASIBLE: Perf = Perf { latency: f64::INFINITY, throughput: f64::INFINITY };
+    pub const INFEASIBLE: Perf = Perf { latency: Secs::INFINITY, throughput: f64::INFINITY };
 
     /// Whether this point can be a solution under `bound`.
-    pub fn satisfies(&self, bound: f64) -> bool {
+    pub fn satisfies(&self, bound: Secs) -> bool {
         self.latency.is_finite() && self.latency <= bound
     }
 }
@@ -46,11 +48,11 @@ impl Perf {
 /// Tolerances and limits for one branch-and-bound run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BnbOptions {
-    /// The latency bound `L_b` in seconds (`f64::INFINITY` allowed).
-    pub latency_bound: f64,
+    /// The latency bound `L_b` (`Secs::INFINITY` allowed).
+    pub latency_bound: Secs,
     /// Latency tolerance `ε_L`: blocks whose minimal corner exceeds
     /// `L_b + ε_L` are discarded.
-    pub eps_latency: f64,
+    pub eps_latency: Secs,
     /// Throughput tolerance `ε_T`, *relative*: a block is pruned only when
     /// its upper bound times `(1 + ε_T)` still trails the incumbent, so a
     /// larger tolerance keeps more blocks alive (the paper's robustness
@@ -63,8 +65,8 @@ pub struct BnbOptions {
 impl Default for BnbOptions {
     fn default() -> Self {
         Self {
-            latency_bound: f64::INFINITY,
-            eps_latency: 0.0,
+            latency_bound: Secs::INFINITY,
+            eps_latency: Secs::ZERO,
             eps_throughput: 0.0,
             max_evals: 20_000,
         }
@@ -123,10 +125,12 @@ impl Ord for Block {
 ///
 /// ```
 /// use exegpt::bnb::{optimize, BnbOptions, Perf};
+/// use exegpt_units::Secs;
 ///
 /// // throughput = x·y, latency = x + y, bound 10: best is on x + y = 10.
-/// let r = optimize((1, 8), (1, 8), &BnbOptions { latency_bound: 10.0, ..Default::default() },
-///     |x, y| Perf { latency: (x + y) as f64, throughput: (x * y) as f64 })
+/// let opts = BnbOptions { latency_bound: Secs::new(10.0), ..Default::default() };
+/// let r = optimize((1, 8), (1, 8), &opts,
+///     |x, y| Perf { latency: Secs::new((x + y) as f64), throughput: (x * y) as f64 })
 ///     .expect("feasible");
 /// assert_eq!(r.perf.throughput, 25.0); // x = y = 5
 /// ```
@@ -269,7 +273,7 @@ mod tests {
     use super::*;
 
     fn opts(bound: f64) -> BnbOptions {
-        BnbOptions { latency_bound: bound, ..Default::default() }
+        BnbOptions { latency_bound: Secs::new(bound), ..Default::default() }
     }
 
     /// Brute-force reference optimum.
@@ -283,7 +287,7 @@ mod tests {
         for x in r1.0..=r1.1 {
             for y in r2.0..=r2.1 {
                 let p = eval(x, y);
-                if p.satisfies(bound) && p.throughput.is_finite() {
+                if p.satisfies(Secs::new(bound)) && p.throughput.is_finite() {
                     best = Some(best.map_or(p.throughput, |b: f64| b.max(p.throughput)));
                 }
             }
@@ -294,7 +298,7 @@ mod tests {
     #[test]
     fn finds_the_monotone_optimum() {
         let eval = |x: usize, y: usize| Perf {
-            latency: (x + 2 * y) as f64,
+            latency: Secs::new((x + 2 * y) as f64),
             throughput: (x * x + y) as f64,
         };
         for bound in [5.0, 17.0, 40.0, 300.0] {
@@ -310,7 +314,7 @@ mod tests {
         let _ = &mut count;
         let r = optimize((1, 100), (1, 100), &opts(f64::INFINITY), |x, y| {
             count.set(count.get() + 1);
-            Perf { latency: (x + y) as f64, throughput: (x * y) as f64 }
+            Perf { latency: Secs::new((x + y) as f64), throughput: (x * y) as f64 }
         })
         .expect("feasible");
         assert_eq!(r.point, (100, 100));
@@ -320,7 +324,7 @@ mod tests {
     #[test]
     fn infeasible_everywhere_returns_none() {
         let r = optimize((1, 16), (1, 16), &opts(0.5), |x, y| Perf {
-            latency: (x + y) as f64,
+            latency: Secs::new((x + y) as f64),
             throughput: 1.0,
         });
         assert!(r.is_none());
@@ -334,7 +338,7 @@ mod tests {
             if x * y > 400 {
                 Perf::INFEASIBLE
             } else {
-                Perf { latency: (x + y) as f64, throughput: (x * y) as f64 }
+                Perf { latency: Secs::new((x + y) as f64), throughput: (x * y) as f64 }
             }
         };
         let r = optimize((1, 64), (1, 64), &opts(45.0), eval).expect("feasible");
@@ -345,7 +349,7 @@ mod tests {
     #[test]
     fn evaluates_far_fewer_points_than_brute_force() {
         let eval = |x: usize, y: usize| Perf {
-            latency: (3 * x + y) as f64,
+            latency: Secs::new((3 * x + y) as f64),
             throughput: (x * y + x) as f64,
         };
         let r = optimize((1, 512), (1, 512), &opts(600.0), eval).expect("feasible");
@@ -359,11 +363,14 @@ mod tests {
         // A monotone surface with a deterministic +-2% ripple.
         let eval = |x: usize, y: usize| {
             let ripple = 1.0 + 0.02 * (((x * 7 + y * 13) % 5) as f64 - 2.0) / 2.0;
-            Perf { latency: (x + y) as f64 * ripple, throughput: (x * y) as f64 * ripple }
+            Perf {
+                latency: Secs::new((x + y) as f64 * ripple),
+                throughput: (x * y) as f64 * ripple,
+            }
         };
         let o = BnbOptions {
-            latency_bound: 60.0,
-            eps_latency: 2.0,
+            latency_bound: Secs::new(60.0),
+            eps_latency: Secs::new(2.0),
             eps_throughput: 0.05,
             max_evals: 20_000,
         };
@@ -375,7 +382,7 @@ mod tests {
     #[test]
     fn single_cell_ranges_work() {
         let r = optimize((3, 3), (4, 4), &opts(100.0), |x, y| Perf {
-            latency: (x + y) as f64,
+            latency: Secs::new((x + y) as f64),
             throughput: (x * y) as f64,
         })
         .expect("feasible");
@@ -385,8 +392,10 @@ mod tests {
 
     #[test]
     fn single_row_and_column_ranges_work() {
-        let eval =
-            |x: usize, y: usize| Perf { latency: (x + y) as f64, throughput: (x * y) as f64 };
+        let eval = |x: usize, y: usize| Perf {
+            latency: Secs::new((x + y) as f64),
+            throughput: (x * y) as f64,
+        };
         let row = optimize((1, 32), (5, 5), &opts(20.0), eval).expect("feasible");
         assert_eq!(row.perf.throughput, brute((1, 32), (5, 5), 20.0, &eval).expect("any"));
         let col = optimize((5, 5), (1, 32), &opts(20.0), eval).expect("feasible");
@@ -401,11 +410,16 @@ mod tests {
 
     #[test]
     fn eval_budget_is_respected() {
-        let o = BnbOptions { latency_bound: 1e9, eps_latency: 1e12, max_evals: 10, ..opts(1e9) };
+        let o = BnbOptions {
+            latency_bound: Secs::new(1e9),
+            eps_latency: Secs::new(1e12),
+            max_evals: 10,
+            ..opts(1e9)
+        };
         // Bound excludes nothing but eps_latency keeps all blocks alive;
         // use an anti-monotone surface to force exploration.
         let r = optimize((1, 4096), (1, 4096), &o, |x, y| Perf {
-            latency: 2e9 - (x + y) as f64,
+            latency: Secs::new(2e9 - (x + y) as f64),
             throughput: 1.0 / (x * y) as f64,
         });
         // Never runs away; may or may not find something, but terminates.

@@ -7,6 +7,7 @@ use exegpt_cluster::{ClusterSpec, LoadCostModel, LoadSource};
 use exegpt_model::ModelConfig;
 use exegpt_profiler::{LayerProfile, ProfileOptions, Profiler};
 use exegpt_sim::{Simulator, Workload};
+use exegpt_units::Secs;
 
 use crate::error::ScheduleError;
 use crate::scheduler::{Schedule, Scheduler, SchedulerOptions};
@@ -27,13 +28,13 @@ impl Engine {
         EngineBuilder::default()
     }
 
-    /// Finds the best schedule for a latency bound (seconds;
-    /// `f64::INFINITY` for unconstrained), across all policies.
+    /// Finds the best schedule for a latency bound
+    /// ([`Secs::INFINITY`] for unconstrained), across all policies.
     ///
     /// # Errors
     ///
     /// See [`Scheduler::schedule`].
-    pub fn schedule(&self, latency_bound: f64) -> Result<Schedule, ScheduleError> {
+    pub fn schedule(&self, latency_bound: Secs) -> Result<Schedule, ScheduleError> {
         self.scheduler.schedule(&SchedulerOptions::bounded(latency_bound))
     }
 
@@ -90,7 +91,7 @@ impl Engine {
     /// Estimated cost of (re-)deploying the model according to a new
     /// schedule (paper §7.7, Table 4): loading weights from SSD on first
     /// deployment or from host DRAM on re-deployment.
-    pub fn deploy_time(&self, source: LoadSource) -> f64 {
+    pub fn deploy_time(&self, source: LoadSource) -> Secs {
         let sim = self.simulator();
         self.load_cost.load_time(sim.model().param_bytes(), sim.cluster().total_gpus(), source)
     }
@@ -186,13 +187,13 @@ mod tests {
             .build()
             .expect("builds");
         let profile = std::sync::Arc::clone(engine.simulator().profile());
-        let before = engine.schedule(f64::INFINITY).expect("schedules");
+        let before = engine.schedule(Secs::INFINITY).expect("schedules");
         let longer = Workload::new(
             LengthDist::point_mass(64, 128).expect("valid"),
             LengthDist::point_mass(48, 96).expect("valid"),
         );
         let after = engine
-            .reschedule(longer.clone(), &SchedulerOptions::bounded(f64::INFINITY))
+            .reschedule(longer.clone(), &SchedulerOptions::bounded(Secs::INFINITY))
             .expect("reschedules");
         assert!(std::sync::Arc::ptr_eq(&profile, engine.simulator().profile()), "profile reused");
         assert_eq!(engine.simulator().workload(), &longer, "engine now serves the new workload");

@@ -3,6 +3,7 @@
 use exegpt_cluster::ClusterError;
 use exegpt_profiler::ProfileError;
 use exegpt_sim::SimError;
+use exegpt_units::Secs;
 
 /// Errors produced while building an engine or searching for a schedule.
 #[derive(Debug, Clone, PartialEq)]
@@ -11,8 +12,8 @@ pub enum ScheduleError {
     /// No configuration of any requested policy satisfies the latency bound
     /// on this cluster (the paper's "NS" outcome).
     NoFeasibleSchedule {
-        /// The latency bound that could not be met, in seconds.
-        latency_bound: f64,
+        /// The latency bound that could not be met.
+        latency_bound: Secs,
     },
     /// The search was configured with invalid parameters.
     InvalidOptions {
@@ -39,7 +40,11 @@ impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScheduleError::NoFeasibleSchedule { latency_bound } => {
-                write!(f, "no schedule satisfies the latency bound of {latency_bound} s")
+                write!(
+                    f,
+                    "no schedule satisfies the latency bound of {} s",
+                    latency_bound.as_secs()
+                )
             }
             ScheduleError::InvalidOptions { what, why } => {
                 write!(f, "invalid scheduler option `{what}`: {why}")
@@ -89,7 +94,7 @@ mod tests {
 
     #[test]
     fn display_reports_bound() {
-        let e = ScheduleError::NoFeasibleSchedule { latency_bound: 3.1 };
+        let e = ScheduleError::NoFeasibleSchedule { latency_bound: Secs::new(3.1) };
         assert!(e.to_string().contains("3.1"));
     }
 

@@ -25,6 +25,7 @@
 //! it costs at most one extra closed-form evaluation.
 
 use exegpt_sim::{RraConfig, ScheduleConfig, Simulator, WaaConfig};
+use exegpt_units::Secs;
 
 use crate::scheduler::Schedule;
 
@@ -43,7 +44,7 @@ const MONOTONE_SLACK: f64 = 0.25;
 /// ```no_run
 /// use exegpt::{PlanInvariants, Scheduler, SchedulerOptions};
 /// # fn demo(scheduler: &Scheduler) -> Result<(), exegpt::ScheduleError> {
-/// let schedule = scheduler.schedule(&SchedulerOptions::bounded(2.5))?;
+/// let schedule = scheduler.schedule(&SchedulerOptions::bounded(exegpt_units::Secs::new(2.5)))?;
 /// // `schedule()` already debug_asserts this; tests can call it directly.
 /// assert!(PlanInvariants::check(scheduler.simulator(), &schedule).is_ok());
 /// # Ok(())
@@ -101,20 +102,19 @@ impl PlanInvariants {
 
 fn check_estimate(schedule: &Schedule, v: &mut Vec<String>) {
     let est = &schedule.estimate;
-    for (name, value) in [
-        ("latency", est.latency),
-        ("throughput", est.throughput),
-        ("breakdown.period", est.breakdown.period),
-    ] {
-        if !value.is_finite() || value <= 0.0 {
+    for (name, value) in [("latency", est.latency), ("breakdown.period", est.breakdown.period)] {
+        if !value.is_finite() || value <= Secs::ZERO {
             v.push(format!("{name} must be finite and positive, got {value}"));
         }
+    }
+    if !est.throughput.is_finite() || est.throughput <= 0.0 {
+        v.push(format!("throughput must be finite and positive, got {}", est.throughput));
     }
     for (name, value) in [
         ("breakdown.encode_time", est.breakdown.encode_time),
         ("breakdown.decode_time", est.breakdown.decode_time),
     ] {
-        if !value.is_finite() || value < 0.0 {
+        if !value.is_finite() || value < Secs::ZERO {
             v.push(format!("{name} must be finite and non-negative, got {value}"));
         }
     }
@@ -249,7 +249,7 @@ mod tests {
     use exegpt_sim::Estimate;
 
     fn broken_schedule(mut est: Estimate, config: ScheduleConfig) -> Schedule {
-        est.latency = f64::NAN;
+        est.latency = Secs::new(f64::NAN);
         Schedule { config, estimate: est, evals: 0, cache_hits: 0 }
     }
 
@@ -266,7 +266,7 @@ mod tests {
     #[test]
     fn estimate_sanity_catches_nan_latency() {
         let est = Estimate {
-            latency: f64::NAN,
+            latency: Secs::new(f64::NAN),
             throughput: 1.0,
             memory: exegpt_sim::MemoryReport {
                 encoder_gpu: Default::default(),
@@ -274,9 +274,9 @@ mod tests {
                 capacity: 1,
             },
             breakdown: exegpt_sim::Breakdown {
-                encode_time: 0.1,
-                decode_time: 0.1,
-                period: 0.1,
+                encode_time: Secs::new(0.1),
+                decode_time: Secs::new(0.1),
+                period: Secs::new(0.1),
                 stages: 1,
                 decode_batch: 1,
             },
@@ -293,7 +293,7 @@ mod tests {
     #[test]
     fn memory_check_flags_overflow() {
         let est = Estimate {
-            latency: 1.0,
+            latency: Secs::new(1.0),
             throughput: 1.0,
             memory: exegpt_sim::MemoryReport {
                 encoder_gpu: exegpt_model::MemoryFootprint {
@@ -305,9 +305,9 @@ mod tests {
                 capacity: 20,
             },
             breakdown: exegpt_sim::Breakdown {
-                encode_time: 0.1,
-                decode_time: 0.1,
-                period: 0.1,
+                encode_time: Secs::new(0.1),
+                decode_time: Secs::new(0.1),
+                period: Secs::new(0.1),
                 stages: 1,
                 decode_batch: 1,
             },
@@ -334,7 +334,7 @@ mod tests {
             ))
             .build()
             .expect("builds");
-        let schedule = engine.schedule(f64::INFINITY).expect("schedules");
+        let schedule = engine.schedule(Secs::INFINITY).expect("schedules");
         let verdict = PlanInvariants::check(engine.simulator(), &schedule);
         assert!(verdict.is_ok(), "{}", verdict.err().map(|r| r.to_string()).unwrap_or_default());
     }

@@ -31,6 +31,7 @@
 //! use exegpt_dist::LengthDist;
 //! use exegpt_model::ModelConfig;
 //! use exegpt_sim::Workload;
+//! use exegpt_units::Secs;
 //!
 //! // OPT-13B on four A40s, serving a translation-like workload.
 //! let engine = Engine::builder()
@@ -44,8 +45,8 @@
 //!
 //! // Maximize throughput while finishing a 99th-percentile-length
 //! // sequence within 30 seconds.
-//! let schedule = engine.schedule(30.0)?;
-//! assert!(schedule.estimate.latency <= 30.0 * 1.05);
+//! let schedule = engine.schedule(Secs::new(30.0))?;
+//! assert!(schedule.estimate.latency <= Secs::new(30.0) * 1.05);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

@@ -25,6 +25,7 @@ use serde::{Deserialize, Serialize};
 
 use exegpt_dist::convert::{lossless_f64, round_usize, trunc_usize};
 use exegpt_sim::{RraConfig, ScheduleConfig, SimError, Simulator, TpConfig, WaaConfig, WaaVariant};
+use exegpt_units::Secs;
 
 use crate::bnb::{self, BnbOptions, Perf};
 use crate::error::ScheduleError;
@@ -50,9 +51,9 @@ impl Policy {
 /// Options controlling one scheduling run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SchedulerOptions {
-    /// Latency bound `L_Bound` in seconds for generating the
-    /// 99th-percentile-length sequence (`f64::INFINITY` = unconstrained).
-    pub latency_bound: f64,
+    /// Latency bound `L_Bound` for generating the 99th-percentile-length
+    /// sequence (`Secs::INFINITY` = unconstrained).
+    pub latency_bound: Secs,
     /// Latency tolerance `ε_L` as a fraction of the bound (default 5%).
     pub eps_latency_frac: f64,
     /// Throughput tolerance `ε_T` as a fraction of the incumbent (blocks
@@ -80,7 +81,7 @@ pub struct SchedulerOptions {
 impl Default for SchedulerOptions {
     fn default() -> Self {
         Self {
-            latency_bound: f64::INFINITY,
+            latency_bound: Secs::INFINITY,
             eps_latency_frac: 0.05,
             eps_throughput_frac: 0.02,
             policies: Policy::all(),
@@ -95,7 +96,7 @@ impl Default for SchedulerOptions {
 
 impl SchedulerOptions {
     /// Convenience constructor for a latency bound with default tolerances.
-    pub fn bounded(latency_bound: f64) -> Self {
+    pub fn bounded(latency_bound: Secs) -> Self {
         Self { latency_bound, ..Self::default() }
     }
 }
@@ -255,7 +256,7 @@ impl Scheduler {
             eps_latency: if opts.latency_bound.is_finite() {
                 opts.latency_bound * opts.eps_latency_frac
             } else {
-                0.0
+                Secs::ZERO
             },
             eps_throughput: opts.eps_throughput_frac.max(0.0),
             max_evals: 20_000,
@@ -331,7 +332,7 @@ fn perf_of(result: Result<exegpt_sim::Estimate, SimError>) -> Perf {
 
 fn validate(opts: &SchedulerOptions) -> Result<(), ScheduleError> {
     #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
-    if !(opts.latency_bound > 0.0) {
+    if !(opts.latency_bound.as_f64() > 0.0) {
         return Err(ScheduleError::InvalidOptions {
             what: "latency_bound",
             why: "must be positive".into(),

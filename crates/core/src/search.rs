@@ -7,6 +7,7 @@
 //! integer box, used by the `sched_cost` bench to quantify what exploiting
 //! monotonicity buys.
 
+use exegpt_units::Secs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -23,18 +24,19 @@ use crate::bnb::{BnbResult, Perf};
 /// ```
 /// use exegpt::bnb::Perf;
 /// use exegpt::search::random_search;
+/// use exegpt_units::Secs;
 ///
-/// let r = random_search((1, 32), (1, 32), 10.0, 200, 7, |x, y| Perf {
-///     latency: (x + y) as f64,
+/// let r = random_search((1, 32), (1, 32), Secs::new(10.0), 200, 7, |x, y| Perf {
+///     latency: Secs::new((x + y) as f64),
 ///     throughput: (x * y) as f64,
 /// })
 /// .expect("something feasible");
-/// assert!(r.perf.latency <= 10.0);
+/// assert!(r.perf.latency <= Secs::new(10.0));
 /// ```
 pub fn random_search<F>(
     range1: (usize, usize),
     range2: (usize, usize),
-    latency_bound: f64,
+    latency_bound: Secs,
     budget: usize,
     seed: u64,
     eval: F,
@@ -68,19 +70,21 @@ mod tests {
 
     #[test]
     fn finds_feasible_points_and_is_deterministic() {
-        let eval =
-            |x: usize, y: usize| Perf { latency: (x + y) as f64, throughput: (x * y) as f64 };
-        let a = random_search((1, 64), (1, 64), 40.0, 500, 3, eval).expect("feasible");
-        let b = random_search((1, 64), (1, 64), 40.0, 500, 3, eval).expect("feasible");
+        let eval = |x: usize, y: usize| Perf {
+            latency: Secs::new((x + y) as f64),
+            throughput: (x * y) as f64,
+        };
+        let a = random_search((1, 64), (1, 64), Secs::new(40.0), 500, 3, eval).expect("feasible");
+        let b = random_search((1, 64), (1, 64), Secs::new(40.0), 500, 3, eval).expect("feasible");
         assert_eq!(a.point, b.point);
-        assert!(a.perf.latency <= 40.0);
+        assert!(a.perf.latency <= Secs::new(40.0));
         assert_eq!(a.evals, 500);
     }
 
     #[test]
     fn infeasible_space_returns_none() {
-        let r = random_search((1, 8), (1, 8), 0.5, 100, 1, |x, y| Perf {
-            latency: (x + y) as f64,
+        let r = random_search((1, 8), (1, 8), Secs::new(0.5), 100, 1, |x, y| Perf {
+            latency: Secs::new((x + y) as f64),
             throughput: 1.0,
         });
         assert!(r.is_none());
@@ -91,10 +95,10 @@ mod tests {
         // A surface with a thin high-throughput ridge along the constraint
         // boundary: random search rarely lands on it, B&B walks to it.
         let eval = |x: usize, y: usize| Perf {
-            latency: (3 * x + y) as f64,
+            latency: Secs::new((3 * x + y) as f64),
             throughput: (x * x * y) as f64,
         };
-        let bound = 700.0;
+        let bound = Secs::new(700.0);
         let bnb = crate::bnb::optimize(
             (1, 256),
             (1, 256),

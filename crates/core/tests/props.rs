@@ -3,6 +3,7 @@
 //! perturbed surfaces it must stay feasible and near-optimal.
 
 use exegpt::bnb::{optimize, BnbOptions, Perf};
+use exegpt_units::Secs;
 use proptest::prelude::*;
 
 /// A random monotone surface: latency and throughput both non-decreasing
@@ -59,10 +60,10 @@ proptest! {
         let max_lat = surface.lat[23][23];
         let bound = max_lat * bound_frac;
         let eval = |x: usize, y: usize| Perf {
-            latency: surface.lat[x - 1][y - 1],
+            latency: Secs::new(surface.lat[x - 1][y - 1]),
             throughput: surface.thr[x - 1][y - 1],
         };
-        let opts = BnbOptions { latency_bound: bound, ..Default::default() };
+        let opts = BnbOptions { latency_bound: Secs::new(bound), ..Default::default() };
         let got = optimize((1, 24), (1, 24), &opts, eval).map(|r| r.perf.throughput);
         prop_assert_eq!(got, brute(&surface, bound));
     }
@@ -82,14 +83,14 @@ proptest! {
                 Perf::INFEASIBLE
             } else {
                 Perf {
-                    latency: surface.lat[x - 1][y - 1],
+                    latency: Secs::new(surface.lat[x - 1][y - 1]),
                     throughput: surface.thr[x - 1][y - 1],
                 }
             }
         };
-        let opts = BnbOptions { latency_bound: bound, ..Default::default() };
+        let opts = BnbOptions { latency_bound: Secs::new(bound), ..Default::default() };
         if let Some(r) = optimize((1, 16), (1, 16), &opts, eval) {
-            prop_assert!(r.perf.latency <= bound);
+            prop_assert!(r.perf.latency <= Secs::new(bound));
             prop_assert!(r.perf.throughput.is_finite());
             let (x, y) = r.point;
             prop_assert!(!holes.contains(&(x - 1, y - 1)), "returned a hole");
@@ -109,13 +110,13 @@ proptest! {
         let eval = |x: usize, y: usize| {
             let r = 1.0 + ripple * ((((x * 31 + y * 17) % 7) as f64 - 3.0) / 3.0);
             Perf {
-                latency: surface.lat[x - 1][y - 1] * r,
+                latency: Secs::new(surface.lat[x - 1][y - 1] * r),
                 throughput: surface.thr[x - 1][y - 1] * r,
             }
         };
         let opts = BnbOptions {
-            latency_bound: bound,
-            eps_latency: bound * 0.1,
+            latency_bound: Secs::new(bound),
+            eps_latency: Secs::new(bound * 0.1),
             eps_throughput: 0.0,
             max_evals: 20_000,
         };
@@ -123,7 +124,7 @@ proptest! {
         // The origin corner is always evaluated; if it is feasible the
         // search must return something at least as good.
         let origin = eval(1, 1);
-        if origin.latency <= bound {
+        if origin.latency <= Secs::new(bound) {
             let r = got.expect("a feasible corner exists");
             prop_assert!(r.perf.throughput >= origin.throughput);
         }

@@ -5,6 +5,7 @@ use exegpt_cluster::ClusterSpec;
 use exegpt_dist::LengthDist;
 use exegpt_model::ModelConfig;
 use exegpt_sim::Workload;
+use exegpt_units::Secs;
 
 /// OPT-13B on four A40s serving the paper's summarization task S.
 fn engine_task_s() -> Engine {
@@ -22,7 +23,7 @@ fn engine_task_s() -> Engine {
 #[test]
 fn schedules_satisfy_their_latency_bound() {
     let engine = engine_task_s();
-    for bound in [5.0, 10.0, 30.0] {
+    for bound in [5.0, 10.0, 30.0].map(Secs::new) {
         let s = engine.schedule(bound).expect("feasible");
         assert!(
             s.estimate.latency <= bound * 1.0001,
@@ -39,7 +40,7 @@ fn relaxing_the_bound_never_hurts_throughput() {
     // grows as the bound relaxes (Table 6's trend).
     let engine = engine_task_s();
     let mut last = 0.0;
-    for bound in [4.0, 8.0, 16.0, 64.0, f64::INFINITY] {
+    for bound in [4.0, 8.0, 16.0, 64.0, f64::INFINITY].map(Secs::new) {
         if let Ok(s) = engine.schedule(bound) {
             assert!(
                 s.estimate.throughput >= last * 0.999,
@@ -55,7 +56,7 @@ fn relaxing_the_bound_never_hurts_throughput() {
 #[test]
 fn impossible_bound_is_reported() {
     let engine = engine_task_s();
-    let err = engine.schedule(1e-3).expect_err("1 ms is impossible");
+    let err = engine.schedule(Secs::new(1e-3)).expect_err("1 ms is impossible");
     assert!(matches!(err, ScheduleError::NoFeasibleSchedule { .. }));
 }
 
@@ -64,14 +65,14 @@ fn policy_restriction_is_respected() {
     let engine = engine_task_s();
     let opts = SchedulerOptions {
         policies: vec![Policy::Rra],
-        ..SchedulerOptions::bounded(f64::INFINITY)
+        ..SchedulerOptions::bounded(Secs::INFINITY)
     };
     let s = engine.schedule_with(&opts).expect("feasible");
     assert!(matches!(s.config, ScheduleConfig::Rra(_)));
 
     let opts = SchedulerOptions {
         policies: vec![Policy::WaaCompute],
-        ..SchedulerOptions::bounded(f64::INFINITY)
+        ..SchedulerOptions::bounded(Secs::INFINITY)
     };
     let s = engine.schedule_with(&opts).expect("feasible");
     assert!(matches!(s.config, ScheduleConfig::Waa(_)));
@@ -80,7 +81,7 @@ fn policy_restriction_is_respected() {
 #[test]
 fn portfolio_beats_or_matches_each_single_policy() {
     let engine = engine_task_s();
-    let bound = 12.0;
+    let bound = Secs::new(12.0);
     let all = engine.schedule(bound).expect("feasible").estimate.throughput;
     for policy in Policy::all() {
         let opts = SchedulerOptions { policies: vec![policy], ..SchedulerOptions::bounded(bound) };
@@ -97,14 +98,15 @@ fn portfolio_beats_or_matches_each_single_policy() {
 #[test]
 fn invalid_options_are_rejected() {
     let engine = engine_task_s();
-    let err = engine.schedule(0.0).expect_err("zero bound");
+    let err = engine.schedule(Secs::ZERO).expect_err("zero bound");
     assert!(matches!(err, ScheduleError::InvalidOptions { what: "latency_bound", .. }));
-    let opts = SchedulerOptions { policies: vec![], ..SchedulerOptions::bounded(10.0) };
+    let opts = SchedulerOptions { policies: vec![], ..SchedulerOptions::bounded(Secs::new(10.0)) };
     assert!(matches!(
         engine.schedule_with(&opts),
         Err(ScheduleError::InvalidOptions { what: "policies", .. })
     ));
-    let opts = SchedulerOptions { eps_latency_frac: 1.5, ..SchedulerOptions::bounded(10.0) };
+    let opts =
+        SchedulerOptions { eps_latency_frac: 1.5, ..SchedulerOptions::bounded(Secs::new(10.0)) };
     assert!(matches!(
         engine.schedule_with(&opts),
         Err(ScheduleError::InvalidOptions { what: "eps_latency_frac", .. })
@@ -114,7 +116,7 @@ fn invalid_options_are_rejected() {
 #[test]
 fn sequential_and_parallel_search_agree() {
     let engine = engine_task_s();
-    let bound = 10.0;
+    let bound = Secs::new(10.0);
     let par = engine
         .schedule_with(&SchedulerOptions { parallel: true, ..SchedulerOptions::bounded(bound) })
         .expect("feasible");
@@ -131,7 +133,7 @@ fn schedule_is_deterministic_across_pool_widths() {
     // the evals and cache_hits counters) for serial execution and for any
     // search-pool width. A fresh engine per run keeps the evaluation cache
     // cold, so the counters are comparable too.
-    let bound = 10.0;
+    let bound = Secs::new(10.0);
     let run = |parallel: bool, pool_threads: Option<usize>| {
         engine_task_s()
             .schedule_with(&SchedulerOptions {
@@ -151,8 +153,8 @@ fn schedule_is_deterministic_across_pool_widths() {
 #[test]
 fn repeated_scheduling_hits_the_shared_cache() {
     let engine = engine_task_s();
-    let first = engine.schedule(10.0).expect("feasible");
-    let second = engine.schedule(10.0).expect("feasible");
+    let first = engine.schedule(Secs::new(10.0)).expect("feasible");
+    let second = engine.schedule(Secs::new(10.0)).expect("feasible");
     assert_eq!(first.config, second.config);
     assert_eq!(first.estimate, second.estimate);
     assert!(
@@ -172,10 +174,10 @@ fn rescheduling_for_a_new_workload_reuses_the_profile() {
         LengthDist::truncated_normal(128.0, 81.0, 256).expect("valid"),
         LengthDist::truncated_normal(128.0, 68.0, 320).expect("valid"),
     ));
-    let s = shifted.schedule(f64::INFINITY).expect("feasible");
+    let s = shifted.schedule(Secs::INFINITY).expect("feasible");
     assert!(s.estimate.throughput > 0.0 && s.estimate.throughput.is_finite());
     // Longer outputs mean ~4x the decode tokens per query; the optimizer
     // must adapt the configuration rather than reuse task S's choice.
-    let base = engine.schedule(f64::INFINITY).expect("feasible");
+    let base = engine.schedule(Secs::INFINITY).expect("feasible");
     assert_ne!(s.config, base.config, "schedule should adapt to the new workload");
 }

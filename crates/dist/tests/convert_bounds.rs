@@ -1,0 +1,97 @@
+//! Boundary behaviour of the checked conversion helpers.
+//!
+//! The unit layer (`exegpt-units`) keeps *dimensions* honest; these tests
+//! keep the *representations* honest at the edges the newtypes pass
+//! through: the 2^53 exactness frontier of `f64`, `usize` narrowing, and
+//! the IEEE oddities (`-0.0`, exact integers) that `ceil`/`trunc` must
+//! handle without changing value.
+
+use exegpt_dist::convert::{
+    ceil_u64, ceil_usize, lossless_f64, narrow_usize, round_usize, trunc_u64, trunc_usize,
+    widen_u64, MAX_EXACT_F64_INT,
+};
+use proptest::prelude::*;
+
+#[test]
+fn round_trip_is_exact_up_to_2_53() {
+    // The frontier itself is representable: 2^53 round-trips exactly ...
+    assert_eq!(lossless_f64(MAX_EXACT_F64_INT), 9_007_199_254_740_992.0);
+    assert_eq!(trunc_u64(lossless_f64(MAX_EXACT_F64_INT)), MAX_EXACT_F64_INT);
+    // ... and the last few integers below it do too.
+    for delta in 1..=4u64 {
+        let v = MAX_EXACT_F64_INT - delta;
+        assert_eq!(trunc_u64(lossless_f64(v)), v, "2^53 - {delta} must round-trip");
+    }
+    // Just above the frontier f64 is even-only: 2^53 + 1 rounds to 2^53.
+    assert_eq!((MAX_EXACT_F64_INT + 1) as f64, MAX_EXACT_F64_INT as f64);
+}
+
+#[test]
+fn narrow_usize_is_identity_at_the_edges_that_fit() {
+    assert_eq!(narrow_usize(0), 0);
+    assert_eq!(narrow_usize(1), 1);
+    assert_eq!(narrow_usize(u64::from(u32::MAX)), u32::MAX as usize);
+    // On 64-bit targets the full u64 range fits; the helper must not
+    // saturate values that are representable.
+    if usize::BITS == 64 {
+        assert_eq!(narrow_usize(u64::MAX), usize::MAX);
+        assert_eq!(narrow_usize(u64::MAX - 1), usize::MAX - 1);
+    }
+}
+
+#[test]
+fn ceil_and_trunc_preserve_exact_integers() {
+    for v in [0u64, 1, 7, 4096, 1 << 32, MAX_EXACT_F64_INT] {
+        let x = lossless_f64(v.min(MAX_EXACT_F64_INT));
+        assert_eq!(ceil_u64(x), trunc_u64(x), "ceil == trunc on the exact integer {x}");
+    }
+    assert_eq!(ceil_usize(5.0), 5);
+    assert_eq!(trunc_usize(5.0), 5);
+    assert_eq!(round_usize(5.0), 5);
+}
+
+#[test]
+fn negative_zero_is_zero_not_a_range_error() {
+    // IEEE: -0.0 >= 0.0, so the non-negativity contract admits it and
+    // every helper must map it to integer 0.
+    assert_eq!(trunc_usize(-0.0), 0);
+    assert_eq!(trunc_u64(-0.0), 0);
+    assert_eq!(ceil_usize(-0.0), 0);
+    assert_eq!(ceil_u64(-0.0), 0);
+    assert_eq!(round_usize(-0.0), 0);
+}
+
+#[test]
+fn ceil_lands_on_the_next_integer_from_just_below() {
+    // The largest f64 strictly below 1.0 must still ceil to 1.
+    let just_below_one = 1.0f64.next_down();
+    assert_eq!(ceil_usize(just_below_one), 1);
+    assert_eq!(ceil_u64(just_below_one), 1);
+    // And from just above, to 2.
+    assert_eq!(ceil_usize(1.0f64.next_up()), 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Widening then narrowing is the identity for every in-range count.
+    #[test]
+    fn widen_narrow_round_trips(x in 0usize..usize::MAX) {
+        prop_assert_eq!(narrow_usize(widen_u64(x)), x);
+    }
+
+    /// f64 round-trips are exact everywhere below the 2^53 frontier.
+    #[test]
+    fn lossless_round_trips_below_frontier(x in 0u64..=MAX_EXACT_F64_INT) {
+        prop_assert_eq!(trunc_u64(lossless_f64(x)), x);
+    }
+
+    /// Ordering of the integer projections: trunc <= round <= ceil, and
+    /// they differ by at most one.
+    #[test]
+    fn trunc_round_ceil_are_ordered(x in 0.0f64..1e15) {
+        let (t, r, c) = (trunc_u64(x), round_usize(x) as u64, ceil_u64(x));
+        prop_assert!(t <= r && r <= c, "trunc {t} <= round {r} <= ceil {c} for {x}");
+        prop_assert!(c - t <= 1, "ceil and trunc differ by at most 1 for {x}");
+    }
+}

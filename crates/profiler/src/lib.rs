@@ -24,13 +24,14 @@
 //! use exegpt_cluster::ClusterSpec;
 //! use exegpt_model::ModelConfig;
 //! use exegpt_profiler::{ProfileOptions, Profiler};
+//! use exegpt_units::Secs;
 //!
 //! let model = ModelConfig::opt_13b();
 //! let cluster = ClusterSpec::a40_cluster().subcluster(4)?;
 //! let profile = Profiler::new(model, cluster).run(&ProfileOptions::default())?;
 //! // One decode iteration of a 32-query batch with ~200-token contexts:
 //! let t = profile.decode_layer_time(32.0, 200.0, 100.0, 1)?;
-//! assert!(t > 0.0 && t < 0.1);
+//! assert!(t > Secs::ZERO && t < Secs::from_millis(100.0));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use exegpt_units::Secs;
 use serde::{Deserialize, Serialize};
 
 use crate::error::ProfileError;
@@ -33,8 +34,10 @@ pub(crate) struct TpTables {
 /// (model, cluster) pair, across all profiled tensor-parallel degrees.
 ///
 /// Built by [`Profiler::run`](crate::Profiler::run); queried by the
-/// simulator and runner. All returned times are in seconds and refer to
-/// *one* layer; callers multiply by per-stage layer counts.
+/// simulator and runner. All returned times are typed [`Secs`] and refer to
+/// *one* layer; callers multiply by per-stage layer counts. The underlying
+/// interpolation grids store raw seconds (`f64`) — the typed boundary is the
+/// query methods.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerProfile {
     pub(crate) model_name: String,
@@ -44,9 +47,9 @@ pub struct LayerProfile {
     pub(crate) handoff_intra: Grid1D,
     /// Pipeline-stage handoff time over tokens transferred, inter-node.
     pub(crate) handoff_inter: Grid1D,
-    /// Seconds to move one token's KV entry for one layer from an encoding
+    /// Time to move one token's KV entry for one layer from an encoding
     /// GPU to a decoding GPU via CPU staging (WAA handover, §3).
-    pub(crate) kv_transfer_per_token_layer: f64,
+    pub(crate) kv_transfer_per_token_layer: Secs,
     /// Largest batch size swept (upper bound for scheduler search ranges).
     pub(crate) max_batch: usize,
     /// Largest sequence/context length swept.
@@ -95,10 +98,12 @@ impl LayerProfile {
     /// # Errors
     ///
     /// Returns [`ProfileError::UnprofiledTpDegree`] if `tp` was not swept.
-    pub fn encode_layer_time(&self, batch: f64, seq: f64, tp: usize) -> Result<f64, ProfileError> {
+    pub fn encode_layer_time(&self, batch: f64, seq: f64, tp: usize) -> Result<Secs, ProfileError> {
         let t = self.tables(tp)?;
         let tokens = batch * seq;
-        Ok(t.enc_attn.eval(batch, seq) + t.enc_rest.eval(tokens) + t.enc_sync.eval(tokens))
+        Ok(Secs::new(
+            t.enc_attn.eval(batch, seq) + t.enc_rest.eval(tokens) + t.enc_sync.eval(tokens),
+        ))
     }
 
     /// Time for one layer to run one *decode* iteration for `batch` queries
@@ -115,10 +120,12 @@ impl LayerProfile {
         ctx: f64,
         input_len: f64,
         tp: usize,
-    ) -> Result<f64, ProfileError> {
+    ) -> Result<Secs, ProfileError> {
         let t = self.tables(tp)?;
         let cross = t.dec_cross.as_ref().map_or(0.0, |g| g.eval(batch, input_len));
-        Ok(t.dec_attn.eval(batch, ctx) + cross + t.dec_rest.eval(batch) + t.dec_sync.eval(batch))
+        Ok(Secs::new(
+            t.dec_attn.eval(batch, ctx) + cross + t.dec_rest.eval(batch) + t.dec_sync.eval(batch),
+        ))
     }
 
     /// Collapses the per-stage decode bottleneck term
@@ -165,8 +172,9 @@ impl LayerProfile {
         let ys = knots
             .iter()
             .map(|&b| {
-                Ok(layers * self.decode_layer_time(b, ctx, input_len, tp)?
+                Ok((self.decode_layer_time(b, ctx, input_len, tp)? * layers
                     + self.handoff_time(b, intra_node))
+                .as_secs())
             })
             .collect::<Result<Vec<_>, ProfileError>>()?;
         Grid1D::new(knots, ys)
@@ -174,18 +182,18 @@ impl LayerProfile {
 
     /// Pipeline-stage handoff time for an activation tensor of
     /// `tokens` tokens (`intra_node` selects the link).
-    pub fn handoff_time(&self, tokens: f64, intra_node: bool) -> f64 {
-        if intra_node {
+    pub fn handoff_time(&self, tokens: f64, intra_node: bool) -> Secs {
+        Secs::new(if intra_node {
             self.handoff_intra.eval(tokens)
         } else {
             self.handoff_inter.eval(tokens)
-        }
+        })
     }
 
     /// Time to transfer the KV-cache entries of `tokens` tokens across
     /// `layers` layers from encoding GPUs to decoding GPUs via CPU staging
     /// (WAA handover).
-    pub fn kv_transfer_time(&self, tokens: f64, layers: usize) -> f64 {
-        self.kv_transfer_per_token_layer * tokens * layers as f64
+    pub fn kv_transfer_time(&self, tokens: f64, layers: usize) -> Secs {
+        self.kv_transfer_per_token_layer * (tokens * layers as f64)
     }
 }

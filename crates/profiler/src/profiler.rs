@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use exegpt_cluster::{ClusterSpec, CostModel};
 use exegpt_model::{KernelCost, LayerKind, ModelConfig, ModelKind};
+use exegpt_units::{Bytes, BytesPerSec};
 use parking_lot::Mutex;
 
 use crate::error::ProfileError;
@@ -24,12 +25,16 @@ pub struct ProfileOptions {
     pub max_seq: usize,
     /// Effective bandwidth of the GPU↔CPU staging path used for WAA
     /// KV-cache handover.
-    pub staging_bandwidth: f64,
+    pub staging_bandwidth: BytesPerSec,
 }
 
 impl Default for ProfileOptions {
     fn default() -> Self {
-        Self { max_batch: 4096, max_seq: 8192, staging_bandwidth: 20e9 }
+        Self {
+            max_batch: 4096,
+            max_seq: 8192,
+            staging_bandwidth: BytesPerSec::from_gb_per_sec(20.0),
+        }
     }
 }
 
@@ -76,13 +81,13 @@ impl Profiler {
         let d = self.model.d_model() as f64 * self.model.dtype_bytes() as f64;
         let handoff = |intra: bool| -> Result<Grid1D, ProfileError> {
             let link = if intra { self.cluster.intra() } else { self.cluster.inter() };
-            let ys = tokens.iter().map(|&t| link.p2p_time(t * d)).collect();
+            let ys = tokens.iter().map(|&t| link.p2p_time(Bytes::new(t * d)).as_secs()).collect();
             Grid1D::new(tokens.clone(), ys)
         };
 
         let kv_bytes = self.model.kv_bytes_per_token_per_layer() as f64;
         // GPU -> CPU -> GPU: the staging path is traversed twice.
-        let kv_transfer_per_token_layer = 2.0 * kv_bytes / opts.staging_bandwidth;
+        let kv_transfer_per_token_layer = Bytes::new(2.0 * kv_bytes) / opts.staging_bandwidth;
 
         Ok(LayerProfile {
             model_name: self.model.name().to_string(),
@@ -133,7 +138,7 @@ impl Profiler {
         };
         let _ = enc_kind; // shape is identical for both encode cost paths
 
-        let measure = |c: KernelCost| cost.kernel_time(c.scaled(inv));
+        let measure = |c: KernelCost| cost.kernel_time(c.scaled(inv)).as_secs();
 
         let enc_attn = Grid2D::new(
             batches.to_vec(),
@@ -153,7 +158,10 @@ impl Profiler {
         )?;
         let enc_sync = Grid1D::new(
             tokens.to_vec(),
-            tokens.iter().map(|&t| 2.0 * link.allreduce_time(t * d_bytes, tp)).collect(),
+            tokens
+                .iter()
+                .map(|&t| (link.allreduce_time(Bytes::new(t * d_bytes), tp) * 2.0).as_secs())
+                .collect(),
         )?;
 
         let dec_attn = Grid2D::new(
@@ -211,7 +219,10 @@ impl Profiler {
         )?;
         let dec_sync = Grid1D::new(
             batches.to_vec(),
-            batches.iter().map(|&b| 3.0 * link.allreduce_time(b * d_bytes, tp)).collect(),
+            batches
+                .iter()
+                .map(|&b| (link.allreduce_time(Bytes::new(b * d_bytes), tp) * 3.0).as_secs())
+                .collect(),
         )?;
 
         Ok(TpTables { enc_attn, enc_rest, enc_sync, dec_attn, dec_cross, dec_rest, dec_sync })
@@ -321,7 +332,7 @@ mod tests {
         let t1 = p.decode_layer_time(1.0, 64.0, 0.0, 1).expect("profiled");
         let t8 = p.decode_layer_time(1.0, 64.0, 0.0, 8).expect("profiled");
         assert!(t8 < t1, "tp=8 should reduce single-iteration latency");
-        assert!(8.0 * t8 > 1.2 * t1, "tp=8 should cost aggregate efficiency");
+        assert!(t8 * 8.0 > t1 * 1.2, "tp=8 should cost aggregate efficiency");
     }
 
     #[test]
@@ -357,8 +368,8 @@ mod tests {
     fn kv_transfer_scales_with_tokens_and_layers() {
         let p = profile(ModelConfig::opt_13b(), 4);
         let t = p.kv_transfer_time(1000.0, 40);
-        assert!((p.kv_transfer_time(2000.0, 40) - 2.0 * t).abs() < 1e-12);
-        assert!((p.kv_transfer_time(1000.0, 80) - 2.0 * t).abs() < 1e-12);
+        assert!((p.kv_transfer_time(2000.0, 40) - t * 2.0).as_secs().abs() < 1e-12);
+        assert!((p.kv_transfer_time(1000.0, 80) - t * 2.0).as_secs().abs() < 1e-12);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use exegpt::DynamicAdjuster;
 use exegpt_sim::{
     Estimate, RraConfig, RraPlan, ScheduleConfig, SimError, Simulator, WaaConfig, WaaPlan,
 };
+use exegpt_units::Secs;
 
 use crate::error::RunError;
 use crate::kv::{KvTracker, ReservePolicy};
@@ -26,11 +27,11 @@ pub(crate) const KV_TRANSFER_EXPOSED: f64 = 0.3;
 /// Timing of one encoding phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EncodeTiming {
-    /// Virtual seconds the phase occupies (RRA: micro-batched pipeline
+    /// Virtual time the phase occupies (RRA: micro-batched pipeline
     /// fill-and-drain; WAA: the encoder pipeline period).
-    pub total: f64,
+    pub total: Secs,
     /// Bottleneck-stage execution time (the Table 7 variance series).
-    pub bottleneck: f64,
+    pub bottleneck: Secs,
     /// Input tokens entering the pipeline (drives the WAA KV handover).
     pub tokens: f64,
 }
@@ -38,10 +39,10 @@ pub struct EncodeTiming {
 /// Timing of one decoding iteration over the pool.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecodeTiming {
-    /// Virtual seconds the iteration occupies.
-    pub total: f64,
+    /// Virtual time the iteration occupies.
+    pub total: Secs,
     /// Bottleneck-stage execution time.
-    pub bottleneck: f64,
+    pub bottleneck: Secs,
 }
 
 #[derive(Debug, Clone)]
@@ -209,12 +210,12 @@ impl PhaseExecutor {
                         profile.handoff_time(micro * mean_in, plan.layout.boundary_intra_node(i));
                     stage_times.push(plan.enc_alloc[i] as f64 * t_layer + handoff);
                 }
-                let bottleneck = stage_times.iter().copied().fold(0.0, f64::max);
-                let total = stage_times.iter().sum::<f64>() + (m_e as f64 - 1.0) * bottleneck;
+                let bottleneck = stage_times.iter().copied().fold(Secs::ZERO, |a, t| a.max(t));
+                let total = stage_times.iter().sum::<Secs>() + bottleneck * (m_e as f64 - 1.0);
                 Ok(EncodeTiming { total, bottleneck, tokens: input_lens.len() as f64 * mean_in })
             }
             Variant::Waa { plan, .. } => {
-                let mut bottleneck = 0.0f64;
+                let mut bottleneck = Secs::ZERO;
                 for (i, _) in plan.enc_layout.stages().iter().enumerate() {
                     let t_layer = profile
                         .encode_layer_time(input_lens.len() as f64, mean_in, 1)
@@ -256,7 +257,7 @@ impl PhaseExecutor {
         match &self.variant {
             Variant::Rra { plan, stages, .. } => {
                 let micro = active as f64 / parallelism as f64;
-                let mut worst = 0.0f64;
+                let mut worst = Secs::ZERO;
                 for (i, stage) in plan.layout.stages().iter().enumerate() {
                     let t_layer = profile
                         .decode_layer_time(micro, mean_ctx, mean_input, stage.tp)
@@ -272,7 +273,7 @@ impl PhaseExecutor {
             }
             Variant::Waa { plan, stages_d, .. } => {
                 let micro = active as f64 / parallelism as f64;
-                let mut worst = 0.0f64;
+                let mut worst = Secs::ZERO;
                 for (i, stage) in plan.dec_layout.stages().iter().enumerate() {
                     let t_layer = profile
                         .decode_layer_time(micro, mean_ctx, mean_input, stage.tp)
@@ -292,9 +293,9 @@ impl PhaseExecutor {
     /// Exposed KV-handover time of a WAA round moving `enc_tokens` input
     /// tokens from the encode to the decode group (0 for RRA, which shares
     /// GPUs between phases).
-    pub fn handover_time(&self, enc_tokens: f64) -> f64 {
+    pub fn handover_time(&self, enc_tokens: f64) -> Secs {
         match &self.variant {
-            Variant::Rra { .. } => 0.0,
+            Variant::Rra { .. } => Secs::ZERO,
             Variant::Waa { plan, .. } => {
                 self.sim.profile().kv_transfer_time(enc_tokens, plan.kv_layers)
                     * KV_TRANSFER_EXPOSED
@@ -339,7 +340,7 @@ mod tests {
         assert!(!exec.is_coupled());
         assert!(exec.scheduled_decode_batch() > 0);
         assert_eq!(exec.schedule(), cfg);
-        assert_eq!(exec.handover_time(1024.0), 0.0, "RRA has no group handover");
+        assert_eq!(exec.handover_time(1024.0), Secs::ZERO, "RRA has no group handover");
         let kv = exec.kv_tracker();
         assert!(kv.capacity_bytes() > 0);
     }
@@ -350,7 +351,7 @@ mod tests {
         let cfg = ScheduleConfig::Rra(RraConfig::new(8, 16, TpConfig::none()));
         let exec = PhaseExecutor::new(&sim, &cfg).expect("feasible");
         let enc = exec.encode_timing(&[128; 8]).expect("in range");
-        assert!(enc.total >= enc.bottleneck && enc.bottleneck > 0.0);
+        assert!(enc.total >= enc.bottleneck && enc.bottleneck > Secs::ZERO);
         let m_d = exec.decode_parallelism(32);
         let fill = exec.decode_timing(m_d, 32, 140.0, true).expect("in range");
         let steady = exec.decode_timing(m_d, 32, 140.0, false).expect("in range");
@@ -365,7 +366,7 @@ mod tests {
         let exec = PhaseExecutor::new(&sim, &cfg).expect("feasible");
         assert!(exec.is_coupled());
         assert_eq!(exec.decode_iters_per_phase(), 1);
-        assert!(exec.handover_time(1024.0) > 0.0);
+        assert!(exec.handover_time(1024.0) > Secs::ZERO);
         let enc = exec.encode_timing(&[128; 2]).expect("in range");
         assert_eq!(enc.total, enc.bottleneck, "WAA encode is one pipeline period");
     }

@@ -1,6 +1,7 @@
 //! Measured results of one execution run.
 
 use exegpt_dist::stats;
+use exegpt_units::Secs;
 use serde::{Deserialize, Serialize};
 
 use crate::trace::Trace;
@@ -17,8 +18,8 @@ pub struct RunReport {
     pub completed: usize,
     /// Output tokens generated over the whole run.
     pub tokens_generated: u64,
-    /// Virtual end time of the run in seconds.
-    pub makespan: f64,
+    /// Virtual end time of the run.
+    pub makespan: Secs,
     /// Completed queries per second over the measurement window.
     pub throughput: f64,
     /// Per-query latencies in seconds (encode start → last token).
@@ -102,7 +103,7 @@ mod tests {
         RunReport {
             completed: 3,
             tokens_generated: 30,
-            makespan: 10.0,
+            makespan: Secs::new(10.0),
             throughput: 0.3,
             latencies: vec![1.0, 2.0, 9.0],
             encoder_stage_times: vec![1.0, 1.2, 0.8],
@@ -141,7 +142,7 @@ mod tests {
         let r = RunReport {
             completed: 0,
             tokens_generated: 0,
-            makespan: 0.0,
+            makespan: Secs::ZERO,
             throughput: 0.0,
             latencies: vec![],
             encoder_stage_times: vec![],

@@ -2,6 +2,7 @@
 
 use exegpt_dist::CompletionDist;
 use exegpt_sim::{RraConfig, ScheduleConfig, Simulator};
+use exegpt_units::Secs;
 use exegpt_workload::{PoissonStream, Request, RequestStream, TimedRequest};
 
 use crate::error::RunError;
@@ -99,9 +100,9 @@ pub(crate) fn run(
         if !admitted.is_empty() {
             let lens: Vec<usize> = admitted.iter().map(|r| r.request.input_len).collect();
             let enc = exec.encode_timing(&lens)?;
-            enc_stage_times.push(enc.bottleneck);
+            enc_stage_times.push(enc.bottleneck.as_secs());
             let t_start = t;
-            t += enc.total;
+            t += enc.total.as_secs();
             if let Some(tr) = trace.as_mut() {
                 tr.record("workers", SpanKind::Encode, t_start, t, admitted.len());
             }
@@ -127,8 +128,8 @@ pub(crate) fn run(
             let ctx: f64 =
                 pool.iter().map(|a| (a.req.input_len + a.progress) as f64).sum::<f64>() / active;
             let dec = exec.decode_timing(m_d, pool.len(), ctx, u == 0)?;
-            dec_stage_times.push(dec.bottleneck);
-            t += dec.total;
+            dec_stage_times.push(dec.bottleneck.as_secs());
+            t += dec.total.as_secs();
             tokens += pool.len() as u64;
 
             // Advance and early-terminate (with cache compaction).
@@ -158,7 +159,7 @@ pub(crate) fn run(
     Ok(RunReport {
         completed: latencies.len(),
         tokens_generated: tokens,
-        makespan,
+        makespan: Secs::new(makespan),
         throughput,
         latencies,
         encoder_stage_times: enc_stage_times,

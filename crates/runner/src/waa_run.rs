@@ -6,6 +6,7 @@
 //! at each round boundary.
 
 use exegpt_sim::{ScheduleConfig, Simulator, WaaConfig};
+use exegpt_units::Secs;
 use exegpt_workload::{PoissonStream, Request, RequestStream, TimedRequest};
 
 use crate::error::RunError;
@@ -102,8 +103,8 @@ pub(crate) fn run(
         } else {
             let lens: Vec<usize> = admitted.iter().map(|r| r.request.input_len).collect();
             let enc = exec.encode_timing(&lens)?;
-            enc_stage_times.push(enc.bottleneck);
-            (enc.bottleneck, enc.tokens)
+            enc_stage_times.push(enc.bottleneck.as_secs());
+            (enc.bottleneck.as_secs(), enc.tokens)
         };
 
         // ---- Decoder side of this round ----------------------------------
@@ -115,12 +116,12 @@ pub(crate) fn run(
                 pool.iter().map(|a| (a.req.input_len + a.progress) as f64).sum::<f64>() / active;
             let b_m = exec.decode_parallelism(pool.len());
             let dec = exec.decode_timing(b_m, pool.len(), ctx, false)?;
-            dec_stage_times.push(dec.bottleneck);
-            dec.total
+            dec_stage_times.push(dec.bottleneck.as_secs());
+            dec.total.as_secs()
         };
 
         // ---- Round boundary: handover + advance ---------------------------
-        let t_kv = exec.handover_time(enc_tokens);
+        let t_kv = exec.handover_time(enc_tokens).as_secs();
         let round = p_enc.max(p_dec).max(t_kv);
         let t_start = t;
         t += round;
@@ -162,7 +163,7 @@ pub(crate) fn run(
     Ok(RunReport {
         completed: latencies.len(),
         tokens_generated: tokens,
-        makespan,
+        makespan: Secs::new(makespan),
         throughput,
         latencies,
         encoder_stage_times: enc_stage_times,

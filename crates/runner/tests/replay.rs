@@ -43,7 +43,7 @@ fn rra_completes_every_query_and_every_token() {
         .map(|q| q.output_len as u64)
         .sum();
     assert_eq!(report.tokens_generated, expected);
-    assert!(report.throughput > 0.0 && report.makespan > 0.0);
+    assert!(report.throughput > 0.0 && report.makespan > exegpt_units::Secs::ZERO);
     assert!(report.latencies.iter().all(|&l| l > 0.0 && l.is_finite()));
 }
 

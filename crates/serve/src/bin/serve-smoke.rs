@@ -9,6 +9,7 @@ use exegpt_cluster::ClusterSpec;
 use exegpt_model::ModelConfig;
 use exegpt_serve::{poisson_with_shift, ServeLoop, ServeOptions, SloTargets};
 use exegpt_sim::Workload;
+use exegpt_units::Secs;
 use exegpt_workload::Task;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .cluster(ClusterSpec::a40_cluster().subcluster(4)?)
         .workload(base.clone())
         .build()?;
-    let schedule = engine.schedule(30.0)?;
+    let schedule = engine.schedule(Secs::new(30.0))?;
     println!("schedule: {}", schedule.config.describe());
     println!("estimated throughput: {:.2} q/s", schedule.estimate.throughput);
 
@@ -33,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rate = 0.6 * schedule.estimate.throughput;
     let arrivals = poisson_with_shift(&base, &shifted, rate, total / 2, total, 7);
     let opts = ServeOptions {
-        slo: SloTargets { ttft: None, per_token: None, e2e: Some(2.0 * schedule.estimate.latency) },
+        slo: SloTargets { ttft: None, per_token: None, e2e: Some(schedule.estimate.latency * 2.0) },
         ..ServeOptions::default()
     };
     let report = ServeLoop::new(engine, &schedule.config, opts)?.run(arrivals)?;

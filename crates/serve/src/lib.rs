@@ -28,6 +28,7 @@
 //! use exegpt_cluster::ClusterSpec;
 //! use exegpt_model::ModelConfig;
 //! use exegpt_serve::{ServeLoop, ServeOptions, SloTargets};
+//! use exegpt_units::Secs;
 //! use exegpt_workload::{PoissonStream, Task};
 //!
 //! let workload = Task::Translation.workload()?;
@@ -36,9 +37,9 @@
 //!     .cluster(ClusterSpec::a40_cluster().subcluster(4)?)
 //!     .workload(workload.clone())
 //!     .build()?;
-//! let schedule = engine.schedule(f64::INFINITY)?;
+//! let schedule = engine.schedule(Secs::INFINITY)?;
 //!
-//! let opts = ServeOptions { slo: SloTargets::e2e(60.0), ..ServeOptions::default() };
+//! let opts = ServeOptions { slo: SloTargets::e2e(Secs::new(60.0)), ..ServeOptions::default() };
 //! let arrivals: Vec<_> = PoissonStream::new(&workload, 10.0, 7).take(500).collect();
 //! let report = ServeLoop::new(engine, &schedule.config, opts)?.run(arrivals)?;
 //! println!("p99 e2e = {:.2}s", report.e2e.unwrap().p99);

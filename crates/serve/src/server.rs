@@ -6,6 +6,7 @@ use exegpt_cluster::LoadSource;
 use exegpt_dist::stats::Summary;
 use exegpt_runner::{PhaseExecutor, RunError};
 use exegpt_sim::Workload;
+use exegpt_units::Secs;
 use exegpt_workload::{Request, TimedRequest};
 use serde::Serialize;
 
@@ -40,7 +41,7 @@ impl Default for ServeOptions {
             adjust_threshold: 0.15,
             drift: DriftOptions::default(),
             adaptive: true,
-            scheduler: SchedulerOptions::bounded(f64::INFINITY),
+            scheduler: SchedulerOptions::bounded(Secs::INFINITY),
         }
     }
 }
@@ -298,16 +299,16 @@ impl ServeLoop {
                 } else {
                     let lens: Vec<usize> = admitted.iter().map(|r| r.request.input_len).collect();
                     let enc = self.exec.encode_timing(&lens)?;
-                    (enc.bottleneck, enc.tokens)
+                    (enc.bottleneck.as_secs(), enc.tokens)
                 };
                 let p_dec = if pool.is_empty() {
                     0.0
                 } else {
                     let b_m = self.exec.decode_parallelism(pool.len());
                     let ctx = mean_context(&pool);
-                    self.exec.decode_timing(b_m, pool.len(), ctx, false)?.total
+                    self.exec.decode_timing(b_m, pool.len(), ctx, false)?.total.as_secs()
                 };
-                let t_kv = self.exec.handover_time(enc_tokens);
+                let t_kv = self.exec.handover_time(enc_tokens).as_secs();
                 let round = p_enc.max(p_dec).max(t_kv);
                 let t_start = t;
                 let pool_during = pool.len();
@@ -337,7 +338,7 @@ impl ServeLoop {
                     let lens: Vec<usize> = admitted.iter().map(|r| r.request.input_len).collect();
                     let enc = self.exec.encode_timing(&lens)?;
                     let t_start = t;
-                    t += enc.total;
+                    t += enc.total.as_secs();
                     metrics.inc("encode_phases");
                     events.push(Event::Encode {
                         t_start,
@@ -364,7 +365,7 @@ impl ServeLoop {
                     }
                     let ctx = mean_context(&pool);
                     let dec = self.exec.decode_timing(m_d, pool.len(), ctx, u == 0)?;
-                    t += dec.total;
+                    t += dec.total.as_secs();
                     tokens += pool.len() as u64;
                     iters += 1;
                     advance(&mut pool, &mut kv, t, &mut done);
@@ -384,7 +385,11 @@ impl ServeLoop {
                 if let Some(pt) = d.per_token {
                     metrics.observe("per_token", pt);
                 }
-                let check = self.opts.slo.check(d.ttft, d.per_token, d.e2e);
+                let check = self.opts.slo.check(
+                    Secs::new(d.ttft),
+                    d.per_token.map(Secs::new),
+                    Secs::new(d.e2e),
+                );
                 slo_out.record(check);
                 events.push(Event::Completion {
                     t: d.t,
@@ -540,6 +545,6 @@ fn swap_cost(engine: &Engine, old: &ScheduleConfig, new: &ScheduleConfig) -> f64
     match (old, new) {
         (ScheduleConfig::Rra(a), ScheduleConfig::Rra(b)) if a.tp == b.tp => 0.0,
         (ScheduleConfig::Waa(a), ScheduleConfig::Waa(b)) if a == b => 0.0,
-        _ => engine.deploy_time(LoadSource::Dram),
+        _ => engine.deploy_time(LoadSource::Dram).as_secs(),
     }
 }

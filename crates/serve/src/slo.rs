@@ -6,17 +6,18 @@
 //! time per generated token after the first, and end-to-end latency — all
 //! measured from *arrival*, so queueing delay counts.
 
+use exegpt_units::Secs;
 use serde::Serialize;
 
 /// Per-request latency targets, each optional (`None` = unconstrained).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct SloTargets {
-    /// Max seconds from arrival to the first generated token.
-    pub ttft: Option<f64>,
-    /// Max seconds per generated token after the first (decode cadence).
-    pub per_token: Option<f64>,
-    /// Max seconds from arrival to the last generated token.
-    pub e2e: Option<f64>,
+    /// Max time from arrival to the first generated token.
+    pub ttft: Option<Secs>,
+    /// Max time per generated token after the first (decode cadence).
+    pub per_token: Option<Secs>,
+    /// Max time from arrival to the last generated token.
+    pub e2e: Option<Secs>,
 }
 
 impl Default for SloTargets {
@@ -32,14 +33,14 @@ impl SloTargets {
     }
 
     /// Only an end-to-end bound.
-    pub fn e2e(bound: f64) -> Self {
+    pub fn e2e(bound: Secs) -> Self {
         Self { ttft: None, per_token: None, e2e: Some(bound) }
     }
 
     /// Checks one completed request. `per_token` is `None` for
     /// single-token outputs (no decode cadence to measure).
-    pub fn check(&self, ttft: f64, per_token: Option<f64>, e2e: f64) -> SloCheck {
-        let exceeded = |target: Option<f64>, got: Option<f64>| match (target, got) {
+    pub fn check(&self, ttft: Secs, per_token: Option<Secs>, e2e: Secs) -> SloCheck {
+        let exceeded = |target: Option<Secs>, got: Option<Secs>| match (target, got) {
             (Some(t), Some(g)) => g > t,
             _ => false,
         };
@@ -122,27 +123,32 @@ mod tests {
     #[test]
     fn unconstrained_never_violates() {
         let slo = SloTargets::unconstrained();
-        assert!(!slo.check(1e9, Some(1e9), 1e9).violated());
+        assert!(!slo.check(Secs::new(1e9), Some(Secs::new(1e9)), Secs::new(1e9)).violated());
     }
 
     #[test]
     fn each_target_is_checked_independently() {
-        let slo = SloTargets { ttft: Some(1.0), per_token: Some(0.1), e2e: Some(10.0) };
-        let c = slo.check(2.0, Some(0.05), 5.0);
+        let slo = SloTargets {
+            ttft: Some(Secs::new(1.0)),
+            per_token: Some(Secs::new(0.1)),
+            e2e: Some(Secs::new(10.0)),
+        };
+        let c = slo.check(Secs::new(2.0), Some(Secs::new(0.05)), Secs::new(5.0));
         assert!(c.ttft_violated && !c.per_token_violated && !c.e2e_violated);
-        let c = slo.check(0.5, Some(0.2), 5.0);
+        let c = slo.check(Secs::new(0.5), Some(Secs::new(0.2)), Secs::new(5.0));
         assert!(!c.ttft_violated && c.per_token_violated && !c.e2e_violated);
-        let c = slo.check(0.5, None, 20.0);
+        let c = slo.check(Secs::new(0.5), None, Secs::new(20.0));
         assert!(!c.ttft_violated && !c.per_token_violated && c.e2e_violated);
     }
 
     #[test]
     fn outcome_accounting_is_consistent() {
-        let slo = SloTargets { ttft: Some(1.0), per_token: None, e2e: Some(4.0) };
+        let slo =
+            SloTargets { ttft: Some(Secs::new(1.0)), per_token: None, e2e: Some(Secs::new(4.0)) };
         let mut out = SloOutcome::default();
-        out.record(slo.check(0.5, None, 2.0)); // ok
-        out.record(slo.check(2.0, None, 5.0)); // both
-        out.record(slo.check(0.5, None, 5.0)); // e2e only
+        out.record(slo.check(Secs::new(0.5), None, Secs::new(2.0))); // ok
+        out.record(slo.check(Secs::new(2.0), None, Secs::new(5.0))); // both
+        out.record(slo.check(Secs::new(0.5), None, Secs::new(5.0))); // e2e only
         assert_eq!(out.checked, 3);
         assert_eq!(out.violations, 2);
         assert_eq!(out.ttft_violations, 1);

@@ -22,9 +22,10 @@ use exegpt_serve::{
     poisson_with_shift, DriftOptions, ServeLoop, ServeOptions, ServeReport, SloTargets,
 };
 use exegpt_sim::Workload;
+use exegpt_units::Secs;
 use exegpt_workload::{Task, TimedRequest};
 
-const LATENCY_BOUND: f64 = 30.0;
+const LATENCY_BOUND: Secs = Secs::new(30.0);
 const SHIFT_FACTOR: f64 = 1.5;
 const TOTAL: usize = 2000;
 const SHIFT_AT: usize = 500;
@@ -64,7 +65,7 @@ struct Setup {
     engine: Engine,
     schedule: exegpt::ScheduleConfig,
     arrivals: Vec<TimedRequest>,
-    slo_e2e: f64,
+    slo_e2e: Secs,
 }
 
 fn setup() -> Setup {
@@ -75,7 +76,7 @@ fn setup() -> Setup {
     );
     let engine = engine(&base);
     let schedule = engine.schedule(LATENCY_BOUND).expect("schedules");
-    let slo_e2e = 1.2 * LATENCY_BOUND;
+    let slo_e2e = LATENCY_BOUND * 1.2;
 
     // The stale plan on shifted traffic: still memory-feasible (the bound
     // keeps its pool small) but its tail latency exceeds the SLO, while a
@@ -88,10 +89,11 @@ fn setup() -> Setup {
     let reopt = engine.with_workload(shifted.clone()).schedule(LATENCY_BOUND).expect("schedules");
     assert!(
         stale.latency > slo_e2e && reopt.estimate.latency < slo_e2e,
-        "experiment preconditions: stale L99 {:.1}s above the {slo_e2e:.0}s SLO, \
+        "experiment preconditions: stale L99 {:.1}s above the {:.0}s SLO, \
          re-optimized L99 {:.1}s below it",
-        stale.latency,
-        reopt.estimate.latency,
+        stale.latency.as_secs(),
+        slo_e2e.as_secs(),
+        reopt.estimate.latency.as_secs(),
     );
 
     let rate = 0.96 * stale.throughput;
@@ -99,7 +101,7 @@ fn setup() -> Setup {
     Setup { engine, schedule: schedule.config, arrivals, slo_e2e }
 }
 
-fn opts(adaptive: bool, slo_e2e: f64) -> ServeOptions {
+fn opts(adaptive: bool, slo_e2e: Secs) -> ServeOptions {
     ServeOptions {
         slo: SloTargets::e2e(slo_e2e),
         adaptive,

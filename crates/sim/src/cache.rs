@@ -314,13 +314,13 @@ mod tests {
     fn dummy_estimate(latency: f64) -> Result<Estimate, SimError> {
         let fp = exegpt_model::MemoryFootprint::default();
         Ok(Estimate {
-            latency,
+            latency: exegpt_units::Secs::new(latency),
             throughput: 1.0 / latency,
             memory: crate::estimate::MemoryReport { encoder_gpu: fp, decoder_gpu: fp, capacity: 0 },
             breakdown: crate::estimate::Breakdown {
-                encode_time: 0.0,
-                decode_time: 0.0,
-                period: latency,
+                encode_time: exegpt_units::Secs::ZERO,
+                decode_time: exegpt_units::Secs::ZERO,
+                period: exegpt_units::Secs::new(latency),
                 stages: 1,
                 decode_batch: 1,
             },
@@ -339,7 +339,7 @@ mod tests {
                     dummy_estimate(2.0)
                 })
                 .expect("ok");
-            assert_eq!(est.latency, 2.0);
+            assert_eq!(est.latency, exegpt_units::Secs::new(2.0));
         }
         assert_eq!(evals, 1);
         let stats = cache.stats();

@@ -6,6 +6,7 @@
 //! GPUs it is applied to).
 
 use exegpt_dist::LengthDist;
+use exegpt_units::Tokens;
 use serde::{Deserialize, Serialize};
 
 /// Partial tensor parallelism: a fixed degree applied to a subset of the
@@ -172,18 +173,18 @@ impl Workload {
     /// A query of output length `S` is observed in `S` iterations with
     /// progress `0..S−1`; averaging over the renewal process gives the
     /// formula. Used to size the mean decode context.
-    pub fn stationary_progress(&self) -> f64 {
+    pub fn stationary_progress(&self) -> Tokens {
         let m = self.output.mean();
         if m <= 0.0 {
-            return 0.0;
+            return Tokens::ZERO;
         }
-        ((self.output.mean_sq() - m) / (2.0 * m)).max(0.0)
+        Tokens::new(((self.output.mean_sq() - m) / (2.0 * m)).max(0.0))
     }
 
     /// Expected total context length (input + generated) of an in-flight
     /// query in steady state, the operand of decode-attention lookups.
-    pub fn mean_decode_context(&self) -> f64 {
-        self.input.mean() + self.stationary_progress()
+    pub fn mean_decode_context(&self) -> Tokens {
+        Tokens::new(self.input.mean()) + self.stationary_progress()
     }
 }
 
@@ -219,8 +220,8 @@ mod tests {
             LengthDist::point_mass(100, 128).expect("valid"),
             LengthDist::point_mass(11, 16).expect("valid"),
         );
-        assert!((w.stationary_progress() - 5.0).abs() < 1e-9);
-        assert!((w.mean_decode_context() - 105.0).abs() < 1e-9);
+        assert!((w.stationary_progress().as_f64() - 5.0).abs() < 1e-9);
+        assert!((w.mean_decode_context().as_f64() - 105.0).abs() < 1e-9);
     }
 
     #[test]

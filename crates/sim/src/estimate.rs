@@ -1,6 +1,7 @@
 //! Simulation results.
 
 use exegpt_model::MemoryFootprint;
+use exegpt_units::Secs;
 use serde::{Deserialize, Serialize};
 
 /// Per-GPU memory accounting of a schedule (drives Figure 9 and the
@@ -30,12 +31,12 @@ impl MemoryReport {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Breakdown {
     /// Time of one encoding phase / encode-pipeline period.
-    pub encode_time: f64,
+    pub encode_time: Secs,
     /// Time of one full decoding phase (RRA: `N_D` iterations; WAA: one
     /// pool iteration).
-    pub decode_time: f64,
+    pub decode_time: Secs,
     /// Steady-state period between consecutive batch completions.
-    pub period: f64,
+    pub period: Secs,
     /// Number of pipeline stages (WAA: decoding-group stages).
     pub stages: usize,
     /// Derived decoding batch size `B_D`.
@@ -45,9 +46,9 @@ pub struct Breakdown {
 /// The simulator's verdict on one schedule configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Estimate {
-    /// Seconds to generate the 99th-percentile-length output, including the
+    /// Time to generate the 99th-percentile-length output, including the
     /// query's own encoding (the paper's constrained quantity, §7.1).
-    pub latency: f64,
+    pub latency: Secs,
     /// Completed queries per second in steady state.
     pub throughput: f64,
     /// Per-GPU memory accounting.

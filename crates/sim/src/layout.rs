@@ -43,6 +43,7 @@ impl PipelineLayout {
     ///
     /// Returns [`SimError::InvalidConfig`] if `n_gpus == 0`, the TP group
     /// size does not divide `tp.gpus`, or `tp.gpus > n_gpus`.
+    // xlint::allow(U1, tp_speedup is a dimensionless measured ratio)
     pub fn build(
         n_gpus: usize,
         tp: TpConfig,

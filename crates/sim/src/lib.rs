@@ -32,6 +32,7 @@
 //! use exegpt_model::ModelConfig;
 //! use exegpt_profiler::{ProfileOptions, Profiler};
 //! use exegpt_sim::{RraConfig, Simulator, TpConfig, Workload};
+//! use exegpt_units::Secs;
 //!
 //! let model = ModelConfig::opt_13b();
 //! let cluster = ClusterSpec::a40_cluster().subcluster(4)?;
@@ -43,7 +44,7 @@
 //! );
 //! let sim = Simulator::new(model, cluster, profile.into(), workload);
 //! let est = sim.evaluate_rra(&RraConfig::new(32, 16, TpConfig::none()))?;
-//! assert!(est.throughput > 0.0 && est.latency > 0.0);
+//! assert!(est.throughput > 0.0 && est.latency > Secs::ZERO);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

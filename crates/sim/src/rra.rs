@@ -9,6 +9,7 @@
 
 use exegpt_dist::convert::{ceil_usize, lossless_f64, trunc_u64, trunc_usize, widen_u64};
 use exegpt_model::{MemoryFootprint, ModelKind};
+use exegpt_units::Secs;
 
 use crate::cache::{DecStageKey, RraPlanKey};
 use crate::config::RraConfig;
@@ -55,7 +56,7 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &RraConfig) -> Result<Estimate, Sim
     let stages = layout.num_stages();
 
     let s_e = w.input().mean();
-    let ctx = w.mean_decode_context();
+    let ctx = w.mean_decode_context().as_f64();
 
     // --- Encoding phase -------------------------------------------------
     // B_E is split into one micro-batch per stage to fill the pipeline.
@@ -65,11 +66,11 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &RraConfig) -> Result<Estimate, Sim
     for (i, stage) in layout.stages().iter().enumerate() {
         let t_layer = profile.encode_layer_time(enc_micro, s_e, stage.tp)?;
         let handoff = profile.handoff_time(enc_micro * s_e, layout.boundary_intra_node(i));
-        enc_stage_times.push(lossless_f64(enc_alloc[i]) * t_layer + handoff);
+        enc_stage_times.push(t_layer * lossless_f64(enc_alloc[i]) + handoff);
     }
-    let enc_bottleneck = max_f(&enc_stage_times);
-    let t_enc: f64 =
-        enc_stage_times.iter().sum::<f64>() + (lossless_f64(m_e) - 1.0) * enc_bottleneck;
+    let enc_bottleneck = max_secs(&enc_stage_times);
+    let t_enc: Secs =
+        enc_stage_times.iter().sum::<Secs>() + enc_bottleneck * (lossless_f64(m_e) - 1.0);
 
     // --- Decoding phase: N_D iterations over the shrinking pool ----------
     // The pool circulates as one micro-batch per stage; iteration `u` runs
@@ -108,8 +109,8 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &RraConfig) -> Result<Estimate, Sim
         class_grids.push((grid, lo, hi));
     }
     let survival = &info.survival;
-    let mut t_dec = 0.0;
-    let mut fill = 0.0;
+    let mut t_dec = Secs::ZERO;
+    let mut fill = Secs::ZERO;
     let mut u = 0;
     while u < cfg.n_d {
         let s = survival[u];
@@ -119,29 +120,29 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &RraConfig) -> Result<Estimate, Sim
         }
         let active = (lossless_f64(b_d) * s).max(1.0);
         let micro = active / lossless_f64(m_d);
-        let mut worst = 0.0f64;
+        let mut worst = Secs::ZERO;
         for ((grid, lo, hi), &(tp, intra, alloc)) in class_grids.iter().zip(&classes) {
             let t = if micro >= *lo && micro <= *hi {
-                grid.eval(micro)
+                Secs::new(grid.eval(micro))
             } else {
-                lossless_f64(alloc) * profile.decode_layer_time(micro, ctx, s_e, tp)?
+                profile.decode_layer_time(micro, ctx, s_e, tp)? * lossless_f64(alloc)
                     + profile.handoff_time(micro, intra)
             };
             worst = worst.max(t);
         }
         if u == 0 {
-            fill = (lossless_f64(stages) - 1.0) * worst;
+            fill = worst * (lossless_f64(stages) - 1.0);
         }
-        t_dec += lossless_f64(run) * lossless_f64(m_d) * worst;
+        t_dec += worst * (lossless_f64(run) * lossless_f64(m_d));
         u += run;
     }
     t_dec += fill;
 
     let t_phase = t_enc + t_dec;
-    let throughput = lossless_f64(cfg.b_e) / t_phase;
+    let throughput = lossless_f64(cfg.b_e) / t_phase.as_secs();
     // A query of 99th-percentile length spans ceil(L99 / N_D) full phases.
     let phases = lossless_f64(w.l99().div_ceil(cfg.n_d));
-    let latency = phases * t_phase;
+    let latency = t_phase * phases;
 
     let memory = memory_report(sim, layout, enc_alloc, dec_alloc, b_d, enc_micro * s_e)?;
     check_memory(&memory)?;
@@ -228,7 +229,7 @@ fn memory_report(
         // Self-attention KV for the stage's decoder layers, sharded by TP.
         let kv_self = trunc_u64(
             lossless_f64(b_d)
-                * kv_ctx
+                * kv_ctx.as_f64()
                 * lossless_f64(m.kv_bytes_per_token_per_layer())
                 * lossless_f64(dec_alloc[i])
                 / lossless_f64(stage.tp),
@@ -263,6 +264,6 @@ fn check_memory(report: &MemoryReport) -> Result<(), SimError> {
     Ok(())
 }
 
-fn max_f(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(0.0, f64::max)
+fn max_secs(xs: &[Secs]) -> Secs {
+    xs.iter().copied().fold(Secs::ZERO, |acc, t| acc.max(t))
 }

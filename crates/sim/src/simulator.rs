@@ -6,6 +6,7 @@ use exegpt_cluster::ClusterSpec;
 use exegpt_dist::convert::{lossless_f64, trunc_u64};
 use exegpt_model::{LayerKind, ModelConfig, ModelKind};
 use exegpt_profiler::LayerProfile;
+use exegpt_units::Tokens;
 
 use crate::cache::{EvalCache, EvalCacheStats, RraPlanKey};
 use crate::config::{RraConfig, ScheduleConfig, TpConfig, WaaConfig, Workload};
@@ -152,19 +153,20 @@ impl Simulator {
         trunc_u64(lossless_f64(self.cluster.gpu().mem_bytes()) * WORKSPACE_FACTOR)
     }
 
-    /// Expected per-query KV context (tokens) accounted per decode-pool slot,
+    /// Expected per-query KV context accounted per decode-pool slot,
     /// including the compaction headroom.
-    pub fn kv_ctx_tokens(&self) -> f64 {
+    pub fn kv_ctx_tokens(&self) -> Tokens {
         self.workload.mean_decode_context() * KV_HEADROOM
     }
 
     /// Measured speedup of a fused TP stage over a single GPU at this
     /// schedule's operating point (blend of encode and decode work).
+    /// Dimensionless ratio, hence crate-private under the unit-safety policy.
     ///
     /// # Errors
     ///
     /// Propagates profile-lookup failures (unprofiled degree).
-    pub fn tp_speedup(
+    pub(crate) fn tp_speedup(
         &self,
         tp: TpConfig,
         enc_batch: f64,
@@ -174,7 +176,7 @@ impl Simulator {
             return Ok(1.0);
         }
         let s_e = self.workload.input().mean();
-        let ctx = self.workload.mean_decode_context();
+        let ctx = self.workload.mean_decode_context().as_f64();
         let p = &self.profile;
         let e1 = p.encode_layer_time(enc_batch, s_e, 1)?;
         let ed = p.encode_layer_time(enc_batch, s_e, tp.degree)?;

@@ -11,6 +11,7 @@ use exegpt_dist::convert::{
     ceil_usize, lossless_f64, round_usize, trunc_u64, trunc_usize, widen_u64,
 };
 use exegpt_model::{MemoryFootprint, ModelKind};
+use exegpt_units::Secs;
 
 use crate::config::{WaaConfig, WaaVariant};
 use crate::error::SimError;
@@ -65,7 +66,7 @@ pub(crate) fn plan(sim: &Simulator, cfg: &WaaConfig) -> Result<WaaPlan, SimError
     let profile = sim.profile();
     let s_e = w.input().mean();
     let s_d = w.output().mean();
-    let ctx = w.mean_decode_context();
+    let ctx = w.mean_decode_context().as_f64();
 
     // Decode pool sized for steady state: B_D = B_E * S_D (paper §4.1).
     let b_d = round_usize(lossless_f64(cfg.b_e) * s_d).max(1);
@@ -88,10 +89,8 @@ pub(crate) fn plan(sim: &Simulator, cfg: &WaaConfig) -> Result<WaaPlan, SimError
     // --- Group split -----------------------------------------------------
     let enc_layers = sim.enc_layers_total();
     let dec_layers = sim.dec_layers_total();
-    let c_e =
-        lossless_f64(enc_layers) * profile.encode_layer_time(lossless_f64(cfg.b_e), s_e, 1)?;
-    let c_d =
-        lossless_f64(dec_layers) * profile.decode_layer_time(lossless_f64(b_d), ctx, s_e, 1)?;
+    let c_e = profile.encode_layer_time(lossless_f64(cfg.b_e), s_e, 1)? * lossless_f64(enc_layers);
+    let c_d = profile.decode_layer_time(lossless_f64(b_d), ctx, s_e, 1)? * lossless_f64(dec_layers);
     let n_e = match cfg.variant {
         WaaVariant::Compute => split_by_ratio(n, c_e / (c_e + c_d)),
         WaaVariant::Memory => {
@@ -142,7 +141,7 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &WaaConfig) -> Result<Estimate, Sim
     let w = sim.workload();
     let profile = sim.profile();
     let s_e = w.input().mean();
-    let ctx = w.mean_decode_context();
+    let ctx = w.mean_decode_context().as_f64();
 
     // --- Encoding pipeline (single-GPU stages) ---------------------------
     let t_layer = profile.encode_layer_time(lossless_f64(cfg.b_e), s_e, 1)?;
@@ -150,34 +149,34 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &WaaConfig) -> Result<Estimate, Sim
     for (i, _) in enc_layout.stages().iter().enumerate() {
         let handoff =
             profile.handoff_time(lossless_f64(cfg.b_e) * s_e, enc_layout.boundary_intra_node(i));
-        enc_stage_times.push(lossless_f64(enc_alloc[i]) * t_layer + handoff);
+        enc_stage_times.push(t_layer * lossless_f64(enc_alloc[i]) + handoff);
     }
-    let p_enc = enc_stage_times.iter().copied().fold(0.0, f64::max);
-    let enc_latency: f64 = enc_stage_times.iter().sum();
+    let p_enc = enc_stage_times.iter().copied().fold(Secs::ZERO, |acc, t| acc.max(t));
+    let enc_latency: Secs = enc_stage_times.iter().sum();
 
     // --- Decoding pipeline (partial TP allowed) --------------------------
     let micro = lossless_f64(b_d) / lossless_f64(cfg.b_m);
     let stages_d = dec_layout.num_stages();
-    let mut t_dstage = 0.0f64;
+    let mut t_dstage = Secs::ZERO;
     for (i, stage) in dec_layout.stages().iter().enumerate() {
         let t_layer = profile.decode_layer_time(micro, ctx, s_e, stage.tp)?;
         let handoff = profile.handoff_time(micro, dec_layout.boundary_intra_node(i));
-        t_dstage = t_dstage.max(lossless_f64(dec_alloc[i]) * t_layer + handoff);
+        t_dstage = t_dstage.max(t_layer * lossless_f64(dec_alloc[i]) + handoff);
     }
     // Micro-batches circulate the stage ring: the period of one decoding
     // iteration of the full pool is bounded by stage occupancy (m per
     // stage) or ring traversal (stages_d), whichever is longer.
-    let p_dec = lossless_f64(cfg.b_m.max(stages_d)) * t_dstage;
+    let p_dec = t_dstage * lossless_f64(cfg.b_m.max(stages_d));
 
     // --- KV handover ------------------------------------------------------
     let t_kv = profile.kv_transfer_time(lossless_f64(cfg.b_e) * s_e, kv_layers);
 
     // --- Steady state ------------------------------------------------------
     let period = p_enc.max(p_dec).max(t_kv * KV_TRANSFER_EXPOSED);
-    let throughput = lossless_f64(cfg.b_e) / period;
-    let fill = lossless_f64(stages_d) * t_dstage;
-    let latency = ADJUSTMENT_BUFFER
-        * (enc_latency + t_kv + fill + (lossless_f64(w.l99()) - 1.0).max(0.0) * period);
+    let throughput = lossless_f64(cfg.b_e) / period.as_secs();
+    let fill = t_dstage * lossless_f64(stages_d);
+    let latency = (enc_latency + t_kv + fill + period * (lossless_f64(w.l99()) - 1.0).max(0.0))
+        * ADJUSTMENT_BUFFER;
 
     let memory = memory_report(sim, cfg, enc_alloc, dec_layout, dec_alloc, b_d)?;
     check_memory(&memory)?;
@@ -218,7 +217,7 @@ fn kv_pool_bytes(sim: &Simulator, b_d: usize) -> u64 {
     let m = sim.model();
     let kv_self = trunc_u64(
         lossless_f64(b_d)
-            * sim.kv_ctx_tokens()
+            * sim.kv_ctx_tokens().as_f64()
             * lossless_f64(m.kv_bytes_per_token_per_layer())
             * lossless_f64(sim.dec_layers_total()),
     );
@@ -260,7 +259,7 @@ fn memory_report(
         let params = widen_u64(dec_alloc[i]) * sim.dec_layer_bytes() / widen_u64(stage.tp);
         let kv_self = trunc_u64(
             lossless_f64(b_d)
-                * kv_ctx
+                * kv_ctx.as_f64()
                 * lossless_f64(m.kv_bytes_per_token_per_layer())
                 * lossless_f64(dec_alloc[i])
                 / lossless_f64(stage.tp),

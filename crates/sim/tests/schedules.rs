@@ -8,6 +8,7 @@ use exegpt_dist::LengthDist;
 use exegpt_model::ModelConfig;
 use exegpt_profiler::{ProfileOptions, Profiler};
 use exegpt_sim::{RraConfig, SimError, Simulator, TpConfig, WaaConfig, WaaVariant, Workload};
+use exegpt_units::Secs;
 
 /// OPT-13B on 4 A40 GPUs with the paper's task-T (translation) workload —
 /// the setup of Figures 7 and 11.
@@ -39,7 +40,7 @@ fn rra_produces_finite_positive_estimates() {
     let sim = opt_on_4xa40();
     let est = sim.evaluate_rra(&RraConfig::new(32, 16, TpConfig::none())).expect("feasible");
     assert!(est.throughput > 0.0 && est.throughput.is_finite());
-    assert!(est.latency > 0.0 && est.latency.is_finite());
+    assert!(est.latency > Secs::ZERO && est.latency.is_finite());
     assert!(est.breakdown.decode_batch > 32, "pool must exceed the refill batch");
     assert!(est.memory.peak() <= est.memory.capacity);
 }
@@ -125,7 +126,7 @@ fn waa_produces_finite_positive_estimates() {
     let est = sim
         .evaluate_waa(&WaaConfig::new(2, 1, TpConfig::none(), WaaVariant::Compute))
         .expect("feasible");
-    assert!(est.throughput > 0.0 && est.latency > 0.0);
+    assert!(est.throughput > 0.0 && est.latency > Secs::ZERO);
     assert!(est.breakdown.stages >= 1);
     // Decode pool = B_E * mean output length.
     let expected = (2.0 * sim.workload().output().mean()).round() as usize;

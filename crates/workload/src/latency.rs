@@ -6,6 +6,7 @@
 //! four evaluation bounds.
 
 use exegpt_dist::stats;
+use exegpt_units::Secs;
 
 /// Derives the four evaluation latency bounds from a sweep of baseline
 /// latencies: the 10th, 30th and 70th percentiles plus `+∞`.
@@ -15,19 +16,21 @@ use exegpt_dist::stats;
 /// # Example
 ///
 /// ```
-/// let sweep: Vec<f64> = (1..=10).map(|b| b as f64).collect();
+/// use exegpt_units::Secs;
+/// let sweep: Vec<Secs> = (1..=10).map(|b| Secs::new(b as f64)).collect();
 /// let bounds = exegpt_workload::latency_bounds(&sweep).unwrap();
-/// assert_eq!(bounds[0], 1.0);
-/// assert_eq!(bounds[1], 3.0);
-/// assert_eq!(bounds[2], 7.0);
-/// assert!(bounds[3].is_infinite());
+/// assert_eq!(bounds[0], Secs::new(1.0));
+/// assert_eq!(bounds[1], Secs::new(3.0));
+/// assert_eq!(bounds[2], Secs::new(7.0));
+/// assert!(!bounds[3].is_finite());
 /// ```
-pub fn latency_bounds(ft_latencies: &[f64]) -> Option<[f64; 4]> {
+pub fn latency_bounds(ft_latencies: &[Secs]) -> Option<[Secs; 4]> {
+    let raw: Vec<f64> = ft_latencies.iter().map(|t| t.as_secs()).collect();
     Some([
-        stats::percentile(ft_latencies, 0.10)?,
-        stats::percentile(ft_latencies, 0.30)?,
-        stats::percentile(ft_latencies, 0.70)?,
-        f64::INFINITY,
+        Secs::new(stats::percentile(&raw, 0.10)?),
+        Secs::new(stats::percentile(&raw, 0.30)?),
+        Secs::new(stats::percentile(&raw, 0.70)?),
+        Secs::INFINITY,
     ])
 }
 
@@ -37,7 +40,7 @@ mod tests {
 
     #[test]
     fn bounds_are_sorted() {
-        let sweep = [9.0, 2.0, 7.5, 4.0, 3.3, 12.0, 1.1];
+        let sweep = [9.0, 2.0, 7.5, 4.0, 3.3, 12.0, 1.1].map(Secs::new);
         let b = latency_bounds(&sweep).expect("non-empty");
         assert!(b[0] <= b[1] && b[1] <= b[2] && b[2] < b[3]);
     }

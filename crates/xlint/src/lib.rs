@@ -17,6 +17,8 @@
 //! | N1 | no bare `as` numeric casts in the cost-model/scheduler crates |
 //! | F1 | no float `==`/`!=` |
 //! | P1 | no `unwrap`/`expect`/`panic!` in non-test library code |
+//! | U1 | no raw `f64`/`f32` in `pub fn` signatures of the unit-carrying crates |
+//! | U2 | no unit-suffix conflict between a `let` binding and its initializer call |
 //! | X0 | malformed, unknown or stale `xlint::allow` pragma |
 //!
 //! # Example
@@ -44,10 +46,16 @@ pub fn lint_source(file: &str, src: &str, ctx: FileContext) -> FileReport {
     rules::lint_source(file, src, ctx)
 }
 
-/// The crates whose arithmetic is covered by N1: the scheduler (`core`)
-/// and the cost model (`sim`). Everything else may still use `as` — its
-/// numbers never feed the branch-and-bound's monotonicity assumptions.
-pub const N1_CRATES: [&str; 2] = ["core", "sim"];
+/// The crates whose arithmetic is covered by N1: the hardware model
+/// (`cluster`), the scheduler (`core`) and the cost model (`sim`).
+/// Everything else may still use `as` — its numbers never feed the
+/// branch-and-bound's monotonicity assumptions.
+pub const N1_CRATES: [&str; 3] = ["cluster", "core", "sim"];
+
+/// The crates whose public signatures are covered by U1: the hardware
+/// model (`cluster`) and the cost model (`sim`), where every quantity is
+/// dimensioned and must travel through the `exegpt_units` newtypes.
+pub const U1_CRATES: [&str; 2] = ["cluster", "sim"];
 
 /// Errors from walking a workspace.
 #[derive(Debug)]
@@ -243,6 +251,7 @@ pub fn context_for(label: &str) -> FileContext {
         // the search, so N1 (like P1) is scoped to library code.
         numeric_core: N1_CRATES.contains(&crate_name) && !bin,
         allow_panics: crate_name == "bench" || bin,
+        units_core: U1_CRATES.contains(&crate_name) && !bin,
     }
 }
 
@@ -303,7 +312,12 @@ mod tests {
     fn context_scoping_matches_layout() {
         assert!(context_for("crates/sim/src/rra.rs").numeric_core);
         assert!(context_for("crates/core/src/bnb.rs").numeric_core);
+        assert!(context_for("crates/cluster/src/gpu.rs").numeric_core);
         assert!(!context_for("crates/runner/src/kv.rs").numeric_core);
+        assert!(context_for("crates/cluster/src/cost.rs").units_core);
+        assert!(context_for("crates/sim/src/estimate.rs").units_core);
+        assert!(!context_for("crates/core/src/scheduler.rs").units_core);
+        assert!(!context_for("crates/sim/src/bin/tool.rs").units_core);
         assert!(context_for("crates/bench/src/bin/figures.rs").allow_wall_clock);
         assert!(context_for("crates/core/src/bin/exegpt-cli.rs").allow_panics);
         assert!(context_for("crates/bench/src/fig7.rs").allow_panics);

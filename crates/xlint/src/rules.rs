@@ -11,6 +11,12 @@
 //!   crates; use the checked helpers in `exegpt_dist::convert`.
 //! * **F1** — no float `==`/`!=` (literal-adjacent detection).
 //! * **P1** — no `unwrap`/`expect`/`panic!` in non-test library code.
+//! * **U1** — no raw `f64`/`f32` parameters or returns in `pub fn`
+//!   signatures of the unit-carrying crates (cost model + hardware
+//!   model); use the `exegpt_units` newtypes (`Secs`, `Bytes`, ...).
+//! * **U2** — a `let` binding named `*_bytes`/`*_secs`/`*_flops` must
+//!   not be initialized from a call whose name carries a *different*
+//!   unit suffix (e.g. `let total_secs = kv_bytes(...)`).
 
 use crate::lexer::{self, Lexed, Tok, TokKind};
 
@@ -27,13 +33,18 @@ pub enum Rule {
     F1,
     /// Panicking calls in library code.
     P1,
+    /// Raw float parameters/returns in public unit-carrying signatures.
+    U1,
+    /// Unit-suffix conflict between a binding and its initializer call.
+    U2,
     /// Malformed or unused allow pragma.
     X0,
 }
 
 impl Rule {
     /// All reportable rules, in severity/display order.
-    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::N1, Rule::F1, Rule::P1, Rule::X0];
+    pub const ALL: [Rule; 8] =
+        [Rule::D1, Rule::D2, Rule::N1, Rule::F1, Rule::P1, Rule::U1, Rule::U2, Rule::X0];
 
     /// The rule's stable identifier, as used in pragmas and output.
     pub fn id(self) -> &'static str {
@@ -43,6 +54,8 @@ impl Rule {
             Rule::N1 => "N1",
             Rule::F1 => "F1",
             Rule::P1 => "P1",
+            Rule::U1 => "U1",
+            Rule::U2 => "U2",
             Rule::X0 => "X0",
         }
     }
@@ -64,11 +77,14 @@ pub struct FileContext {
     /// `bench` harness: top-level application code may terminate the
     /// process on unrecoverable errors.
     pub allow_panics: bool,
+    /// U1 fires only in the unit-carrying crates (hardware + cost model),
+    /// whose public signatures must use the `exegpt_units` newtypes.
+    pub units_core: bool,
 }
 
 impl Default for FileContext {
     fn default() -> Self {
-        Self { allow_wall_clock: false, numeric_core: true, allow_panics: false }
+        Self { allow_wall_clock: false, numeric_core: true, allow_panics: false, units_core: true }
     }
 }
 
@@ -210,7 +226,183 @@ pub fn lint_source(file: &str, src: &str, ctx: FileContext) -> FileReport {
         }
     }
 
+    if ctx.units_core {
+        u1_scan(file, toks, &in_test, &mut raw);
+    }
+    u2_scan(file, toks, &in_test, &mut raw);
+
     apply_pragmas(file, raw, &lexed)
+}
+
+/// U1: `pub fn` signatures in unit-carrying crates must not take or
+/// return raw `f64`/`f32` — dimensioned quantities go through the
+/// `exegpt_units` newtypes. Restricted visibility (`pub(crate)` etc.) is
+/// exempt: it is the sanctioned demotion for genuinely dimensionless
+/// internals.
+fn u1_scan(file: &str, toks: &[Tok], in_test: &[bool], raw: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if in_test.get(i).copied().unwrap_or(false)
+            || !(toks[i].kind == TokKind::Ident && toks[i].text == "pub")
+        {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // `pub(crate)` / `pub(super)` / `pub(in ...)`: skip the restriction
+        // and the item it guards — U1 covers unrestricted `pub` only.
+        if matches!(toks.get(j), Some(t) if t.kind == TokKind::Punct && t.text == "(") {
+            let mut depth = 1usize;
+            j += 1;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        while matches!(toks.get(j), Some(t) if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "const" | "unsafe" | "async" | "extern"))
+        {
+            j += 1;
+        }
+        if !matches!(toks.get(j), Some(t) if t.kind == TokKind::Ident && t.text == "fn") {
+            i += 1;
+            continue;
+        }
+        let fn_line = toks[i].line;
+        let fn_name = toks.get(j + 1).map(|t| t.text.as_str()).unwrap_or("?").to_string();
+        // Scan the signature (params + return type) up to the body/`;`.
+        j += 2;
+        let mut depth = 0usize;
+        while let Some(t) = toks.get(j) {
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "(" | "[") => depth += 1,
+                (TokKind::Punct, ")" | "]") => depth = depth.saturating_sub(1),
+                (TokKind::Punct, "{" | ";") if depth == 0 => break,
+                (TokKind::Ident, "f64" | "f32") => {
+                    raw.push(Finding {
+                        file: file.to_string(),
+                        line: fn_line,
+                        rule: Rule::U1,
+                        message: format!("`pub fn {fn_name}` takes or returns raw `{}`", t.text),
+                        suggestion: "use an `exegpt_units` newtype (`Secs`, `Bytes`, `Flops`, \
+                                     a rate) or demote to `pub(crate)` if genuinely \
+                                     dimensionless"
+                            .to_string(),
+                    });
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j;
+    }
+}
+
+/// The unit vocabulary U2 checks binding/callee names against.
+fn unit_suffix(name: &str) -> Option<&'static str> {
+    ["bytes", "secs", "flops"]
+        .into_iter()
+        .find(|s| name == *s || (name.ends_with(s) && name[..name.len() - s.len()].ends_with('_')))
+}
+
+/// U2: a `let` binding whose name carries a unit suffix must not be
+/// initialized by a call whose name carries a *conflicting* suffix. Only
+/// the first call of the initializer is inspected — deeper expressions
+/// are beyond a token-level lint.
+fn u2_scan(file: &str, toks: &[Tok], in_test: &[bool], raw: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if in_test.get(i).copied().unwrap_or(false)
+            || !(toks[i].kind == TokKind::Ident && toks[i].text == "let")
+        {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if matches!(toks.get(j), Some(t) if t.kind == TokKind::Ident && t.text == "mut") {
+            j += 1;
+        }
+        let Some(bind) = toks.get(j) else { break };
+        if bind.kind != TokKind::Ident {
+            i = j + 1;
+            continue;
+        }
+        let Some(bind_suffix) = unit_suffix(&bind.text) else {
+            i = j + 1;
+            continue;
+        };
+        let (bind_line, bind_name) = (bind.line, bind.text.clone());
+        // Find the `=` that starts the initializer (depth 0, before `;`).
+        j += 1;
+        let mut depth = 0usize;
+        let mut eq = None;
+        while let Some(t) = toks.get(j) {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                "=" if depth == 0 && t.kind == TokKind::Punct => {
+                    eq = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else {
+            i = j;
+            continue;
+        };
+        // The first called name in the initializer decides.
+        j = eq + 1;
+        depth = 0;
+        while let Some(t) = toks.get(j) {
+            if t.kind == TokKind::Punct && t.text == ";" && depth == 0 {
+                break;
+            }
+            if t.kind == TokKind::Ident
+                && matches!(toks.get(j + 1), Some(n) if n.kind == TokKind::Punct && n.text == "(")
+            {
+                if let Some(call_suffix) = unit_suffix(&t.text) {
+                    if call_suffix != bind_suffix {
+                        raw.push(Finding {
+                            file: file.to_string(),
+                            line: bind_line,
+                            rule: Rule::U2,
+                            message: format!(
+                                "`{bind_name}` (unit `{bind_suffix}`) initialized from \
+                                 `{}(...)` (unit `{call_suffix}`)",
+                                t.text
+                            ),
+                            suggestion: "rename the binding to match the quantity, or convert \
+                                         explicitly through the `exegpt_units` accessors"
+                                .to_string(),
+                        });
+                    }
+                }
+                break;
+            }
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j;
+    }
 }
 
 /// Splits raw findings into reported vs pragma-suppressed, and reports
@@ -249,7 +441,7 @@ fn apply_pragmas(file: &str, raw: Vec<Finding>, lexed: &Lexed) -> FileReport {
                 line: p.line,
                 rule: Rule::X0,
                 message: format!("`xlint::allow({})` names an unknown rule", p.rule),
-                suggestion: "use one of D1, D2, N1, F1, P1".to_string(),
+                suggestion: "use one of D1, D2, N1, F1, P1, U1, U2".to_string(),
             });
         } else if !used {
             report.findings.push(Finding {
@@ -369,6 +561,47 @@ mod tests {
         );
         assert!(b.findings.is_empty(), "bin targets are exempt from P1");
         let ok = lint("let v = x.unwrap_or(0); let w = y.unwrap_or_else(f); debug_assert!(c);");
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+    }
+
+    #[test]
+    fn u1_flags_pub_fn_floats_and_exempts_restricted_visibility() {
+        let r = lint("pub fn f(x: f64) {}\npub(crate) fn g(x: f64) {}\nfn h(x: f64) {}");
+        assert_eq!(rules(&r), vec![Rule::U1]);
+        let off = lint_source(
+            "o.rs",
+            "pub fn f(x: f64) {}",
+            FileContext { units_core: false, ..FileContext::default() },
+        );
+        assert!(off.findings.is_empty(), "U1 is scoped to the unit-carrying crates");
+    }
+
+    #[test]
+    fn u1_flags_raw_returns_but_not_typed_signatures() {
+        let r = lint("pub fn ratio() -> f64 {\n    0.5\n}");
+        assert_eq!(rules(&r), vec![Rule::U1]);
+        let typed = lint("pub fn transfer(t: Secs, b: Bytes) -> BytesPerSec { b / t }");
+        assert!(typed.findings.is_empty(), "{:?}", typed.findings);
+        let body = lint("pub fn scale(t: Secs) -> Secs { let k: f64 = 2.0; t * k }");
+        assert!(body.findings.is_empty(), "U1 inspects signatures, not bodies");
+    }
+
+    #[test]
+    fn u2_flags_suffix_conflicts_between_binding_and_call() {
+        let r = lint("let total_secs = kv_bytes(4096);");
+        assert_eq!(rules(&r), vec![Rule::U2]);
+        let m = lint("let mut peak_bytes = elapsed_secs();");
+        assert_eq!(rules(&m), vec![Rule::U2]);
+    }
+
+    #[test]
+    fn u2_allows_matching_or_undecidable_initializers() {
+        let ok = lint(
+            "let weights_bytes = param_bytes(12);\n\
+             let plain = kv_bytes(1);\n\
+             let t_secs = compute(kv_bytes(3));\n\
+             let held_flops = layer_flops(2);",
+        );
         assert!(ok.findings.is_empty(), "{:?}", ok.findings);
     }
 

@@ -50,6 +50,9 @@ fn n1_fixture_flags_casts_only_in_the_numeric_core() {
     assert_eq!(rule_lines(&report, Rule::N1), vec![2, 3], "{:?}", report.findings);
     let sim = lint_fixture_as("n1.rs", "crates/sim/src/fixture.rs");
     assert_eq!(rule_lines(&sim, Rule::N1), vec![2, 3]);
+    // The hardware model's arithmetic feeds the same search (PR: unit layer).
+    let cluster = lint_fixture_as("n1.rs", "crates/cluster/src/fixture.rs");
+    assert_eq!(rule_lines(&cluster, Rule::N1), vec![2, 3]);
     // Other crates and bin targets present numbers; N1 does not apply.
     let waived = lint_fixture_as("n1.rs", "crates/runner/src/fixture.rs");
     assert_eq!(rule_lines(&waived, Rule::N1), Vec::<usize>::new());
@@ -70,6 +73,33 @@ fn p1_fixture_flags_panics_outside_bins_and_bench() {
     for waived_label in ["crates/bench/src/fixture.rs", "crates/model/src/main.rs"] {
         let waived = lint_fixture_as("p1.rs", waived_label);
         assert_eq!(rule_lines(&waived, Rule::P1), Vec::<usize>::new(), "{waived_label}");
+    }
+}
+
+#[test]
+fn u1_fixture_flags_raw_float_signatures_only_in_units_core() {
+    for label in ["crates/cluster/src/fixture.rs", "crates/sim/src/fixture.rs"] {
+        let report = lint_fixture_as("u1.rs", label);
+        assert_eq!(rule_lines(&report, Rule::U1), vec![1, 4, 9], "{label}: {:?}", report.findings);
+        assert_eq!(report.suppressed.len(), 1, "{label}: the pragma'd fraction is suppressed");
+    }
+    // Outside the unit-carrying crates (and in bin targets) U1 is waived;
+    // the now-unused pragma surfaces as X0 instead.
+    for label in ["crates/runner/src/fixture.rs", "crates/cluster/src/bin/tool.rs"] {
+        let waived = lint_fixture_as("u1.rs", label);
+        assert_eq!(rule_lines(&waived, Rule::U1), Vec::<usize>::new(), "{label}");
+        assert_eq!(rule_lines(&waived, Rule::X0), vec![22], "{label}: stale pragma is X0");
+    }
+}
+
+#[test]
+fn u2_fixture_flags_suffix_conflicts_everywhere() {
+    // U2 is crate-agnostic: naming consistency has no boundary crate.
+    for label in ["crates/runner/src/fixture.rs", "crates/sim/src/fixture.rs"] {
+        let report = lint_fixture_as("u2.rs", label);
+        assert_eq!(rule_lines(&report, Rule::U2), vec![2, 3], "{label}: {:?}", report.findings);
+        assert_eq!(report.suppressed.len(), 1, "{label}");
+        assert!(report.suppressed[0].reason.contains("transitional"));
     }
 }
 

@@ -14,6 +14,7 @@ use exegpt_cluster::{ClusterSpec, LoadSource};
 use exegpt_model::ModelConfig;
 use exegpt_runner::{RunOptions, Runner};
 use exegpt_sim::Workload;
+use exegpt_units::Secs;
 use exegpt_workload::Task;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     // Schedule for the observed distribution with a 25 s bound.
-    let bound = 25.0;
+    let bound = Secs::new(25.0);
     let schedule = engine.schedule(bound)?;
     println!(
         "scheduled for mean output {:.0} tokens: {}",
@@ -52,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  stale schedule : {:.2} q/s, p99 latency {:.2} s{}",
         stale.throughput,
         stale.p99_latency(),
-        if stale.p99_latency() > bound { "  (BOUND VIOLATED)" } else { "" }
+        if Secs::new(stale.p99_latency()) > bound { "  (BOUND VIOLATED)" } else { "" }
     );
 
     // Option B: re-optimize for the drifted distribution and re-deploy.
@@ -74,8 +75,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "  re-deploy cost : {:.1} s reloading weights from host DRAM ({:.1} s from SSD)",
-        engine.deploy_time(LoadSource::Dram),
-        engine.deploy_time(LoadSource::Ssd)
+        engine.deploy_time(LoadSource::Dram).as_secs(),
+        engine.deploy_time(LoadSource::Ssd).as_secs()
     );
     Ok(())
 }

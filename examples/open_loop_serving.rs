@@ -12,6 +12,7 @@ use exegpt::Engine;
 use exegpt_cluster::ClusterSpec;
 use exegpt_model::ModelConfig;
 use exegpt_runner::{RunOptions, Runner};
+use exegpt_units::Secs;
 use exegpt_workload::Task;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     // Schedule for a generation-latency bound (SLA-(b) style)...
-    let schedule = engine.schedule(15.0)?;
+    let schedule = engine.schedule(Secs::new(15.0))?;
     let capacity = schedule.estimate.throughput;
     println!("schedule {} — estimated capacity {capacity:.1} q/s\n", schedule.config.describe());
     println!("{:>8}  {:>10}  {:>12}  {:>14}", "load", "rate q/s", "tput q/s", "p99 sojourn(s)");

@@ -13,6 +13,7 @@ use exegpt_dist::LengthDist;
 use exegpt_model::ModelConfig;
 use exegpt_runner::{RunOptions, Runner};
 use exegpt_sim::Workload;
+use exegpt_units::Secs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the deployment: model, cluster, and the sequence-length
@@ -27,13 +28,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?; // profiles the (model, cluster) pair once
 
     // 2. Ask for the best schedule under a latency bound.
-    let bound = 20.0;
+    let bound = Secs::new(20.0);
     let schedule = engine.schedule(bound)?;
-    println!("latency bound    : {bound:.1} s (99th-percentile-length sequence)");
+    println!("latency bound    : {:.1} s (99th-percentile-length sequence)", bound.as_secs());
     println!("selected schedule: {}", schedule.config.describe());
     println!(
         "estimated        : {:.2} queries/s at {:.2} s latency ({} configurations examined)",
-        schedule.estimate.throughput, schedule.estimate.latency, schedule.evals
+        schedule.estimate.throughput,
+        schedule.estimate.latency.as_secs(),
+        schedule.evals
     );
 
     // 3. Execute the schedule on 1000 sampled queries and check the bound.
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // §7.1); the replay uses sampled lengths and dynamic batch adjustment,
     // so the measured p99 tracks the estimate within a modest tolerance
     // (queries longer than the 99th percentile may legitimately exceed it).
-    assert!(report.p99_latency() <= bound * 1.25, "measured p99 should track the scheduled bound");
+    assert!(
+        Secs::new(report.p99_latency()) <= bound * 1.25,
+        "measured p99 should track the scheduled bound"
+    );
     println!("measured p99 latency tracked the scheduled bound");
     Ok(())
 }

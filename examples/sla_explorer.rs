@@ -12,6 +12,7 @@
 use exegpt::Engine;
 use exegpt_cluster::ClusterSpec;
 use exegpt_model::ModelConfig;
+use exegpt_units::Secs;
 use exegpt_workload::Task;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,10 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     // Find the achievable range: the unconstrained optimum anchors the top.
-    let best = engine.schedule(f64::INFINITY)?;
+    let best = engine.schedule(Secs::INFINITY)?;
     println!(
         "OPT-13B on {gpus}xA40, task {task}: unconstrained optimum {:.2} q/s at {:.2} s",
-        best.estimate.throughput, best.estimate.latency
+        best.estimate.throughput,
+        best.estimate.latency.as_secs()
     );
     println!();
     println!("{:>10}  {:>9}  {:>10}  schedule", "bound (s)", "tput q/s", "latency(s)");
@@ -46,20 +48,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     while bound < best.estimate.latency * 2.0 {
         match engine.schedule(bound) {
             Ok(s) => println!(
-                "{bound:>10.2}  {:>9.2}  {:>10.2}  {}",
+                "{:>10.2}  {:>9.2}  {:>10.2}  {}",
+                bound.as_secs(),
                 s.estimate.throughput,
-                s.estimate.latency,
+                s.estimate.latency.as_secs(),
                 s.config.describe()
             ),
-            Err(_) => println!("{bound:>10.2}  {:>9}  {:>10}  (not satisfiable)", "NS", "-"),
+            Err(_) => {
+                println!("{:>10.2}  {:>9}  {:>10}  (not satisfiable)", bound.as_secs(), "NS", "-")
+            }
         }
-        bound *= 1.6;
+        bound = bound * 1.6;
     }
     println!(
         "{:>10}  {:>9.2}  {:>10.2}  {}",
         "inf",
         best.estimate.throughput,
-        best.estimate.latency,
+        best.estimate.latency.as_secs(),
         best.config.describe()
     );
     Ok(())

@@ -5,6 +5,7 @@ use exegpt::{Engine, Policy, SchedulerOptions};
 use exegpt_cluster::ClusterSpec;
 use exegpt_model::ModelConfig;
 use exegpt_runner::{RunOptions, Runner};
+use exegpt_units::Secs;
 use exegpt_workload::Task;
 
 fn engine(task: Task) -> Engine {
@@ -23,7 +24,7 @@ fn engine(task: Task) -> Engine {
 fn schedule_then_execute_agrees_with_estimates() {
     for task in [Task::Summarization, Task::Translation] {
         let engine = engine(task);
-        let best = engine.schedule(f64::INFINITY).expect("feasible");
+        let best = engine.schedule(Secs::INFINITY).expect("feasible");
         let bound = best.estimate.latency * 0.6;
         let schedule = engine.schedule(bound).expect("feasible");
         assert!(schedule.estimate.latency <= bound);
@@ -43,9 +44,10 @@ fn schedule_then_execute_agrees_with_estimates() {
             schedule.estimate.throughput
         );
         assert!(
-            report.p99_latency() <= bound * 1.3,
-            "task {task}: measured p99 {:.2} vs bound {bound:.2}",
-            report.p99_latency()
+            Secs::new(report.p99_latency()) <= bound * 1.3,
+            "task {task}: measured p99 {:.2} vs bound {:.2}",
+            report.p99_latency(),
+            bound.as_secs()
         );
     }
 }
@@ -74,7 +76,8 @@ fn exegpt_beats_fastertransformer_at_every_bound() {
                 .expect("exegpt runs");
             assert!(
                 rep.throughput > ft_rep.throughput,
-                "task {task} bound {bound:.1}: ExeGPT {:.2} vs FT {:.2}",
+                "task {task} bound {:.1}: ExeGPT {:.2} vs FT {:.2}",
+                bound.as_secs(),
                 rep.throughput,
                 ft_rep.throughput
             );
@@ -89,8 +92,10 @@ fn every_emitted_schedule_family_is_executable() {
     let engine = engine(Task::Summarization);
     let runner = Runner::from_simulator(engine.simulator().clone());
     for policy in Policy::all() {
-        let opts =
-            SchedulerOptions { policies: vec![policy], ..SchedulerOptions::bounded(f64::INFINITY) };
+        let opts = SchedulerOptions {
+            policies: vec![policy],
+            ..SchedulerOptions::bounded(Secs::INFINITY)
+        };
         let schedule = engine.schedule_with(&opts).expect("feasible");
         let rep = runner
             .run(&schedule.config, &RunOptions { num_queries: 150, ..Default::default() })
@@ -120,8 +125,8 @@ fn shared_profiles_give_identical_schedules() {
             .build()
             .expect("builds")
     };
-    let a = mk().schedule(30.0).expect("feasible");
-    let b = mk().schedule(30.0).expect("feasible");
+    let a = mk().schedule(Secs::new(30.0)).expect("feasible");
+    let b = mk().schedule(Secs::new(30.0)).expect("feasible");
     assert_eq!(a.config, b.config);
     assert_eq!(a.estimate, b.estimate);
 }

@@ -7,6 +7,7 @@ use exegpt_cluster::ClusterSpec;
 use exegpt_model::ModelConfig;
 use exegpt_runner::RunOptions;
 use exegpt_sim::Simulator;
+use exegpt_units::Secs;
 use exegpt_workload::{Dataset, Task};
 
 fn sim(task: Task) -> Simulator {
@@ -24,11 +25,11 @@ fn sim(task: Task) -> Simulator {
 fn ft_tops_the_existing_systems() {
     let s = sim(Task::Summarization);
     let ft = FasterTransformer::paper_default(s.clone()).expect("grid");
-    let ft_best = ft.plan(f64::INFINITY).expect("feasible").1.throughput;
+    let ft_best = ft.plan(Secs::INFINITY).expect("feasible").1.throughput;
     let orca = Orca::new(s.clone(), IterationLevel::orca()).expect("grid");
     let vllm = Vllm::new(s).expect("grid");
-    assert!(ft_best > orca.plan(f64::INFINITY).expect("feasible").1.throughput);
-    assert!(ft_best > vllm.plan(f64::INFINITY).expect("feasible").1.throughput);
+    assert!(ft_best > orca.plan(Secs::INFINITY).expect("feasible").1.throughput);
+    assert!(ft_best > vllm.plan(Secs::INFINITY).expect("feasible").1.throughput);
 }
 
 /// §2: iteration-level scheduling struggles to meet tight latency bounds
@@ -57,7 +58,7 @@ fn policy_strengths_follow_output_length() {
         engine
             .schedule_with(&SchedulerOptions {
                 policies,
-                ..SchedulerOptions::bounded(f64::INFINITY)
+                ..SchedulerOptions::bounded(Secs::INFINITY)
             })
             .map(|s| s.estimate.throughput)
             .unwrap_or(0.0)
@@ -86,8 +87,8 @@ fn real_world_tails_widen_the_gap() {
         .build()
         .expect("builds");
     let ft = FasterTransformer::paper_default(engine.simulator().clone()).expect("grid");
-    let ft_best = ft.plan(f64::INFINITY).expect("feasible").1.throughput;
-    let ex = engine.schedule(f64::INFINITY).expect("feasible").estimate.throughput;
+    let ft_best = ft.plan(Secs::INFINITY).expect("feasible").1.throughput;
+    let ex = engine.schedule(Secs::INFINITY).expect("feasible").estimate.throughput;
     assert!(ex > 2.0 * ft_best, "long-tail dataset: ExeGPT {ex:.1} should be >2x FT {ft_best:.1}");
 }
 
