@@ -38,4 +38,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 echo "==> serve smoke (SLO-accounting invariants over ~2k events)"
 cargo run --offline --release -p exegpt-serve --bin serve-smoke
 
+echo "==> faults smoke (seeded failure scenario, deterministic digest)"
+# The bin replays a seeded GPU failure + straggler + recovery scenario
+# twice and exits non-zero unless the runs are byte-identical, nothing is
+# lost, and recovery restores the original plan. The event log is archived
+# for diffing a failed gate.
+FAULTS_SMOKE_LOG=target/ci-artifacts/faults-smoke.jsonl \
+  cargo run --offline --release -p exegpt-serve --bin faults-smoke
+
 echo "CI OK"

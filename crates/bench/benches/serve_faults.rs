@@ -1,0 +1,32 @@
+//! Graceful-degradation bench: prints the tolerate-vs-degrade comparison
+//! on a faulty stream (mid-run 3× straggler) played end-to-end through
+//! `exegpt-serve`, then times one degrading serving run (straggler
+//! confirmation → eviction → replan → recovery).
+
+use criterion::{criterion_group, Criterion};
+use exegpt_bench::serve_faults;
+
+fn print_figure() {
+    // Reduced stream for bench output; the full 2000-request regeneration
+    // (where the SLO separation appears) runs via the `figures` binary.
+    let rows = serve_faults::generate(600);
+    println!("{}", serve_faults::render(&rows));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    c.bench_function("serve_faults/degrade_600_requests", |b| {
+        b.iter(|| serve_faults::generate(600))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel
+}
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -15,7 +15,8 @@ use std::path::PathBuf;
 
 use exegpt::Policy;
 use exegpt_bench::{
-    fig10, fig11, fig6, fig7, fig8, fig9, serve_shift, tab4, tab5, tab6, tab7, timelines,
+    fig10, fig11, fig6, fig7, fig8, fig9, serve_faults, serve_shift, tab4, tab5, tab6, tab7,
+    timelines,
 };
 
 struct Args {
@@ -45,7 +46,7 @@ fn parse_args() -> Args {
             other => experiments.push(other.to_string()),
         }
     }
-    const KNOWN: [&str; 13] = [
+    const KNOWN: [&str; 14] = [
         "fig6",
         "fig7",
         "fig8",
@@ -53,6 +54,7 @@ fn parse_args() -> Args {
         "fig10",
         "fig11",
         "serve",
+        "faults",
         "tab4",
         "tab5",
         "tab6",
@@ -61,7 +63,7 @@ fn parse_args() -> Args {
         "all",
     ];
     if experiments.is_empty() {
-        die("expected an experiment id (fig6 fig7 fig8 fig9 fig10 fig11 serve tab4 tab5 tab6 tab7 timelines all)");
+        die("expected an experiment id (fig6 fig7 fig8 fig9 fig10 fig11 serve faults tab4 tab5 tab6 tab7 timelines all)");
     }
     if let Some(bad) = experiments.iter().find(|e| !KNOWN.contains(&e.as_str())) {
         die(&format!("unknown experiment `{bad}` (known: {})", KNOWN.join(" ")));
@@ -133,6 +135,13 @@ fn main() {
         let rows = serve_shift::generate(q.max(serve_shift::MIN_STEADY_REQUESTS));
         println!("{}", serve_shift::render(&rows));
         save_json(&args.json_dir, "serve", &rows);
+    }
+    if wants("faults") {
+        // The straggler window has to span enough phases for the arms to
+        // separate; floor the stream length accordingly.
+        let rows = serve_faults::generate(q.max(serve_faults::MIN_STEADY_REQUESTS));
+        println!("{}", serve_faults::render(&rows));
+        save_json(&args.json_dir, "faults", &rows);
     }
     if wants("tab4") {
         let rows = tab4::generate();

@@ -28,6 +28,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod scenarios;
+pub mod serve_faults;
 pub mod serve_shift;
 pub mod support;
 pub mod tab4;

@@ -1,0 +1,156 @@
+//! Graceful degradation under a mid-run straggler (fault model, DESIGN §7):
+//! the *same* faulty arrival stream served twice. The "tolerate" arm keeps
+//! the straggling device (eviction threshold set unreachably high), so
+//! every phase dilates with it until it recovers; the "degrade" arm
+//! confirms the straggler, evicts it, and replans onto the three healthy
+//! survivors. The comparison an operator cares about is the SLO-violation
+//! rate on identical traffic and identical faults.
+//!
+//! Offered load sits at 70% of healthy capacity: a 3× straggler drags the
+//! tolerated cluster to ~1/3 of capacity (saturated — queueing blows the
+//! tail), while the evicted topology retains 3/4 of it (still keeping up).
+
+use exegpt_faults::{FaultEvent, FaultKind, FaultSchedule};
+use exegpt_serve::{FaultOptions, ServeLoop, ServeOptions, ServeReport, SloTargets};
+use exegpt_units::Secs;
+use exegpt_workload::{PoissonStream, Task, TimedRequest};
+use serde::{Deserialize, Serialize};
+
+use crate::scenarios::opt_4xa40;
+use crate::table;
+
+/// Latency bound the schedule is optimized under (seconds).
+pub const LATENCY_BOUND: f64 = 30.0;
+/// End-to-end SLO (seconds), matching the serve-shift scenario.
+pub const SLO_E2E: f64 = 1.2 * LATENCY_BOUND;
+/// Injected slowdown factor of the straggling device.
+pub const SLOWDOWN: f64 = 3.0;
+/// Arrival seed (fixed: the runs are byte-deterministic).
+pub const SEED: u64 = 7;
+/// Shortest stream whose straggler window spans enough phases for the
+/// arms to separate (shorter runs are transient-dominated).
+pub const MIN_STEADY_REQUESTS: usize = 2000;
+
+/// One serving arm of the comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// `tolerate` (straggler kept, phases dilate) or `degrade` (straggler
+    /// evicted, replan onto survivors).
+    pub arm: String,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Completions per virtual second.
+    pub throughput: f64,
+    /// Fraction of completions violating the end-to-end SLO.
+    pub violation_rate: f64,
+    /// 99th-percentile end-to-end latency (seconds).
+    pub p99_e2e: Option<f64>,
+    /// Stragglers confirmed by the detector.
+    pub stragglers: usize,
+    /// Fault-driven replans (eviction and recovery).
+    pub replans: usize,
+    /// Requests dropped (graceful degradation must keep this at 0).
+    pub lost: usize,
+    /// Schedule in force when the run ended.
+    pub final_schedule: String,
+}
+
+fn row(arm: &str, r: &ServeReport) -> Row {
+    Row {
+        arm: arm.to_string(),
+        completed: r.completed,
+        throughput: r.throughput,
+        violation_rate: r.slo.violation_rate(),
+        p99_e2e: r.e2e.as_ref().map(|s| s.p99),
+        stragglers: r.stragglers_detected,
+        replans: r.replans,
+        lost: r.requests_lost,
+        final_schedule: r.final_schedule.clone(),
+    }
+}
+
+fn opts(faults: FaultOptions) -> ServeOptions {
+    ServeOptions {
+        slo: SloTargets::e2e(Secs::new(SLO_E2E)),
+        faults: Some(faults),
+        // Drift adaptation off: the backlog the straggler builds drains
+        // output-length-biased and would trigger refits in both arms,
+        // muddying the eviction-policy comparison this scenario isolates.
+        adaptive: false,
+        ..ServeOptions::default()
+    }
+}
+
+/// Serves `total` requests through both arms — a 3× straggler from 30% to
+/// 90% of the arrival window — and returns one row per arm.
+pub fn generate(total: usize) -> Vec<Row> {
+    let system = opt_4xa40();
+    let workload = Task::Translation.workload().expect("task statistics are valid");
+    let engine = system.engine(workload.clone());
+    let schedule = engine.schedule(Secs::new(LATENCY_BOUND)).expect("bounded schedule exists");
+
+    let rate = 0.7 * schedule.estimate.throughput;
+    let arrivals: Vec<TimedRequest> =
+        PoissonStream::new(&workload, rate, SEED).take(total).collect();
+    let horizon = arrivals.last().map(|r| r.arrival).unwrap_or(0.0);
+    let faults = FaultSchedule::new(vec![
+        FaultEvent { t: 0.3 * horizon, kind: FaultKind::GpuSlowdown { gpu: 1, factor: SLOWDOWN } },
+        FaultEvent { t: 0.9 * horizon, kind: FaultKind::GpuRecover { gpu: 1 } },
+    ])
+    .expect("valid fault schedule");
+
+    // Tolerate: the eviction threshold is unreachably high, so the
+    // confirmed straggler stays and dilates every phase it touches.
+    let tolerate =
+        FaultOptions { schedule: faults.clone(), evict_slowdown: 1e6, ..FaultOptions::default() };
+    // Degrade: default policy — a 3× straggler crosses the 2× threshold
+    // and is evicted; the loop replans onto the 3-GPU surviving topology.
+    let degrade = FaultOptions { schedule: faults, ..FaultOptions::default() };
+
+    let mut rows = Vec::new();
+    for (arm, fo) in [("tolerate", tolerate), ("degrade", degrade)] {
+        let report = ServeLoop::new(engine.clone(), &schedule.config, opts(fo))
+            .expect("schedule is feasible")
+            .run(arrivals.clone())
+            .expect("serving completes");
+        rows.push(row(arm, &report));
+    }
+    rows
+}
+
+/// Renders the rows as the comparison table.
+pub fn render(rows: &[Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.arm.clone(),
+                r.completed.to_string(),
+                format!("{:.2}", r.throughput),
+                format!("{:.1}%", 100.0 * r.violation_rate),
+                table::opt_f64(r.p99_e2e),
+                r.stragglers.to_string(),
+                r.replans.to_string(),
+                r.lost.to_string(),
+                r.final_schedule.clone(),
+            ]
+        })
+        .collect();
+    format!(
+        "Graceful degradation: ×{SLOWDOWN:.0} straggler, OPT-13B task T, SLO {SLO_E2E:.0}s\n{}",
+        table::render(
+            &[
+                "arm",
+                "served",
+                "tput q/s",
+                "SLO viol",
+                "p99 e2e",
+                "stragglers",
+                "replans",
+                "lost",
+                "final schedule",
+            ],
+            &body,
+        )
+    )
+}

@@ -222,6 +222,41 @@ impl ClusterSpec {
         }
         Ok(sub)
     }
+
+    /// The same topology built from a different (e.g. slowed) device spec.
+    pub fn with_gpu(&self, gpu: GpuSpec) -> ClusterSpec {
+        ClusterSpec { gpu, ..self.clone() }
+    }
+
+    /// The same topology with different (e.g. degraded) links.
+    pub fn with_links(&self, intra: Interconnect, inter: Interconnect) -> ClusterSpec {
+        ClusterSpec { intra, inter, ..self.clone() }
+    }
+
+    /// The largest regular sub-cluster that survives `failed` device
+    /// failures: failed devices reject work, so the surviving topology is
+    /// what a degraded schedule must be planned on.
+    ///
+    /// Survivor counts that no longer form a regular topology (more than
+    /// one node, but not a whole number of nodes) are rounded *down* to
+    /// whole nodes — the stragglers of a partial node sit idle rather than
+    /// break the homogeneous pipeline layout. At one node or less the exact
+    /// survivor count is kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InsufficientGpus`] when `failed` reaches the
+    /// total GPU count (nothing survives to serve on).
+    pub fn survivors(&self, failed: usize) -> Result<ClusterSpec, ClusterError> {
+        let total = self.total_gpus();
+        if failed >= total {
+            return Err(ClusterError::InsufficientGpus { requested: 1, available: 0 });
+        }
+        let alive = total - failed;
+        let regular =
+            if alive <= self.gpus_per_node { alive } else { alive - alive % self.gpus_per_node };
+        self.subcluster(regular.max(1))
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +305,42 @@ mod tests {
             c.subcluster(64),
             Err(ClusterError::InsufficientGpus { requested: 64, available: 16 })
         ));
+    }
+
+    #[test]
+    fn survivors_keep_exact_counts_within_a_node() {
+        let c = ClusterSpec::a40_cluster().subcluster(4).expect("fits");
+        let s = c.survivors(1).expect("three survive");
+        assert_eq!(s.total_gpus(), 3);
+        assert_eq!(s.num_nodes(), 1);
+        let s = c.survivors(3).expect("one survives");
+        assert_eq!(s.total_gpus(), 1);
+        assert!(c.survivors(4).is_err(), "nothing survives to serve on");
+    }
+
+    #[test]
+    fn survivors_round_down_to_whole_nodes() {
+        let c = ClusterSpec::a40_cluster();
+        // 47 survivors -> 5 whole nodes of 8.
+        assert_eq!(c.survivors(1).expect("survives").total_gpus(), 40);
+        // 8 survivors exactly fill one node.
+        assert_eq!(c.survivors(40).expect("survives").total_gpus(), 8);
+        // 7 survivors keep the exact count (single partial node).
+        assert_eq!(c.survivors(41).expect("survives").total_gpus(), 7);
+    }
+
+    #[test]
+    fn with_gpu_and_links_preserve_topology() {
+        let c = ClusterSpec::a40_cluster();
+        let slowed = c.with_gpu(c.gpu().slowed(2.0).expect("valid"));
+        assert_eq!(slowed.total_gpus(), c.total_gpus());
+        assert!(slowed.gpu().peak_flops() < c.gpu().peak_flops());
+        let degraded = c.with_links(
+            c.intra().degraded(0.5, exegpt_units::Secs::ZERO).expect("valid"),
+            c.inter().degraded(0.5, exegpt_units::Secs::ZERO).expect("valid"),
+        );
+        assert_eq!(degraded.num_nodes(), c.num_nodes());
+        assert!(degraded.inter().bandwidth() < c.inter().bandwidth());
     }
 
     #[test]

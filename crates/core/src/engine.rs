@@ -67,6 +67,20 @@ impl Engine {
         }
     }
 
+    /// Returns an engine for the same model and workload on a different
+    /// cluster — the fault-handling path: after device failures the serving
+    /// loop replans onto `ClusterSpec::survivors`, reusing the profile
+    /// (valid because degraded topologies keep the profiled device and link
+    /// types). The load-cost model is rebuilt for the new topology so
+    /// [`deploy_time`](Engine::deploy_time) prices redeployment on the
+    /// surviving devices.
+    pub fn with_cluster(&self, cluster: ClusterSpec) -> Self {
+        Self {
+            load_cost: LoadCostModel::new(cluster.clone()),
+            scheduler: Scheduler::new(self.simulator().with_cluster(cluster)),
+        }
+    }
+
     /// Re-schedules *in place* for a new workload on the warm engine: the
     /// profile (the expensive, per-model/cluster part, §7.7) is reused,
     /// only the workload-dependent state is rebuilt, and the engine is left

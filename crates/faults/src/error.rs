@@ -1,0 +1,48 @@
+//! Fault-layer errors.
+
+/// Errors raised while building or replaying a fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// An event failed validation.
+    InvalidEvent {
+        /// Index of the offending event in the schedule.
+        index: usize,
+        /// Why it was rejected.
+        why: &'static str,
+    },
+    /// An event targets a GPU outside the cluster.
+    GpuOutOfRange {
+        /// The targeted GPU index.
+        gpu: usize,
+        /// Devices in the cluster being replayed against.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::InvalidEvent { index, why } => {
+                write!(f, "invalid fault event #{index}: {why}")
+            }
+            FaultError::GpuOutOfRange { gpu, total } => {
+                write!(f, "fault targets gpu{gpu}, but the cluster has {total} devices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FaultError::InvalidEvent { index: 3, why: "time must be finite" };
+        assert!(e.to_string().contains("#3"));
+        let e = FaultError::GpuOutOfRange { gpu: 9, total: 4 };
+        assert!(e.to_string().contains("gpu9") && e.to_string().contains('4'));
+    }
+}

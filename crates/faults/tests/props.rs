@@ -1,0 +1,155 @@
+//! Property-based guarantees of the fault model.
+//!
+//! For *arbitrary* seeded fault schedules: the degraded topology always
+//! admits a schedule that passes the full runtime [`PlanInvariants`]
+//! check, degrading hardware never increases the achievable throughput,
+//! and a full recovery restores the healthy cluster — and therefore the
+//! original plan — exactly.
+
+use std::sync::{Arc, OnceLock};
+
+use exegpt::{Engine, PlanInvariants};
+use exegpt_cluster::ClusterSpec;
+use exegpt_dist::LengthDist;
+use exegpt_faults::{FaultEvent, FaultKind, FaultSchedule, FaultState, RandomFaultOptions};
+use exegpt_model::ModelConfig;
+use exegpt_profiler::{LayerProfile, ProfileOptions, Profiler};
+use exegpt_sim::Workload;
+use exegpt_units::Secs;
+use proptest::prelude::*;
+
+const GPUS: usize = 4;
+const HORIZON: f64 = 100.0;
+
+fn healthy() -> ClusterSpec {
+    ClusterSpec::a40_cluster().subcluster(GPUS).expect("fits")
+}
+
+fn random_opts() -> RandomFaultOptions {
+    RandomFaultOptions { gpus: GPUS, horizon: HORIZON, events: 6, max_slowdown: 4.0 }
+}
+
+fn profile() -> Arc<LayerProfile> {
+    static PROFILE: OnceLock<Arc<LayerProfile>> = OnceLock::new();
+    PROFILE
+        .get_or_init(|| {
+            Arc::new(
+                Profiler::new(ModelConfig::opt_13b(), healthy())
+                    .run(&ProfileOptions::default())
+                    .expect("profiles"),
+            )
+        })
+        .clone()
+}
+
+/// The healthy engine (paper's summarization task S); degraded engines are
+/// derived from it with `with_cluster`, which reuses the profile.
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        Engine::builder()
+            .model(ModelConfig::opt_13b())
+            .cluster(healthy())
+            .workload(Workload::new(
+                LengthDist::truncated_normal(256.0, 252.0, 512).expect("valid"),
+                LengthDist::truncated_normal(32.0, 13.0, 80).expect("valid"),
+            ))
+            .profile(profile())
+            .build()
+            .expect("builds")
+    })
+}
+
+/// A composite schedule: `seed`'s random faults followed by a recovery
+/// tail that heals every device and restores the links.
+fn schedule_with_full_recovery(seed: u64) -> FaultSchedule {
+    let mut events: Vec<FaultEvent> = FaultSchedule::random(seed, &random_opts()).events().to_vec();
+    let t = 10.0 * HORIZON;
+    for gpu in 0..GPUS {
+        events.push(FaultEvent { t, kind: FaultKind::GpuRecover { gpu } });
+    }
+    events
+        .push(FaultEvent { t, kind: FaultKind::LinkDegrade { bw_factor: 1.0, latency_add: 0.0 } });
+    FaultSchedule::new(events).expect("valid schedule")
+}
+
+proptest! {
+    // Each case runs a full schedule search on the degraded topology, so
+    // the case count stays low; the seed space still covers failures,
+    // stragglers, link degradation and partial recoveries in every
+    // combination the generator can produce.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any mid-replay degradation yields a survivable topology whose
+    /// schedule passes the runtime plan invariants, and degraded hardware
+    /// never out-performs healthy hardware.
+    #[test]
+    fn degraded_plans_pass_invariants_and_never_beat_healthy(
+        seed in 0u64..1u64 << 32,
+        t in 0.0..1.5 * HORIZON,
+    ) {
+        let schedule = FaultSchedule::random(seed, &random_opts());
+        let mut state = FaultState::new(schedule, GPUS).expect("in range");
+        state.advance(t);
+        let spec = state.degradation().apply(&healthy()).expect("random draws never kill the cluster");
+
+        let degraded = engine().with_cluster(spec);
+        let plan = degraded.schedule(Secs::INFINITY).expect("survivors admit a plan");
+        prop_assert!(
+            PlanInvariants::check(degraded.simulator(), &plan).is_ok(),
+            "degraded plan violates invariants: {:?}",
+            PlanInvariants::check(degraded.simulator(), &plan).err(),
+        );
+
+        let healthy_plan = engine().schedule(Secs::INFINITY).expect("schedules");
+        prop_assert!(
+            plan.estimate.throughput <= healthy_plan.estimate.throughput * (1.0 + 1e-9),
+            "degraded throughput {} beats healthy {}",
+            plan.estimate.throughput,
+            healthy_plan.estimate.throughput,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replaying any random schedule to completion and then healing every
+    /// device restores the healthy cluster spec exactly.
+    #[test]
+    fn full_recovery_restores_the_healthy_cluster(seed in 0u64..1u64 << 32) {
+        let mut state = FaultState::new(schedule_with_full_recovery(seed), GPUS).expect("in range");
+        state.advance(20.0 * HORIZON);
+        prop_assert!(state.is_nominal());
+        let deg = state.degradation();
+        prop_assert!(deg.is_none());
+        prop_assert_eq!(deg.apply(&healthy()).expect("identity"), healthy());
+    }
+
+    /// `advance` is idempotent at a fixed time and monotone in what it has
+    /// applied: replaying the same prefix twice fires nothing new.
+    #[test]
+    fn advance_is_idempotent(seed in 0u64..1u64 << 32, t in 0.0..1.5 * HORIZON) {
+        let schedule = FaultSchedule::random(seed, &random_opts());
+        let mut state = FaultState::new(schedule, GPUS).expect("in range");
+        let fired = state.advance(t).len();
+        prop_assert_eq!(state.advance(t).len(), 0, "replaying t fires nothing (first pass: {})", fired);
+        let deg_before = state.degradation();
+        state.advance(t);
+        prop_assert_eq!(state.degradation(), deg_before);
+    }
+}
+
+/// A recovered spec is not merely equal to the healthy one — scheduling on
+/// it reproduces the original plan choice exactly (the serve loop relies on
+/// this to reinstall the pre-fault plan verbatim).
+#[test]
+fn scheduling_on_a_recovered_cluster_reproduces_the_original_plan() {
+    let mut state = FaultState::new(schedule_with_full_recovery(7), GPUS).expect("in range");
+    state.advance(20.0 * HORIZON);
+    let spec = state.degradation().apply(&healthy()).expect("identity");
+    let recovered = engine().with_cluster(spec);
+    let original = engine().schedule(Secs::new(30.0)).expect("schedules");
+    let replay = recovered.schedule(Secs::new(30.0)).expect("schedules");
+    assert_eq!(original.config.describe(), replay.config.describe());
+}

@@ -15,7 +15,7 @@ use exegpt::DynamicAdjuster;
 use exegpt_sim::{
     Estimate, RraConfig, RraPlan, ScheduleConfig, SimError, Simulator, WaaConfig, WaaPlan,
 };
-use exegpt_units::Secs;
+use exegpt_units::{Bytes, Secs};
 
 use crate::error::RunError;
 use crate::kv::{KvTracker, ReservePolicy};
@@ -301,6 +301,24 @@ impl PhaseExecutor {
                     * KV_TRANSFER_EXPOSED
             }
         }
+    }
+
+    /// Time to re-migrate `kv_bytes` of resident KV cache across the
+    /// cluster after a plan swap onto a changed topology (failover or
+    /// recovery). The cache moves point-to-point over the slower of the
+    /// two link classes — a deliberately conservative single-stream bound:
+    /// unlike the per-phase WAA handover, a failover migration is not
+    /// overlapped with compute.
+    pub fn kv_migration_time(&self, kv_bytes: u64) -> Secs {
+        if kv_bytes == 0 {
+            return Secs::ZERO;
+        }
+        let bytes = Bytes::from_u64(kv_bytes);
+        let cluster = self.sim.cluster();
+        let intra = cluster.intra().p2p_time(bytes);
+        let inter =
+            if cluster.num_nodes() > 1 { cluster.inter().p2p_time(bytes) } else { Secs::ZERO };
+        intra.max(inter)
     }
 }
 

@@ -1,7 +1,9 @@
 //! Serving-loop errors.
 
 use exegpt::ScheduleError;
+use exegpt_cluster::ClusterError;
 use exegpt_dist::DistError;
+use exegpt_faults::FaultError;
 use exegpt_runner::RunError;
 
 /// Errors raised by the serving loop.
@@ -13,6 +15,18 @@ pub enum ServeError {
     Schedule(ScheduleError),
     /// Online distribution refitting failed.
     Dist(DistError),
+    /// The fault schedule was invalid for this deployment.
+    Fault(FaultError),
+    /// The degraded topology could not be built (e.g. every device failed).
+    Cluster(ClusterError),
+    /// A device failure left no feasible schedule on the survivors; the
+    /// run cannot continue.
+    Failover {
+        /// Devices remaining.
+        survivors: usize,
+        /// Scheduler error on the surviving topology.
+        why: String,
+    },
     /// An option was invalid.
     InvalidOption {
         /// Which option.
@@ -28,6 +42,11 @@ impl std::fmt::Display for ServeError {
             ServeError::Run(e) => write!(f, "serving run failed: {e}"),
             ServeError::Schedule(e) => write!(f, "scheduling failed: {e}"),
             ServeError::Dist(e) => write!(f, "distribution refit failed: {e}"),
+            ServeError::Fault(e) => write!(f, "invalid fault schedule: {e}"),
+            ServeError::Cluster(e) => write!(f, "degraded topology is invalid: {e}"),
+            ServeError::Failover { survivors, why } => {
+                write!(f, "no feasible schedule on the {survivors} surviving devices: {why}")
+            }
             ServeError::InvalidOption { what, why } => {
                 write!(f, "invalid serve option `{what}`: {why}")
             }
@@ -41,7 +60,9 @@ impl std::error::Error for ServeError {
             ServeError::Run(e) => Some(e),
             ServeError::Schedule(e) => Some(e),
             ServeError::Dist(e) => Some(e),
-            ServeError::InvalidOption { .. } => None,
+            ServeError::Fault(e) => Some(e),
+            ServeError::Cluster(e) => Some(e),
+            ServeError::Failover { .. } | ServeError::InvalidOption { .. } => None,
         }
     }
 }
@@ -61,6 +82,18 @@ impl From<ScheduleError> for ServeError {
 impl From<DistError> for ServeError {
     fn from(e: DistError) -> Self {
         ServeError::Dist(e)
+    }
+}
+
+impl From<FaultError> for ServeError {
+    fn from(e: FaultError) -> Self {
+        ServeError::Fault(e)
+    }
+}
+
+impl From<ClusterError> for ServeError {
+    fn from(e: ClusterError) -> Self {
+        ServeError::Cluster(e)
     }
 }
 

@@ -119,6 +119,79 @@ pub enum Event {
         /// In-flight queries whose KV entries migrated to the new plan.
         migrated: usize,
     },
+    /// An injected fault event became active (stamped with its scheduled
+    /// activation time, which may precede the phase boundary that logs it).
+    Fault {
+        /// Scheduled activation time.
+        t: f64,
+        /// Human-readable description of the fault.
+        desc: String,
+    },
+    /// A device failure matured through the heartbeat timeout; the failed
+    /// device is removed from the topology and in-flight work is aborted
+    /// into the retry queue.
+    FaultDetected {
+        /// Detection time (failure activation + detection delay, or the
+        /// phase boundary that noticed it, whichever is later).
+        t: f64,
+        /// The failed device.
+        gpu: usize,
+        /// In-flight queries aborted for retry.
+        aborted: usize,
+    },
+    /// Observed phase timings confirmed a straggling device.
+    StragglerDetected {
+        /// Confirmation time.
+        t: f64,
+        /// The straggling device.
+        gpu: usize,
+        /// Its injected slowdown factor.
+        factor: f64,
+        /// Whether the policy evicts it from the topology (vs tolerating
+        /// the dilation).
+        evicted: bool,
+    },
+    /// An aborted request was queued for retry with exponential backoff.
+    RequestRetry {
+        /// Abort time.
+        t: f64,
+        /// Request id.
+        id: u64,
+        /// Retry attempt number (1 = first retry).
+        attempt: usize,
+        /// Virtual time at which the request re-enters admission.
+        eligible_at: f64,
+    },
+    /// An aborted request exhausted its retry budget and was dropped.
+    RequestLost {
+        /// Drop time.
+        t: f64,
+        /// Request id.
+        id: u64,
+        /// Abort count at the drop.
+        attempts: usize,
+    },
+    /// A fault-driven replan chose a plan for the changed topology.
+    Replan {
+        /// Decision time.
+        t: f64,
+        /// Why: `failover` (devices lost) or `recovery` (devices back).
+        reason: String,
+        /// Devices in the new topology.
+        gpus: usize,
+        /// Schedule chosen for it.
+        to: String,
+        /// Whether the pre-fault plan was reinstalled verbatim (full
+        /// recovery with no interleaved workload refit).
+        restored: bool,
+    },
+    /// A fault-driven replan found no feasible schedule.
+    ReplanFailed {
+        /// Decision time.
+        t: f64,
+        /// Scheduler error.
+        why: String,
+    },
 }
 
 /// Append-only event log.

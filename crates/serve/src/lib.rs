@@ -15,7 +15,13 @@
 //!    for (paper §7.6, Figure 11), and
 //! 4. reschedules on the warm engine ([`exegpt::Engine::reschedule`]) and
 //!    swaps the plan in at a phase boundary, charging a redeployment cost
-//!    when the GPU allocation changed (§7.7).
+//!    when the GPU allocation changed (§7.7), and
+//! 5. optionally replays a deterministic fault scenario
+//!    ([`FaultOptions`] / [`exegpt_faults::FaultSchedule`]): stragglers
+//!    dilate phase timings until confirmed and evicted, failed devices
+//!    abort in-flight work into a bounded-backoff retry queue, and the
+//!    loop replans onto the surviving topology — reinstalling the original
+//!    plan verbatim once the cluster heals.
 //!
 //! Counters, gauges and latency histograms live in a [`Metrics`] registry;
 //! every externally observable action lands in a structured [`EventLog`]
@@ -53,6 +59,7 @@
 mod drift;
 mod error;
 mod events;
+mod faults;
 mod metrics;
 mod server;
 mod slo;
@@ -61,6 +68,7 @@ mod traffic;
 pub use drift::{DriftCheck, DriftDetector, DriftOptions};
 pub use error::ServeError;
 pub use events::{Event, EventLog};
+pub use faults::{FaultDriver, FaultFactors, FaultOptions, StragglerDetector, StragglerOptions};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use server::{ServeLoop, ServeOptions, ServeReport};
 pub use slo::{SloCheck, SloOutcome, SloTargets};

@@ -1,10 +1,12 @@
 //! The online serving loop: discrete-event execution of an arrival stream
 //! against a live, swappable schedule.
 
+use std::collections::BTreeMap;
+
 use exegpt::{Engine, Schedule, ScheduleConfig, SchedulerOptions};
-use exegpt_cluster::LoadSource;
+use exegpt_cluster::{ClusterSpec, LoadSource};
 use exegpt_dist::stats::Summary;
-use exegpt_runner::{PhaseExecutor, RunError};
+use exegpt_runner::{KvTracker, PhaseExecutor, RunError};
 use exegpt_sim::Workload;
 use exegpt_units::Secs;
 use exegpt_workload::{Request, TimedRequest};
@@ -13,6 +15,7 @@ use serde::Serialize;
 use crate::drift::{DriftDetector, DriftOptions};
 use crate::error::ServeError;
 use crate::events::{Event, EventLog};
+use crate::faults::{FaultDriver, FaultFactors, FaultOptions, StragglerDetector};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::slo::{SloOutcome, SloTargets};
 
@@ -32,6 +35,9 @@ pub struct ServeOptions {
     /// Scheduler options used for live reschedules (latency bound,
     /// policies, tolerances).
     pub scheduler: SchedulerOptions,
+    /// Fault injection and graceful degradation (`None` = fault layer off;
+    /// `Some` with an empty schedule behaves identically to `None`).
+    pub faults: Option<FaultOptions>,
 }
 
 impl Default for ServeOptions {
@@ -42,6 +48,7 @@ impl Default for ServeOptions {
             drift: DriftOptions::default(),
             adaptive: true,
             scheduler: SchedulerOptions::bounded(Secs::INFINITY),
+            faults: None,
         }
     }
 }
@@ -72,6 +79,9 @@ impl ServeOptions {
                 what: "drift.rel_threshold",
                 why: format!("must be non-negative, got {}", d.rel_threshold),
             });
+        }
+        if let Some(f) = &self.faults {
+            f.validate()?;
         }
         Ok(())
     }
@@ -106,6 +116,18 @@ pub struct ServeReport {
     pub plan_swaps: usize,
     /// Total virtual seconds spent redeploying across swaps.
     pub swap_cost: f64,
+    /// Fault events that became active during the run.
+    pub faults_injected: usize,
+    /// Device failures detected (after the heartbeat timeout).
+    pub faults_detected: usize,
+    /// Stragglers confirmed from observed phase timings.
+    pub stragglers_detected: usize,
+    /// Fault-driven replans (failover onto survivors, or recovery).
+    pub replans: usize,
+    /// Request abort-and-retry episodes caused by failures.
+    pub retries: usize,
+    /// Requests dropped after exhausting the retry budget.
+    pub requests_lost: usize,
     /// Schedule in force when the run ended.
     pub final_schedule: String,
     /// Full metrics snapshot.
@@ -149,11 +171,41 @@ struct Done {
 /// Everything runs in virtual time; for a fixed arrival stream and options
 /// the run (including the serialized event log) is byte-deterministic.
 ///
+/// When the fault layer is enabled ([`ServeOptions::faults`]), the loop
+/// additionally replays a [`exegpt_faults::FaultSchedule`] on its virtual
+/// clock: stragglers dilate phase timings until a [`StragglerDetector`]
+/// confirms them (severe ones are evicted and the plan recomputed), device
+/// failures mature through a heartbeat timeout, abort in-flight work into
+/// a bounded-backoff retry queue and trigger a replan onto the surviving
+/// topology, and a fully recovered cluster gets its pre-fault plan back
+/// verbatim (unless a drift refit happened in between).
+///
 /// [`run`]: ServeLoop::run
 pub struct ServeLoop {
     engine: Engine,
     exec: PhaseExecutor,
     opts: ServeOptions,
+    /// The fault-free deployment, kept for failover (`survivors`) and
+    /// recovery replans.
+    healthy: ClusterSpec,
+    /// The initially installed plan, reinstalled verbatim on full
+    /// recovery when no drift refit happened in between.
+    original: ScheduleConfig,
+    /// Whether a drift reschedule refit the workload (invalidates the
+    /// verbatim-restore shortcut).
+    workload_refit: bool,
+    /// Devices removed from the topology by the currently planned-for
+    /// degradation (0 = plan assumes the full cluster).
+    planned_removed: usize,
+}
+
+/// A plan waiting to be installed at the next phase boundary.
+struct PendingSwap {
+    cfg: ScheduleConfig,
+    /// `Some` when the swap also moves to a different topology (failover /
+    /// recovery): the engine to commit. `None` for same-topology drift
+    /// swaps.
+    engine: Option<Engine>,
 }
 
 impl ServeLoop {
@@ -171,7 +223,17 @@ impl ServeLoop {
     ) -> Result<Self, ServeError> {
         opts.validate()?;
         let exec = PhaseExecutor::new(engine.simulator(), schedule)?;
-        Ok(Self { engine, exec, opts })
+        let healthy = engine.simulator().cluster().clone();
+        let original = exec.schedule();
+        Ok(Self {
+            engine,
+            exec,
+            opts,
+            healthy,
+            original,
+            workload_refit: false,
+            planned_removed: 0,
+        })
     }
 
     /// The schedule currently installed.
@@ -201,17 +263,78 @@ impl ServeLoop {
         let mut adjuster = self.exec.adjuster(self.opts.adjust_threshold);
         let mut kv = self.exec.kv_tracker();
         let mut scheduled_b_d = self.exec.scheduled_decode_batch();
-        let mut pending_swap: Option<ScheduleConfig> = None;
+        let mut pending_swap: Option<PendingSwap> = None;
         let mut tokens: u64 = 0;
         let mut swap_cost_total = 0.0f64;
         let mut peak_kv: u64 = 0;
         let mut last_completion = 0.0f64;
 
+        // ---- Fault-layer state (all inert when `opts.faults` is None) ---
+        let fault_opts: Option<FaultOptions> = self.opts.faults.clone();
+        let mut driver: Option<FaultDriver> = match &fault_opts {
+            Some(f) => Some(
+                FaultDriver::new(f.schedule.clone(), self.healthy.total_gpus())?
+                    .with_detection_delay(f.detection_delay),
+            ),
+            None => None,
+        };
+        let mut straggler: Option<StragglerDetector> =
+            fault_opts.as_ref().map(|f| StragglerDetector::new(f.straggler));
+        // Aborted requests awaiting their backoff window, sorted by
+        // (eligible time, id); `attempts` tracks per-request abort counts.
+        let mut retry: Vec<(f64, TimedRequest)> = Vec::new();
+        let mut attempts: BTreeMap<u64, usize> = BTreeMap::new();
+
         loop {
+            // ---- Fault replay: activations, detections, replans ---------
+            if let (Some(drv), Some(fo)) = (driver.as_mut(), fault_opts.as_ref()) {
+                for e in drv.advance(t) {
+                    metrics.inc("faults_injected");
+                    events.push(Event::Fault { t: e.t, desc: e.kind.to_string() });
+                }
+                for (gpu, t_d) in drv.mature_detections(t) {
+                    // Pay the rest of the heartbeat window if the phase
+                    // boundary arrived before the timeout elapsed.
+                    t = t.max(t_d);
+                    metrics.inc("faults_detected");
+                    events.push(Event::FaultDetected { t, gpu, aborted: pool.len() });
+                    // The failed device held a KV shard for every in-flight
+                    // query: abort them all into the retry queue.
+                    abort_pool(
+                        &mut pool,
+                        &mut kv,
+                        &mut retry,
+                        &mut attempts,
+                        fo,
+                        t,
+                        &mut metrics,
+                        &mut events,
+                    );
+                }
+                let removed = drv.removed();
+                if removed != self.planned_removed {
+                    pending_swap = self.fault_replan(removed, t, &mut metrics, &mut events)?;
+                    self.planned_removed = removed;
+                }
+            }
+
             // ---- Install a pending plan swap at the phase boundary ------
-            if let Some(cfg) = pending_swap.take() {
+            if let Some(swap) = pending_swap.take() {
+                let topology_change = swap.engine.is_some();
+                if let Some(engine) = swap.engine {
+                    self.engine = engine;
+                }
+                let cfg = swap.cfg;
                 let new_exec = PhaseExecutor::new(self.engine.simulator(), &cfg)?;
-                let cost = swap_cost(&self.engine, &self.exec.schedule(), &cfg);
+                let cost = if topology_change {
+                    // A topology change always redeploys from DRAM and
+                    // re-migrates the resident KV cache across the new
+                    // layout (zero when the pool was aborted).
+                    self.engine.deploy_time(LoadSource::Dram).as_secs()
+                        + new_exec.kv_migration_time(kv.used_bytes()).as_secs()
+                } else {
+                    swap_cost(&self.engine, &self.exec.schedule(), &cfg)
+                };
                 t += cost;
                 peak_kv = peak_kv.max(kv.peak_bytes());
                 let mut new_kv = new_exec.kv_tracker();
@@ -228,6 +351,12 @@ impl ServeLoop {
                 kv = new_kv;
                 adjuster = self.exec.adjuster(self.opts.adjust_threshold);
                 scheduled_b_d = self.exec.scheduled_decode_batch();
+            }
+
+            // ---- Re-admit retries whose backoff has elapsed -------------
+            while !retry.is_empty() && retry[0].0 <= t {
+                let (_, tr) = retry.remove(0);
+                pending.push(tr);
             }
 
             // ---- Ingest arrivals up to the current virtual time ---------
@@ -272,14 +401,25 @@ impl ServeLoop {
 
             if admitted.is_empty() && pool.is_empty() {
                 if pending.is_empty() {
-                    match upcoming.peek() {
-                        None => break, // stream drained, nothing in flight
-                        Some(r) => {
-                            events.push(Event::Idle { from: t, until: r.arrival });
-                            t = r.arrival;
-                            continue;
-                        }
+                    let next_arrival = upcoming.peek().map(|r| r.arrival);
+                    let next_retry = retry.first().map(|r| r.0);
+                    if next_arrival.is_none() && next_retry.is_none() {
+                        break; // stream and retry queue drained, nothing in flight
                     }
+                    // Wake at whichever comes first: an arrival, a retry
+                    // becoming eligible, or the fault world changing (an
+                    // event firing or a failure detection maturing —
+                    // otherwise a mid-idle failure would go unnoticed
+                    // until the next arrival and the first phase after it
+                    // would run on the dead topology).
+                    let next_fault = driver.as_ref().and_then(|d| d.next_wake()).filter(|&w| w > t);
+                    let mut wake = f64::INFINITY;
+                    for c in [next_arrival, next_retry, next_fault].into_iter().flatten() {
+                        wake = wake.min(c);
+                    }
+                    events.push(Event::Idle { from: t, until: wake });
+                    t = wake;
+                    continue;
                 }
                 return Err(RunError::Stalled {
                     why: format!(
@@ -291,6 +431,13 @@ impl ServeLoop {
             }
 
             // ---- Execute one phase (RRA) or round (WAA) -----------------
+            // Active faults dilate the plan's timings at runtime: the
+            // worst live straggler scales compute, link degradation scales
+            // the KV handover. All factors are exactly 1 when nominal, so
+            // the arithmetic below is bit-identical to the fault-free path.
+            let factors = driver.as_ref().map_or(FaultFactors::nominal(), |d| d.factors());
+            let mut phase_base = 0.0f64;
+            let mut phase_actual = 0.0f64;
             let mut done: Vec<Done> = Vec::new();
             if self.exec.is_coupled() {
                 let n_admitted = admitted.len();
@@ -308,8 +455,15 @@ impl ServeLoop {
                     let ctx = mean_context(&pool);
                     self.exec.decode_timing(b_m, pool.len(), ctx, false)?.total.as_secs()
                 };
-                let t_kv = self.exec.handover_time(enc_tokens).as_secs();
-                let round = p_enc.max(p_dec).max(t_kv);
+                let t_kv_base = self.exec.handover_time(enc_tokens).as_secs();
+                let t_kv = if t_kv_base > 0.0 {
+                    t_kv_base * factors.link_time + factors.link_latency
+                } else {
+                    t_kv_base
+                };
+                let round = (p_enc * factors.dilation).max(p_dec * factors.dilation).max(t_kv);
+                phase_base = p_enc.max(p_dec).max(t_kv_base);
+                phase_actual = round;
                 let t_start = t;
                 let pool_during = pool.len();
                 t += round;
@@ -338,7 +492,10 @@ impl ServeLoop {
                     let lens: Vec<usize> = admitted.iter().map(|r| r.request.input_len).collect();
                     let enc = self.exec.encode_timing(&lens)?;
                     let t_start = t;
-                    t += enc.total.as_secs();
+                    let dt = enc.total.as_secs();
+                    t += dt * factors.dilation;
+                    phase_base += dt;
+                    phase_actual += dt * factors.dilation;
                     metrics.inc("encode_phases");
                     events.push(Event::Encode {
                         t_start,
@@ -365,13 +522,37 @@ impl ServeLoop {
                     }
                     let ctx = mean_context(&pool);
                     let dec = self.exec.decode_timing(m_d, pool.len(), ctx, u == 0)?;
-                    t += dec.total.as_secs();
+                    let dt = dec.total.as_secs();
+                    t += dt * factors.dilation;
+                    phase_base += dt;
+                    phase_actual += dt * factors.dilation;
                     tokens += pool.len() as u64;
                     iters += 1;
                     advance(&mut pool, &mut kv, t, &mut done);
                 }
                 metrics.add("decode_iters", iters as u64);
                 events.push(Event::Decode { t_start, t_end: t, iters, completed: done.len() });
+            }
+
+            // ---- Straggler confirmation from observed phase timings -----
+            if let (Some(drv), Some(det), Some(fo)) =
+                (driver.as_mut(), straggler.as_mut(), fault_opts.as_ref())
+            {
+                if det.observe(phase_actual, phase_base).is_some() {
+                    // Link degradation also inflates the ratio; only a
+                    // device that is actually slowed can be blamed (and
+                    // possibly evicted).
+                    if let Some((gpu, factor)) = drv.worst_slowed_gpu() {
+                        let evict = factor >= fo.evict_slowdown;
+                        metrics.inc("stragglers_detected");
+                        events.push(Event::StragglerDetected { t, gpu, factor, evicted: evict });
+                        if evict {
+                            // Removing it changes `removed()`: the next
+                            // loop top replans onto the survivors.
+                            drv.evict(gpu);
+                        }
+                    }
+                }
             }
 
             // ---- Account completions: SLO, metrics, drift ---------------
@@ -416,7 +597,9 @@ impl ServeLoop {
 
             // ---- Live reschedule on declared drift ----------------------
             if drift_declared && self.opts.adaptive && pending_swap.is_none() {
-                pending_swap = self.reschedule(&mut detector, t, &mut metrics, &mut events);
+                pending_swap = self
+                    .reschedule(&mut detector, t, &mut metrics, &mut events)
+                    .map(|cfg| PendingSwap { cfg, engine: None });
             }
         }
 
@@ -440,6 +623,12 @@ impl ServeLoop {
             reschedules: metrics.counter("reschedules") as usize,
             plan_swaps: metrics.counter("plan_swaps") as usize,
             swap_cost: swap_cost_total,
+            faults_injected: metrics.counter("faults_injected") as usize,
+            faults_detected: metrics.counter("faults_detected") as usize,
+            stragglers_detected: metrics.counter("stragglers_detected") as usize,
+            replans: metrics.counter("replans") as usize,
+            retries: metrics.counter("retries") as usize,
+            requests_lost: metrics.counter("requests_lost") as usize,
             final_schedule: self.exec.schedule().describe(),
             metrics: metrics.snapshot(),
             events,
@@ -469,6 +658,7 @@ impl ServeLoop {
         detector.reset();
         match result {
             Ok(schedule) => {
+                self.workload_refit = true;
                 metrics.inc("reschedules");
                 events.push(Event::Reschedule {
                     t,
@@ -488,6 +678,96 @@ impl ServeLoop {
             }
         }
     }
+
+    /// Replans for a changed topology: `removed == 0` targets the healthy
+    /// cluster (recovery), anything else its survivors (failover /
+    /// straggler eviction). On full recovery with no interleaved workload
+    /// refit, the pre-fault plan is reinstalled verbatim — no search — so
+    /// recovery provably restores the original deployment.
+    ///
+    /// Failover searches under the configured scheduler options first and
+    /// falls back to an unconstrained bound (serving degraded beats not
+    /// serving); a failover with no feasible plan at all is fatal.
+    fn fault_replan(
+        &self,
+        removed: usize,
+        t: f64,
+        metrics: &mut Metrics,
+        events: &mut EventLog,
+    ) -> Result<Option<PendingSwap>, ServeError> {
+        let spec =
+            if removed == 0 { self.healthy.clone() } else { self.healthy.survivors(removed)? };
+        let gpus = spec.total_gpus();
+        let failover = removed > self.planned_removed;
+        let reason = if failover { "failover" } else { "recovery" };
+        let engine = self.engine.with_cluster(spec);
+        let restored = removed == 0 && !self.workload_refit;
+        let chosen: Result<ScheduleConfig, exegpt::ScheduleError> = if restored {
+            Ok(self.original)
+        } else {
+            engine.schedule_with(&self.opts.scheduler).map(|s| s.config).or_else(|_| {
+                engine.schedule_with(&SchedulerOptions::bounded(Secs::INFINITY)).map(|s| s.config)
+            })
+        };
+        match chosen {
+            Ok(cfg) => {
+                metrics.inc("replans");
+                events.push(Event::Replan {
+                    t,
+                    reason: reason.into(),
+                    gpus,
+                    to: cfg.describe(),
+                    restored,
+                });
+                Ok(Some(PendingSwap { cfg, engine: Some(engine) }))
+            }
+            Err(e) => {
+                metrics.inc("replan_failures");
+                events.push(Event::ReplanFailed { t, why: e.to_string() });
+                if failover {
+                    Err(ServeError::Failover { survivors: gpus, why: e.to_string() })
+                } else {
+                    // A failed recovery replan keeps serving on the
+                    // degraded (but working) plan.
+                    Ok(None)
+                }
+            }
+        }
+    }
+}
+
+/// Aborts every in-flight query after a device failure: its KV entry is
+/// released and it re-enters admission after an exponential backoff, or is
+/// dropped once its retry budget is exhausted.
+#[allow(clippy::too_many_arguments)]
+fn abort_pool(
+    pool: &mut Vec<InFlight>,
+    kv: &mut KvTracker,
+    retry: &mut Vec<(f64, TimedRequest)>,
+    attempts: &mut BTreeMap<u64, usize>,
+    fo: &FaultOptions,
+    t: f64,
+    metrics: &mut Metrics,
+    events: &mut EventLog,
+) {
+    for a in pool.drain(..) {
+        kv.release(a.req.id);
+        let n = attempts.entry(a.req.id).or_insert(0);
+        *n += 1;
+        let attempt = *n;
+        if attempt > fo.max_retries {
+            metrics.inc("requests_lost");
+            events.push(Event::RequestLost { t, id: a.req.id, attempts: attempt });
+        } else {
+            metrics.inc("retries");
+            let eligible_at = t + fo.backoff_base * 2.0f64.powi(attempt as i32 - 1);
+            events.push(Event::RequestRetry { t, id: a.req.id, attempt, eligible_at });
+            // Original arrival is kept: TTFT/E2E latency of a retried
+            // request honestly includes the failure it survived.
+            retry.push((eligible_at, TimedRequest { request: a.req, arrival: a.arrival }));
+        }
+    }
+    retry.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.request.id.cmp(&y.1.request.id)));
 }
 
 /// Mean context length (input + generated so far) over the pool.

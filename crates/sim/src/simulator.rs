@@ -80,6 +80,17 @@ impl Simulator {
         Self { workload, cache: Arc::new(EvalCache::new()), ..self.clone() }
     }
 
+    /// Returns a simulator for the same model and workload on a different
+    /// cluster (used for fault-degraded topologies). The layer profile is
+    /// reused: it is valid as long as the new cluster's device and link
+    /// *types* match the profiled ones, which holds for subclusters and
+    /// degraded variants of the original.
+    pub fn with_cluster(&self, cluster: ClusterSpec) -> Self {
+        // Cached values depend on per-device memory capacity and link
+        // timings, so the degraded simulator gets a fresh cache too.
+        Self { cluster, cache: Arc::new(EvalCache::new()), ..self.clone() }
+    }
+
     /// Point-in-time counters of the shared evaluation cache (hits, misses,
     /// distinct entries).
     pub fn cache_stats(&self) -> EvalCacheStats {

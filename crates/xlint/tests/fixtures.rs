@@ -45,6 +45,41 @@ fn d2_fixture_flags_clock_and_entropy() {
 }
 
 #[test]
+fn d2_fixture_keeps_fault_timestamps_on_the_virtual_clock() {
+    // Fault activation, detection deadlines and retry backoff must all be
+    // computed on the virtual clock — wall-clock or entropy anywhere in
+    // the fault layer would break byte-identical replay.
+    let report = lint_fixture_as("d2_faults.rs", "crates/faults/src/fixture.rs");
+    assert_eq!(rule_lines(&report, Rule::D2), vec![9, 14, 19], "{:?}", report.findings);
+    // The waiver for bench does not extend to the fault layer.
+    let waived = lint_fixture_as("d2_faults.rs", "crates/bench/src/fixture.rs");
+    assert_eq!(rule_lines(&waived, Rule::D2), Vec::<usize>::new());
+}
+
+#[test]
+fn faults_crate_passes_the_full_rule_set() {
+    // Self-test over the real sources of the new crate: the seeded fault
+    // generator is the only randomness it touches, and every timestamp is
+    // virtual, so the determinism rules must come back clean.
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root resolves");
+    let dir = root.join("crates").join("faults").join("src");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("faults sources are readable") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let name = path.file_name().expect("file name").to_string_lossy().into_owned();
+            let label = format!("crates/faults/src/{name}");
+            let src = std::fs::read_to_string(&path).expect("source is readable");
+            let report = lint_source(&label, &src, context_for(&label));
+            assert!(report.findings.is_empty(), "{label}:\n{:?}", report.findings);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 4, "scanned only {checked} faults sources");
+}
+
+#[test]
 fn n1_fixture_flags_casts_only_in_the_numeric_core() {
     let report = lint_fixture_as("n1.rs", "crates/core/src/fixture.rs");
     assert_eq!(rule_lines(&report, Rule::N1), vec![2, 3], "{:?}", report.findings);

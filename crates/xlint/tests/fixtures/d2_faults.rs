@@ -1,0 +1,20 @@
+//! A fault event stamped off the wall clock: the exact bug the fault
+//! layer's virtual-clock discipline forbids (replay determinism).
+
+pub struct FaultStamp {
+    pub t: f64,
+}
+
+pub fn stamp_fault(virtual_t: f64) -> FaultStamp {
+    let drift = std::time::Instant::now().elapsed().as_secs_f64();
+    FaultStamp { t: virtual_t + drift }
+}
+
+pub fn detection_deadline() -> u64 {
+    let now = std::time::SystemTime::now();
+    now.duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+pub fn jittered_backoff() -> u64 {
+    rand::thread_rng().gen()
+}
