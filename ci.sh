@@ -38,6 +38,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 echo "==> serve smoke (SLO-accounting invariants over ~2k events)"
 cargo run --offline --release -p exegpt-serve --bin serve-smoke
 
+echo "==> replan smoke (incremental replans: byte-identity, no fallback, >=10x)"
+# Replays the golden drift/fault/recovery replans and exits non-zero if any
+# falls back to the full search, picks a different plan than the full
+# search, or the warm replan is less than 10x faster than the warm full
+# search. Measurements are archived for trending.
+REPLAN_SMOKE_JSON=target/ci-artifacts/replan-smoke.json \
+  cargo run --offline --release -p exegpt-bench --bin replan-smoke
+
 echo "==> faults smoke (seeded failure scenario, deterministic digest)"
 # The bin replays a seeded GPU failure + straggler + recovery scenario
 # twice and exits non-zero unless the runs are byte-identical, nothing is

@@ -70,8 +70,24 @@ impl DynamicAdjuster {
         current_decode_batch: usize,
         scheduled_decode_batch: usize,
     ) -> Vec<usize> {
+        let mut chosen = Vec::new();
+        self.select_batch_into(pending, current_decode_batch, scheduled_decode_batch, &mut chosen);
+        chosen
+    }
+
+    /// [`DynamicAdjuster::select_batch`] into a caller-provided buffer
+    /// (cleared first), for hot loops that admit every round and should not
+    /// allocate every round.
+    pub fn select_batch_into(
+        &self,
+        pending: &[usize],
+        current_decode_batch: usize,
+        scheduled_decode_batch: usize,
+        chosen: &mut Vec<usize>,
+    ) {
+        chosen.clear();
         if pending.is_empty() {
-            return Vec::new();
+            return;
         }
         let target = self.target_workload();
         let lo = target * (1.0 - self.threshold_frac);
@@ -82,7 +98,6 @@ impl DynamicAdjuster {
             self.mean_input_len.min(target),
         );
 
-        let mut chosen = Vec::new();
         let mut workload = 0.0;
         let mut i = 0;
         while i < pending.len() && workload < budget {
@@ -106,7 +121,6 @@ impl DynamicAdjuster {
         }
         chosen.sort_unstable();
         chosen.dedup();
-        chosen
     }
 
     /// Convenience wrapper returning only the number of queries

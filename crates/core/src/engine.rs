@@ -10,7 +10,7 @@ use exegpt_sim::{Simulator, Workload};
 use exegpt_units::Secs;
 
 use crate::error::ScheduleError;
-use crate::scheduler::{Schedule, Scheduler, SchedulerOptions};
+use crate::scheduler::{Replan, ReplanDelta, Schedule, Scheduler, SchedulerOptions};
 
 /// End-to-end ExeGPT pipeline: profile once, then schedule for any latency
 /// bound or workload (paper Figure 2).
@@ -100,6 +100,45 @@ impl Engine {
     ) -> Result<Schedule, ScheduleError> {
         *self = self.with_workload(workload);
         self.schedule_with(opts)
+    }
+
+    /// Like [`Engine::reschedule`], but replans *incrementally* from the
+    /// schedule currently being served: only the incumbent's neighborhood
+    /// is searched and the rest of the portfolio is certified away (see
+    /// [`Scheduler::reschedule_from`]), with a verified fallback to the
+    /// full search. The chosen plan is identical to what
+    /// [`Engine::reschedule`] would pick; only the replan latency differs.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::schedule`]. On error the engine still serves the
+    /// new workload (scheduling is side-effect free).
+    pub fn reschedule_incremental(
+        &mut self,
+        workload: Workload,
+        incumbent: &Schedule,
+        opts: &SchedulerOptions,
+    ) -> Result<Replan, ScheduleError> {
+        *self = self.with_workload(workload);
+        let delta = ReplanDelta { gpu_delta: 0, workload_changed: true };
+        self.scheduler.reschedule_from(incumbent, delta, opts)
+    }
+
+    /// Incremental replan on the *current* engine state — the fault path:
+    /// call [`Engine::with_cluster`] (or [`Engine::with_workload`]) first,
+    /// describe what changed in `delta`, and pass the plan that was being
+    /// served as the incumbent.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::schedule`].
+    pub fn replan_from(
+        &self,
+        incumbent: &Schedule,
+        delta: ReplanDelta,
+        opts: &SchedulerOptions,
+    ) -> Result<Replan, ScheduleError> {
+        self.scheduler.reschedule_from(incumbent, delta, opts)
     }
 
     /// Estimated cost of (re-)deploying the model according to a new

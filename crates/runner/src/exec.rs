@@ -201,17 +201,22 @@ impl PhaseExecutor {
             Variant::Rra { plan, stages, .. } => {
                 let m_e = (*stages).min(input_lens.len()).max(1);
                 let micro = input_lens.len() as f64 / m_e as f64;
-                let mut stage_times = Vec::with_capacity(*stages);
+                // Single in-order pass (no per-phase buffer): the sum folds
+                // left over the stages exactly as the buffered version did,
+                // so the timings are bit-identical.
+                let mut bottleneck = Secs::ZERO;
+                let mut fill = Secs::ZERO;
                 for (i, stage) in plan.layout.stages().iter().enumerate() {
                     let t_layer = profile
                         .encode_layer_time(micro, mean_in, stage.tp)
                         .map_err(SimError::from)?;
                     let handoff =
                         profile.handoff_time(micro * mean_in, plan.layout.boundary_intra_node(i));
-                    stage_times.push(plan.enc_alloc[i] as f64 * t_layer + handoff);
+                    let t = plan.enc_alloc[i] as f64 * t_layer + handoff;
+                    fill += t;
+                    bottleneck = bottleneck.max(t);
                 }
-                let bottleneck = stage_times.iter().copied().fold(Secs::ZERO, |a, t| a.max(t));
-                let total = stage_times.iter().sum::<Secs>() + bottleneck * (m_e as f64 - 1.0);
+                let total = fill + bottleneck * (m_e as f64 - 1.0);
                 Ok(EncodeTiming { total, bottleneck, tokens: input_lens.len() as f64 * mean_in })
             }
             Variant::Waa { plan, .. } => {

@@ -74,17 +74,9 @@ impl KvTracker {
         }
     }
 
-    fn tokens_to_bytes(&self, tokens: usize) -> u64 {
-        (tokens as f64 * self.bytes_per_token).ceil() as u64
-    }
-
-    fn reserved_tokens(&self, held: usize) -> usize {
-        match self.policy {
-            ReservePolicy::UpFront | ReservePolicy::Incremental => held,
-            ReservePolicy::Paged { page_tokens } => {
-                held.div_ceil(page_tokens.max(1)) * page_tokens.max(1)
-            }
-        }
+    /// Bytes reserved for a query holding `held` tokens.
+    fn entry_bytes(&self, held: usize) -> u64 {
+        reserved_bytes(self.bytes_per_token, self.policy, held)
     }
 
     /// Tries to admit query `id` holding `input_tokens`; `max_output`
@@ -95,7 +87,7 @@ impl KvTracker {
             ReservePolicy::UpFront => input_tokens + max_output,
             _ => input_tokens,
         };
-        let add = self.tokens_to_bytes(self.reserved_tokens(held));
+        let add = self.entry_bytes(held);
         if self.used_bytes + add > self.capacity_bytes {
             return false;
         }
@@ -113,7 +105,7 @@ impl KvTracker {
     /// [`peak_bytes`](Self::peak_bytes)); subsequent admissions still go
     /// through [`try_admit`](Self::try_admit) and see the over-commit.
     pub fn admit_unchecked(&mut self, id: u64, tokens: usize) {
-        let add = self.tokens_to_bytes(self.reserved_tokens(tokens));
+        let add = self.entry_bytes(tokens);
         self.held_tokens.insert(id, tokens);
         self.used_bytes += add;
         self.peak_bytes = self.peak_bytes.max(self.used_bytes);
@@ -122,20 +114,25 @@ impl KvTracker {
     /// Grows query `id` by `tokens` newly generated tokens. Under
     /// [`ReservePolicy::UpFront`] this is a no-op (space was pre-reserved).
     /// Returns `false` on overflow (the growth is not applied).
+    ///
+    /// This runs once per pooled query per decoding iteration — the hottest
+    /// tracker path — so it updates the entry in place rather than paying a
+    /// second tree traversal for a re-insert.
     pub fn grow(&mut self, id: u64, tokens: usize) -> bool {
         if matches!(self.policy, ReservePolicy::UpFront) {
             return true;
         }
-        let Some(held) = self.held_tokens.get(&id).copied() else {
+        let (bpt, policy) = (self.bytes_per_token, self.policy);
+        let Some(entry) = self.held_tokens.get_mut(&id) else {
             return false;
         };
-        let before = self.tokens_to_bytes(self.reserved_tokens(held));
-        let after = self.tokens_to_bytes(self.reserved_tokens(held + tokens));
+        let before = reserved_bytes(bpt, policy, *entry);
+        let after = reserved_bytes(bpt, policy, *entry + tokens);
         let add = after - before;
         if self.used_bytes + add > self.capacity_bytes {
             return false;
         }
-        self.held_tokens.insert(id, held + tokens);
+        *entry += tokens;
         self.used_bytes += add;
         self.peak_bytes = self.peak_bytes.max(self.used_bytes);
         true
@@ -145,7 +142,7 @@ impl KvTracker {
     /// Unknown ids are ignored.
     pub fn release(&mut self, id: u64) {
         if let Some(held) = self.held_tokens.remove(&id) {
-            let bytes = self.tokens_to_bytes(self.reserved_tokens(held));
+            let bytes = self.entry_bytes(held);
             self.used_bytes = self.used_bytes.saturating_sub(bytes);
         }
     }
@@ -169,6 +166,20 @@ impl KvTracker {
     pub fn capacity_bytes(&self) -> u64 {
         self.capacity_bytes
     }
+}
+
+/// Bytes reserved for a query holding `held` tokens under `policy`: the
+/// policy's reserved-token count (exact, or rounded up to whole pages)
+/// converted at `bytes_per_token`. A free function so in-place map updates
+/// can price entries while the entry is mutably borrowed.
+fn reserved_bytes(bytes_per_token: f64, policy: ReservePolicy, held: usize) -> u64 {
+    let reserved = match policy {
+        ReservePolicy::UpFront | ReservePolicy::Incremental => held,
+        ReservePolicy::Paged { page_tokens } => {
+            held.div_ceil(page_tokens.max(1)) * page_tokens.max(1)
+        }
+    };
+    (reserved as f64 * bytes_per_token).ceil() as u64
 }
 
 #[cfg(test)]

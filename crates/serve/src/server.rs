@@ -1,9 +1,10 @@
 //! The online serving loop: discrete-event execution of an arrival stream
 //! against a live, swappable schedule.
 
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
 
-use exegpt::{Engine, Schedule, ScheduleConfig, SchedulerOptions};
+use exegpt::{Engine, Replan, ReplanDelta, Schedule, ScheduleConfig, SchedulerOptions};
 use exegpt_cluster::{ClusterSpec, LoadSource};
 use exegpt_dist::stats::Summary;
 use exegpt_runner::{KvTracker, PhaseExecutor, RunError};
@@ -38,6 +39,12 @@ pub struct ServeOptions {
     /// Fault injection and graceful degradation (`None` = fault layer off;
     /// `Some` with an empty schedule behaves identically to `None`).
     pub faults: Option<FaultOptions>,
+    /// Replan incrementally from the plan being served (warm-started
+    /// neighborhood search with a verified fallback) instead of running the
+    /// full search on every drift or fault replan. The chosen plans — and
+    /// therefore the event log — are identical either way; only the replan
+    /// latency differs.
+    pub incremental_replan: bool,
 }
 
 impl Default for ServeOptions {
@@ -49,6 +56,7 @@ impl Default for ServeOptions {
             adaptive: true,
             scheduler: SchedulerOptions::bounded(Secs::INFINITY),
             faults: None,
+            incremental_replan: true,
         }
     }
 }
@@ -124,6 +132,11 @@ pub struct ServeReport {
     pub stragglers_detected: usize,
     /// Fault-driven replans (failover onto survivors, or recovery).
     pub replans: usize,
+    /// Replans (drift or fault) answered by the incremental path without
+    /// falling back to the full search.
+    pub incremental_replans: usize,
+    /// Incremental replans that took the verified full-search fallback.
+    pub replan_fallbacks: usize,
     /// Request abort-and-retry episodes caused by failures.
     pub retries: usize,
     /// Requests dropped after exhausting the retry budget.
@@ -154,6 +167,57 @@ struct Done {
     per_token: Option<f64>,
     queue_wait: f64,
     t: f64,
+}
+
+/// An aborted request waiting out its retry backoff.
+///
+/// Ordered as a *min*-heap key on `(eligible_at, id)` (reversed, since
+/// [`BinaryHeap`] pops the maximum), so popping yields the same
+/// deterministic re-admission order a fully sorted queue would.
+struct Retry {
+    eligible_at: f64,
+    req: TimedRequest,
+}
+
+impl PartialEq for Retry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Retry {}
+
+impl PartialOrd for Retry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Retry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .eligible_at
+            .total_cmp(&self.eligible_at)
+            .then_with(|| other.req.request.id.cmp(&self.req.request.id))
+    }
+}
+
+/// Reusable per-round buffers of the serving loop. Every round used to
+/// allocate these afresh; at thousands of rounds per run the churn showed
+/// up in the simulated-requests-per-wall-second numbers.
+#[derive(Default)]
+struct Scratch {
+    /// Input lengths of the pending queue (admission) or admitted batch
+    /// (encode timing).
+    lens: Vec<usize>,
+    /// Indices selected by the dynamic adjuster.
+    selected: Vec<usize>,
+    /// Which pending indices were admitted this round.
+    taken: Vec<bool>,
+    /// Requests admitted this round (drained into the pool).
+    admitted: Vec<TimedRequest>,
+    /// Completions harvested this round.
+    done: Vec<Done>,
 }
 
 /// The online serving engine.
@@ -197,6 +261,13 @@ pub struct ServeLoop {
     /// Devices removed from the topology by the currently planned-for
     /// degradation (0 = plan assumes the full cluster).
     planned_removed: usize,
+    /// The most recently planned schedule with its estimate — the incumbent
+    /// that incremental replans warm-start from. `None` only when the
+    /// installed config cannot be evaluated, which disables the incremental
+    /// path (replans then run the full search, as before).
+    last_plan: Option<Schedule>,
+    /// Reusable per-round buffers.
+    scratch: Scratch,
 }
 
 /// A plan waiting to be installed at the next phase boundary.
@@ -225,6 +296,12 @@ impl ServeLoop {
         let exec = PhaseExecutor::new(engine.simulator(), schedule)?;
         let healthy = engine.simulator().cluster().clone();
         let original = exec.schedule();
+        let last_plan = engine.simulator().evaluate(&original).ok().map(|estimate| Schedule {
+            config: original,
+            estimate,
+            evals: 0,
+            cache_hits: 0,
+        });
         Ok(Self {
             engine,
             exec,
@@ -233,6 +310,8 @@ impl ServeLoop {
             original,
             workload_refit: false,
             planned_removed: 0,
+            last_plan,
+            scratch: Scratch::default(),
         })
     }
 
@@ -280,9 +359,9 @@ impl ServeLoop {
         };
         let mut straggler: Option<StragglerDetector> =
             fault_opts.as_ref().map(|f| StragglerDetector::new(f.straggler));
-        // Aborted requests awaiting their backoff window, sorted by
+        // Aborted requests awaiting their backoff window, a min-heap on
         // (eligible time, id); `attempts` tracks per-request abort counts.
-        let mut retry: Vec<(f64, TimedRequest)> = Vec::new();
+        let mut retry: BinaryHeap<Retry> = BinaryHeap::new();
         let mut attempts: BTreeMap<u64, usize> = BTreeMap::new();
 
         loop {
@@ -354,9 +433,10 @@ impl ServeLoop {
             }
 
             // ---- Re-admit retries whose backoff has elapsed -------------
-            while !retry.is_empty() && retry[0].0 <= t {
-                let (_, tr) = retry.remove(0);
-                pending.push(tr);
+            while retry.peek().is_some_and(|r| r.eligible_at <= t) {
+                if let Some(r) = retry.pop() {
+                    pending.push(r.req);
+                }
             }
 
             // ---- Ingest arrivals up to the current virtual time ---------
@@ -376,33 +456,40 @@ impl ServeLoop {
             }
 
             // ---- Dynamic admission (§5.2) -------------------------------
-            let lens: Vec<usize> = pending.iter().map(|r| r.request.input_len).collect();
-            let selected = adjuster.select_batch(&lens, pool.len(), scheduled_b_d);
-            let mut admitted: Vec<TimedRequest> = Vec::with_capacity(selected.len());
-            let mut taken = vec![false; pending.len()];
-            for &idx in &selected {
+            self.scratch.lens.clear();
+            self.scratch.lens.extend(pending.iter().map(|r| r.request.input_len));
+            adjuster.select_batch_into(
+                &self.scratch.lens,
+                pool.len(),
+                scheduled_b_d,
+                &mut self.scratch.selected,
+            );
+            self.scratch.admitted.clear();
+            self.scratch.taken.clear();
+            self.scratch.taken.resize(pending.len(), false);
+            for &idx in &self.scratch.selected {
                 let r = pending[idx];
                 if !kv.try_admit(r.request.id, r.request.input_len, 0) {
                     break; // cache full: stop admitting this phase
                 }
-                taken[idx] = true;
-                admitted.push(r);
+                self.scratch.taken[idx] = true;
+                self.scratch.admitted.push(r);
             }
-            if !admitted.is_empty() {
-                let mut keep = Vec::with_capacity(pending.len() - admitted.len());
-                for (i, r) in pending.into_iter().enumerate() {
-                    if !taken[i] {
-                        keep.push(r);
-                    }
-                }
-                pending = keep;
-                metrics.add("admitted", admitted.len() as u64);
+            if !self.scratch.admitted.is_empty() {
+                let taken = &self.scratch.taken;
+                let mut i = 0;
+                pending.retain(|_| {
+                    let keep = !taken[i];
+                    i += 1;
+                    keep
+                });
+                metrics.add("admitted", self.scratch.admitted.len() as u64);
             }
 
-            if admitted.is_empty() && pool.is_empty() {
+            if self.scratch.admitted.is_empty() && pool.is_empty() {
                 if pending.is_empty() {
                     let next_arrival = upcoming.peek().map(|r| r.arrival);
-                    let next_retry = retry.first().map(|r| r.0);
+                    let next_retry = retry.peek().map(|r| r.eligible_at);
                     if next_arrival.is_none() && next_retry.is_none() {
                         break; // stream and retry queue drained, nothing in flight
                     }
@@ -438,14 +525,17 @@ impl ServeLoop {
             let factors = driver.as_ref().map_or(FaultFactors::nominal(), |d| d.factors());
             let mut phase_base = 0.0f64;
             let mut phase_actual = 0.0f64;
-            let mut done: Vec<Done> = Vec::new();
+            self.scratch.done.clear();
             if self.exec.is_coupled() {
-                let n_admitted = admitted.len();
-                let (p_enc, enc_tokens) = if admitted.is_empty() {
+                let n_admitted = self.scratch.admitted.len();
+                let (p_enc, enc_tokens) = if self.scratch.admitted.is_empty() {
                     (0.0, 0.0)
                 } else {
-                    let lens: Vec<usize> = admitted.iter().map(|r| r.request.input_len).collect();
-                    let enc = self.exec.encode_timing(&lens)?;
+                    self.scratch.lens.clear();
+                    self.scratch
+                        .lens
+                        .extend(self.scratch.admitted.iter().map(|r| r.request.input_len));
+                    let enc = self.exec.encode_timing(&self.scratch.lens)?;
                     (enc.bottleneck.as_secs(), enc.tokens)
                 };
                 let p_dec = if pool.is_empty() {
@@ -469,7 +559,7 @@ impl ServeLoop {
                 t += round;
                 if !pool.is_empty() {
                     tokens += pool.len() as u64;
-                    advance(&mut pool, &mut kv, t, &mut done);
+                    advance(&mut pool, &mut kv, t, &mut self.scratch.done);
                 }
                 metrics.inc("rounds");
                 events.push(Event::Round {
@@ -478,7 +568,7 @@ impl ServeLoop {
                     admitted: n_admitted,
                     pool: pool_during,
                 });
-                for r in admitted {
+                for r in self.scratch.admitted.drain(..) {
                     pool.push(InFlight {
                         req: r.request,
                         progress: 0,
@@ -488,9 +578,12 @@ impl ServeLoop {
                     });
                 }
             } else {
-                if !admitted.is_empty() {
-                    let lens: Vec<usize> = admitted.iter().map(|r| r.request.input_len).collect();
-                    let enc = self.exec.encode_timing(&lens)?;
+                if !self.scratch.admitted.is_empty() {
+                    self.scratch.lens.clear();
+                    self.scratch
+                        .lens
+                        .extend(self.scratch.admitted.iter().map(|r| r.request.input_len));
+                    let enc = self.exec.encode_timing(&self.scratch.lens)?;
                     let t_start = t;
                     let dt = enc.total.as_secs();
                     t += dt * factors.dilation;
@@ -500,10 +593,10 @@ impl ServeLoop {
                     events.push(Event::Encode {
                         t_start,
                         t_end: t,
-                        admitted: admitted.len(),
+                        admitted: self.scratch.admitted.len(),
                         queue_depth: pending.len(),
                     });
-                    for r in admitted {
+                    for r in self.scratch.admitted.drain(..) {
                         pool.push(InFlight {
                             req: r.request,
                             progress: 0,
@@ -528,10 +621,15 @@ impl ServeLoop {
                     phase_actual += dt * factors.dilation;
                     tokens += pool.len() as u64;
                     iters += 1;
-                    advance(&mut pool, &mut kv, t, &mut done);
+                    advance(&mut pool, &mut kv, t, &mut self.scratch.done);
                 }
                 metrics.add("decode_iters", iters as u64);
-                events.push(Event::Decode { t_start, t_end: t, iters, completed: done.len() });
+                events.push(Event::Decode {
+                    t_start,
+                    t_end: t,
+                    iters,
+                    completed: self.scratch.done.len(),
+                });
             }
 
             // ---- Straggler confirmation from observed phase timings -----
@@ -558,7 +656,7 @@ impl ServeLoop {
             // ---- Account completions: SLO, metrics, drift ---------------
             let scheduled_mean = self.exec.simulator().workload().output().mean();
             let mut drift_declared = false;
-            for d in &done {
+            for d in &self.scratch.done {
                 metrics.inc("completions");
                 metrics.observe("ttft", d.ttft);
                 metrics.observe("e2e", d.e2e);
@@ -627,6 +725,8 @@ impl ServeLoop {
             faults_detected: metrics.counter("faults_detected") as usize,
             stragglers_detected: metrics.counter("stragglers_detected") as usize,
             replans: metrics.counter("replans") as usize,
+            incremental_replans: metrics.counter("incremental_replans") as usize,
+            replan_fallbacks: metrics.counter("replan_fallbacks") as usize,
             retries: metrics.counter("retries") as usize,
             requests_lost: metrics.counter("requests_lost") as usize,
             final_schedule: self.exec.schedule().describe(),
@@ -636,9 +736,11 @@ impl ServeLoop {
     }
 
     /// Refits the output distribution to the drift window and re-runs the
-    /// scheduler on the warm engine. Returns the new plan to install at the
-    /// next phase boundary, or `None` if refitting/scheduling failed (the
-    /// loop keeps serving on the old plan either way).
+    /// scheduler on the warm engine — incrementally from the served plan
+    /// when [`ServeOptions::incremental_replan`] is on. Returns the new
+    /// plan to install at the next phase boundary, or `None` if
+    /// refitting/scheduling failed (the loop keeps serving on the old plan
+    /// either way).
     fn reschedule(
         &mut self,
         detector: &mut DriftDetector,
@@ -653,12 +755,23 @@ impl ServeLoop {
                     refit.dist.clone(),
                 );
                 metrics.gauge("refit_mean", refit.dist.mean());
-                self.engine.reschedule(workload, &self.opts.scheduler).map_err(ServeError::from)
+                match self.opts.incremental_replan.then(|| self.last_plan.clone()).flatten() {
+                    Some(inc) => self
+                        .engine
+                        .reschedule_incremental(workload, &inc, &self.opts.scheduler)
+                        .map(|replan| track_replan(replan, metrics))
+                        .map_err(ServeError::from),
+                    None => self
+                        .engine
+                        .reschedule(workload, &self.opts.scheduler)
+                        .map_err(ServeError::from),
+                }
             });
         detector.reset();
         match result {
             Ok(schedule) => {
                 self.workload_refit = true;
+                self.last_plan = Some(schedule.clone());
                 metrics.inc("reschedules");
                 events.push(Event::Reschedule {
                     t,
@@ -685,11 +798,13 @@ impl ServeLoop {
     /// refit, the pre-fault plan is reinstalled verbatim — no search — so
     /// recovery provably restores the original deployment.
     ///
-    /// Failover searches under the configured scheduler options first and
-    /// falls back to an unconstrained bound (serving degraded beats not
-    /// serving); a failover with no feasible plan at all is fatal.
+    /// Failover searches under the configured scheduler options first —
+    /// incrementally from the served plan when
+    /// [`ServeOptions::incremental_replan`] is on — and falls back to an
+    /// unconstrained bound (serving degraded beats not serving); a failover
+    /// with no feasible plan at all is fatal.
     fn fault_replan(
-        &self,
+        &mut self,
         removed: usize,
         t: f64,
         metrics: &mut Metrics,
@@ -705,12 +820,30 @@ impl ServeLoop {
         let chosen: Result<ScheduleConfig, exegpt::ScheduleError> = if restored {
             Ok(self.original)
         } else {
-            engine.schedule_with(&self.opts.scheduler).map(|s| s.config).or_else(|_| {
+            let incumbent = self.opts.incremental_replan.then(|| self.last_plan.clone()).flatten();
+            let primary = match incumbent {
+                Some(inc) => {
+                    let old = self.engine.simulator().cluster().total_gpus() as isize;
+                    let delta =
+                        ReplanDelta { gpu_delta: gpus as isize - old, workload_changed: false };
+                    engine
+                        .replan_from(&inc, delta, &self.opts.scheduler)
+                        .map(|replan| track_replan(replan, metrics))
+                }
+                None => engine.schedule_with(&self.opts.scheduler),
+            };
+            primary.map(|s| s.config).or_else(|_| {
                 engine.schedule_with(&SchedulerOptions::bounded(Secs::INFINITY)).map(|s| s.config)
             })
         };
         match chosen {
             Ok(cfg) => {
+                self.last_plan = engine.simulator().evaluate(&cfg).ok().map(|estimate| Schedule {
+                    config: cfg,
+                    estimate,
+                    evals: 0,
+                    cache_hits: 0,
+                });
                 metrics.inc("replans");
                 events.push(Event::Replan {
                     t,
@@ -736,6 +869,14 @@ impl ServeLoop {
     }
 }
 
+/// Records whether an incremental replan held or fell back. Counters only:
+/// the event log must stay byte-identical to the full-search path, and the
+/// chosen plan already is.
+fn track_replan(replan: Replan, metrics: &mut Metrics) -> Schedule {
+    metrics.inc(if replan.fell_back { "replan_fallbacks" } else { "incremental_replans" });
+    replan.schedule
+}
+
 /// Aborts every in-flight query after a device failure: its KV entry is
 /// released and it re-enters admission after an exponential backoff, or is
 /// dropped once its retry budget is exhausted.
@@ -743,7 +884,7 @@ impl ServeLoop {
 fn abort_pool(
     pool: &mut Vec<InFlight>,
     kv: &mut KvTracker,
-    retry: &mut Vec<(f64, TimedRequest)>,
+    retry: &mut BinaryHeap<Retry>,
     attempts: &mut BTreeMap<u64, usize>,
     fo: &FaultOptions,
     t: f64,
@@ -764,10 +905,12 @@ fn abort_pool(
             events.push(Event::RequestRetry { t, id: a.req.id, attempt, eligible_at });
             // Original arrival is kept: TTFT/E2E latency of a retried
             // request honestly includes the failure it survived.
-            retry.push((eligible_at, TimedRequest { request: a.req, arrival: a.arrival }));
+            retry.push(Retry {
+                eligible_at,
+                req: TimedRequest { request: a.req, arrival: a.arrival },
+            });
         }
     }
-    retry.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.request.id.cmp(&y.1.request.id)));
 }
 
 /// Mean context length (input + generated so far) over the pool.

@@ -175,6 +175,42 @@ fn static_plan_event_log_is_byte_identical_across_runs() {
 }
 
 #[test]
+fn incremental_replans_leave_the_event_log_unchanged() {
+    // Drift replans default to the incremental path (warm-started
+    // neighborhood search); with it disabled every replan runs the full
+    // search. The chosen plans are certified identical, so the two arms
+    // must serve byte-identical event logs — the incremental path may only
+    // change replan latency, never what is served.
+    let setup = setup();
+    let incremental = serve(&setup, true);
+    let full = ServeLoop::new(
+        setup.engine.clone(),
+        &setup.schedule,
+        ServeOptions { incremental_replan: false, ..opts(true, setup.slo_e2e) },
+    )
+    .expect("feasible")
+    .run(setup.arrivals.clone())
+    .expect("serves");
+
+    assert!(incremental.reschedules >= 1, "the shift must trigger a replan");
+    assert_eq!(
+        incremental.incremental_replans + incremental.replan_fallbacks,
+        incremental.reschedules,
+        "every drift replan must go through the incremental path"
+    );
+    assert_eq!(
+        incremental.replan_fallbacks, 0,
+        "the golden drift scenario must not silently fall back to the full search"
+    );
+    assert_eq!(full.incremental_replans, 0, "the disabled arm must not replan incrementally");
+    assert_eq!(
+        incremental.events.to_jsonl(),
+        full.events.to_jsonl(),
+        "incremental replanning changed what was served"
+    );
+}
+
+#[test]
 fn event_log_is_byte_identical_across_runs() {
     let setup = setup();
     let a = serve(&setup, true);

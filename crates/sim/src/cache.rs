@@ -6,11 +6,23 @@
 //! the batch geometry and TP setting, and the branch-and-bound searches of
 //! different `(policy, TP, B_m)` tasks frequently land on identical
 //! [`ScheduleConfig`]s. This module keeps one [`EvalCache`] per
-//! [`Simulator`](crate::Simulator) *workload*: every layer is keyed only by
-//! configuration values because everything else that feeds an estimate
-//! (model, cluster, profile, workload) is fixed for the simulator instance,
-//! and [`Simulator::with_workload`](crate::Simulator::with_workload) swaps
-//! in a fresh cache so no per-workload entry can leak across workloads.
+//! [`Simulator`](crate::Simulator) *workload*:
+//! [`Simulator::with_workload`](crate::Simulator::with_workload) swaps in a
+//! fresh cache so no per-workload entry can leak across workloads (every
+//! layer depends on the length distributions).
+//!
+//! Cluster swaps are cheaper than workload swaps: the completion analyses
+//! and the collapsed decode grids are *cluster-independent* (they derive
+//! from the workload and the layer profile, which degraded topologies
+//! reuse), while pipeline plans and full estimates are not. The
+//! cluster-dependent layers therefore carry a cluster fingerprint in their
+//! key, and [`with_cluster`](crate::Simulator::with_cluster) *shares* the
+//! cache: a fault-driven replan onto survivors keeps every
+//! cluster-independent entry warm, only re-deriving plans and estimates,
+//! and a recovery replan onto the original topology hits the original
+//! entries outright. Entries of departed fingerprints linger until the next
+//! workload swap — an accepted cost, bounded by the number of distinct
+//! topologies a fault schedule can visit.
 //!
 //! Concurrency: maps are sharded `RwLock<HashMap>`s so the scheduler's
 //! search pool shares one cache without serializing on a single lock. On a
@@ -178,9 +190,9 @@ pub struct EvalCacheStats {
 pub(crate) struct EvalCache {
     completion: ShardedMap<usize, Arc<CompletionInfo>>,
     dec_stage: ShardedMap<DecStageKey, Result<Arc<Grid1D>, SimError>>,
-    rra_plans: ShardedMap<RraPlanKey, Result<Arc<RraPlan>, SimError>>,
-    waa_plans: ShardedMap<WaaConfig, Result<Arc<WaaPlan>, SimError>>,
-    estimates: ShardedMap<ScheduleConfig, Result<Estimate, SimError>>,
+    rra_plans: ShardedMap<(u64, RraPlanKey), Result<Arc<RraPlan>, SimError>>,
+    waa_plans: ShardedMap<(u64, WaaConfig), Result<Arc<WaaPlan>, SimError>>,
+    estimates: ShardedMap<(u64, ScheduleConfig), Result<Estimate, SimError>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -256,12 +268,14 @@ impl EvalCache {
         grid
     }
 
-    /// RRA pipeline plan, built at most once per `(B_E, B_D, TP)`.
+    /// RRA pipeline plan, built at most once per `(cluster, B_E, B_D, TP)`.
     pub(crate) fn rra_plan(
         &self,
+        cluster: u64,
         key: RraPlanKey,
         build: impl FnOnce() -> Result<RraPlan, SimError>,
     ) -> Result<Arc<RraPlan>, SimError> {
+        let key = (cluster, key);
         if let Some(plan) = self.rra_plans.get(&key) {
             return plan;
         }
@@ -270,12 +284,15 @@ impl EvalCache {
         plan
     }
 
-    /// WAA group split and pipeline plan, built at most once per config.
+    /// WAA group split and pipeline plan, built at most once per
+    /// `(cluster, config)`.
     pub(crate) fn waa_plan(
         &self,
+        cluster: u64,
         key: WaaConfig,
         build: impl FnOnce() -> Result<WaaPlan, SimError>,
     ) -> Result<Arc<WaaPlan>, SimError> {
+        let key = (cluster, key);
         if let Some(plan) = self.waa_plans.get(&key) {
             return plan;
         }
@@ -284,14 +301,17 @@ impl EvalCache {
         plan
     }
 
-    /// Full-estimate memo. Counts a hit for every lookup answered without
-    /// running `eval`, including insert races lost to a concurrent miss, so
-    /// the totals are deterministic for a deterministic evaluation multiset.
+    /// Full-estimate memo, keyed by `(cluster, config)`. Counts a hit for
+    /// every lookup answered without running `eval`, including insert races
+    /// lost to a concurrent miss, so the totals are deterministic for a
+    /// deterministic evaluation multiset.
     pub(crate) fn estimate(
         &self,
+        cluster: u64,
         key: ScheduleConfig,
         eval: impl FnOnce() -> Result<Estimate, SimError>,
     ) -> Result<Estimate, SimError> {
+        let key = (cluster, key);
         if let Some(est) = self.estimates.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return est;
@@ -334,7 +354,7 @@ mod tests {
         let mut evals = 0;
         for _ in 0..3 {
             let est = cache
-                .estimate(key, || {
+                .estimate(7, key, || {
                     evals += 1;
                     dummy_estimate(2.0)
                 })
@@ -348,12 +368,28 @@ mod tests {
     }
 
     #[test]
+    fn estimates_are_keyed_per_cluster() {
+        let cache = EvalCache::new();
+        let key = ScheduleConfig::Rra(RraConfig::new(4, 8, TpConfig::none()));
+        let a = cache.estimate(1, key, || dummy_estimate(2.0)).expect("ok");
+        // A different cluster fingerprint re-evaluates...
+        let b = cache.estimate(2, key, || dummy_estimate(3.0)).expect("ok");
+        assert_ne!(a.latency, b.latency);
+        // ...while the original entry stays warm (recovery path).
+        let again = cache.estimate(1, key, || dummy_estimate(9.0)).expect("ok");
+        assert_eq!(again.latency, a.latency);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
     fn errors_are_memoized_too() {
         let cache = EvalCache::new();
         let key = ScheduleConfig::Rra(RraConfig::new(1, 1, TpConfig::none()));
         let mut evals = 0;
         for _ in 0..2 {
-            let r = cache.estimate(key, || {
+            let r = cache.estimate(7, key, || {
                 evals += 1;
                 Err(SimError::InvalidConfig { what: "b_e", why: "test".into() })
             });

@@ -49,9 +49,10 @@ pub(crate) fn evaluate(sim: &Simulator, cfg: &RraConfig) -> Result<Estimate, Sim
     // Pipeline structure under partial TP; layers allocated by stage speed.
     // Cached by (B_E, B_D, TP): B_E matters because the TP speedup is taken
     // at the schedule's encode operating point.
-    let plan = sim
-        .cache()
-        .rra_plan(RraPlanKey::new(cfg.b_e, b_d, cfg.tp), || self::plan(sim, cfg, b_d))?;
+    let plan =
+        sim.cache().rra_plan(sim.cluster_key(), RraPlanKey::new(cfg.b_e, b_d, cfg.tp), || {
+            self::plan(sim, cfg, b_d)
+        })?;
     let (layout, enc_alloc, dec_alloc) = (&plan.layout, &plan.enc_alloc, &plan.dec_alloc);
     let stages = layout.num_stages();
 

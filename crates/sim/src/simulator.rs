@@ -34,11 +34,17 @@ pub struct Simulator {
     profile: Arc<LayerProfile>,
     workload: Workload,
     /// Memoized completion analyses, pipeline plans and full estimates.
-    /// Valid only for this exact (model, cluster, profile, workload) tuple,
-    /// so it is shared by `clone()` but replaced by [`with_workload`].
+    /// Valid for this exact (model, profile, workload) tuple, so it is
+    /// shared by `clone()` *and* [`with_cluster`] (cluster-dependent layers
+    /// carry [`cluster_key`](Self::cluster_key) in their keys) but replaced
+    /// by [`with_workload`].
     ///
     /// [`with_workload`]: Simulator::with_workload
+    /// [`with_cluster`]: Simulator::with_cluster
     cache: Arc<EvalCache>,
+    /// `cluster.fingerprint()`, precomputed: the cache key component that
+    /// scopes cluster-dependent entries to this topology.
+    cluster_key: u64,
 }
 
 impl Simulator {
@@ -49,7 +55,8 @@ impl Simulator {
         profile: Arc<LayerProfile>,
         workload: Workload,
     ) -> Self {
-        Self { model, cluster, profile, workload, cache: Arc::new(EvalCache::new()) }
+        let cluster_key = cluster.fingerprint();
+        Self { model, cluster, profile, workload, cache: Arc::new(EvalCache::new()), cluster_key }
     }
 
     /// The simulated model.
@@ -85,10 +92,16 @@ impl Simulator {
     /// reused: it is valid as long as the new cluster's device and link
     /// *types* match the profiled ones, which holds for subclusters and
     /// degraded variants of the original.
+    ///
+    /// The evaluation cache is *shared*, not flushed: cluster-dependent
+    /// entries (pipeline plans, full estimates) are keyed by the cluster's
+    /// [`fingerprint`](ClusterSpec::fingerprint), so a swap only re-derives
+    /// those, keeps the cluster-independent completion analyses and decode
+    /// grids warm, and turns a later swap back to the original topology
+    /// (fault recovery) into pure cache hits.
     pub fn with_cluster(&self, cluster: ClusterSpec) -> Self {
-        // Cached values depend on per-device memory capacity and link
-        // timings, so the degraded simulator gets a fresh cache too.
-        Self { cluster, cache: Arc::new(EvalCache::new()), ..self.clone() }
+        let cluster_key = cluster.fingerprint();
+        Self { cluster, cache: Arc::clone(&self.cache), cluster_key, ..self.clone() }
     }
 
     /// Point-in-time counters of the shared evaluation cache (hits, misses,
@@ -101,6 +114,12 @@ impl Simulator {
     /// clones) computes for the current workload.
     pub(crate) fn cache(&self) -> &EvalCache {
         &self.cache
+    }
+
+    /// The precomputed cluster fingerprint scoping cluster-dependent cache
+    /// entries (see [`cache`](Self::cache)).
+    pub(crate) fn cluster_key(&self) -> u64 {
+        self.cluster_key
     }
 
     /// Evaluates either schedule family.
@@ -122,7 +141,8 @@ impl Simulator {
     ///
     /// See [`Simulator::evaluate`].
     pub fn evaluate_rra(&self, cfg: &RraConfig) -> Result<Estimate, SimError> {
-        self.cache.estimate(ScheduleConfig::Rra(*cfg), || rra::evaluate(self, cfg))
+        self.cache
+            .estimate(self.cluster_key, ScheduleConfig::Rra(*cfg), || rra::evaluate(self, cfg))
     }
 
     /// Evaluates a WAA schedule (see [`WaaConfig`]).
@@ -131,7 +151,8 @@ impl Simulator {
     ///
     /// See [`Simulator::evaluate`].
     pub fn evaluate_waa(&self, cfg: &WaaConfig) -> Result<Estimate, SimError> {
-        self.cache.estimate(ScheduleConfig::Waa(*cfg), || waa::evaluate(self, cfg))
+        self.cache
+            .estimate(self.cluster_key, ScheduleConfig::Waa(*cfg), || waa::evaluate(self, cfg))
     }
 
     /// Resolves the pipeline plan (layout + per-stage layer allocations) of
@@ -145,7 +166,9 @@ impl Simulator {
     /// configurations.
     pub fn rra_plan(&self, cfg: &RraConfig, b_d: usize) -> Result<crate::rra::RraPlan, SimError> {
         let key = RraPlanKey::new(cfg.b_e, b_d, cfg.tp);
-        self.cache.rra_plan(key, || crate::rra::plan(self, cfg, b_d)).map(|p| (*p).clone())
+        self.cache
+            .rra_plan(self.cluster_key, key, || crate::rra::plan(self, cfg, b_d))
+            .map(|p| (*p).clone())
     }
 
     /// Resolves the group split and pipeline plans of a WAA configuration.
@@ -155,7 +178,9 @@ impl Simulator {
     /// Returns [`SimError::InvalidConfig`] for structurally invalid
     /// configurations.
     pub fn waa_plan(&self, cfg: &WaaConfig) -> Result<crate::waa::WaaPlan, SimError> {
-        self.cache.waa_plan(*cfg, || crate::waa::plan(self, cfg)).map(|p| (*p).clone())
+        self.cache
+            .waa_plan(self.cluster_key, *cfg, || crate::waa::plan(self, cfg))
+            .map(|p| (*p).clone())
     }
 
     /// Usable per-GPU memory in bytes (device capacity minus the workspace

@@ -89,6 +89,32 @@ proptest! {
 }
 
 #[test]
+fn with_cluster_shares_the_cache_without_leaking_across_topologies() {
+    let sim = simulator().with_workload(simulator().workload().clone());
+    let cfg = RraConfig::new(16, 16, TpConfig::none());
+    let healthy = sim.evaluate_rra(&cfg).expect("feasible");
+    let warm_misses = sim.cache_stats().misses;
+
+    // Same config on a degraded topology: entries are keyed by cluster
+    // fingerprint, so this must re-derive rather than replay the healthy
+    // estimate.
+    let degraded = sim.with_cluster(sim.cluster().survivors(1).expect("one node left"));
+    let worse = degraded.evaluate_rra(&cfg).expect("feasible");
+    assert_ne!(healthy, worse, "halving the pipeline must change the estimate");
+    assert!(worse.throughput < healthy.throughput);
+
+    // The cache is shared (not flushed): the degraded evaluation shows up in
+    // the same stats, and swapping back to the healthy topology is a pure
+    // hit — no new misses, byte-identical estimate.
+    assert!(degraded.cache_stats().misses > warm_misses);
+    let recovered = degraded.with_cluster(sim.cluster().clone());
+    let misses_before = recovered.cache_stats().misses;
+    let replay = recovered.evaluate_rra(&cfg).expect("feasible");
+    assert_eq!(replay, healthy);
+    assert_eq!(recovered.cache_stats().misses, misses_before, "recovery must be a cache hit");
+}
+
+#[test]
 fn with_workload_does_not_leak_cached_estimates() {
     let sim = simulator().with_workload(simulator().workload().clone());
     let cfg = RraConfig::new(16, 16, TpConfig::none());
