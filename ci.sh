@@ -54,4 +54,15 @@ echo "==> faults smoke (seeded failure scenario, deterministic digest)"
 FAULTS_SMOKE_LOG=target/ci-artifacts/faults-smoke.jsonl \
   cargo run --offline --release -p exegpt-serve --bin faults-smoke
 
+echo "==> fleet smoke (100k requests, 3+1 heterogeneous replicas, replica loss)"
+# Plays a 100k-request multi-tenant trace through a heterogeneous fleet
+# (two A40 replicas, one A100, an A40 standby) with a mid-run replica loss
+# and a scripted scale-up, once per routing arm. Exits non-zero unless
+# nothing is lost, the SLO-aware arm strictly beats round-robin on
+# interactive violations, and an identical replay is byte-identical
+# (FNV-1a digest over the fleet log plus every replica session log). The
+# per-arm summary is archived for trending.
+FLEET_SMOKE_JSON=target/ci-artifacts/fleet-smoke.json \
+  cargo run --offline --release -p exegpt-fleet --bin fleet-smoke
+
 echo "CI OK"

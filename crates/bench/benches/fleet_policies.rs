@@ -1,0 +1,31 @@
+//! Fleet fabric bench: prints the dispatch-policy comparison (same
+//! multi-tenant stream, heterogeneous fleet, mid-run replica loss) played
+//! end-to-end through `exegpt-fleet`, then times one SLO-aware fleet run —
+//! routing, rerouting, autoscaling and all — as the fabric's wall-clock
+//! cost per request.
+
+use criterion::{criterion_group, Criterion};
+use exegpt_bench::fleet;
+
+fn print_figure() {
+    // Reduced stream for bench output; the full regeneration (where the
+    // A40 queues separate the policies) runs via the `figures` binary.
+    let rows = fleet::generate(1000);
+    println!("{}", fleet::render(&rows));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    c.bench_function("fleet/four_policies_1000_requests", |b| b.iter(|| fleet::generate(1000)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel
+}
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -15,7 +15,7 @@ use std::path::PathBuf;
 
 use exegpt::Policy;
 use exegpt_bench::{
-    fig10, fig11, fig6, fig7, fig8, fig9, serve_faults, serve_shift, tab4, tab5, tab6, tab7,
+    fig10, fig11, fig6, fig7, fig8, fig9, fleet, serve_faults, serve_shift, tab4, tab5, tab6, tab7,
     timelines,
 };
 
@@ -46,7 +46,7 @@ fn parse_args() -> Args {
             other => experiments.push(other.to_string()),
         }
     }
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 15] = [
         "fig6",
         "fig7",
         "fig8",
@@ -55,6 +55,7 @@ fn parse_args() -> Args {
         "fig11",
         "serve",
         "faults",
+        "fleet",
         "tab4",
         "tab5",
         "tab6",
@@ -63,7 +64,7 @@ fn parse_args() -> Args {
         "all",
     ];
     if experiments.is_empty() {
-        die("expected an experiment id (fig6 fig7 fig8 fig9 fig10 fig11 serve faults tab4 tab5 tab6 tab7 timelines all)");
+        die("expected an experiment id (fig6 fig7 fig8 fig9 fig10 fig11 serve faults fleet tab4 tab5 tab6 tab7 timelines all)");
     }
     if let Some(bad) = experiments.iter().find(|e| !KNOWN.contains(&e.as_str())) {
         die(&format!("unknown experiment `{bad}` (known: {})", KNOWN.join(" ")));
@@ -142,6 +143,13 @@ fn main() {
         let rows = serve_faults::generate(q.max(serve_faults::MIN_STEADY_REQUESTS));
         println!("{}", serve_faults::render(&rows));
         save_json(&args.json_dir, "faults", &rows);
+    }
+    if wants("fleet") {
+        // The overloaded-A40 queues need room to grow before the policies
+        // separate on violations; floor the stream length accordingly.
+        let rows = fleet::generate(q.max(fleet::MIN_STEADY_REQUESTS));
+        println!("{}", fleet::render(&rows));
+        save_json(&args.json_dir, "fleet", &rows);
     }
     if wants("tab4") {
         let rows = tab4::generate();

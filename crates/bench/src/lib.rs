@@ -27,6 +27,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod scenarios;
 pub mod serve_faults;
 pub mod serve_shift;

@@ -1,0 +1,68 @@
+//! Per-tenant SLO classes.
+
+use exegpt_serve::SloTargets;
+use exegpt_units::Secs;
+use serde::Serialize;
+
+/// A service class shared by one or more tenants: latency targets checked
+/// per completion, and a weight for the fleet's rolled-up violation score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloClass {
+    /// Human-readable class name (e.g. `interactive`, `batch`).
+    pub name: String,
+    /// Latency targets every completion of this class is checked against.
+    pub targets: SloTargets,
+    /// Relative weight of this class in the fleet's weighted violation
+    /// rate (higher = a violation here matters more).
+    pub weight: f64,
+}
+
+impl SloClass {
+    /// An interactive class: end-to-end bound and full weight.
+    pub fn interactive(name: &str, e2e: Secs) -> Self {
+        Self { name: name.into(), targets: SloTargets::e2e(e2e), weight: 1.0 }
+    }
+
+    /// A best-effort batch class: no targets, zero weight.
+    pub fn batch(name: &str) -> Self {
+        Self { name: name.into(), targets: SloTargets::unconstrained(), weight: 0.0 }
+    }
+
+    /// Whether the class's parameters are usable.
+    pub fn is_valid(&self) -> bool {
+        !self.name.is_empty() && self.weight.is_finite() && self.weight >= 0.0
+    }
+}
+
+/// Per-tenant accounting rolled up into the fleet report.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TenantReport {
+    /// Tenant id.
+    pub tenant: u32,
+    /// The tenant's SLO-class name.
+    pub class: String,
+    /// Requests dispatched to a replica on first arrival.
+    pub dispatched: usize,
+    /// Requests rejected at arrival (no routable replica).
+    pub rejected: usize,
+    /// Re-dispatches after a replica loss (a request may reroute more than
+    /// once).
+    pub rerouted: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// SLO accounting over this tenant's completions.
+    pub slo: exegpt_serve::SloOutcome,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_are_valid() {
+        assert!(SloClass::interactive("chat", Secs::new(10.0)).is_valid());
+        assert!(SloClass::batch("batch").is_valid());
+        let bad = SloClass { name: String::new(), ..SloClass::batch("x") };
+        assert!(!bad.is_valid());
+    }
+}

@@ -13,6 +13,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::slab::Slab;
+
 /// Cache reservation discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReservePolicy {
@@ -50,9 +52,22 @@ pub struct KvTracker {
     bytes_per_token: f64,
     capacity_bytes: u64,
     policy: ReservePolicy,
-    held_tokens: BTreeMap<u64, usize>,
+    /// Per-query entries in a slot-reusing arena: admissions recycle the
+    /// slots of retired queries instead of allocating tree nodes, and the
+    /// per-iteration bulk growth ([`grow_all`](Self::grow_all)) is one
+    /// contiguous scan.
+    entries: Slab<KvEntry>,
+    /// Query id → arena slot, for the per-request (admit/release) paths.
+    index: BTreeMap<u64, usize>,
     used_bytes: u64,
     peak_bytes: u64,
+}
+
+/// One resident query's reservation.
+#[derive(Debug, Clone, PartialEq)]
+struct KvEntry {
+    id: u64,
+    held: usize,
 }
 
 impl KvTracker {
@@ -68,9 +83,20 @@ impl KvTracker {
             bytes_per_token,
             capacity_bytes,
             policy,
-            held_tokens: BTreeMap::new(),
+            entries: Slab::new(),
+            index: BTreeMap::new(),
             used_bytes: 0,
             peak_bytes: 0,
+        }
+    }
+
+    /// Stores an entry for `id` holding `held` tokens. A re-admission of a
+    /// resident id replaces its entry (matching the previous map-backed
+    /// behaviour, which never reclaimed the overwritten reservation).
+    fn store(&mut self, id: u64, held: usize) {
+        let slot = self.entries.insert(KvEntry { id, held });
+        if let Some(old) = self.index.insert(id, slot) {
+            self.entries.remove(old);
         }
     }
 
@@ -91,7 +117,7 @@ impl KvTracker {
         if self.used_bytes + add > self.capacity_bytes {
             return false;
         }
-        self.held_tokens.insert(id, held);
+        self.store(id, held);
         self.used_bytes += add;
         self.peak_bytes = self.peak_bytes.max(self.used_bytes);
         true
@@ -106,7 +132,7 @@ impl KvTracker {
     /// through [`try_admit`](Self::try_admit) and see the over-commit.
     pub fn admit_unchecked(&mut self, id: u64, tokens: usize) {
         let add = self.entry_bytes(tokens);
-        self.held_tokens.insert(id, tokens);
+        self.store(id, tokens);
         self.used_bytes += add;
         self.peak_bytes = self.peak_bytes.max(self.used_bytes);
     }
@@ -123,27 +149,73 @@ impl KvTracker {
             return true;
         }
         let (bpt, policy) = (self.bytes_per_token, self.policy);
-        let Some(entry) = self.held_tokens.get_mut(&id) else {
+        let Some(entry) = self.index.get(&id).copied().and_then(|s| self.entries.get_mut(s)) else {
             return false;
         };
-        let before = reserved_bytes(bpt, policy, *entry);
-        let after = reserved_bytes(bpt, policy, *entry + tokens);
+        let before = reserved_bytes(bpt, policy, entry.held);
+        let after = reserved_bytes(bpt, policy, entry.held + tokens);
         let add = after - before;
         if self.used_bytes + add > self.capacity_bytes {
             return false;
         }
-        *entry += tokens;
+        entry.held += tokens;
         self.used_bytes += add;
         self.peak_bytes = self.peak_bytes.max(self.used_bytes);
         true
     }
 
+    /// Grows *every* resident query by `tokens` newly generated tokens in
+    /// one arena scan — the batched form of calling
+    /// [`grow`](Self::grow) per pooled query each decoding iteration, for
+    /// runs where the pool and the resident set coincide (RRA decode
+    /// phases; under WAA the encoder group holds entries that must not
+    /// grow, so the per-id path applies there).
+    ///
+    /// Entries whose growth would overflow capacity are skipped — the same
+    /// not-applied semantics as a failed [`grow`](Self::grow) — and the
+    /// scan visits entries in arena-slot order, so the outcome is
+    /// deterministic. Under [`ReservePolicy::UpFront`] this is a no-op.
+    /// Returns the number of entries grown.
+    pub fn grow_all(&mut self, tokens: usize) -> usize {
+        if matches!(self.policy, ReservePolicy::UpFront) {
+            return self.index.len();
+        }
+        let (bpt, policy, cap) = (self.bytes_per_token, self.policy, self.capacity_bytes);
+        let mut used = self.used_bytes;
+        let mut grown = 0usize;
+        for (_, e) in self.entries.iter_mut() {
+            let before = reserved_bytes(bpt, policy, e.held);
+            let after = reserved_bytes(bpt, policy, e.held + tokens);
+            let add = after - before;
+            if used + add > cap {
+                continue;
+            }
+            e.held += tokens;
+            used += add;
+            grown += 1;
+        }
+        self.used_bytes = used;
+        self.peak_bytes = self.peak_bytes.max(self.used_bytes);
+        grown
+    }
+
     /// Releases all entries of query `id` (early-termination compaction).
     /// Unknown ids are ignored.
     pub fn release(&mut self, id: u64) {
-        if let Some(held) = self.held_tokens.remove(&id) {
-            let bytes = self.entry_bytes(held);
-            self.used_bytes = self.used_bytes.saturating_sub(bytes);
+        if let Some(slot) = self.index.remove(&id) {
+            if let Some(entry) = self.entries.remove(slot) {
+                let bytes = self.entry_bytes(entry.held);
+                self.used_bytes = self.used_bytes.saturating_sub(bytes);
+            }
+        }
+    }
+
+    /// Releases a batch of queries — [`release`](Self::release) for each
+    /// id, as one call for the abort/extraction paths that retire a whole
+    /// pool at once.
+    pub fn release_batch(&mut self, ids: &[u64]) {
+        for &id in ids {
+            self.release(id);
         }
     }
 
@@ -159,7 +231,7 @@ impl KvTracker {
 
     /// Number of resident queries.
     pub fn resident(&self) -> usize {
-        self.held_tokens.len()
+        self.index.len()
     }
 
     /// The capacity this tracker enforces.
@@ -257,6 +329,70 @@ mod tests {
         assert!(!kv.try_admit(2, 1, 0), "over-commit blocks new admissions");
         kv.release(1);
         assert!(kv.try_admit(2, 50, 0), "normal accounting resumes");
+    }
+
+    #[test]
+    fn grow_all_matches_per_id_growth() {
+        let mut bulk = KvTracker::new(10.0, 100_000, ReservePolicy::Incremental);
+        let mut each = bulk.clone();
+        for id in 0..5 {
+            assert!(bulk.try_admit(id, 100, 0));
+            assert!(each.try_admit(id, 100, 0));
+        }
+        assert_eq!(bulk.grow_all(1), 5);
+        for id in 0..5 {
+            assert!(each.grow(id, 1));
+        }
+        assert_eq!(bulk.used_bytes(), each.used_bytes());
+        assert_eq!(bulk.peak_bytes(), each.peak_bytes());
+        assert_eq!(bulk.resident(), each.resident());
+    }
+
+    #[test]
+    fn grow_all_skips_entries_at_capacity() {
+        // Two 45-token queries against 100 bytes at 1 byte/token: the first
+        // grows to 46, the second would need 101 total and is skipped.
+        let mut kv = KvTracker::new(1.0, 92, ReservePolicy::Incremental);
+        assert!(kv.try_admit(1, 45, 0));
+        assert!(kv.try_admit(2, 45, 0));
+        assert_eq!(kv.grow_all(1), 2);
+        assert_eq!(kv.used_bytes(), 92);
+        assert_eq!(kv.grow_all(1), 0, "both entries now skip");
+        assert_eq!(kv.used_bytes(), 92, "skipped growth is not applied");
+    }
+
+    #[test]
+    fn grow_all_is_free_under_upfront() {
+        let mut kv = KvTracker::new(1.0, 1000, ReservePolicy::UpFront);
+        assert!(kv.try_admit(1, 10, 20));
+        assert_eq!(kv.grow_all(5), 1);
+        assert_eq!(kv.used_bytes(), 30);
+    }
+
+    #[test]
+    fn release_batch_releases_each_id() {
+        let mut kv = KvTracker::new(1.0, 1000, ReservePolicy::Incremental);
+        assert!(kv.try_admit(1, 100, 0));
+        assert!(kv.try_admit(2, 200, 0));
+        assert!(kv.try_admit(3, 300, 0));
+        kv.release_batch(&[1, 3, 42]); // unknown ids are fine
+        assert_eq!(kv.used_bytes(), 200);
+        assert_eq!(kv.resident(), 1);
+    }
+
+    #[test]
+    fn slots_are_recycled_across_admissions() {
+        let mut kv = KvTracker::new(1.0, 10_000, ReservePolicy::Incremental);
+        for round in 0..100u64 {
+            for i in 0..8 {
+                assert!(kv.try_admit(round * 8 + i, 10, 0));
+            }
+            for i in 0..8 {
+                kv.release(round * 8 + i);
+            }
+        }
+        assert_eq!(kv.entries.capacity(), 8, "arena stays at the high-water mark");
+        assert_eq!(kv.used_bytes(), 0);
     }
 
     #[test]

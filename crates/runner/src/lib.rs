@@ -51,6 +51,7 @@ mod kv;
 mod report;
 mod rra_run;
 mod runner;
+mod slab;
 mod trace;
 mod waa_run;
 
@@ -59,4 +60,5 @@ pub use exec::{DecodeTiming, EncodeTiming, PhaseExecutor};
 pub use kv::{KvTracker, ReservePolicy};
 pub use report::RunReport;
 pub use runner::{RunOptions, Runner};
+pub use slab::Slab;
 pub use trace::{Span, SpanKind, Trace};

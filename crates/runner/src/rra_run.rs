@@ -132,11 +132,14 @@ pub(crate) fn run(
             t += dec.total.as_secs();
             tokens += pool.len() as u64;
 
-            // Advance and early-terminate (with cache compaction).
+            // Advance and early-terminate (with cache compaction). During
+            // an RRA decode iteration the resident set is exactly the pool,
+            // so KV growth is one bulk arena scan instead of a tree lookup
+            // per query.
+            kv.grow_all(1);
             let mut i = 0;
             while i < pool.len() {
                 pool[i].progress += 1;
-                let _ = kv.grow(pool[i].req.id, 1);
                 if pool[i].progress >= pool[i].req.output_len {
                     let done = pool.swap_remove(i);
                     kv.release(done.req.id);

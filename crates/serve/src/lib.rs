@@ -70,6 +70,8 @@ pub use error::ServeError;
 pub use events::{Event, EventLog};
 pub use faults::{FaultDriver, FaultFactors, FaultOptions, StragglerDetector, StragglerOptions};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use server::{ServeLoop, ServeOptions, ServeReport};
+pub use server::{
+    Completion, ReplicaSession, ReplicaStep, ServeLoop, ServeOptions, ServeReport, StepOutcome,
+};
 pub use slo::{SloCheck, SloOutcome, SloTargets};
 pub use traffic::poisson_with_shift;

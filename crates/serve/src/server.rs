@@ -1,10 +1,21 @@
 //! The online serving loop: discrete-event execution of an arrival stream
 //! against a live, swappable schedule.
+//!
+//! The loop body lives in [`ReplicaSession::step`]: one call performs one
+//! phase boundary (fault replay, plan-swap install, admission, one
+//! phase/round, completion accounting). [`ServeLoop::run`] drives a session
+//! to completion over its own arrival stream — the classic single-replica
+//! mode — while [`ServeLoop::into_replica`] yields the same session in
+//! *fleet* mode ([`ReplicaStep`]): arrivals are injected by an external
+//! router, the session never jumps its own clock past a parked point, and
+//! a fleet event loop interleaves many sessions on one virtual clock.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
-use exegpt::{Engine, Replan, ReplanDelta, Schedule, ScheduleConfig, SchedulerOptions};
+use exegpt::{
+    DynamicAdjuster, Engine, Replan, ReplanDelta, Schedule, ScheduleConfig, SchedulerOptions,
+};
 use exegpt_cluster::{ClusterSpec, LoadSource};
 use exegpt_dist::stats::Summary;
 use exegpt_runner::{KvTracker, PhaseExecutor, RunError};
@@ -218,6 +229,8 @@ struct Scratch {
     admitted: Vec<TimedRequest>,
     /// Completions harvested this round.
     done: Vec<Done>,
+    /// Ids released in one batch on aborts/extractions.
+    ids: Vec<u64>,
 }
 
 /// The online serving engine.
@@ -255,19 +268,11 @@ pub struct ServeLoop {
     /// The initially installed plan, reinstalled verbatim on full
     /// recovery when no drift refit happened in between.
     original: ScheduleConfig,
-    /// Whether a drift reschedule refit the workload (invalidates the
-    /// verbatim-restore shortcut).
-    workload_refit: bool,
-    /// Devices removed from the topology by the currently planned-for
-    /// degradation (0 = plan assumes the full cluster).
-    planned_removed: usize,
     /// The most recently planned schedule with its estimate — the incumbent
     /// that incremental replans warm-start from. `None` only when the
     /// installed config cannot be evaluated, which disables the incremental
     /// path (replans then run the full search, as before).
     last_plan: Option<Schedule>,
-    /// Reusable per-round buffers.
-    scratch: Scratch,
 }
 
 /// A plan waiting to be installed at the next phase boundary.
@@ -302,17 +307,7 @@ impl ServeLoop {
             evals: 0,
             cache_hits: 0,
         });
-        Ok(Self {
-            engine,
-            exec,
-            opts,
-            healthy,
-            original,
-            workload_refit: false,
-            planned_removed: 0,
-            last_plan,
-            scratch: Scratch::default(),
-        })
+        Ok(Self { engine, exec, opts, healthy, original, last_plan })
     }
 
     /// The schedule currently installed.
@@ -327,249 +322,602 @@ impl ServeLoop {
     /// Returns [`ServeError::Run`] if execution stalls (a query can never
     /// fit in the KV cache) or a batch falls outside the profiled range.
     pub fn run(
-        mut self,
+        self,
         arrivals: impl IntoIterator<Item = TimedRequest>,
     ) -> Result<ServeReport, ServeError> {
-        let mut upcoming = arrivals.into_iter().peekable();
-        let mut pending: Vec<TimedRequest> = Vec::new();
-        let mut pool: Vec<InFlight> = Vec::new();
-        let mut t = 0.0f64;
+        let stream: Vec<TimedRequest> = arrivals.into_iter().collect();
+        let mut session = self.into_session(Some(stream), false)?;
+        // `Parked` never occurs in stream mode (the session jumps its own
+        // clock); anything but `Progressed` ends the run, so a logic error
+        // cannot spin forever.
+        while let StepOutcome::Progressed = session.step()? {}
+        Ok(session.finish())
+    }
 
-        let mut metrics = Metrics::new();
-        let mut events = EventLog::new();
-        let mut slo_out = SloOutcome::default();
-        let mut detector = DriftDetector::new(self.opts.drift);
-        let mut adjuster = self.exec.adjuster(self.opts.adjust_threshold);
-        let mut kv = self.exec.kv_tracker();
-        let mut scheduled_b_d = self.exec.scheduled_decode_batch();
-        let mut pending_swap: Option<PendingSwap> = None;
-        let mut tokens: u64 = 0;
-        let mut swap_cost_total = 0.0f64;
-        let mut peak_kv: u64 = 0;
-        let mut last_completion = 0.0f64;
+    /// Converts the loop into a fleet-mode [`ReplicaSession`]: arrivals
+    /// come from [`ReplicaSession::inject`] instead of an owned stream, and
+    /// an external event loop drives [`ReplicaSession::step`], waking the
+    /// session with [`ReplicaSession::wake_to`]. Completed requests are
+    /// exposed through [`ReplicaSession::take_completions`] for fleet-level
+    /// (per-tenant) SLO accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Fault`] when the configured fault schedule is
+    /// invalid for the deployment.
+    pub fn into_replica(self) -> Result<ReplicaSession, ServeError> {
+        self.into_session(None, true)
+    }
 
-        // ---- Fault-layer state (all inert when `opts.faults` is None) ---
-        let fault_opts: Option<FaultOptions> = self.opts.faults.clone();
-        let mut driver: Option<FaultDriver> = match &fault_opts {
+    /// Builds the run-state session. `stream` is `Some` for single-replica
+    /// mode (the session owns its future arrivals) and `None` for fleet
+    /// mode (arrivals are injected).
+    fn into_session(
+        self,
+        stream: Option<Vec<TimedRequest>>,
+        collect_completions: bool,
+    ) -> Result<ReplicaSession, ServeError> {
+        let fault_opts = self.opts.faults.clone();
+        let driver = match &fault_opts {
             Some(f) => Some(
                 FaultDriver::new(f.schedule.clone(), self.healthy.total_gpus())?
                     .with_detection_delay(f.detection_delay),
             ),
             None => None,
         };
-        let mut straggler: Option<StragglerDetector> =
-            fault_opts.as_ref().map(|f| StragglerDetector::new(f.straggler));
-        // Aborted requests awaiting their backoff window, a min-heap on
-        // (eligible time, id); `attempts` tracks per-request abort counts.
-        let mut retry: BinaryHeap<Retry> = BinaryHeap::new();
-        let mut attempts: BTreeMap<u64, usize> = BTreeMap::new();
+        let straggler = fault_opts.as_ref().map(|f| StragglerDetector::new(f.straggler));
+        let adjuster = self.exec.adjuster(self.opts.adjust_threshold);
+        let kv = self.exec.kv_tracker();
+        let scheduled_b_d = self.exec.scheduled_decode_batch();
+        let detector = DriftDetector::new(self.opts.drift);
+        Ok(ReplicaSession {
+            engine: self.engine,
+            exec: self.exec,
+            opts: self.opts,
+            healthy: self.healthy,
+            original: self.original,
+            workload_refit: false,
+            planned_removed: 0,
+            last_plan: self.last_plan,
+            scratch: Scratch::default(),
+            stream: stream.map(|v| v.into_iter().peekable()),
+            inbox: VecDeque::new(),
+            pending: Vec::new(),
+            pool: Vec::new(),
+            t: 0.0,
+            metrics: Metrics::new(),
+            events: EventLog::new(),
+            slo_out: SloOutcome::default(),
+            detector,
+            adjuster,
+            kv,
+            scheduled_b_d,
+            pending_swap: None,
+            tokens: 0,
+            swap_cost_total: 0.0,
+            peak_kv: 0,
+            last_completion: 0.0,
+            fault_opts,
+            driver,
+            straggler,
+            retry: BinaryHeap::new(),
+            attempts: BTreeMap::new(),
+            collect_completions,
+            outbox: Vec::new(),
+        })
+    }
+}
 
-        loop {
-            // ---- Fault replay: activations, detections, replans ---------
-            if let (Some(drv), Some(fo)) = (driver.as_mut(), fault_opts.as_ref()) {
-                for e in drv.advance(t) {
-                    metrics.inc("faults_injected");
-                    events.push(Event::Fault { t: e.t, desc: e.kind.to_string() });
-                }
-                for (gpu, t_d) in drv.mature_detections(t) {
-                    // Pay the rest of the heartbeat window if the phase
-                    // boundary arrived before the timeout elapsed.
-                    t = t.max(t_d);
-                    metrics.inc("faults_detected");
-                    events.push(Event::FaultDetected { t, gpu, aborted: pool.len() });
-                    // The failed device held a KV shard for every in-flight
-                    // query: abort them all into the retry queue.
+/// Outcome of one [`ReplicaSession::step`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepOutcome {
+    /// Work was performed (a phase ran, a swap was installed, or the
+    /// single-replica loop jumped its clock to the next wake point); step
+    /// again at the session's current time.
+    Progressed,
+    /// Nothing can run at the current time. `until` is the next virtual
+    /// time the session can make progress on its own (a retry backoff
+    /// elapsing, or an already injected future arrival); `None` means the
+    /// session is quiescent and only a new injection can create work.
+    /// Fleet mode only — in stream mode the session jumps its own clock.
+    Parked {
+        /// Self-wake time, if the session has future work queued.
+        until: Option<f64>,
+    },
+    /// Stream mode only: arrivals, retries and the pool are all drained —
+    /// the run is complete.
+    Done,
+}
+
+/// A completed request as surfaced to a fleet router for per-tenant SLO
+/// accounting (all latencies in virtual seconds from the request's
+/// original arrival — a rerouted request keeps its first arrival stamp).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Completion {
+    /// Request id.
+    pub id: u64,
+    /// Completion time.
+    pub t: f64,
+    /// Time to first token.
+    pub ttft: f64,
+    /// Per-generated-token latency (outputs > 1 token).
+    pub per_token: Option<f64>,
+    /// End-to-end latency.
+    pub e2e: f64,
+    /// Queueing delay (arrival → encode start).
+    pub queue_wait: f64,
+}
+
+/// The per-step interface a fleet event loop drives a replica through.
+///
+/// [`ReplicaSession`] implements this; the single-replica
+/// [`ServeLoop::run`] drives the same `step` internally, so fleet-of-one
+/// execution reproduces the single-replica event log byte-for-byte.
+pub trait ReplicaStep {
+    /// The session's current virtual time.
+    fn now(&self) -> f64;
+    /// Advances the session's clock to `t`, logging the idle gap exactly as
+    /// the single-replica loop would. A no-op when `t` is not ahead of
+    /// [`now`](Self::now).
+    fn wake_to(&mut self, t: f64);
+    /// Runs one loop iteration (phase boundary) at the current time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Run`] if execution stalls or a batch falls
+    /// outside the profiled range (same failure modes as
+    /// [`ServeLoop::run`]).
+    fn step(&mut self) -> Result<StepOutcome, ServeError>;
+    /// Queues an externally routed arrival; it is ingested at the first
+    /// step whose time has reached `req.arrival`.
+    fn inject(&mut self, req: TimedRequest);
+    /// Requests queued or in flight (pending + pool + retries + inbox).
+    fn outstanding(&self) -> usize;
+    /// Unreserved KV-cache bytes on the bottleneck GPU — the router signal
+    /// for KV-aware dispatch.
+    fn kv_headroom_bytes(&self) -> u64;
+    /// The installed plan's estimated per-request latency (seconds) — the
+    /// router signal for SLO-aware dispatch.
+    fn plan_latency(&self) -> f64;
+    /// Drains completions recorded since the last call.
+    fn take_completions(&mut self) -> Vec<Completion>;
+    /// Drains every queued and in-flight request (for rerouting when the
+    /// replica is lost): pending queue, pool (KV released; generation
+    /// restarts elsewhere), retry queue, then inbox. Original arrival
+    /// stamps are kept so rerouted latencies honestly include the loss.
+    fn extract_queued(&mut self) -> Vec<TimedRequest>;
+    /// Consumes the session into its final [`ServeReport`].
+    fn finish(self) -> ServeReport
+    where
+        Self: Sized;
+}
+
+/// Run state of one serving replica, stepped one phase boundary at a time.
+///
+/// Created by [`ServeLoop::run`] (stream mode, driven internally) or
+/// [`ServeLoop::into_replica`] (fleet mode, driven by an external event
+/// loop through the [`ReplicaStep`] interface).
+pub struct ReplicaSession {
+    engine: Engine,
+    exec: PhaseExecutor,
+    opts: ServeOptions,
+    healthy: ClusterSpec,
+    original: ScheduleConfig,
+    /// Whether a drift reschedule refit the workload (invalidates the
+    /// verbatim-restore shortcut).
+    workload_refit: bool,
+    /// Devices removed from the topology by the currently planned-for
+    /// degradation (0 = plan assumes the full cluster).
+    planned_removed: usize,
+    last_plan: Option<Schedule>,
+    scratch: Scratch,
+    /// `Some` in stream mode: the session knows its future arrivals and
+    /// jumps its own clock. `None` in fleet mode: arrivals land in `inbox`.
+    stream: Option<std::iter::Peekable<std::vec::IntoIter<TimedRequest>>>,
+    /// Externally injected arrivals (fleet mode; always empty in stream
+    /// mode).
+    inbox: VecDeque<TimedRequest>,
+    pending: Vec<TimedRequest>,
+    pool: Vec<InFlight>,
+    t: f64,
+    metrics: Metrics,
+    events: EventLog,
+    slo_out: SloOutcome,
+    detector: DriftDetector,
+    adjuster: DynamicAdjuster,
+    kv: KvTracker,
+    scheduled_b_d: usize,
+    pending_swap: Option<PendingSwap>,
+    tokens: u64,
+    swap_cost_total: f64,
+    peak_kv: u64,
+    last_completion: f64,
+    fault_opts: Option<FaultOptions>,
+    driver: Option<FaultDriver>,
+    straggler: Option<StragglerDetector>,
+    retry: BinaryHeap<Retry>,
+    attempts: BTreeMap<u64, usize>,
+    /// Whether completions are copied into `outbox` for a fleet router.
+    collect_completions: bool,
+    outbox: Vec<Completion>,
+}
+
+impl ReplicaSession {
+    /// The session's current virtual time.
+    pub fn now(&self) -> f64 {
+        self.t
+    }
+
+    /// The schedule currently installed.
+    pub fn schedule(&self) -> ScheduleConfig {
+        self.exec.schedule()
+    }
+
+    /// Advances the clock to `t`, logging the idle gap the single-replica
+    /// loop would log before its own jump. No-op unless `t > now()`.
+    pub fn wake_to(&mut self, t: f64) {
+        if t > self.t {
+            self.events.push(Event::Idle { from: self.t, until: t });
+            self.t = t;
+        }
+    }
+
+    /// Moves the clock forward *without* logging, for replicas spawned
+    /// mid-run (deploy completion): the session's life starts at `t`
+    /// rather than recording a fictitious idle period since time zero.
+    /// Intended before the first step; never moves the clock backwards.
+    pub fn skip_to(&mut self, t: f64) {
+        self.t = self.t.max(t);
+    }
+
+    /// Queues an externally routed arrival (fleet mode).
+    pub fn inject(&mut self, req: TimedRequest) {
+        self.inbox.push_back(req);
+    }
+
+    /// Requests queued or in flight (pending + pool + retries + inbox).
+    pub fn outstanding(&self) -> usize {
+        self.pending.len() + self.pool.len() + self.retry.len() + self.inbox.len()
+    }
+
+    /// Unreserved KV-cache bytes on the bottleneck GPU.
+    pub fn kv_headroom_bytes(&self) -> u64 {
+        self.kv.capacity_bytes().saturating_sub(self.kv.used_bytes())
+    }
+
+    /// The installed plan's estimated per-request latency in seconds.
+    pub fn plan_latency(&self) -> f64 {
+        self.exec.estimate().latency.as_secs()
+    }
+
+    /// Drains completions recorded since the last call (fleet mode; empty
+    /// unless the session was created by [`ServeLoop::into_replica`]).
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Drains every queued and in-flight request for rerouting: pending,
+    /// pool (KV entries released in one batch; generation restarts on the
+    /// target replica), retries in eligibility order, then the inbox.
+    pub fn extract_queued(&mut self) -> Vec<TimedRequest> {
+        let mut out: Vec<TimedRequest> = Vec::new();
+        out.append(&mut self.pending);
+        self.scratch.ids.clear();
+        self.scratch.ids.extend(self.pool.iter().map(|a| a.req.id));
+        for a in self.pool.drain(..) {
+            out.push(TimedRequest { request: a.req, arrival: a.arrival });
+        }
+        let ids = std::mem::take(&mut self.scratch.ids);
+        self.kv.release_batch(&ids);
+        self.scratch.ids = ids;
+        while let Some(r) = self.retry.pop() {
+            out.push(r.req);
+        }
+        out.extend(self.inbox.drain(..));
+        out
+    }
+
+    /// Runs one loop iteration (phase boundary) at the current time: fault
+    /// replay, pending-swap install, retry re-admission, arrival ingestion,
+    /// §5.2 admission, one phase/round, straggler confirmation, completion
+    /// accounting, and (adaptive mode) a drift reschedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Run`] if execution stalls (a query can never
+    /// fit in the KV cache) or a batch falls outside the profiled range.
+    pub fn step(&mut self) -> Result<StepOutcome, ServeError> {
+        // ---- Fault replay: activations, detections, replans -------------
+        if self.fault_opts.is_some() {
+            let fired = match self.driver.as_mut() {
+                Some(d) => d.advance(self.t),
+                None => Vec::new(),
+            };
+            for e in fired {
+                self.metrics.inc("faults_injected");
+                self.events.push(Event::Fault { t: e.t, desc: e.kind.to_string() });
+            }
+            let matured = match self.driver.as_mut() {
+                Some(d) => d.mature_detections(self.t),
+                None => Vec::new(),
+            };
+            for (gpu, t_d) in matured {
+                // Pay the rest of the heartbeat window if the phase
+                // boundary arrived before the timeout elapsed.
+                self.t = self.t.max(t_d);
+                self.metrics.inc("faults_detected");
+                self.events.push(Event::FaultDetected { t: self.t, gpu, aborted: self.pool.len() });
+                // The failed device held a KV shard for every in-flight
+                // query: abort them all into the retry queue.
+                if let Some(fo) = &self.fault_opts {
                     abort_pool(
-                        &mut pool,
-                        &mut kv,
-                        &mut retry,
-                        &mut attempts,
+                        &mut self.pool,
+                        &mut self.kv,
+                        &mut self.retry,
+                        &mut self.attempts,
                         fo,
-                        t,
-                        &mut metrics,
-                        &mut events,
+                        self.t,
+                        &mut self.metrics,
+                        &mut self.events,
                     );
                 }
-                let removed = drv.removed();
-                if removed != self.planned_removed {
-                    pending_swap = self.fault_replan(removed, t, &mut metrics, &mut events)?;
-                    self.planned_removed = removed;
-                }
             }
-
-            // ---- Install a pending plan swap at the phase boundary ------
-            if let Some(swap) = pending_swap.take() {
-                let topology_change = swap.engine.is_some();
-                if let Some(engine) = swap.engine {
-                    self.engine = engine;
-                }
-                let cfg = swap.cfg;
-                let new_exec = PhaseExecutor::new(self.engine.simulator(), &cfg)?;
-                let cost = if topology_change {
-                    // A topology change always redeploys from DRAM and
-                    // re-migrates the resident KV cache across the new
-                    // layout (zero when the pool was aborted).
-                    self.engine.deploy_time(LoadSource::Dram).as_secs()
-                        + new_exec.kv_migration_time(kv.used_bytes()).as_secs()
-                } else {
-                    swap_cost(&self.engine, &self.exec.schedule(), &cfg)
-                };
-                t += cost;
-                peak_kv = peak_kv.max(kv.peak_bytes());
-                let mut new_kv = new_exec.kv_tracker();
-                for a in &pool {
-                    // In-flight KV entries move to the new plan's tracker
-                    // unconditionally: evicting live queries would violate
-                    // their SLO by construction.
-                    new_kv.admit_unchecked(a.req.id, a.req.input_len + a.progress);
-                }
-                events.push(Event::PlanSwap { t, cost, migrated: pool.len() });
-                metrics.inc("plan_swaps");
-                swap_cost_total += cost;
-                self.exec = new_exec;
-                kv = new_kv;
-                adjuster = self.exec.adjuster(self.opts.adjust_threshold);
-                scheduled_b_d = self.exec.scheduled_decode_batch();
+            let removed = self.driver.as_ref().map_or(self.planned_removed, |d| d.removed());
+            if removed != self.planned_removed {
+                self.pending_swap = self.fault_replan(removed)?;
+                self.planned_removed = removed;
             }
+        }
 
-            // ---- Re-admit retries whose backoff has elapsed -------------
-            while retry.peek().is_some_and(|r| r.eligible_at <= t) {
-                if let Some(r) = retry.pop() {
-                    pending.push(r.req);
-                }
+        // ---- Install a pending plan swap at the phase boundary ----------
+        if let Some(swap) = self.pending_swap.take() {
+            let topology_change = swap.engine.is_some();
+            if let Some(engine) = swap.engine {
+                self.engine = engine;
             }
+            let cfg = swap.cfg;
+            let new_exec = PhaseExecutor::new(self.engine.simulator(), &cfg)?;
+            let cost = if topology_change {
+                // A topology change always redeploys from DRAM and
+                // re-migrates the resident KV cache across the new
+                // layout (zero when the pool was aborted).
+                self.engine.deploy_time(LoadSource::Dram).as_secs()
+                    + new_exec.kv_migration_time(self.kv.used_bytes()).as_secs()
+            } else {
+                swap_cost(&self.engine, &self.exec.schedule(), &cfg)
+            };
+            self.t += cost;
+            self.peak_kv = self.peak_kv.max(self.kv.peak_bytes());
+            let mut new_kv = new_exec.kv_tracker();
+            for a in &self.pool {
+                // In-flight KV entries move to the new plan's tracker
+                // unconditionally: evicting live queries would violate
+                // their SLO by construction.
+                new_kv.admit_unchecked(a.req.id, a.req.input_len + a.progress);
+            }
+            self.events.push(Event::PlanSwap { t: self.t, cost, migrated: self.pool.len() });
+            self.metrics.inc("plan_swaps");
+            self.swap_cost_total += cost;
+            self.exec = new_exec;
+            self.kv = new_kv;
+            self.adjuster = self.exec.adjuster(self.opts.adjust_threshold);
+            self.scheduled_b_d = self.exec.scheduled_decode_batch();
+        }
 
-            // ---- Ingest arrivals up to the current virtual time ---------
+        // ---- Re-admit retries whose backoff has elapsed -----------------
+        while self.retry.peek().is_some_and(|r| r.eligible_at <= self.t) {
+            if let Some(r) = self.retry.pop() {
+                self.pending.push(r.req);
+            }
+        }
+
+        // ---- Ingest arrivals up to the current virtual time -------------
+        if let Some(upcoming) = self.stream.as_mut() {
             while let Some(r) = upcoming.peek() {
-                if r.arrival > t {
+                if r.arrival > self.t {
                     break;
                 }
-                events.push(Event::Arrival {
+                self.events.push(Event::Arrival {
                     t: r.arrival,
                     id: r.request.id,
                     input_len: r.request.input_len,
                     output_len: r.request.output_len,
                 });
-                metrics.inc("arrivals");
-                pending.push(*r);
+                self.metrics.inc("arrivals");
+                self.pending.push(*r);
                 upcoming.next();
             }
-
-            // ---- Dynamic admission (§5.2) -------------------------------
-            self.scratch.lens.clear();
-            self.scratch.lens.extend(pending.iter().map(|r| r.request.input_len));
-            adjuster.select_batch_into(
-                &self.scratch.lens,
-                pool.len(),
-                scheduled_b_d,
-                &mut self.scratch.selected,
-            );
-            self.scratch.admitted.clear();
-            self.scratch.taken.clear();
-            self.scratch.taken.resize(pending.len(), false);
-            for &idx in &self.scratch.selected {
-                let r = pending[idx];
-                if !kv.try_admit(r.request.id, r.request.input_len, 0) {
-                    break; // cache full: stop admitting this phase
-                }
-                self.scratch.taken[idx] = true;
-                self.scratch.admitted.push(r);
-            }
-            if !self.scratch.admitted.is_empty() {
-                let taken = &self.scratch.taken;
-                let mut i = 0;
-                pending.retain(|_| {
-                    let keep = !taken[i];
-                    i += 1;
-                    keep
+        }
+        while self.inbox.front().is_some_and(|r| r.arrival <= self.t) {
+            if let Some(r) = self.inbox.pop_front() {
+                self.events.push(Event::Arrival {
+                    t: r.arrival,
+                    id: r.request.id,
+                    input_len: r.request.input_len,
+                    output_len: r.request.output_len,
                 });
-                metrics.add("admitted", self.scratch.admitted.len() as u64);
+                self.metrics.inc("arrivals");
+                self.pending.push(r);
             }
+        }
 
-            if self.scratch.admitted.is_empty() && pool.is_empty() {
-                if pending.is_empty() {
-                    let next_arrival = upcoming.peek().map(|r| r.arrival);
-                    let next_retry = retry.peek().map(|r| r.eligible_at);
-                    if next_arrival.is_none() && next_retry.is_none() {
-                        break; // stream and retry queue drained, nothing in flight
-                    }
-                    // Wake at whichever comes first: an arrival, a retry
-                    // becoming eligible, or the fault world changing (an
-                    // event firing or a failure detection maturing —
-                    // otherwise a mid-idle failure would go unnoticed
-                    // until the next arrival and the first phase after it
-                    // would run on the dead topology).
-                    let next_fault = driver.as_ref().and_then(|d| d.next_wake()).filter(|&w| w > t);
-                    let mut wake = f64::INFINITY;
-                    for c in [next_arrival, next_retry, next_fault].into_iter().flatten() {
-                        wake = wake.min(c);
-                    }
-                    events.push(Event::Idle { from: t, until: wake });
-                    t = wake;
-                    continue;
-                }
-                return Err(RunError::Stalled {
-                    why: format!(
-                        "query {} ({} input tokens) cannot fit in the kv cache",
-                        pending[0].request.id, pending[0].request.input_len
-                    ),
-                }
-                .into());
+        // ---- Dynamic admission (§5.2) -----------------------------------
+        self.scratch.lens.clear();
+        self.scratch.lens.extend(self.pending.iter().map(|r| r.request.input_len));
+        self.adjuster.select_batch_into(
+            &self.scratch.lens,
+            self.pool.len(),
+            self.scheduled_b_d,
+            &mut self.scratch.selected,
+        );
+        self.scratch.admitted.clear();
+        self.scratch.taken.clear();
+        self.scratch.taken.resize(self.pending.len(), false);
+        for &idx in &self.scratch.selected {
+            let r = self.pending[idx];
+            if !self.kv.try_admit(r.request.id, r.request.input_len, 0) {
+                break; // cache full: stop admitting this phase
             }
+            self.scratch.taken[idx] = true;
+            self.scratch.admitted.push(r);
+        }
+        if !self.scratch.admitted.is_empty() {
+            let taken = &self.scratch.taken;
+            let mut i = 0;
+            self.pending.retain(|_| {
+                let keep = !taken[i];
+                i += 1;
+                keep
+            });
+            self.metrics.add("admitted", self.scratch.admitted.len() as u64);
+        }
 
-            // ---- Execute one phase (RRA) or round (WAA) -----------------
-            // Active faults dilate the plan's timings at runtime: the
-            // worst live straggler scales compute, link degradation scales
-            // the KV handover. All factors are exactly 1 when nominal, so
-            // the arithmetic below is bit-identical to the fault-free path.
-            let factors = driver.as_ref().map_or(FaultFactors::nominal(), |d| d.factors());
-            let mut phase_base = 0.0f64;
-            let mut phase_actual = 0.0f64;
-            self.scratch.done.clear();
-            if self.exec.is_coupled() {
-                let n_admitted = self.scratch.admitted.len();
-                let (p_enc, enc_tokens) = if self.scratch.admitted.is_empty() {
-                    (0.0, 0.0)
-                } else {
-                    self.scratch.lens.clear();
-                    self.scratch
-                        .lens
-                        .extend(self.scratch.admitted.iter().map(|r| r.request.input_len));
-                    let enc = self.exec.encode_timing(&self.scratch.lens)?;
-                    (enc.bottleneck.as_secs(), enc.tokens)
-                };
-                let p_dec = if pool.is_empty() {
-                    0.0
-                } else {
-                    let b_m = self.exec.decode_parallelism(pool.len());
-                    let ctx = mean_context(&pool);
-                    self.exec.decode_timing(b_m, pool.len(), ctx, false)?.total.as_secs()
-                };
-                let t_kv_base = self.exec.handover_time(enc_tokens).as_secs();
-                let t_kv = if t_kv_base > 0.0 {
-                    t_kv_base * factors.link_time + factors.link_latency
-                } else {
-                    t_kv_base
-                };
-                let round = (p_enc * factors.dilation).max(p_dec * factors.dilation).max(t_kv);
-                phase_base = p_enc.max(p_dec).max(t_kv_base);
-                phase_actual = round;
-                let t_start = t;
-                let pool_during = pool.len();
-                t += round;
-                if !pool.is_empty() {
-                    tokens += pool.len() as u64;
-                    advance(&mut pool, &mut kv, t, &mut self.scratch.done);
+        if self.scratch.admitted.is_empty() && self.pool.is_empty() {
+            if self.pending.is_empty() {
+                let next_retry = self.retry.peek().map(|r| r.eligible_at);
+                match self.stream.as_mut() {
+                    Some(upcoming) => {
+                        let next_arrival = upcoming.peek().map(|r| r.arrival);
+                        if next_arrival.is_none() && next_retry.is_none() {
+                            // Stream and retry queue drained, nothing in
+                            // flight: the run is complete.
+                            return Ok(StepOutcome::Done);
+                        }
+                        // Wake at whichever comes first: an arrival, a
+                        // retry becoming eligible, or the fault world
+                        // changing (an event firing or a failure detection
+                        // maturing — otherwise a mid-idle failure would go
+                        // unnoticed until the next arrival and the first
+                        // phase after it would run on the dead topology).
+                        let next_fault = self
+                            .driver
+                            .as_ref()
+                            .and_then(|d| d.next_wake())
+                            .filter(|&w| w > self.t);
+                        let mut wake = f64::INFINITY;
+                        for c in [next_arrival, next_retry, next_fault].into_iter().flatten() {
+                            wake = wake.min(c);
+                        }
+                        self.events.push(Event::Idle { from: self.t, until: wake });
+                        self.t = wake;
+                        return Ok(StepOutcome::Progressed);
+                    }
+                    None => {
+                        // Fleet mode: park instead of jumping — the fleet
+                        // clock owns inter-replica ordering. A future-dated
+                        // injection also counts as self-owned work. With no
+                        // queued work at all the session is quiescent and
+                        // — mirroring the single-replica termination rule —
+                        // does not ask to be woken for fault events alone;
+                        // the fault world catches up at the next injection.
+                        let next_inbox =
+                            self.inbox.iter().map(|r| r.arrival).fold(f64::INFINITY, f64::min);
+                        let next_inbox =
+                            if next_inbox.is_finite() { Some(next_inbox) } else { None };
+                        if next_retry.is_none() && next_inbox.is_none() {
+                            return Ok(StepOutcome::Parked { until: None });
+                        }
+                        let next_fault = self
+                            .driver
+                            .as_ref()
+                            .and_then(|d| d.next_wake())
+                            .filter(|&w| w > self.t);
+                        let mut wake = f64::INFINITY;
+                        for c in [next_retry, next_inbox, next_fault].into_iter().flatten() {
+                            wake = wake.min(c);
+                        }
+                        return Ok(StepOutcome::Parked { until: Some(wake) });
+                    }
                 }
-                metrics.inc("rounds");
-                events.push(Event::Round {
+            }
+            return Err(RunError::Stalled {
+                why: format!(
+                    "query {} ({} input tokens) cannot fit in the kv cache",
+                    self.pending[0].request.id, self.pending[0].request.input_len
+                ),
+            }
+            .into());
+        }
+
+        // ---- Execute one phase (RRA) or round (WAA) ---------------------
+        // Active faults dilate the plan's timings at runtime: the
+        // worst live straggler scales compute, link degradation scales
+        // the KV handover. All factors are exactly 1 when nominal, so
+        // the arithmetic below is bit-identical to the fault-free path.
+        let factors = self.driver.as_ref().map_or(FaultFactors::nominal(), |d| d.factors());
+        let mut phase_base = 0.0f64;
+        let mut phase_actual = 0.0f64;
+        self.scratch.done.clear();
+        if self.exec.is_coupled() {
+            let n_admitted = self.scratch.admitted.len();
+            let (p_enc, enc_tokens) = if self.scratch.admitted.is_empty() {
+                (0.0, 0.0)
+            } else {
+                self.scratch.lens.clear();
+                self.scratch.lens.extend(self.scratch.admitted.iter().map(|r| r.request.input_len));
+                let enc = self.exec.encode_timing(&self.scratch.lens)?;
+                (enc.bottleneck.as_secs(), enc.tokens)
+            };
+            let p_dec = if self.pool.is_empty() {
+                0.0
+            } else {
+                let b_m = self.exec.decode_parallelism(self.pool.len());
+                let ctx = mean_context(&self.pool);
+                self.exec.decode_timing(b_m, self.pool.len(), ctx, false)?.total.as_secs()
+            };
+            let t_kv_base = self.exec.handover_time(enc_tokens).as_secs();
+            let t_kv = if t_kv_base > 0.0 {
+                t_kv_base * factors.link_time + factors.link_latency
+            } else {
+                t_kv_base
+            };
+            let round = (p_enc * factors.dilation).max(p_dec * factors.dilation).max(t_kv);
+            phase_base = p_enc.max(p_dec).max(t_kv_base);
+            phase_actual = round;
+            let t_start = self.t;
+            let pool_during = self.pool.len();
+            self.t += round;
+            if !self.pool.is_empty() {
+                self.tokens += self.pool.len() as u64;
+                // The encoder group's fresh admissions are resident but not
+                // pooled, so growth must stay per-id here.
+                advance(&mut self.pool, &mut self.kv, self.t, &mut self.scratch.done, true);
+            }
+            self.metrics.inc("rounds");
+            self.events.push(Event::Round {
+                t_start,
+                t_end: self.t,
+                admitted: n_admitted,
+                pool: pool_during,
+            });
+            for r in self.scratch.admitted.drain(..) {
+                self.pool.push(InFlight {
+                    req: r.request,
+                    progress: 0,
+                    arrival: r.arrival,
+                    t_encoded: t_start,
+                    t_first: None,
+                });
+            }
+        } else {
+            if !self.scratch.admitted.is_empty() {
+                self.scratch.lens.clear();
+                self.scratch.lens.extend(self.scratch.admitted.iter().map(|r| r.request.input_len));
+                let enc = self.exec.encode_timing(&self.scratch.lens)?;
+                let t_start = self.t;
+                let dt = enc.total.as_secs();
+                self.t += dt * factors.dilation;
+                phase_base += dt;
+                phase_actual += dt * factors.dilation;
+                self.metrics.inc("encode_phases");
+                self.events.push(Event::Encode {
                     t_start,
-                    t_end: t,
-                    admitted: n_admitted,
-                    pool: pool_during,
+                    t_end: self.t,
+                    admitted: self.scratch.admitted.len(),
+                    queue_depth: self.pending.len(),
                 });
                 for r in self.scratch.admitted.drain(..) {
-                    pool.push(InFlight {
+                    self.pool.push(InFlight {
                         req: r.request,
                         progress: 0,
                         arrival: r.arrival,
@@ -577,162 +925,153 @@ impl ServeLoop {
                         t_first: None,
                     });
                 }
-            } else {
-                if !self.scratch.admitted.is_empty() {
-                    self.scratch.lens.clear();
-                    self.scratch
-                        .lens
-                        .extend(self.scratch.admitted.iter().map(|r| r.request.input_len));
-                    let enc = self.exec.encode_timing(&self.scratch.lens)?;
-                    let t_start = t;
-                    let dt = enc.total.as_secs();
-                    t += dt * factors.dilation;
-                    phase_base += dt;
-                    phase_actual += dt * factors.dilation;
-                    metrics.inc("encode_phases");
-                    events.push(Event::Encode {
-                        t_start,
-                        t_end: t,
-                        admitted: self.scratch.admitted.len(),
-                        queue_depth: pending.len(),
+            }
+            let m_d = self.exec.decode_parallelism(self.pool.len());
+            let t_start = self.t;
+            let mut iters = 0usize;
+            for u in 0..self.exec.decode_iters_per_phase() {
+                if self.pool.is_empty() {
+                    break;
+                }
+                let ctx = mean_context(&self.pool);
+                let dec = self.exec.decode_timing(m_d, self.pool.len(), ctx, u == 0)?;
+                let dt = dec.total.as_secs();
+                self.t += dt * factors.dilation;
+                phase_base += dt;
+                phase_actual += dt * factors.dilation;
+                self.tokens += self.pool.len() as u64;
+                iters += 1;
+                // RRA decode: the resident set is exactly the pool, so KV
+                // growth is one bulk arena scan.
+                self.kv.grow_all(1);
+                advance(&mut self.pool, &mut self.kv, self.t, &mut self.scratch.done, false);
+            }
+            self.metrics.add("decode_iters", iters as u64);
+            self.events.push(Event::Decode {
+                t_start,
+                t_end: self.t,
+                iters,
+                completed: self.scratch.done.len(),
+            });
+        }
+
+        // ---- Straggler confirmation from observed phase timings ---------
+        if let (Some(drv), Some(det), Some(fo)) =
+            (self.driver.as_mut(), self.straggler.as_mut(), self.fault_opts.as_ref())
+        {
+            if det.observe(phase_actual, phase_base).is_some() {
+                // Link degradation also inflates the ratio; only a
+                // device that is actually slowed can be blamed (and
+                // possibly evicted).
+                if let Some((gpu, factor)) = drv.worst_slowed_gpu() {
+                    let evict = factor >= fo.evict_slowdown;
+                    self.metrics.inc("stragglers_detected");
+                    self.events.push(Event::StragglerDetected {
+                        t: self.t,
+                        gpu,
+                        factor,
+                        evicted: evict,
                     });
-                    for r in self.scratch.admitted.drain(..) {
-                        pool.push(InFlight {
-                            req: r.request,
-                            progress: 0,
-                            arrival: r.arrival,
-                            t_encoded: t_start,
-                            t_first: None,
-                        });
+                    if evict {
+                        // Removing it changes `removed()`: the next
+                        // step's fault replay replans onto the survivors.
+                        drv.evict(gpu);
                     }
                 }
-                let m_d = self.exec.decode_parallelism(pool.len());
-                let t_start = t;
-                let mut iters = 0usize;
-                for u in 0..self.exec.decode_iters_per_phase() {
-                    if pool.is_empty() {
-                        break;
-                    }
-                    let ctx = mean_context(&pool);
-                    let dec = self.exec.decode_timing(m_d, pool.len(), ctx, u == 0)?;
-                    let dt = dec.total.as_secs();
-                    t += dt * factors.dilation;
-                    phase_base += dt;
-                    phase_actual += dt * factors.dilation;
-                    tokens += pool.len() as u64;
-                    iters += 1;
-                    advance(&mut pool, &mut kv, t, &mut self.scratch.done);
-                }
-                metrics.add("decode_iters", iters as u64);
-                events.push(Event::Decode {
-                    t_start,
-                    t_end: t,
-                    iters,
-                    completed: self.scratch.done.len(),
-                });
-            }
-
-            // ---- Straggler confirmation from observed phase timings -----
-            if let (Some(drv), Some(det), Some(fo)) =
-                (driver.as_mut(), straggler.as_mut(), fault_opts.as_ref())
-            {
-                if det.observe(phase_actual, phase_base).is_some() {
-                    // Link degradation also inflates the ratio; only a
-                    // device that is actually slowed can be blamed (and
-                    // possibly evicted).
-                    if let Some((gpu, factor)) = drv.worst_slowed_gpu() {
-                        let evict = factor >= fo.evict_slowdown;
-                        metrics.inc("stragglers_detected");
-                        events.push(Event::StragglerDetected { t, gpu, factor, evicted: evict });
-                        if evict {
-                            // Removing it changes `removed()`: the next
-                            // loop top replans onto the survivors.
-                            drv.evict(gpu);
-                        }
-                    }
-                }
-            }
-
-            // ---- Account completions: SLO, metrics, drift ---------------
-            let scheduled_mean = self.exec.simulator().workload().output().mean();
-            let mut drift_declared = false;
-            for d in &self.scratch.done {
-                metrics.inc("completions");
-                metrics.observe("ttft", d.ttft);
-                metrics.observe("e2e", d.e2e);
-                metrics.observe("queue_wait", d.queue_wait);
-                if let Some(pt) = d.per_token {
-                    metrics.observe("per_token", pt);
-                }
-                let check = self.opts.slo.check(
-                    Secs::new(d.ttft),
-                    d.per_token.map(Secs::new),
-                    Secs::new(d.e2e),
-                );
-                slo_out.record(check);
-                events.push(Event::Completion {
-                    t: d.t,
-                    id: d.id,
-                    ttft: d.ttft,
-                    e2e: d.e2e,
-                    violated: check.violated(),
-                });
-                last_completion = d.t;
-                if let Some(c) = detector.observe(d.out_len, scheduled_mean) {
-                    metrics.inc("drift_checks");
-                    events.push(Event::DriftCheck {
-                        t: d.t,
-                        window_mean: c.window_mean,
-                        scheduled_mean: c.scheduled_mean,
-                        rel_shift: c.rel_shift,
-                        drifted: c.drifted,
-                    });
-                    drift_declared |= c.drifted;
-                }
-            }
-            metrics.gauge("queue_depth", pending.len() as f64);
-            metrics.gauge("pool_size", pool.len() as f64);
-
-            // ---- Live reschedule on declared drift ----------------------
-            if drift_declared && self.opts.adaptive && pending_swap.is_none() {
-                pending_swap = self
-                    .reschedule(&mut detector, t, &mut metrics, &mut events)
-                    .map(|cfg| PendingSwap { cfg, engine: None });
             }
         }
 
-        peak_kv = peak_kv.max(kv.peak_bytes());
-        let completed = slo_out.checked;
-        let makespan = last_completion;
+        // ---- Account completions: SLO, metrics, drift -------------------
+        let scheduled_mean = self.exec.simulator().workload().output().mean();
+        let mut drift_declared = false;
+        for d in &self.scratch.done {
+            self.metrics.inc("completions");
+            self.metrics.observe("ttft", d.ttft);
+            self.metrics.observe("e2e", d.e2e);
+            self.metrics.observe("queue_wait", d.queue_wait);
+            if let Some(pt) = d.per_token {
+                self.metrics.observe("per_token", pt);
+            }
+            let check = self.opts.slo.check(
+                Secs::new(d.ttft),
+                d.per_token.map(Secs::new),
+                Secs::new(d.e2e),
+            );
+            self.slo_out.record(check);
+            self.events.push(Event::Completion {
+                t: d.t,
+                id: d.id,
+                ttft: d.ttft,
+                e2e: d.e2e,
+                violated: check.violated(),
+            });
+            self.last_completion = d.t;
+            if self.collect_completions {
+                self.outbox.push(Completion {
+                    id: d.id,
+                    t: d.t,
+                    ttft: d.ttft,
+                    per_token: d.per_token,
+                    e2e: d.e2e,
+                    queue_wait: d.queue_wait,
+                });
+            }
+            if let Some(c) = self.detector.observe(d.out_len, scheduled_mean) {
+                self.metrics.inc("drift_checks");
+                self.events.push(Event::DriftCheck {
+                    t: d.t,
+                    window_mean: c.window_mean,
+                    scheduled_mean: c.scheduled_mean,
+                    rel_shift: c.rel_shift,
+                    drifted: c.drifted,
+                });
+                drift_declared |= c.drifted;
+            }
+        }
+        self.metrics.gauge("queue_depth", self.pending.len() as f64);
+        self.metrics.gauge("pool_size", self.pool.len() as f64);
+
+        // ---- Live reschedule on declared drift --------------------------
+        if drift_declared && self.opts.adaptive && self.pending_swap.is_none() {
+            self.pending_swap = self.reschedule().map(|cfg| PendingSwap { cfg, engine: None });
+        }
+        Ok(StepOutcome::Progressed)
+    }
+
+    /// Consumes the session into its final report.
+    pub fn finish(mut self) -> ServeReport {
+        self.peak_kv = self.peak_kv.max(self.kv.peak_bytes());
+        let completed = self.slo_out.checked;
+        let makespan = self.last_completion;
         let throughput = if makespan > 0.0 { completed as f64 / makespan } else { 0.0 };
-        metrics.gauge("swap_cost_total", swap_cost_total);
-        metrics.gauge("kv_peak_bytes", peak_kv as f64);
-        Ok(ServeReport {
+        self.metrics.gauge("swap_cost_total", self.swap_cost_total);
+        self.metrics.gauge("kv_peak_bytes", self.peak_kv as f64);
+        ServeReport {
             completed,
-            tokens_generated: tokens,
+            tokens_generated: self.tokens,
             makespan,
             throughput,
-            ttft: metrics.summary("ttft"),
-            per_token: metrics.summary("per_token"),
-            e2e: metrics.summary("e2e"),
-            queue_wait: metrics.summary("queue_wait"),
-            slo: slo_out,
-            drift_checks: metrics.counter("drift_checks") as usize,
-            reschedules: metrics.counter("reschedules") as usize,
-            plan_swaps: metrics.counter("plan_swaps") as usize,
-            swap_cost: swap_cost_total,
-            faults_injected: metrics.counter("faults_injected") as usize,
-            faults_detected: metrics.counter("faults_detected") as usize,
-            stragglers_detected: metrics.counter("stragglers_detected") as usize,
-            replans: metrics.counter("replans") as usize,
-            incremental_replans: metrics.counter("incremental_replans") as usize,
-            replan_fallbacks: metrics.counter("replan_fallbacks") as usize,
-            retries: metrics.counter("retries") as usize,
-            requests_lost: metrics.counter("requests_lost") as usize,
+            ttft: self.metrics.summary("ttft"),
+            per_token: self.metrics.summary("per_token"),
+            e2e: self.metrics.summary("e2e"),
+            queue_wait: self.metrics.summary("queue_wait"),
+            slo: self.slo_out,
+            drift_checks: self.metrics.counter("drift_checks") as usize,
+            reschedules: self.metrics.counter("reschedules") as usize,
+            plan_swaps: self.metrics.counter("plan_swaps") as usize,
+            swap_cost: self.swap_cost_total,
+            faults_injected: self.metrics.counter("faults_injected") as usize,
+            faults_detected: self.metrics.counter("faults_detected") as usize,
+            stragglers_detected: self.metrics.counter("stragglers_detected") as usize,
+            replans: self.metrics.counter("replans") as usize,
+            incremental_replans: self.metrics.counter("incremental_replans") as usize,
+            replan_fallbacks: self.metrics.counter("replan_fallbacks") as usize,
+            retries: self.metrics.counter("retries") as usize,
+            requests_lost: self.metrics.counter("requests_lost") as usize,
             final_schedule: self.exec.schedule().describe(),
-            metrics: metrics.snapshot(),
-            events,
-        })
+            metrics: self.metrics.snapshot(),
+            events: self.events,
+        }
     }
 
     /// Refits the output distribution to the drift window and re-runs the
@@ -741,40 +1080,41 @@ impl ServeLoop {
     /// plan to install at the next phase boundary, or `None` if
     /// refitting/scheduling failed (the loop keeps serving on the old plan
     /// either way).
-    fn reschedule(
-        &mut self,
-        detector: &mut DriftDetector,
-        t: f64,
-        metrics: &mut Metrics,
-        events: &mut EventLog,
-    ) -> Option<ScheduleConfig> {
-        let result: Result<Schedule, ServeError> =
-            detector.refit().map_err(ServeError::from).and_then(|refit| {
+    fn reschedule(&mut self) -> Option<ScheduleConfig> {
+        let result: Result<Schedule, ServeError> = match self.detector.refit() {
+            Err(e) => Err(ServeError::from(e)),
+            Ok(refit) => {
                 let workload = Workload::new(
                     self.exec.simulator().workload().input().clone(),
                     refit.dist.clone(),
                 );
-                metrics.gauge("refit_mean", refit.dist.mean());
+                self.metrics.gauge("refit_mean", refit.dist.mean());
                 match self.opts.incremental_replan.then(|| self.last_plan.clone()).flatten() {
-                    Some(inc) => self
-                        .engine
-                        .reschedule_incremental(workload, &inc, &self.opts.scheduler)
-                        .map(|replan| track_replan(replan, metrics))
-                        .map_err(ServeError::from),
+                    Some(inc) => {
+                        match self.engine.reschedule_incremental(
+                            workload,
+                            &inc,
+                            &self.opts.scheduler,
+                        ) {
+                            Ok(replan) => Ok(track_replan(replan, &mut self.metrics)),
+                            Err(e) => Err(ServeError::from(e)),
+                        }
+                    }
                     None => self
                         .engine
                         .reschedule(workload, &self.opts.scheduler)
                         .map_err(ServeError::from),
                 }
-            });
-        detector.reset();
+            }
+        };
+        self.detector.reset();
         match result {
             Ok(schedule) => {
                 self.workload_refit = true;
                 self.last_plan = Some(schedule.clone());
-                metrics.inc("reschedules");
-                events.push(Event::Reschedule {
-                    t,
+                self.metrics.inc("reschedules");
+                self.events.push(Event::Reschedule {
+                    t: self.t,
                     from: self.exec.schedule().describe(),
                     to: schedule.config.describe(),
                     refit_mean: self.engine.simulator().workload().output().mean(),
@@ -785,8 +1125,8 @@ impl ServeLoop {
                 Some(schedule.config)
             }
             Err(e) => {
-                metrics.inc("reschedule_failures");
-                events.push(Event::RescheduleFailed { t, why: e.to_string() });
+                self.metrics.inc("reschedule_failures");
+                self.events.push(Event::RescheduleFailed { t: self.t, why: e.to_string() });
                 None
             }
         }
@@ -803,13 +1143,7 @@ impl ServeLoop {
     /// [`ServeOptions::incremental_replan`] is on — and falls back to an
     /// unconstrained bound (serving degraded beats not serving); a failover
     /// with no feasible plan at all is fatal.
-    fn fault_replan(
-        &mut self,
-        removed: usize,
-        t: f64,
-        metrics: &mut Metrics,
-        events: &mut EventLog,
-    ) -> Result<Option<PendingSwap>, ServeError> {
+    fn fault_replan(&mut self, removed: usize) -> Result<Option<PendingSwap>, ServeError> {
         let spec =
             if removed == 0 { self.healthy.clone() } else { self.healthy.survivors(removed)? };
         let gpus = spec.total_gpus();
@@ -828,7 +1162,7 @@ impl ServeLoop {
                         ReplanDelta { gpu_delta: gpus as isize - old, workload_changed: false };
                     engine
                         .replan_from(&inc, delta, &self.opts.scheduler)
-                        .map(|replan| track_replan(replan, metrics))
+                        .map(|replan| track_replan(replan, &mut self.metrics))
                 }
                 None => engine.schedule_with(&self.opts.scheduler),
             };
@@ -844,9 +1178,9 @@ impl ServeLoop {
                     evals: 0,
                     cache_hits: 0,
                 });
-                metrics.inc("replans");
-                events.push(Event::Replan {
-                    t,
+                self.metrics.inc("replans");
+                self.events.push(Event::Replan {
+                    t: self.t,
                     reason: reason.into(),
                     gpus,
                     to: cfg.describe(),
@@ -855,8 +1189,8 @@ impl ServeLoop {
                 Ok(Some(PendingSwap { cfg, engine: Some(engine) }))
             }
             Err(e) => {
-                metrics.inc("replan_failures");
-                events.push(Event::ReplanFailed { t, why: e.to_string() });
+                self.metrics.inc("replan_failures");
+                self.events.push(Event::ReplanFailed { t: self.t, why: e.to_string() });
                 if failover {
                     Err(ServeError::Failover { survivors: gpus, why: e.to_string() })
                 } else {
@@ -866,6 +1200,48 @@ impl ServeLoop {
                 }
             }
         }
+    }
+}
+
+impl ReplicaStep for ReplicaSession {
+    fn now(&self) -> f64 {
+        ReplicaSession::now(self)
+    }
+
+    fn wake_to(&mut self, t: f64) {
+        ReplicaSession::wake_to(self, t)
+    }
+
+    fn step(&mut self) -> Result<StepOutcome, ServeError> {
+        ReplicaSession::step(self)
+    }
+
+    fn inject(&mut self, req: TimedRequest) {
+        ReplicaSession::inject(self, req)
+    }
+
+    fn outstanding(&self) -> usize {
+        ReplicaSession::outstanding(self)
+    }
+
+    fn kv_headroom_bytes(&self) -> u64 {
+        ReplicaSession::kv_headroom_bytes(self)
+    }
+
+    fn plan_latency(&self) -> f64 {
+        ReplicaSession::plan_latency(self)
+    }
+
+    fn take_completions(&mut self) -> Vec<Completion> {
+        ReplicaSession::take_completions(self)
+    }
+
+    fn extract_queued(&mut self) -> Vec<TimedRequest> {
+        ReplicaSession::extract_queued(self)
+    }
+
+    fn finish(self) -> ServeReport {
+        ReplicaSession::finish(self)
     }
 }
 
@@ -919,17 +1295,23 @@ fn mean_context(pool: &[InFlight]) -> f64 {
 }
 
 /// Advances every pooled query by one token at time `t`, recording first
-/// tokens and harvesting completions (with KV compaction).
+/// tokens and harvesting completions (with KV compaction). `grow_ids`
+/// selects per-id KV growth (WAA rounds, where the encoder group's fresh
+/// admissions are resident but not pooled); RRA decode passes `false` after
+/// a bulk [`KvTracker::grow_all`].
 fn advance(
     pool: &mut Vec<InFlight>,
-    kv: &mut exegpt_runner::KvTracker,
+    kv: &mut KvTracker,
     t: f64,
     done: &mut Vec<Done>,
+    grow_ids: bool,
 ) {
     let mut i = 0;
     while i < pool.len() {
         pool[i].progress += 1;
-        let _ = kv.grow(pool[i].req.id, 1);
+        if grow_ids {
+            let _ = kv.grow(pool[i].req.id, 1);
+        }
         if pool[i].t_first.is_none() {
             pool[i].t_first = Some(t);
         }

@@ -26,8 +26,10 @@ mod datasets;
 mod latency;
 mod requests;
 mod tasks;
+mod tenants;
 
 pub use datasets::Dataset;
 pub use latency::latency_bounds;
 pub use requests::{BurstyStream, PoissonStream, Request, RequestStream, TimedRequest};
 pub use tasks::Task;
+pub use tenants::{multi_tenant_trace, ArrivalProcess, TenantRequest, TenantSpec};

@@ -1,6 +1,8 @@
 //! Property-based invariants of workload generation.
 
-use exegpt_workload::{Dataset, PoissonStream, RequestStream, Task};
+use exegpt_workload::{
+    multi_tenant_trace, ArrivalProcess, Dataset, PoissonStream, RequestStream, Task, TenantSpec,
+};
 use proptest::prelude::*;
 
 fn arb_task() -> impl Strategy<Value = Task> {
@@ -53,6 +55,45 @@ proptest! {
         prop_assert_eq!(a.len() + b.len(), size);
         let rejoined: Vec<_> = a.pairs().iter().chain(b.pairs()).copied().collect();
         prop_assert_eq!(rejoined, d.pairs().to_vec());
+    }
+
+    /// Multi-tenant merging conserves requests: the trace has exactly the
+    /// requested length with dense global ids, arrivals are sorted, every
+    /// request belongs to a declared tenant, and no tenant vanishes from a
+    /// trace long enough to statistically include everyone.
+    #[test]
+    fn multi_tenant_trace_conserves_requests(
+        task in arb_task(),
+        n_tenants in 1u32..6,
+        total in 50usize..400,
+        seed in any::<u64>(),
+    ) {
+        let w = task.workload().expect("valid");
+        let tenants: Vec<TenantSpec> = (0..n_tenants)
+            .map(|t| TenantSpec {
+                tenant: t,
+                class: t % 2,
+                process: ArrivalProcess::Poisson { rate_qps: 2.0 + f64::from(t) },
+            })
+            .collect();
+        let trace = multi_tenant_trace(&w, &tenants, total, seed);
+        prop_assert_eq!(trace.len(), total);
+        for (i, r) in trace.iter().enumerate() {
+            prop_assert_eq!(r.request.request.id, i as u64);
+            prop_assert!(tenants.iter().any(|s| s.tenant == r.tenant && s.class == r.class));
+        }
+        for pair in trace.windows(2) {
+            prop_assert!(pair[0].request.arrival <= pair[1].request.arrival);
+        }
+        // Per-tenant conservation: counts sum to the total (no request is
+        // attributed to two tenants, none is dropped).
+        let split: usize = tenants
+            .iter()
+            .map(|s| trace.iter().filter(|r| r.tenant == s.tenant).count())
+            .sum();
+        prop_assert_eq!(split, total);
+        // And the trace is reproducible.
+        prop_assert_eq!(&trace, &multi_tenant_trace(&w, &tenants, total, seed));
     }
 
     /// Estimated workloads reproduce the sample means of their dataset.

@@ -80,6 +80,30 @@ fn faults_crate_passes_the_full_rule_set() {
 }
 
 #[test]
+fn fleet_crate_passes_the_full_rule_set() {
+    // The fleet fabric merges N replica clocks into one deterministic
+    // virtual clock, so the determinism rules (no hash iteration order, no
+    // wall clock, no float equality) are load-bearing for it: one
+    // violation anywhere and byte-identical replay is gone.
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root resolves");
+    let dir = root.join("crates").join("fleet").join("src");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("fleet sources are readable") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let name = path.file_name().expect("file name").to_string_lossy().into_owned();
+            let label = format!("crates/fleet/src/{name}");
+            let src = std::fs::read_to_string(&path).expect("source is readable");
+            let report = lint_source(&label, &src, context_for(&label));
+            assert!(report.findings.is_empty(), "{label}:\n{:?}", report.findings);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 7, "scanned only {checked} fleet sources");
+}
+
+#[test]
 fn n1_fixture_flags_casts_only_in_the_numeric_core() {
     let report = lint_fixture_as("n1.rs", "crates/core/src/fixture.rs");
     assert_eq!(rule_lines(&report, Rule::N1), vec![2, 3], "{:?}", report.findings);
