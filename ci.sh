@@ -20,6 +20,8 @@ echo "==> xlint (workspace determinism + unit-safety lint)"
 mkdir -p target/ci-artifacts
 cargo run --offline -q -p exegpt-xlint -- --workspace --json \
   > target/ci-artifacts/xlint.json || true
+cargo run --offline -q -p exegpt-xlint -- --workspace --sarif \
+  > target/ci-artifacts/xlint.sarif || true
 # Pragma hygiene is not a soft failure: any X0 (malformed/stale/unknown
 # pragma) in the archived report fails the gate even if a future rule
 # change made the text run pass.
@@ -27,7 +29,10 @@ if grep -q '"rule": "X0"' target/ci-artifacts/xlint.json; then
   echo "xlint: X0 pragma-hygiene findings present (see target/ci-artifacts/xlint.json)" >&2
   exit 1
 fi
-cargo run --offline -q -p exegpt-xlint -- --workspace
+# The gate proper: all rules (incl. the L1/P2/D3 syntax-aware families)
+# plus the suppression-budget ratchet — new pragmas beyond the committed
+# per-crate counts in xlint-baseline.toml fail as X1.
+cargo run --offline -q -p exegpt-xlint -- --workspace --baseline xlint-baseline.toml
 
 echo "==> cargo test -q"
 cargo test --offline --workspace -q

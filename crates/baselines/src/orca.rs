@@ -293,7 +293,7 @@ impl Orca {
                 }
                 running[i].progress += 1;
                 tokens += 1;
-                let _ = kv.grow(running[i].req.id, 1);
+                kv.grow_or_clamp(running[i].req.id, 1);
                 if running[i].progress >= running[i].req.output_len {
                     let done = running.swap_remove(i);
                     kv.release(done.req.id);

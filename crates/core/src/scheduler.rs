@@ -203,7 +203,10 @@ impl Scheduler {
                     s.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(task) = tasks.get(i) else { break };
-                        let _ = slots[i].set(self.run_task(task, opts));
+                        // The fetch_add hands each index to exactly one
+                        // worker, so this slot is necessarily empty.
+                        let set_res = slots[i].set(self.run_task(task, opts));
+                        debug_assert!(set_res.is_ok(), "task index {i} claimed twice");
                     });
                 }
             });

@@ -61,6 +61,8 @@ pub struct KvTracker {
     index: BTreeMap<u64, usize>,
     used_bytes: u64,
     peak_bytes: u64,
+    /// Tokens clamped at capacity by [`grow_or_clamp`](Self::grow_or_clamp).
+    clamped_tokens: u64,
 }
 
 /// One resident query's reservation.
@@ -87,6 +89,7 @@ impl KvTracker {
             index: BTreeMap::new(),
             used_bytes: 0,
             peak_bytes: 0,
+            clamped_tokens: 0,
         }
     }
 
@@ -162,6 +165,25 @@ impl KvTracker {
         self.used_bytes += add;
         self.peak_bytes = self.peak_bytes.max(self.used_bytes);
         true
+    }
+
+    /// [`grow`](Self::grow) for call sites that deliberately treat a failed
+    /// growth as clamp-at-capacity: the entry keeps its current reservation
+    /// and the clamp is counted in [`clamped_tokens`](Self::clamped_tokens)
+    /// instead of being silently dropped. This is modeled behaviour — the
+    /// decode loops keep generating while the KV reservation saturates, the
+    /// same skip semantics as [`grow_all`](Self::grow_all) — not an error.
+    pub fn grow_or_clamp(&mut self, id: u64, tokens: usize) {
+        if !self.grow(id, tokens) {
+            self.clamped_tokens += tokens as u64;
+        }
+    }
+
+    /// Tokens whose growth was clamped at capacity (or targeted a retired
+    /// id) via [`grow_or_clamp`](Self::grow_or_clamp). Diagnostic only —
+    /// never serialized into event logs.
+    pub fn clamped_tokens(&self) -> u64 {
+        self.clamped_tokens
     }
 
     /// Grows *every* resident query by `tokens` newly generated tokens in
@@ -399,6 +421,17 @@ mod tests {
     fn grow_unknown_id_fails() {
         let mut kv = KvTracker::new(1.0, 100, ReservePolicy::Incremental);
         assert!(!kv.grow(9, 1));
+    }
+
+    #[test]
+    fn grow_or_clamp_counts_clamped_tokens_without_applying_them() {
+        let mut kv = KvTracker::new(1.0, 100, ReservePolicy::Incremental);
+        assert!(kv.try_admit(1, 99, 0));
+        kv.grow_or_clamp(1, 1); // fits: 100/100
+        assert_eq!((kv.used_bytes(), kv.clamped_tokens()), (100, 0));
+        kv.grow_or_clamp(1, 1); // clamped at capacity
+        kv.grow_or_clamp(42, 3); // retired/unknown id also clamps
+        assert_eq!((kv.used_bytes(), kv.clamped_tokens()), (100, 4));
     }
 
     #[test]

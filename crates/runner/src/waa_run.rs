@@ -135,7 +135,7 @@ pub(crate) fn run(
             let mut i = 0;
             while i < pool.len() {
                 pool[i].progress += 1;
-                let _ = kv.grow(pool[i].req.id, 1);
+                kv.grow_or_clamp(pool[i].req.id, 1);
                 if pool[i].progress >= pool[i].req.output_len {
                     let done = pool.swap_remove(i);
                     kv.release(done.req.id);

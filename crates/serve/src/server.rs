@@ -1310,7 +1310,7 @@ fn advance(
     while i < pool.len() {
         pool[i].progress += 1;
         if grow_ids {
-            let _ = kv.grow(pool[i].req.id, 1);
+            kv.grow_or_clamp(pool[i].req.id, 1);
         }
         if pool[i].t_first.is_none() {
             pool[i].t_first = Some(t);

@@ -1,0 +1,191 @@
+//! The per-crate suppression-budget ratchet.
+//!
+//! `xlint-baseline.toml` at the workspace root commits the number of
+//! `xlint::allow` pragma suppressions each crate is allowed. The CI gate
+//! (`xlint --workspace --baseline xlint-baseline.toml`) fails — rule
+//! **X1** — whenever any crate's live suppression count *exceeds* its
+//! budget: suppressions can be removed freely (ratchet the file down with
+//! `--write-baseline`), but never silently added. A crate absent from the
+//! baseline has budget 0, so a pragma in a previously-clean crate is an
+//! increase too.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::{Finding, Rule};
+use crate::Report;
+
+/// Parsed baseline: suppression budget per workspace unit
+/// (`crates/<name>`, or `src` for the root package).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Budgeted suppression count per unit.
+    pub budgets: BTreeMap<String, usize>,
+}
+
+/// Parses the minimal TOML dialect the baseline uses: comments, a
+/// `[budget]` table, and `"unit" = count` entries.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let mut budgets = BTreeMap::new();
+    let mut in_budget = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_budget = line == "[budget]";
+            continue;
+        }
+        if !in_budget {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `\"unit\" = count`", lineno + 1));
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: `{}` is not a count", lineno + 1, value.trim()))?;
+        if budgets.insert(key.clone(), value).is_some() {
+            return Err(format!("line {}: duplicate entry for `{key}`", lineno + 1));
+        }
+    }
+    Ok(Baseline { budgets })
+}
+
+/// The workspace unit a reported file path belongs to.
+pub fn unit_for(file: &str) -> String {
+    let mut parts = file.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => format!("crates/{name}"),
+        _ => "src".to_string(),
+    }
+}
+
+/// Live suppression counts per unit, from a report's suppressed list.
+pub fn suppression_counts(report: &Report) -> BTreeMap<String, usize> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for s in &report.suppressed {
+        *counts.entry(unit_for(&s.finding.file)).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The ratchet check: one X1 finding per unit whose live count exceeds
+/// its budget. Units under budget produce nothing (lower the committed
+/// file with `--write-baseline` to lock the improvement in).
+pub fn check_budget(
+    baseline_file: &str,
+    counts: &BTreeMap<String, usize>,
+    baseline: &Baseline,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (unit, &count) in counts {
+        let budget = baseline.budgets.get(unit).copied().unwrap_or(0);
+        if count > budget {
+            findings.push(Finding {
+                file: baseline_file.to_string(),
+                line: 1,
+                rule: Rule::X1,
+                message: format!(
+                    "`{unit}` has {count} pragma suppression{} but a budget of {budget}",
+                    if count == 1 { "" } else { "s" },
+                ),
+                suggestion: "fix the new violation instead of pragma-ing it away; a \
+                             genuinely justified new pragma must raise the budget in \
+                             xlint-baseline.toml explicitly, in the same change"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Units whose live count is *below* budget — candidates for ratcheting
+/// the committed file down.
+pub fn ratchet_candidates(
+    counts: &BTreeMap<String, usize>,
+    baseline: &Baseline,
+) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    for (unit, &budget) in &baseline.budgets {
+        let live = counts.get(unit).copied().unwrap_or(0);
+        if live < budget {
+            out.push((unit.clone(), live, budget));
+        }
+    }
+    out
+}
+
+/// Renders a baseline file from live counts (the `--write-baseline` body).
+pub fn render_baseline(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# xlint suppression budget: committed per-crate `xlint::allow` pragma counts.\n\
+         # The CI gate (`xlint --workspace --baseline xlint-baseline.toml`) fails when\n\
+         # any crate exceeds its budget, so suppressions can only be ratcheted down.\n\
+         # Regenerate with `xlint --workspace --write-baseline xlint-baseline.toml`.\n\n\
+         [budget]\n",
+    );
+    for (unit, count) in counts {
+        let _ = writeln!(out, "\"{unit}\" = {count}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render_and_parse() {
+        let c = counts(&[("crates/sim", 6), ("crates/cluster", 12)]);
+        let parsed = parse_baseline(&render_baseline(&c)).expect("rendered baseline parses");
+        assert_eq!(parsed.budgets, c);
+    }
+
+    #[test]
+    fn over_budget_units_fail_and_under_budget_units_pass() {
+        let baseline = Baseline { budgets: counts(&[("crates/sim", 2), ("crates/model", 3)]) };
+        let live = counts(&[("crates/sim", 3), ("crates/model", 1)]);
+        let f = check_budget("xlint-baseline.toml", &live, &baseline);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::X1);
+        assert!(f[0].message.contains("crates/sim"));
+        let down = ratchet_candidates(&live, &baseline);
+        assert_eq!(down, vec![("crates/model".to_string(), 1, 3)]);
+    }
+
+    #[test]
+    fn units_missing_from_the_baseline_have_budget_zero() {
+        let f = check_budget(
+            "xlint-baseline.toml",
+            &counts(&[("crates/fresh", 1)]),
+            &Baseline::default(),
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("budget of 0"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_baseline("[budget]\n\"crates/sim\" = lots\n").is_err());
+        assert!(parse_baseline("[budget]\nnope\n").is_err());
+        assert!(parse_baseline("[budget]\n\"a\" = 1\n\"a\" = 2\n").is_err());
+        // Non-budget tables are ignored.
+        let b = parse_baseline("[meta]\nx = 1\n[budget]\n\"crates/sim\" = 4\n").expect("parses");
+        assert_eq!(b.budgets.len(), 1);
+    }
+
+    #[test]
+    fn unit_grouping_covers_crates_and_the_root_package() {
+        assert_eq!(unit_for("crates/sim/src/cache.rs"), "crates/sim");
+        assert_eq!(unit_for("src/lib.rs"), "src");
+        assert_eq!(unit_for("lone.rs"), "src");
+    }
+}

@@ -1,32 +1,57 @@
 //! The `xlint` command-line entry point.
 //!
 //! ```text
-//! xlint --workspace [--json]     lint every first-party crate
-//! xlint [--json] FILE...         lint explicit files (fixtures, editors)
+//! xlint --workspace [--json | --sarif] [--baseline PATH]   lint every first-party crate
+//! xlint --workspace --write-baseline PATH                  regenerate the suppression budget
+//! xlint [--json | --sarif] FILE...                         lint explicit files
 //! ```
 //!
-//! Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+//! `--baseline` enforces the suppression-budget ratchet (rule X1):
+//! per-crate pragma counts may not exceed the committed budget in
+//! `xlint-baseline.toml`. Exit status: 0 clean, 1 findings, 2 usage or
+//! I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use exegpt_xlint::{find_workspace_root, lint_files, lint_workspace, Report};
+use exegpt_xlint::{baseline, find_workspace_root, lint_files, lint_workspace, Report};
 
-/// Parsed command line: `--json`, `--workspace`, explicit files.
+/// Parsed command line.
 #[derive(Debug, PartialEq, Eq)]
 struct Args {
     json: bool,
+    sarif: bool,
     workspace: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
     paths: Vec<PathBuf>,
     help: bool,
 }
 
 fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
-    let mut args = Args { json: false, workspace: false, paths: Vec::new(), help: false };
-    for arg in argv {
+    let mut args = Args {
+        json: false,
+        sarif: false,
+        workspace: false,
+        baseline: None,
+        write_baseline: None,
+        paths: Vec::new(),
+        help: false,
+    };
+    let mut argv = argv.into_iter();
+    while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--json" => args.json = true,
+            "--sarif" => args.sarif = true,
             "--workspace" => args.workspace = true,
+            "--baseline" => match argv.next() {
+                Some(path) => args.baseline = Some(PathBuf::from(path)),
+                None => return Err("--baseline requires a path".to_string()),
+            },
+            "--write-baseline" => match argv.next() {
+                Some(path) => args.write_baseline = Some(PathBuf::from(path)),
+                None => return Err("--write-baseline requires a path".to_string()),
+            },
             "--help" | "-h" => args.help = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             path => args.paths.push(PathBuf::from(path)),
@@ -34,6 +59,15 @@ fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
     }
     if args.help {
         return Ok(args);
+    }
+    if args.json && args.sarif {
+        return Err("--json and --sarif are mutually exclusive".to_string());
+    }
+    if !args.workspace && (args.baseline.is_some() || args.write_baseline.is_some()) {
+        return Err("--baseline/--write-baseline require --workspace".to_string());
+    }
+    if args.baseline.is_some() && args.write_baseline.is_some() {
+        return Err("--baseline and --write-baseline are mutually exclusive".to_string());
     }
     if !args.workspace && args.paths.is_empty() {
         return Err("pass --workspace or at least one file".to_string());
@@ -53,7 +87,11 @@ fn main() -> ExitCode {
         }
     };
     if args.help {
-        eprintln!("usage: xlint --workspace [--json] | xlint [--json] FILE...");
+        eprintln!(
+            "usage: xlint --workspace [--json | --sarif] [--baseline PATH] \
+             | xlint --workspace --write-baseline PATH \
+             | xlint [--json | --sarif] FILE..."
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -70,23 +108,68 @@ fn main() -> ExitCode {
         lint_files(&args.paths)
     };
 
-    match report {
-        Ok(r) => {
-            if args.json {
-                print!("{}", r.render_json());
-            } else {
-                print!("{}", r.render_text());
-            }
-            if r.is_clean() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
+    let mut report = match report {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("xlint: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+
+    let counts = baseline::suppression_counts(&report);
+
+    if let Some(path) = &args.write_baseline {
+        if let Err(e) = std::fs::write(path, baseline::render_baseline(&counts)) {
+            eprintln!("xlint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "xlint: wrote suppression budget for {} unit(s) to {}",
+            counts.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut ratchet_hints = Vec::new();
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xlint: reading {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let base = match baseline::parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("xlint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let label = path.to_string_lossy().replace('\\', "/");
+        report.findings.extend(baseline::check_budget(&label, &counts, &base));
+        report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        ratchet_hints = baseline::ratchet_candidates(&counts, &base);
+    }
+
+    if args.json {
+        print!("{}", report.render_json());
+    } else if args.sarif {
+        print!("{}", report.render_sarif());
+    } else {
+        print!("{}", report.render_text());
+        for (unit, live, budget) in &ratchet_hints {
+            eprintln!(
+                "xlint: note: `{unit}` uses {live} of {budget} budgeted suppressions — \
+                 ratchet the baseline down with --write-baseline"
+            );
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -126,5 +209,33 @@ mod tests {
     #[test]
     fn unknown_flags_are_rejected() {
         assert!(parse_args(argv(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn sarif_and_baseline_flags_parse() {
+        let a = parse_args(argv(&["--workspace", "--sarif", "--baseline", "xlint-baseline.toml"]))
+            .expect("valid");
+        assert!(a.sarif);
+        assert_eq!(a.baseline, Some(PathBuf::from("xlint-baseline.toml")));
+        let w = parse_args(argv(&["--workspace", "--write-baseline", "b.toml"])).expect("valid");
+        assert_eq!(w.write_baseline, Some(PathBuf::from("b.toml")));
+    }
+
+    #[test]
+    fn baseline_flag_combinations_are_validated() {
+        assert!(parse_args(argv(&["--workspace", "--baseline"])).is_err(), "missing value");
+        assert!(parse_args(argv(&["--baseline", "b.toml", "f.rs"])).is_err(), "needs workspace");
+        assert!(
+            parse_args(argv(&[
+                "--workspace",
+                "--baseline",
+                "a.toml",
+                "--write-baseline",
+                "b.toml"
+            ]))
+            .is_err(),
+            "mutually exclusive"
+        );
+        assert!(parse_args(argv(&["--workspace", "--json", "--sarif"])).is_err());
     }
 }

@@ -17,8 +17,19 @@
 //! * **U2** — a `let` binding named `*_bytes`/`*_secs`/`*_flops` must
 //!   not be initialized from a call whose name carries a *different*
 //!   unit suffix (e.g. `let total_secs = kv_bytes(...)`).
+//! * **L1** — crate-layering: no upward or undeclared `exegpt_*` import
+//!   against the declared workspace DAG (see [`crate::workspace`]).
+//! * **P2** — no discarded fallible results: `let _ =` or a bare
+//!   expression statement whose callee is a file-local `fn` returning
+//!   `Result` (or marked `#[must_use]`).
+//! * **D3** — concurrency determinism: `std::thread` / `Atomic*` /
+//!   `Mutex` / `RwLock` only inside the audited pool modules
+//!   (`core/scheduler.rs`, `sim/cache.rs`), and `Ordering::Relaxed` only
+//!   on counter-named atomics anywhere.
 
 use crate::lexer::{self, Lexed, Tok, TokKind};
+use crate::parser::{self, ItemKind};
+use crate::workspace;
 
 /// A lint rule identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -37,14 +48,34 @@ pub enum Rule {
     U1,
     /// Unit-suffix conflict between a binding and its initializer call.
     U2,
+    /// Upward or undeclared cross-crate import against the layering DAG.
+    L1,
+    /// Discarded fallible result (`let _ =` / bare call statement).
+    P2,
+    /// Concurrency primitive outside the audited pool modules.
+    D3,
     /// Malformed or unused allow pragma.
     X0,
+    /// Per-crate suppression count exceeds the committed budget.
+    X1,
 }
 
 impl Rule {
     /// All reportable rules, in severity/display order.
-    pub const ALL: [Rule; 8] =
-        [Rule::D1, Rule::D2, Rule::N1, Rule::F1, Rule::P1, Rule::U1, Rule::U2, Rule::X0];
+    pub const ALL: [Rule; 12] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::N1,
+        Rule::F1,
+        Rule::P1,
+        Rule::U1,
+        Rule::U2,
+        Rule::L1,
+        Rule::P2,
+        Rule::D3,
+        Rule::X0,
+        Rule::X1,
+    ];
 
     /// The rule's stable identifier, as used in pragmas and output.
     pub fn id(self) -> &'static str {
@@ -56,7 +87,29 @@ impl Rule {
             Rule::P1 => "P1",
             Rule::U1 => "U1",
             Rule::U2 => "U2",
+            Rule::L1 => "L1",
+            Rule::P2 => "P2",
+            Rule::D3 => "D3",
             Rule::X0 => "X0",
+            Rule::X1 => "X1",
+        }
+    }
+
+    /// One-line description, used in SARIF driver metadata.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::D1 => "no HashMap/HashSet: hash iteration order is nondeterministic",
+            Rule::D2 => "no wall clock or OS entropy outside crates/bench",
+            Rule::N1 => "no bare `as` numeric casts in cost-model/scheduler arithmetic",
+            Rule::F1 => "no float ==/!= comparison",
+            Rule::P1 => "no unwrap/expect/panic! in library code",
+            Rule::U1 => "no raw f64/f32 in pub fn signatures of unit-carrying crates",
+            Rule::U2 => "no unit-suffix conflict between a binding and its initializer",
+            Rule::L1 => "no upward or undeclared cross-crate import (layering DAG)",
+            Rule::P2 => "no discarded Result / unused #[must_use] value",
+            Rule::D3 => "no concurrency primitives outside the audited pool modules",
+            Rule::X0 => "malformed, unknown-rule, or stale xlint::allow pragma",
+            Rule::X1 => "per-crate suppression count exceeds the committed budget",
         }
     }
 
@@ -80,11 +133,25 @@ pub struct FileContext {
     /// U1 fires only in the unit-carrying crates (hardware + cost model),
     /// whose public signatures must use the `exegpt_units` newtypes.
     pub units_core: bool,
+    /// L1 needs the owning crate's identity (index into
+    /// [`workspace::CRATES`]); `None` (root package, fixtures) waives it.
+    pub crate_idx: Option<usize>,
+    /// D3's structural checks are waived in the two audited pool modules
+    /// (`crates/core/src/scheduler.rs`, `crates/sim/src/cache.rs`); the
+    /// `Ordering::Relaxed`-on-counters check still applies there.
+    pub audited_concurrency: bool,
 }
 
 impl Default for FileContext {
     fn default() -> Self {
-        Self { allow_wall_clock: false, numeric_core: true, allow_panics: false, units_core: true }
+        Self {
+            allow_wall_clock: false,
+            numeric_core: true,
+            allow_panics: false,
+            units_core: true,
+            crate_idx: None,
+            audited_concurrency: false,
+        }
     }
 }
 
@@ -230,8 +297,310 @@ pub fn lint_source(file: &str, src: &str, ctx: FileContext) -> FileReport {
         u1_scan(file, toks, &in_test, &mut raw);
     }
     u2_scan(file, toks, &in_test, &mut raw);
+    if let Some(me) = ctx.crate_idx {
+        l1_scan(file, toks, &in_test, me, &mut raw);
+    }
+    if !ctx.allow_panics {
+        p2_scan(file, toks, &in_test, &mut raw);
+    }
+    d3_scan(file, toks, &in_test, ctx, &mut raw);
 
     apply_pragmas(file, raw, &lexed)
+}
+
+/// L1: every mention of a workspace crate identifier (`exegpt`,
+/// `exegpt_*`) in non-test code must point strictly downward in the
+/// declared layering DAG. One finding per (line, target crate).
+fn l1_scan(file: &str, toks: &[Tok], in_test: &[bool], me: usize, raw: &mut Vec<Finding>) {
+    let mut last: Option<(usize, usize)> = None;
+    for (i, t) in toks.iter().enumerate() {
+        if in_test.get(i).copied().unwrap_or(false) || t.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(target) = workspace::crate_index_for_ident(&t.text) else { continue };
+        if target == me || workspace::import_allowed(me, target) {
+            continue;
+        }
+        if last == Some((t.line, target)) {
+            continue; // one finding per line per offending crate
+        }
+        last = Some((t.line, target));
+        raw.push(workspace::layering_finding(file, t.line, me, target));
+    }
+}
+
+/// P2: discarded fallible results, resolved per file. A first pass
+/// collects the file's own `fn` items that return `Result` or carry
+/// `#[must_use]`; a second pass flags `let _ = …;` initializers and bare
+/// call statements whose *final* callee is one of them.
+fn p2_scan(file: &str, toks: &[Tok], in_test: &[bool], raw: &mut Vec<Finding>) {
+    let items = parser::parse_items(toks);
+    // Name-based resolution must be conservative: if the file defines two
+    // same-named fns (e.g. `apply` on two types) and any of them is
+    // infallible, the name is ambiguous and never flagged.
+    let fns: Vec<(&str, &parser::FnSig)> = items
+        .iter()
+        .filter_map(|it| match &it.kind {
+            ItemKind::Fn(sig) => Some((it.name.as_str(), sig)),
+            _ => None,
+        })
+        .collect();
+    let fallible: Vec<(&str, bool)> = fns
+        .iter()
+        .filter(|(name, sig)| {
+            (sig.returns_result || sig.must_use)
+                && fns.iter().all(|(n, s)| *n != *name || s.returns_result || s.must_use)
+        })
+        .map(|(name, sig)| (*name, sig.returns_result))
+        .collect();
+    if fallible.is_empty() {
+        return;
+    }
+    let lookup = |name: &str| fallible.iter().find(|(n, _)| *n == name).map(|(_, r)| *r);
+    let push = |raw: &mut Vec<Finding>, line: usize, callee: &str, is_result: bool, how: &str| {
+        raw.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: Rule::P2,
+            message: format!(
+                "{how} discards the {} of `{callee}(...)`",
+                if is_result { "`Result`" } else { "`#[must_use]` value" },
+            ),
+            suggestion: "handle the value (`?`, match on the `Err` arm, or log it); \
+                         an intentional discard needs `// xlint::allow(P2, reason)`"
+                .to_string(),
+        });
+    };
+
+    let mut i = 0usize;
+    let mut stmt_start = true;
+    while i < toks.len() {
+        if in_test.get(i).copied().unwrap_or(false) {
+            stmt_start = matches!(toks[i].text.as_str(), ";" | "{" | "}");
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+        // `let _ = <expr>;` — inspect the initializer's final callee.
+        if t.kind == TokKind::Ident
+            && t.text == "let"
+            && matches!(toks.get(i + 1), Some(u) if u.kind == TokKind::Ident && u.text == "_")
+            && matches!(toks.get(i + 2), Some(e) if e.kind == TokKind::Punct && e.text == "=")
+        {
+            let end = stmt_end(toks, i + 3);
+            if let Some(callee) = final_callee(toks, i + 3, end) {
+                if let Some(is_result) = lookup(callee) {
+                    push(raw, t.line, callee, is_result, "`let _ =`");
+                }
+            }
+            i = end + 1;
+            stmt_start = true;
+            continue;
+        }
+        // Bare call statement: `name(...)` / `recv.name(...)` at statement
+        // position, no assignment in between, ending `);`.
+        if stmt_start && t.kind == TokKind::Ident && !is_stmt_keyword(&t.text) {
+            let end = stmt_end(toks, i);
+            let plain = toks[i..=end.min(toks.len().saturating_sub(1))]
+                .iter()
+                .all(|x| !(x.kind == TokKind::Punct && matches!(x.text.as_str(), "=" | "{" | "}")));
+            if plain {
+                if let Some(callee) = final_callee(toks, i, end) {
+                    if let Some(is_result) = lookup(callee) {
+                        push(raw, t.line, callee, is_result, "bare statement");
+                    }
+                }
+                i = end + 1;
+                stmt_start = true;
+                continue;
+            }
+        }
+        stmt_start = t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}");
+        i += 1;
+    }
+}
+
+/// Index of the `;` ending the statement starting at `from` (bracket
+/// depth 0), or the last token if none.
+fn stmt_end(toks: &[Tok], from: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = from;
+    while let Some(t) = toks.get(j) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// The name of the *final* call in `toks[from..end]` — the call whose
+/// result reaches the statement terminator. `foo(x)` → `foo`;
+/// `a.save()` → `save`; `foo(x).ok()` → `ok`; `foo(x)?` / macros → None.
+fn final_callee(toks: &[Tok], from: usize, end: usize) -> Option<&str> {
+    // The expression must end with a `)` just before the `;`.
+    let close = end.checked_sub(1)?;
+    if close < from || !(toks.get(close)?.kind == TokKind::Punct && toks[close].text == ")") {
+        return None;
+    }
+    // Walk back to the matching `(`.
+    let mut depth = 0usize;
+    let mut j = close;
+    loop {
+        let t = toks.get(j)?;
+        if t.kind == TokKind::Punct {
+            if t.text == ")" {
+                depth += 1;
+            } else if t.text == "(" {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        if j == from {
+            return None;
+        }
+        j -= 1;
+    }
+    let name = toks.get(j.checked_sub(1)?)?;
+    (name.kind == TokKind::Ident && j.checked_sub(1)? >= from).then_some(name.text.as_str())
+}
+
+/// Statement-leading keywords that rule out a bare call statement.
+fn is_stmt_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let"
+            | "if"
+            | "else"
+            | "while"
+            | "for"
+            | "loop"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "fn"
+            | "pub"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "impl"
+            | "trait"
+            | "const"
+            | "static"
+            | "type"
+            | "unsafe"
+            | "async"
+            | "extern"
+            | "where"
+            | "in"
+            | "move"
+            | "ref"
+            | "mut"
+            | "Self"
+            | "dyn"
+            | "as"
+    )
+}
+
+/// D3: concurrency determinism. Outside the audited pool modules no
+/// `std::thread`, no `Atomic*` types, no `Mutex`/`RwLock` in non-test
+/// code; everywhere (audited modules included), `Ordering::Relaxed` is
+/// legal only on counter-named atomics — anything whose value feeds
+/// control flow needs a stronger ordering *and* an audit.
+fn d3_scan(file: &str, toks: &[Tok], in_test: &[bool], ctx: FileContext, raw: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if in_test.get(i).copied().unwrap_or(false) || t.kind != TokKind::Ident {
+            continue;
+        }
+        let audited = ctx.audited_concurrency;
+        match t.text.as_str() {
+            "thread"
+                if !audited && i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "std" =>
+            {
+                raw.push(d3(file, t.line, "`std::thread` outside the audited pool modules"));
+            }
+            "Mutex" | "RwLock" if !audited => {
+                raw.push(d3(
+                    file,
+                    t.line,
+                    "lock type in library code outside the audited pool modules",
+                ));
+            }
+            "Relaxed" if i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "Ordering" => {
+                let counter = relaxed_receiver(toks, i - 2).is_some_and(is_counter_name);
+                if !counter {
+                    raw.push(d3(
+                        file,
+                        t.line,
+                        "`Ordering::Relaxed` on a non-counter atomic (its value may feed \
+                         control flow)",
+                    ));
+                }
+            }
+            name if !audited && name.starts_with("Atomic") && name.len() > "Atomic".len() => {
+                raw.push(d3(file, t.line, "atomic type outside the audited pool modules"));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// For `recv.method(…, Ordering::Relaxed)`, the receiver identifier
+/// (`recv`), found by walking back from the `Ordering` token at `ord` to
+/// the call's opening parenthesis.
+fn relaxed_receiver(toks: &[Tok], ord: usize) -> Option<&str> {
+    let mut depth = 0usize;
+    let mut j = ord;
+    // Find the `(` that opens the enclosing call.
+    loop {
+        j = j.checked_sub(1)?;
+        let t = toks.get(j)?;
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                ")" | "]" | "}" => depth += 1,
+                "(" if depth == 0 => break,
+                "(" | "[" | "{" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+    }
+    // Expect `recv . method (`.
+    let method = toks.get(j.checked_sub(1)?)?;
+    let dot = toks.get(j.checked_sub(2)?)?;
+    let recv = toks.get(j.checked_sub(3)?)?;
+    (method.kind == TokKind::Ident && dot.text == "." && recv.kind == TokKind::Ident)
+        .then_some(recv.text.as_str())
+}
+
+/// Whether an atomic's name marks it as a pure counter (aggregated
+/// statistics / work-index allocation), where `Relaxed` is sound.
+fn is_counter_name(name: &str) -> bool {
+    ["count", "counter", "hits", "misses", "seq", "next", "epoch", "tick", "idx"]
+        .iter()
+        .any(|p| name.contains(p))
+}
+
+fn d3(file: &str, line: usize, message: &str) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule: Rule::D3,
+        message: message.to_string(),
+        suggestion: "deterministic concurrency lives in the audited pool modules \
+                     (core/scheduler.rs, sim/cache.rs) only; justify anything else with \
+                     `// xlint::allow(D3, reason)` counted against the suppression budget"
+            .to_string(),
+    }
 }
 
 /// U1: `pub fn` signatures in unit-carrying crates must not take or
@@ -441,7 +810,7 @@ fn apply_pragmas(file: &str, raw: Vec<Finding>, lexed: &Lexed) -> FileReport {
                 line: p.line,
                 rule: Rule::X0,
                 message: format!("`xlint::allow({})` names an unknown rule", p.rule),
-                suggestion: "use one of D1, D2, N1, F1, P1, U1, U2".to_string(),
+                suggestion: "use one of D1, D2, N1, F1, P1, U1, U2, L1, P2, D3".to_string(),
             });
         } else if !used {
             report.findings.push(Finding {
@@ -631,5 +1000,129 @@ mod tests {
         let r = lint(src);
         assert!(r.findings.is_empty());
         assert_eq!(r.suppressed.len(), 1);
+    }
+
+    fn lint_in_crate(dir: &str, src: &str) -> FileReport {
+        let ctx = FileContext {
+            crate_idx: crate::workspace::crate_index_for_dir(dir),
+            numeric_core: false,
+            units_core: false,
+            ..FileContext::default()
+        };
+        lint_source("t.rs", src, ctx)
+    }
+
+    #[test]
+    fn l1_flags_upward_imports_and_allows_downward_ones() {
+        let up = lint_in_crate("core", "use exegpt_fleet::Fleet;\nfn f() { exegpt_serve::go(); }");
+        assert_eq!(rules(&up), vec![Rule::L1, Rule::L1], "{:?}", up.findings);
+        let down = lint_in_crate("fleet", "use exegpt_serve::ServeLoop;\nuse exegpt::Engine;");
+        assert!(down.findings.is_empty(), "{:?}", down.findings);
+        let selfref = lint_in_crate("sim", "use exegpt_sim::Estimate;");
+        assert!(selfref.findings.is_empty(), "self references are not edges");
+    }
+
+    #[test]
+    fn l1_dedups_per_line_and_skips_tests_and_unscoped_files() {
+        let same_line = lint_in_crate("sim", "use exegpt_workload::{a, b}; exegpt_workload::c();");
+        assert_eq!(rules(&same_line), vec![Rule::L1], "same-line mentions collapse to one");
+        let r = lint_in_crate("sim", "use exegpt_workload::a;\nexegpt_workload::c();");
+        assert_eq!(rules(&r), vec![Rule::L1, Rule::L1], "one finding per line");
+        let t = lint_in_crate("sim", "#[cfg(test)]\nmod tests { use exegpt_workload::W; }");
+        assert!(t.findings.is_empty(), "dev-style upward imports in tests are fine");
+        let unscoped = lint("use exegpt_fleet::Fleet;");
+        assert!(unscoped.findings.is_empty(), "no crate identity, no L1");
+    }
+
+    #[test]
+    fn p2_flags_discarded_local_results_and_must_use() {
+        let src = "fn make() -> Result<u32, String> { Ok(1) }\n\
+                   #[must_use]\nfn score() -> u32 { 7 }\n\
+                   fn caller() {\n    let _ = make();\n    make();\n    let _ = score();\n}";
+        let r = lint(src);
+        assert_eq!(rules(&r), vec![Rule::P2, Rule::P2, Rule::P2], "{:?}", r.findings);
+        assert_eq!(r.findings[0].line, 5);
+    }
+
+    #[test]
+    fn p2_allows_handled_bound_and_foreign_results() {
+        let src = "fn make() -> Result<u32, String> { Ok(1) }\n\
+                   struct S;\nimpl S { fn save(&self) -> Result<(), String> { Ok(()) } }\n\
+                   fn caller(s: &S) -> Result<(), String> {\n\
+                       let ok = make();\n\
+                       drop(ok);\n\
+                       make()?;\n\
+                       if make().is_ok() {}\n\
+                       let _ = make().ok();\n\
+                       let _ = unknown_fn();\n\
+                       let _ = writeln!(x, \"no\");\n\
+                       s.save()\n}";
+        let r = lint(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn p2_skips_ambiguous_same_named_fns() {
+        // Two types each define `apply`; only one is fallible. Name-based
+        // resolution cannot tell the call sites apart, so neither is flagged.
+        let src = "struct A;\nimpl A { fn apply(&self) {} }\n\
+                   struct B;\nimpl B { fn apply(&self) -> Result<(), String> { Ok(()) } }\n\
+                   fn f(a: &A, b: &B) {\n    a.apply();\n    b.apply();\n}";
+        let r = lint(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn p2_flags_bare_local_method_statements() {
+        let src = "struct S;\nimpl S { fn save(&self) -> Result<(), String> { Ok(()) } }\n\
+                   fn caller(s: &S) {\n    s.save();\n}";
+        let r = lint(src);
+        assert_eq!(rules(&r), vec![Rule::P2], "{:?}", r.findings);
+        assert_eq!(r.findings[0].line, 4);
+    }
+
+    #[test]
+    fn p2_is_waived_with_panics_in_bins_and_bench() {
+        let src = "fn make() -> Result<u32, String> { Ok(1) }\nfn m() { let _ = make(); }";
+        let r = lint_source(
+            "src/bin/cli.rs",
+            src,
+            FileContext { allow_panics: true, ..FileContext::default() },
+        );
+        assert!(r.findings.is_empty(), "bin targets may drop results deliberately");
+    }
+
+    #[test]
+    fn d3_flags_concurrency_primitives_outside_audited_modules() {
+        let src = "use std::thread;\nlet m = Mutex::new(1);\nlet l = RwLock::new(2);\n\
+                   let a = AtomicUsize::new(0);";
+        let r = lint(src);
+        assert_eq!(rules(&r), vec![Rule::D3, Rule::D3, Rule::D3, Rule::D3], "{:?}", r.findings);
+        let audited = lint_source(
+            "crates/core/src/scheduler.rs",
+            src,
+            FileContext { audited_concurrency: true, ..FileContext::default() },
+        );
+        assert!(audited.findings.is_empty(), "audited pool modules may use them");
+    }
+
+    #[test]
+    fn d3_restricts_relaxed_ordering_to_counters_even_when_audited() {
+        let ctx = FileContext { audited_concurrency: true, ..FileContext::default() };
+        let ok = lint_source(
+            "crates/sim/src/cache.rs",
+            "self.hits.fetch_add(1, Ordering::Relaxed);\n\
+             let i = next.fetch_add(1, Ordering::Relaxed);",
+            ctx,
+        );
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+        let bad = lint_source(
+            "crates/sim/src/cache.rs",
+            "let ready = flag.load(Ordering::Relaxed);",
+            ctx,
+        );
+        assert_eq!(rules(&bad), vec![Rule::D3], "non-counter Relaxed load is flagged");
+        let cmp = lint("match a.cmp(&b) { Ordering::Less => {} _ => {} }");
+        assert!(cmp.findings.is_empty(), "std::cmp::Ordering is untouched");
     }
 }

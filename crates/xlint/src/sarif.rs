@@ -1,0 +1,132 @@
+//! SARIF 2.1.0 rendering of a lint [`Report`](crate::Report).
+//!
+//! SARIF (Static Analysis Results Interchange Format) is the
+//! machine-readable schema CI dashboards and code-review tooling ingest;
+//! `xlint --workspace --sarif` emits one deterministic run: findings as
+//! `error`-level results, pragma-suppressed findings as `note`-level
+//! results carrying an `inSource` suppression with the pragma's reason as
+//! its justification. Output is byte-stable for a given report (no
+//! timestamps, no GUIDs), so archived artifacts diff cleanly.
+
+use std::fmt::Write as _;
+
+use crate::json_str;
+use crate::rules::Rule;
+use crate::Report;
+
+/// Renders `report` as a single-run SARIF 2.1.0 document.
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"exegpt-xlint\",\n");
+    let _ = writeln!(out, "          \"version\": {},", json_str(env!("CARGO_PKG_VERSION")));
+    out.push_str("          \"informationUri\": \"https://github.com/exegpt/exegpt-rs\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in Rule::ALL.into_iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}",
+            json_str(rule.id()),
+            json_str(rule.describe()),
+            if i + 1 == Rule::ALL.len() { "" } else { "," },
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    let total = report.findings.len() + report.suppressed.len();
+    let mut emitted = 0usize;
+    for f in &report.findings {
+        emitted += 1;
+        push_result(&mut out, &f.file, f.line, f.rule, &f.message, &f.suggestion, None);
+        out.push_str(if emitted == total { "\n" } else { ",\n" });
+    }
+    for s in &report.suppressed {
+        emitted += 1;
+        let f = &s.finding;
+        push_result(&mut out, &f.file, f.line, f.rule, &f.message, &f.suggestion, Some(&s.reason));
+        out.push_str(if emitted == total { "\n" } else { ",\n" });
+    }
+    out.push_str("      ],\n");
+    let _ = writeln!(
+        out,
+        "      \"invocations\": [{{\"executionSuccessful\": {}}}]",
+        report.is_clean()
+    );
+    out.push_str("    }\n  ]\n}\n");
+    out
+}
+
+/// Appends one SARIF result object (without the trailing separator).
+fn push_result(
+    out: &mut String,
+    file: &str,
+    line: usize,
+    rule: Rule,
+    message: &str,
+    suggestion: &str,
+    suppressed_reason: Option<&str>,
+) {
+    let level = if suppressed_reason.is_some() { "note" } else { "error" };
+    let _ = write!(
+        out,
+        "        {{\"ruleId\": {}, \"level\": \"{level}\", \"message\": {{\"text\": {}}}, \
+         \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+         \"region\": {{\"startLine\": {line}}}}}}}]",
+        json_str(rule.id()),
+        json_str(&format!("{message} — {suggestion}")),
+        json_str(file),
+    );
+    if let Some(reason) = suppressed_reason {
+        let _ = write!(
+            out,
+            ", \"suppressions\": [{{\"kind\": \"inSource\", \"justification\": {}}}]",
+            json_str(reason)
+        );
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Suppressed};
+
+    #[test]
+    fn sarif_shape_is_stable_and_carries_suppressions() {
+        let finding = Finding {
+            file: "crates/sim/src/x.rs".into(),
+            line: 7,
+            rule: Rule::D1,
+            message: "m".into(),
+            suggestion: "s".into(),
+        };
+        let report = Report {
+            findings: vec![finding.clone()],
+            suppressed: vec![Suppressed { finding, reason: "bounded cache".into() }],
+            files_scanned: 1,
+        };
+        let sarif = report.render_sarif();
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"exegpt-xlint\""));
+        assert!(sarif.contains("\"ruleId\": \"D1\""));
+        assert!(sarif.contains("\"startLine\": 7"));
+        assert!(sarif.contains("\"justification\": \"bounded cache\""));
+        assert!(sarif.contains("\"executionSuccessful\": false"));
+        assert_eq!(report.render_sarif(), sarif, "rendering is deterministic");
+    }
+
+    #[test]
+    fn empty_report_is_a_successful_run() {
+        let sarif = Report::default().render_sarif();
+        assert!(sarif.contains("\"results\": [\n      ]"));
+        assert!(sarif.contains("\"executionSuccessful\": true"));
+        // Every declared rule is listed in the driver metadata.
+        for rule in Rule::ALL {
+            assert!(sarif.contains(&format!("\"id\": \"{}\"", rule.id())));
+        }
+    }
+}

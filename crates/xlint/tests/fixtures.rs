@@ -6,7 +6,8 @@
 use std::path::{Path, PathBuf};
 
 use exegpt_xlint::{
-    context_for, find_workspace_root, lint_files, lint_source, lint_workspace, FileReport, Rule,
+    baseline, context_for, find_workspace_root, lint_files, lint_source, lint_workspace, workspace,
+    FileReport, Rule,
 };
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -56,26 +57,46 @@ fn d2_fixture_keeps_fault_timestamps_on_the_virtual_clock() {
     assert_eq!(rule_lines(&waived, Rule::D2), Vec::<usize>::new());
 }
 
-#[test]
-fn faults_crate_passes_the_full_rule_set() {
-    // Self-test over the real sources of the new crate: the seeded fault
-    // generator is the only randomness it touches, and every timestamp is
-    // virtual, so the determinism rules must come back clean.
+/// Self-test over the real sources of one crate (recursive, so `bin/`
+/// subdirectories are covered): the full rule set, including the
+/// syntax-aware L1/P2/D3 families, must come back clean. Returns the
+/// number of `.rs` files checked.
+fn assert_crate_passes_full_rule_set(crate_dir: &str) -> usize {
     let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
         .expect("workspace root resolves");
-    let dir = root.join("crates").join("faults").join("src");
-    let mut checked = 0;
-    for entry in std::fs::read_dir(&dir).expect("faults sources are readable") {
-        let path = entry.expect("entry").path();
-        if path.extension().is_some_and(|e| e == "rs") {
+    fn walk(dir: &Path, rel: &str, checked: &mut usize) {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+            .expect("crate sources are readable")
+            .map(|e| e.expect("entry").path())
+            .collect();
+        entries.sort();
+        for path in entries {
             let name = path.file_name().expect("file name").to_string_lossy().into_owned();
-            let label = format!("crates/faults/src/{name}");
-            let src = std::fs::read_to_string(&path).expect("source is readable");
-            let report = lint_source(&label, &src, context_for(&label));
-            assert!(report.findings.is_empty(), "{label}:\n{:?}", report.findings);
-            checked += 1;
+            if path.is_dir() {
+                walk(&path, &format!("{rel}/{name}"), checked);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let label = format!("{rel}/{name}");
+                let src = std::fs::read_to_string(&path).expect("source is readable");
+                let report = lint_source(&label, &src, context_for(&label));
+                assert!(report.findings.is_empty(), "{label}:\n{:?}", report.findings);
+                *checked += 1;
+            }
         }
     }
+    let mut checked = 0;
+    walk(
+        &root.join("crates").join(crate_dir).join("src"),
+        &format!("crates/{crate_dir}/src"),
+        &mut checked,
+    );
+    checked
+}
+
+#[test]
+fn faults_crate_passes_the_full_rule_set() {
+    // The seeded fault generator is the only randomness the fault layer
+    // touches, and every timestamp is virtual.
+    let checked = assert_crate_passes_full_rule_set("faults");
     assert!(checked >= 4, "scanned only {checked} faults sources");
 }
 
@@ -85,22 +106,48 @@ fn fleet_crate_passes_the_full_rule_set() {
     // virtual clock, so the determinism rules (no hash iteration order, no
     // wall clock, no float equality) are load-bearing for it: one
     // violation anywhere and byte-identical replay is gone.
-    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
-        .expect("workspace root resolves");
-    let dir = root.join("crates").join("fleet").join("src");
-    let mut checked = 0;
-    for entry in std::fs::read_dir(&dir).expect("fleet sources are readable") {
-        let path = entry.expect("entry").path();
-        if path.extension().is_some_and(|e| e == "rs") {
-            let name = path.file_name().expect("file name").to_string_lossy().into_owned();
-            let label = format!("crates/fleet/src/{name}");
-            let src = std::fs::read_to_string(&path).expect("source is readable");
-            let report = lint_source(&label, &src, context_for(&label));
-            assert!(report.findings.is_empty(), "{label}:\n{:?}", report.findings);
-            checked += 1;
-        }
-    }
+    let checked = assert_crate_passes_full_rule_set("fleet");
     assert!(checked >= 7, "scanned only {checked} fleet sources");
+}
+
+#[test]
+fn workload_crate_passes_the_full_rule_set() {
+    // Workload generation is seeded; any entropy or hash-order dependence
+    // here changes every downstream trace.
+    let checked = assert_crate_passes_full_rule_set("workload");
+    assert!(checked >= 2, "scanned only {checked} workload sources");
+}
+
+#[test]
+fn bench_crate_passes_the_full_rule_set() {
+    // Bench is the one crate allowed wall clocks and panics, but the rest
+    // of the rule set (hash order, float equality, layering) still holds.
+    let checked = assert_crate_passes_full_rule_set("bench");
+    assert!(checked >= 2, "scanned only {checked} bench sources");
+}
+
+#[test]
+fn units_crate_passes_the_full_rule_set() {
+    // The unit newtypes sit under everything; a violation here is
+    // workspace-wide.
+    let checked = assert_crate_passes_full_rule_set("units");
+    assert!(checked >= 1, "scanned only {checked} units sources");
+}
+
+#[test]
+fn profiler_crate_passes_the_full_rule_set() {
+    // The profile cache is the justified-concurrency case: its two lock
+    // sites carry D3 pragmas counted against the suppression budget.
+    let checked = assert_crate_passes_full_rule_set("profiler");
+    assert!(checked >= 3, "scanned only {checked} profiler sources");
+}
+
+#[test]
+fn baselines_crate_passes_the_full_rule_set() {
+    // The comparison systems (ORCA, vLLM, FT/DSI emulations) share the
+    // deterministic pipeline and replay guarantees.
+    let checked = assert_crate_passes_full_rule_set("baselines");
+    assert!(checked >= 3, "scanned only {checked} baselines sources");
 }
 
 #[test]
@@ -184,6 +231,109 @@ fn lint_files_reports_fixture_violations_like_the_cli() {
     for rule in [Rule::D1, Rule::D2, Rule::F1, Rule::P1] {
         assert!(report.count(rule) > 0, "expected at least one {} finding", rule.id());
     }
+}
+
+#[test]
+fn l1_fixture_flags_upward_imports_by_layer() {
+    // As a `core` source, fleet (above) and serve (above) are upward
+    // edges; sim and cluster (below) are fine, and test code is exempt.
+    let report = lint_fixture_as("l1.rs", "crates/core/src/fixture.rs");
+    assert_eq!(rule_lines(&report, Rule::L1), vec![4, 5, 10], "{:?}", report.findings);
+    // As a `bench` source (top layer) every import points downward.
+    let top = lint_fixture_as("l1.rs", "crates/bench/src/fixture.rs");
+    assert_eq!(rule_lines(&top, Rule::L1), Vec::<usize>::new(), "{:?}", top.findings);
+}
+
+#[test]
+fn l1_manifest_check_demonstrates_the_ci_failure_for_upward_deps() {
+    // The same declared DAG gates Cargo.toml edges: an upward dependency
+    // makes the report non-clean, which is exactly the CI gate's exit 1.
+    let me = workspace::crate_index_for_dir("sim").expect("sim is declared");
+    let manifest = "[package]\nname = \"exegpt-sim\"\n\n[dependencies]\n\
+                    exegpt-serve.workspace = true\n";
+    let findings = workspace::lint_manifest_text("crates/sim/Cargo.toml", me, manifest);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::L1);
+    let mut report = exegpt_xlint::Report::default();
+    report.findings.extend(findings);
+    assert!(!report.is_clean(), "upward manifest edge must fail the gate");
+}
+
+#[test]
+fn p2_fixture_flags_discards_and_honors_handling() {
+    let report = lint_fixture_as("p2.rs", "crates/runner/src/fixture.rs");
+    assert_eq!(rule_lines(&report, Rule::P2), vec![25, 26, 27, 28], "{:?}", report.findings);
+    assert_eq!(report.suppressed.len(), 1, "the pragma'd discard is suppressed");
+    assert_eq!(report.suppressed[0].finding.rule, Rule::P2);
+    assert!(report.findings.iter().all(|f| f.rule == Rule::P2), "{:?}", report.findings);
+    // Bin targets (like P1) may discard deliberately.
+    let bin = lint_fixture_as("p2.rs", "crates/runner/src/bin/tool.rs");
+    assert_eq!(rule_lines(&bin, Rule::P2), Vec::<usize>::new());
+}
+
+#[test]
+fn d3_fixture_flags_concurrency_outside_audited_modules() {
+    let report = lint_fixture_as("d3.rs", "crates/serve/src/fixture.rs");
+    assert_eq!(rule_lines(&report, Rule::D3), vec![2, 5, 6, 7, 8, 13], "{:?}", report.findings);
+    assert_eq!(report.suppressed.len(), 1, "the pragma'd Mutex is suppressed");
+    // The audited pool modules may hold the primitives, but Relaxed on a
+    // non-counter receiver is still flagged there.
+    let audited = lint_fixture_as("d3.rs", "crates/core/src/scheduler.rs");
+    assert_eq!(rule_lines(&audited, Rule::D3), vec![13], "{:?}", audited.findings);
+}
+
+#[test]
+fn ratchet_demonstrates_the_ci_failure_for_new_suppressions() {
+    // A fixture whose pragma count exceeds its committed budget: the
+    // budget check appends an X1 finding, so the gate exits 1.
+    let report = lint_fixture_as("p2.rs", "crates/runner/src/fixture.rs");
+    let mut full = exegpt_xlint::Report::default();
+    full.suppressed.extend(report.suppressed);
+    let counts = baseline::suppression_counts(&full);
+    assert_eq!(counts.get("crates/runner"), Some(&1));
+    let zero = baseline::Baseline::default();
+    let over = baseline::check_budget("xlint-baseline.toml", &counts, &zero);
+    assert_eq!(over.len(), 1, "{over:?}");
+    assert_eq!(over[0].rule, Rule::X1);
+    full.findings.extend(over);
+    assert!(!full.is_clean(), "budget exceedance must fail the gate");
+    // Raising the budget to the live count clears it.
+    let raised = baseline::Baseline { budgets: counts.clone() };
+    assert!(baseline::check_budget("xlint-baseline.toml", &counts, &raised).is_empty());
+}
+
+#[test]
+fn committed_baseline_covers_the_live_workspace_suppressions() {
+    // End-to-end ratchet: the committed xlint-baseline.toml must hold the
+    // workspace's current pragma counts exactly — under budget means the
+    // file should be ratcheted down, over budget fails CI.
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root resolves");
+    let text = std::fs::read_to_string(root.join("xlint-baseline.toml"))
+        .expect("xlint-baseline.toml is committed at the workspace root");
+    let base = baseline::parse_baseline(&text).expect("committed baseline parses");
+    let report = lint_workspace(&root).expect("workspace lints");
+    let counts = baseline::suppression_counts(&report);
+    let over = baseline::check_budget("xlint-baseline.toml", &counts, &base);
+    assert!(over.is_empty(), "suppression budget exceeded:\n{over:?}");
+    let slack = baseline::ratchet_candidates(&counts, &base);
+    assert!(
+        slack.is_empty(),
+        "baseline is over-provisioned, ratchet it down with --write-baseline: {slack:?}"
+    );
+}
+
+#[test]
+fn sarif_rendering_of_fixture_findings_is_wellformed() {
+    let file_report = lint_fixture_as("d3.rs", "crates/serve/src/fixture.rs");
+    let mut report = exegpt_xlint::Report::default();
+    report.findings.extend(file_report.findings);
+    report.suppressed.extend(file_report.suppressed);
+    report.files_scanned = 1;
+    let sarif = report.render_sarif();
+    assert!(sarif.contains("\"ruleId\": \"D3\""));
+    assert!(sarif.contains("\"kind\": \"inSource\""));
+    assert!(sarif.contains("\"executionSuccessful\": false"));
 }
 
 #[test]

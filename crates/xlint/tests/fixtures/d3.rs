@@ -1,0 +1,22 @@
+// D3 fixture: concurrency primitives outside the audited pool modules.
+use std::thread;
+
+fn spawn_things() {
+    std::thread::spawn(|| {});
+    let m = Mutex::new(1);
+    let l = RwLock::new(2);
+    let a = AtomicUsize::new(0);
+    drop((m, l, a));
+    // Relaxed on a counter-named receiver is the audited idiom, but the
+    // primitive itself still needs an audited module.
+    hits.fetch_add(1, Ordering::Relaxed);
+    let ready = flag.load(Ordering::Relaxed);
+    drop(ready);
+    // std::cmp::Ordering is a different type entirely.
+    match a_cmp_b {
+        Ordering::Less => {}
+        _ => {}
+    }
+    let g = Mutex::new(3); // xlint::allow(D3, fixture: justified lock with a reason)
+    drop(g);
+}

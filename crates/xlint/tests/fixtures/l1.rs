@@ -1,0 +1,19 @@
+// L1 fixture: cross-crate imports against the declared layering DAG.
+// Linted as a `core` (layer 5) source: fleet (9) and serve (8) sit above,
+// sim (3) and cluster (1) below.
+use exegpt_fleet::FleetPlan;
+use exegpt_serve::ServeLoop;
+use exegpt_sim::Estimate;
+use exegpt_cluster::ClusterSpec;
+
+fn wire() {
+    let p = exegpt_fleet::router();
+    let s = exegpt_sim::model();
+    drop((p, s));
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may look upward (mirrors the dev-dependency exemption).
+    use exegpt_fleet::FleetPlan;
+}

@@ -1,0 +1,42 @@
+// P2 fixture: discarded fallible results, resolved against this file's
+// own items.
+fn make() -> Result<u32, String> {
+    Ok(1)
+}
+
+#[must_use]
+fn score() -> u32 {
+    7
+}
+
+struct Store;
+
+impl Store {
+    fn save(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+fn infallible() -> u32 {
+    0
+}
+
+fn discards(s: &Store) {
+    let _ = make(); // flagged: silent Result discard
+    make(); // flagged: bare fallible statement
+    let _ = score(); // flagged: #[must_use] discard
+    s.save(); // flagged: bare fallible method statement
+    let _ = make(); // xlint::allow(P2, demonstrating a budgeted suppression)
+}
+
+fn handles(s: &Store) -> Result<(), String> {
+    let got = make().map_err(|e| e)?; // bound and propagated
+    drop(got);
+    if make().is_ok() {} // inspected
+    let _ = make().ok(); // final callee is `ok`, not `make`
+    let _ = infallible(); // infallible local fn
+    let _ = unknown_fn(); // foreign callee: not locally resolvable
+    let _ = writeln!(sink, "macros are excluded");
+    infallible();
+    s.save()
+}
