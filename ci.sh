@@ -29,16 +29,29 @@ if grep -q '"rule": "X0"' target/ci-artifacts/xlint.json; then
   echo "xlint: X0 pragma-hygiene findings present (see target/ci-artifacts/xlint.json)" >&2
   exit 1
 fi
-# The gate proper: all rules (incl. the L1/P2/D3 syntax-aware families)
-# plus the suppression-budget ratchet — new pragmas beyond the committed
-# per-crate counts in xlint-baseline.toml fail as X1.
+# The gate proper: all rules (incl. the L1/P2/D3 syntax-aware families
+# and the D4/U3/P3 dataflow rules) plus the suppression-budget ratchet —
+# new pragmas beyond the committed per-crate counts in xlint-baseline.toml
+# fail as X1.
 cargo run --offline -q -p exegpt-xlint -- --workspace --baseline xlint-baseline.toml
+# Fix hygiene: `--fix` exits non-zero while any mechanical fix (stale
+# pragma deletion, `let _ =` -> `?` rewrite) is pending, so a tree that
+# `--fix --apply` would change fails the gate with the diffs on stdout.
+cargo run --offline -q -p exegpt-xlint -- --workspace --fix
 
 echo "==> cargo test -q"
 cargo test --offline --workspace -q
 
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
+
+echo "==> xlint cache smoke (cold vs warm: coverage, byte-identity, >=5x)"
+# Wipes target/xlint-cache/, lints the workspace cold, then warm, and
+# exits non-zero unless the warm pass hits 100% of files, replays the
+# cold findings byte-identically, and is at least 5x faster. The
+# hit/miss/timing numbers are archived for trending.
+XLINT_SMOKE_JSON=target/ci-artifacts/xlint-cache-stats.json \
+  cargo run --offline --release -p exegpt-bench --bin xlint-smoke
 
 echo "==> serve smoke (SLO-accounting invariants over ~2k events)"
 cargo run --offline --release -p exegpt-serve --bin serve-smoke

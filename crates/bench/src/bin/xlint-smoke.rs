@@ -1,0 +1,105 @@
+//! CI smoke gate for the xlint incremental cache.
+//!
+//! Runs the workspace lint cold (cache wiped) and warm (best of several
+//! runs) and enforces the three properties the cache promises:
+//!
+//! 1. **Full coverage** — the cold pass misses every file and the warm
+//!    pass hits every file (no silent partial caching).
+//! 2. **Byte-identical findings** — the warm pass replays exactly the
+//!    cold pass's findings and suppressions, down to the rendered text.
+//! 3. **≥5× speedup** — the warm pass must beat the cold pass by at
+//!    least 5× wall-clock (warm is the minimum over several runs, so
+//!    scheduler noise cannot fail the gate by inflating one side only).
+//!
+//! The measured numbers are archived as JSON (path from
+//! `XLINT_SMOKE_JSON`, default `target/ci-artifacts/xlint-cache-stats.json`)
+//! for trending. Exits non-zero on any violated property.
+
+// The bench crate is exempt from xlint D2; mirror that for clippy.
+#![allow(clippy::disallowed_methods)]
+
+use std::time::{Duration, Instant};
+
+use exegpt_xlint::{cache, find_workspace_root, lint_workspace_cached, Report};
+
+const RUNS: usize = 5;
+const SPEEDUP_FLOOR: f64 = 5.0;
+
+fn timed(root: &std::path::Path) -> (Duration, Report) {
+    let start = Instant::now();
+    let report = lint_workspace_cached(root, true).expect("workspace lints");
+    (start.elapsed(), report)
+}
+
+fn main() {
+    let cwd = std::env::current_dir().expect("cwd resolves");
+    let root = find_workspace_root(&cwd).expect("workspace root resolves");
+    let dir = cache::cache_dir(&root);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("cache dir wiped");
+    }
+
+    let (cold_t, cold) = timed(&root);
+    let cold_stats = cold.cache.expect("cached pass reports stats");
+    println!(
+        "xlint-smoke: cold {:.0} ms — {} files, {} findings, {} suppressed",
+        cold_t.as_secs_f64() * 1e3,
+        cold.files_scanned,
+        cold.findings.len(),
+        cold.suppressed.len(),
+    );
+    assert_eq!(cold_stats.hits, 0, "cold pass on a wiped cache cannot hit");
+    assert_eq!(cold_stats.misses, cold.files_scanned, "cold pass must miss every file");
+
+    let (mut warm_t, mut warm) = timed(&root);
+    for _ in 1..RUNS {
+        let next = timed(&root);
+        if next.0 < warm_t {
+            (warm_t, warm) = next;
+        }
+    }
+    let warm_stats = warm.cache.expect("cached pass reports stats");
+    assert_eq!(warm_stats.hits, warm.files_scanned, "warm pass must hit every file");
+    assert_eq!(warm_stats.misses, 0, "warm pass on an unchanged tree cannot miss");
+
+    assert_eq!(warm.findings, cold.findings, "warm findings must replay byte-identically");
+    assert_eq!(warm.suppressed, cold.suppressed, "warm suppressions must replay byte-identically");
+    assert_eq!(warm.render_text(), cold.render_text(), "rendered reports must match");
+
+    let speedup = cold_t.as_secs_f64() / warm_t.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "  warm best-of-{RUNS} {:.1} ms: {speedup:.1}x over cold (floor {SPEEDUP_FLOOR}x), \
+         {}/{} hits",
+        warm_t.as_secs_f64() * 1e3,
+        warm_stats.hits,
+        warm.files_scanned,
+    );
+
+    let artifact = format!(
+        "{{\n  \"files_scanned\": {},\n  \"cold_ms\": {:.3},\n  \"warm_ms\": {:.3},\n  \
+         \"cold_hits\": {},\n  \"cold_misses\": {},\n  \"warm_hits\": {},\n  \
+         \"warm_misses\": {},\n  \"speedup\": {:.2},\n  \"speedup_floor\": {:.1}\n}}\n",
+        cold.files_scanned,
+        cold_t.as_secs_f64() * 1e3,
+        warm_t.as_secs_f64() * 1e3,
+        cold_stats.hits,
+        cold_stats.misses,
+        warm_stats.hits,
+        warm_stats.misses,
+        speedup,
+        SPEEDUP_FLOOR,
+    );
+    let path = std::env::var("XLINT_SMOKE_JSON")
+        .unwrap_or_else(|_| "target/ci-artifacts/xlint-cache-stats.json".to_string());
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(parent).expect("artifact directory");
+    }
+    std::fs::write(&path, artifact).expect("artifact written");
+    println!("  artifact: {path}");
+
+    assert!(
+        speedup >= SPEEDUP_FLOOR,
+        "warm lint is only {speedup:.1}x faster than cold (floor {SPEEDUP_FLOOR}x)"
+    );
+    println!("xlint-smoke OK");
+}

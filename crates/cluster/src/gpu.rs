@@ -128,14 +128,12 @@ impl GpuSpec {
     /// fraction of peak (launch ramp, low occupancy), large GEMMs approach
     /// `max_eff`. This is the mechanism by which batch size trades latency
     /// for throughput throughout the reproduction.
-    // xlint::allow(U1, dimensionless efficiency ratio in (0, 1))
     pub fn compute_efficiency(&self, flops: Flops) -> f64 {
         let x = flops.max_zero();
         self.max_compute_efficiency * (x / (x + self.compute_half_sat))
     }
 
     /// Achieved fraction of peak bandwidth for a kernel moving `bytes`.
-    // xlint::allow(U1, dimensionless efficiency ratio in (0, 1))
     pub fn memory_efficiency(&self, bytes: Bytes) -> f64 {
         let x = bytes.max_zero();
         self.max_memory_efficiency * (x / (x + self.memory_half_sat))
@@ -160,7 +158,6 @@ impl GpuSpec {
     ///
     /// Returns [`ClusterError::InvalidSpec`] unless `factor` is finite and
     /// ≥ 1 (a "slowdown" below 1 would be a speedup).
-    // xlint::allow(U1, dimensionless slowdown ratio >= 1)
     pub fn slowed(&self, factor: f64) -> Result<Self, ClusterError> {
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
         if !(factor >= 1.0) || !factor.is_finite() {

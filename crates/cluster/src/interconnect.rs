@@ -117,7 +117,6 @@ impl Interconnect {
     ///
     /// Returns [`ClusterError::InvalidSpec`] unless `bw_factor` is in
     /// `(0, 1]` and `latency_add` is finite and non-negative.
-    // xlint::allow(U1, dimensionless bandwidth ratio in (0, 1])
     pub fn degraded(&self, bw_factor: f64, latency_add: Secs) -> Result<Self, ClusterError> {
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
         if !(bw_factor > 0.0 && bw_factor <= 1.0) {

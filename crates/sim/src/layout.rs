@@ -43,7 +43,6 @@ impl PipelineLayout {
     ///
     /// Returns [`SimError::InvalidConfig`] if `n_gpus == 0`, the TP group
     /// size does not divide `tp.gpus`, or `tp.gpus > n_gpus`.
-    // xlint::allow(U1, tp_speedup is a dimensionless measured ratio)
     pub fn build(
         n_gpus: usize,
         tp: TpConfig,

@@ -1,0 +1,265 @@
+//! The incremental lint cache.
+//!
+//! Flow rules run a fixpoint per `fn`, so a workspace pass is no longer
+//! lexer-cheap. Per-file results (findings + suppressed) are therefore
+//! persisted under `target/xlint-cache/`, keyed by a 64-bit FNV-1a hash
+//! folding:
+//!
+//! * the **rule-set version** ([`RULESET_VERSION`], bumped whenever any
+//!   rule's behavior changes),
+//! * the **workspace fingerprint** (the declared crate DAG, audited
+//!   concurrency modules and N1/U1 crate lists — everything that feeds
+//!   [`crate::context_for`], which is otherwise a pure function of the
+//!   file label),
+//! * the file **label** and full **content**.
+//!
+//! A hit replays the stored findings byte-identically; any mismatch —
+//! stale key, unparseable record, unknown rule id — is a miss and the
+//! file is re-linted. Writes are best-effort: a read-only `target/` just
+//! means every run is cold.
+
+use std::path::{Path, PathBuf};
+
+use crate::rules::{Finding, Rule, Suppressed};
+use crate::workspace;
+
+/// Version of the rule set baked into cache keys. Bump on any change to
+/// rule behavior, finding messages, or the cache record format.
+pub const RULESET_VERSION: &str = "3";
+
+/// Cache effectiveness counters for one workspace pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Files whose findings were replayed from the cache.
+    pub hits: usize,
+    /// Files that were (re-)linted and stored.
+    pub misses: usize,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit over `bytes`, continuing from `state`.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// The workspace fingerprint folded into every key: a stable rendering
+/// of the config that `context_for` derives rule scoping from.
+fn workspace_fingerprint() -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, RULESET_VERSION.as_bytes());
+    for c in workspace::CRATES {
+        h = fnv1a(h, c.dir.as_bytes());
+        h = fnv1a(h, c.ident.as_bytes());
+        h = fnv1a(h, &[c.layer]);
+    }
+    for m in crate::AUDITED_CONCURRENCY_MODULES {
+        h = fnv1a(h, m.as_bytes());
+    }
+    for c in crate::N1_CRATES {
+        h = fnv1a(h, c.as_bytes());
+    }
+    for c in crate::U1_CRATES {
+        h = fnv1a(h, c.as_bytes());
+    }
+    h
+}
+
+/// The cache key for one file: fingerprint ⊕ label ⊕ content.
+pub fn file_key(label: &str, src: &str) -> u64 {
+    let mut h = workspace_fingerprint();
+    h = fnv1a(h, label.as_bytes());
+    h = fnv1a(h, &[0]);
+    fnv1a(h, src.as_bytes())
+}
+
+/// Where the cache lives for a workspace root.
+pub fn cache_dir(root: &Path) -> PathBuf {
+    root.join("target").join("xlint-cache")
+}
+
+/// The cache file for a label (content-independent: one slot per file,
+/// overwritten as the file changes).
+fn entry_path(dir: &Path, label: &str) -> PathBuf {
+    dir.join(format!("{:016x}.txt", fnv1a(FNV_OFFSET, label.as_bytes())))
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Loads the cached findings for `label` if the stored key matches.
+pub fn load(dir: &Path, label: &str, key: u64) -> Option<(Vec<Finding>, Vec<Suppressed>)> {
+    let text = std::fs::read_to_string(entry_path(dir, label)).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != "xlint-cache v1" {
+        return None;
+    }
+    let stored = lines.next()?.strip_prefix("key ")?;
+    if u64::from_str_radix(stored, 16).ok()? != key {
+        return None;
+    }
+    if lines.next()?.strip_prefix("label ")? != escape(label) {
+        return None;
+    }
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    for line in lines {
+        let mut parts = line.split('\t');
+        let tag = parts.next()?;
+        let file = unescape(parts.next()?);
+        let lineno: usize = parts.next()?.parse().ok()?;
+        let rule = Rule::parse(parts.next()?)?;
+        let message = unescape(parts.next()?);
+        let suggestion = unescape(parts.next()?);
+        let finding = Finding { file, line: lineno, rule, message, suggestion };
+        match tag {
+            "F" => {
+                if parts.next().is_some() {
+                    return None;
+                }
+                findings.push(finding);
+            }
+            "S" => {
+                let reason = unescape(parts.next()?);
+                if parts.next().is_some() {
+                    return None;
+                }
+                suppressed.push(Suppressed { finding, reason });
+            }
+            _ => return None,
+        }
+    }
+    Some((findings, suppressed))
+}
+
+/// Stores one file's results. Failures are ignored: caching is an
+/// optimization, never a correctness dependency.
+pub fn store(dir: &Path, label: &str, key: u64, findings: &[Finding], suppressed: &[Suppressed]) {
+    use std::fmt::Write as _;
+    let mut out = String::from("xlint-cache v1\n");
+    let _ = writeln!(out, "key {key:016x}");
+    let _ = writeln!(out, "label {}", escape(label));
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "F\t{}\t{}\t{}\t{}\t{}",
+            escape(&f.file),
+            f.line,
+            f.rule.id(),
+            escape(&f.message),
+            escape(&f.suggestion),
+        );
+    }
+    for s in suppressed {
+        let _ = writeln!(
+            out,
+            "S\t{}\t{}\t{}\t{}\t{}\t{}",
+            escape(&s.finding.file),
+            s.finding.line,
+            s.finding.rule.id(),
+            escape(&s.finding.message),
+            escape(&s.finding.suggestion),
+            escape(&s.reason),
+        );
+    }
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(entry_path(dir, label), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vec<Finding>, Vec<Suppressed>) {
+        let f = Finding {
+            file: "crates/sim/src/x.rs".into(),
+            line: 7,
+            rule: Rule::D1,
+            message: "tabs\tand\nnewlines".into(),
+            suggestion: "back\\slash".into(),
+        };
+        let s = Suppressed { finding: f.clone(), reason: "audited: why".into() };
+        (vec![f], vec![s])
+    }
+
+    #[test]
+    fn round_trips_bytes_exactly() {
+        let dir = std::env::temp_dir().join("xlint-cache-test-rt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (f, s) = sample();
+        let key = file_key("crates/sim/src/x.rs", "let a = 1;");
+        store(&dir, "crates/sim/src/x.rs", key, &f, &s);
+        let (lf, ls) = load(&dir, "crates/sim/src/x.rs", key).expect("hit");
+        assert_eq!(lf, f);
+        assert_eq!(ls.len(), 1);
+        assert_eq!(ls[0].finding, s[0].finding);
+        assert_eq!(ls[0].reason, s[0].reason);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_mismatch_and_absence_are_misses() {
+        let dir = std::env::temp_dir().join("xlint-cache-test-miss");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load(&dir, "nope.rs", 1).is_none(), "absent dir is a miss");
+        let (f, s) = sample();
+        store(&dir, "a.rs", 42, &f, &s);
+        assert!(load(&dir, "a.rs", 43).is_none(), "stale content is a miss");
+        assert!(load(&dir, "a.rs", 42).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_depend_on_label_and_content() {
+        let a = file_key("a.rs", "x");
+        assert_ne!(a, file_key("a.rs", "y"));
+        assert_ne!(a, file_key("b.rs", "x"));
+        assert_eq!(a, file_key("a.rs", "x"), "pure function");
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in ["plain", "a\tb", "n\nl", "back\\slash\\t", "", "mix\t\\\n\r"] {
+            assert_eq!(unescape(&escape(s)), s);
+            assert!(!escape(s).contains('\n'), "records stay one line");
+            assert!(!escape(s).contains('\t') || s.is_empty() || !s.contains('\\'));
+        }
+        assert!(!escape("a\tb").contains('\t'));
+    }
+}

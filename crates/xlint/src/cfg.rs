@@ -1,0 +1,935 @@
+//! Statement-level control-flow graphs over `fn` bodies.
+//!
+//! The flow rules (D4/U3/P3) need more than a token scan: they must know
+//! which statements can *follow* which. This module lowers a fn body's
+//! token range into basic blocks of statements connected by successor
+//! edges. It is deliberately conservative, not a full Rust parser:
+//!
+//! * `let` / assignment / expression / `return` statements are split at
+//!   depth-0 `;` — a conditional *inside* an initializer
+//!   (`let x = if c { a } else { b };`) stays one straight-line
+//!   statement, which over-approximates the taint join of its arms;
+//! * `if`/`else if`/`else`, `match` (arms as parallel blocks, pattern
+//!   bindings modelled as bindings from the scrutinee), `loop`/`while`/
+//!   `for` (with a back edge and a conservative exit edge), labeled and
+//!   plain `break`/`continue`, `return` and `?` (an extra edge to the
+//!   exit block) are lowered structurally;
+//! * anything unrecognized degrades to a plain statement with
+//!   fall-through — unknown syntax can hide flow, never invent it.
+//!
+//! Construction is bounded (recursion depth, strictly advancing cursor)
+//! and panic-free on arbitrary token soup; a property test pins this.
+
+use crate::lexer::{self, Tok, TokKind};
+use crate::parser::{self, ItemKind};
+
+/// Index of the entry block in [`Cfg::blocks`].
+pub(crate) const ENTRY: usize = 0;
+/// Index of the synthetic exit block (always empty, no successors).
+pub(crate) const EXIT: usize = 1;
+
+/// Bound on structural nesting; deeper constructs degrade to straight-line.
+const MAX_DEPTH: usize = 64;
+
+/// What a statement does to the abstract state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum StmtKind {
+    /// `let <pat> = <init>;` — binds `names` from the init range.
+    Let {
+        /// Identifiers bound by the pattern.
+        names: Vec<String>,
+        /// Token range of the initializer (inclusive; empty if lo > hi).
+        init_lo: usize,
+        /// End of the initializer range.
+        init_hi: usize,
+    },
+    /// `name = rhs;` / `name += rhs;` — updates one binding.
+    Assign {
+        /// The assigned binding.
+        name: String,
+        /// Token range of the right-hand side (inclusive).
+        rhs_lo: usize,
+        /// End of the right-hand side range.
+        rhs_hi: usize,
+        /// Compound (`+=` etc.): the old value joins in.
+        compound: bool,
+    },
+    /// A branch/loop condition or a match-arm pattern: may bind `names`
+    /// from the scrutinee/iterator expression range.
+    Cond {
+        /// Identifiers bound (if-let / while-let / for / match arms).
+        names: Vec<String>,
+        /// Token range of the decided expression (inclusive).
+        expr_lo: usize,
+        /// End of the decided expression range.
+        expr_hi: usize,
+    },
+    /// Any other expression statement.
+    Expr,
+    /// `return ...;` (the block edge to exit carries the control effect).
+    Return,
+}
+
+/// One statement: its full token span and its abstract effect.
+#[derive(Debug, Clone)]
+pub(crate) struct Stmt {
+    /// First token of the statement (absolute index).
+    pub lo: usize,
+    /// Last token of the statement (absolute index, inclusive).
+    pub hi: usize,
+    /// 1-based source line of the first token.
+    pub line: usize,
+    /// Abstract effect.
+    pub kind: StmtKind,
+}
+
+/// A basic block: straight-line statements plus successor edges.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+}
+
+/// A fn body's control-flow graph. Block [`ENTRY`] is the entry,
+/// [`EXIT`] the synthetic exit.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Cfg {
+    /// All blocks; indices are stable.
+    pub blocks: Vec<Block>,
+}
+
+/// An active loop during lowering: where `continue` and `break` go.
+struct LoopCtx {
+    label: Option<String>,
+    head: usize,
+    exit: usize,
+}
+
+struct Builder<'a> {
+    toks: &'a [Tok],
+    blocks: Vec<Block>,
+    loops: Vec<LoopCtx>,
+}
+
+/// Lowers `toks[lo..hi]` (a fn body's interior, braces excluded) to a CFG.
+pub(crate) fn build(toks: &[Tok], lo: usize, hi: usize) -> Cfg {
+    let mut b =
+        Builder { toks, blocks: vec![Block::default(), Block::default()], loops: Vec::new() };
+    let last = b.lower(lo, hi.min(toks.len()), ENTRY, 0);
+    b.edge(last, EXIT);
+    Cfg { blocks: b.blocks }
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if let Some(b) = self.blocks.get_mut(from) {
+            if !b.succs.contains(&to) {
+                b.succs.push(to);
+            }
+        }
+    }
+
+    fn push(&mut self, block: usize, stmt: Stmt) {
+        if let Some(b) = self.blocks.get_mut(block) {
+            b.stmts.push(stmt);
+        }
+    }
+
+    fn is_punct(&self, i: usize, s: &str) -> bool {
+        matches!(self.toks.get(i), Some(t) if t.kind == TokKind::Punct && t.text == s)
+    }
+
+    fn is_ident(&self, i: usize, s: &str) -> bool {
+        matches!(self.toks.get(i), Some(t) if t.kind == TokKind::Ident && t.text == s)
+    }
+
+    fn line(&self, i: usize) -> usize {
+        self.toks.get(i).map_or(0, |t| t.line)
+    }
+
+    /// Index of the token closing the brace opened at `open`, capped at
+    /// `hi` (exclusive). Saturates to `hi - 1` on malformed input.
+    fn close_brace(&self, open: usize, hi: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < hi {
+            if let Some(t) = self.toks.get(j) {
+                if t.kind == TokKind::Punct {
+                    if t.text == "{" {
+                        depth += 1;
+                    } else if t.text == "}" {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            return j;
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        hi.saturating_sub(1).max(open)
+    }
+
+    /// Index of the `;` ending the statement starting at `from` (all
+    /// bracket kinds counted as depth), or the last token before `hi`.
+    fn stmt_end(&self, from: usize, hi: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = from;
+        while j < hi {
+            if let Some(t) = self.toks.get(j) {
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                        ";" if depth == 0 => return j,
+                        _ => {}
+                    }
+                }
+            }
+            j += 1;
+        }
+        hi.saturating_sub(1).max(from)
+    }
+
+    /// Whether any token in `lo..=hi` is a `?` at any depth (an implicit
+    /// early return on the error path).
+    fn has_try(&self, lo: usize, hi: usize) -> bool {
+        (lo..=hi.min(self.toks.len().saturating_sub(1))).any(
+            |j| matches!(self.toks.get(j), Some(t) if t.kind == TokKind::Punct && t.text == "?"),
+        )
+    }
+
+    /// After a `?`-bearing statement the error path leaves the fn: split
+    /// the block with edges to both the continuation and the exit.
+    fn split_for_try(&mut self, cur: usize) -> usize {
+        let next = self.new_block();
+        self.edge(cur, next);
+        self.edge(cur, EXIT);
+        next
+    }
+
+    /// Identifiers bound by a pattern in `lo..hi` (exclusive): lowercase-
+    /// or `_`-prefixed idents (variants and types are capitalized in all
+    /// linted code), keywords and the wildcard excluded.
+    fn pattern_names(&self, lo: usize, hi: usize) -> Vec<String> {
+        let mut names = Vec::new();
+        for j in lo..hi.min(self.toks.len()) {
+            let t = &self.toks[j];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let first = t.text.chars().next().unwrap_or('A');
+            if !(first.is_lowercase() || first == '_') || t.text == "_" {
+                continue;
+            }
+            if matches!(t.text.as_str(), "mut" | "ref" | "box" | "in" | "if" | "as") {
+                continue;
+            }
+            if !names.contains(&t.text) {
+                names.push(t.text.clone());
+            }
+        }
+        names
+    }
+
+    /// Lowers `toks[i..hi]` starting in block `cur`; returns the block
+    /// that is open when the range ends (always a valid block — code
+    /// after a diverging statement lands in a fresh predecessor-less
+    /// block, which the fixpoint simply never reaches).
+    fn lower(&mut self, mut i: usize, hi: usize, mut cur: usize, depth: usize) -> usize {
+        let hi = hi.min(self.toks.len());
+        if depth > MAX_DEPTH {
+            // Too deep: degrade the whole range to one opaque statement.
+            if i < hi {
+                self.push(
+                    cur,
+                    Stmt { lo: i, hi: hi - 1, line: self.line(i), kind: StmtKind::Expr },
+                );
+            }
+            return cur;
+        }
+        while i < hi {
+            let t = &self.toks[i];
+            // Skip separators and attributes outliving the parser.
+            if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | ",") {
+                i += 1;
+                continue;
+            }
+            // Bare / unsafe / async block: same flow, recursed.
+            if t.kind == TokKind::Punct && t.text == "{" {
+                let close = self.close_brace(i, hi);
+                cur = self.lower(i + 1, close, cur, depth + 1);
+                i = close + 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "unsafe" | "async")
+                && self.is_punct(i + 1, "{")
+            {
+                i += 1;
+                continue;
+            }
+            // Loop label: 'name : loop/while/for.
+            if t.kind == TokKind::Lifetime && self.is_punct(i + 1, ":") {
+                let label = Some(t.text.trim_start_matches('\'').to_string());
+                if self.toks.get(i + 2).is_some_and(|k| {
+                    k.kind == TokKind::Ident && matches!(k.text.as_str(), "loop" | "while" | "for")
+                }) {
+                    let (ni, nc) = self.lower_loop(i + 2, hi, cur, depth, label);
+                    i = ni.max(i + 3);
+                    cur = nc;
+                    continue;
+                }
+                i += 2;
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "let" => {
+                        i = self.lower_let(i, hi, &mut cur);
+                        continue;
+                    }
+                    "return" => {
+                        let end = self.stmt_end(i, hi);
+                        self.push(
+                            cur,
+                            Stmt { lo: i, hi: end, line: t.line, kind: StmtKind::Return },
+                        );
+                        self.edge(cur, EXIT);
+                        cur = self.new_block();
+                        i = end + 1;
+                        continue;
+                    }
+                    "break" | "continue" => {
+                        let is_break = t.text == "break";
+                        let label = match self.toks.get(i + 1) {
+                            Some(l) if l.kind == TokKind::Lifetime => {
+                                Some(l.text.trim_start_matches('\'').to_string())
+                            }
+                            _ => None,
+                        };
+                        let end = self.stmt_end(i, hi);
+                        self.push(cur, Stmt { lo: i, hi: end, line: t.line, kind: StmtKind::Expr });
+                        let target = self
+                            .loops
+                            .iter()
+                            .rev()
+                            .find(|c| label.is_none() || c.label == label)
+                            .map(|c| if is_break { c.exit } else { c.head })
+                            .unwrap_or(EXIT);
+                        self.edge(cur, target);
+                        cur = self.new_block();
+                        i = end + 1;
+                        continue;
+                    }
+                    "if" => {
+                        let (ni, nc) = self.lower_if(i, hi, cur, depth);
+                        i = ni.max(i + 1);
+                        cur = nc;
+                        continue;
+                    }
+                    "match" => {
+                        let (ni, nc) = self.lower_match(i, hi, cur, depth);
+                        i = ni.max(i + 1);
+                        cur = nc;
+                        continue;
+                    }
+                    "loop" | "while" | "for" => {
+                        let (ni, nc) = self.lower_loop(i, hi, cur, depth, None);
+                        i = ni.max(i + 1);
+                        cur = nc;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            // Generic statement: assignment or plain expression.
+            let end = self.stmt_end(i, hi);
+            let kind = self.classify_assign(i, end);
+            let has_try = self.has_try(i, end);
+            self.push(cur, Stmt { lo: i, hi: end, line: t.line, kind });
+            if has_try {
+                cur = self.split_for_try(cur);
+            }
+            i = end + 1;
+        }
+        cur
+    }
+
+    /// `name = rhs` / `name <op>= rhs` at statement position.
+    fn classify_assign(&self, lo: usize, hi: usize) -> StmtKind {
+        if !matches!(self.toks.get(lo), Some(t) if t.kind == TokKind::Ident) {
+            return StmtKind::Expr;
+        }
+        let name = self.toks[lo].text.clone();
+        if self.is_punct(lo + 1, "=") && lo + 2 <= hi {
+            return StmtKind::Assign { name, rhs_lo: lo + 2, rhs_hi: hi, compound: false };
+        }
+        let op = matches!(self.toks.get(lo + 1),
+            Some(t) if t.kind == TokKind::Punct && matches!(t.text.as_str(), "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"));
+        if op && self.is_punct(lo + 2, "=") && lo + 3 <= hi {
+            return StmtKind::Assign { name, rhs_lo: lo + 3, rhs_hi: hi, compound: true };
+        }
+        StmtKind::Expr
+    }
+
+    /// `let <pat>[: ty] = <init>;` — returns the index after the statement.
+    fn lower_let(&mut self, i: usize, hi: usize, cur: &mut usize) -> usize {
+        let line = self.line(i);
+        // Scan the pattern to the depth-0 `=` (or `;` for `let x;`),
+        // collecting binding names until a depth-0 `:` opens the type.
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let mut pat_hi = j;
+        let mut eq = None;
+        let mut in_type = false;
+        let mut names = Vec::new();
+        while j < hi {
+            let t = &self.toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                    "=" if depth == 0 => {
+                        eq = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    ":" if depth == 0 => in_type = true,
+                    _ => {}
+                }
+            }
+            if !in_type {
+                pat_hi = j + 1;
+            }
+            j += 1;
+        }
+        for n in self.pattern_names(i + 1, pat_hi) {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+        let Some(eq) = eq else {
+            // `let x;` — an empty initializer binds nothing trackable.
+            let end = self.stmt_end(i, hi);
+            self.push(
+                *cur,
+                Stmt {
+                    lo: i,
+                    hi: end,
+                    line,
+                    kind: StmtKind::Let { names, init_lo: 1, init_hi: 0 },
+                },
+            );
+            return end + 1;
+        };
+        let end = self.stmt_end(eq + 1, hi);
+        let init_hi = if end > eq && self.is_punct(end, ";") { end - 1 } else { end };
+        let has_try = self.has_try(i, end);
+        self.push(
+            *cur,
+            Stmt { lo: i, hi: end, line, kind: StmtKind::Let { names, init_lo: eq + 1, init_hi } },
+        );
+        if has_try {
+            *cur = self.split_for_try(*cur);
+        }
+        end + 1
+    }
+
+    /// `if [let <pat> =] <cond> { .. } [else if .. | else { .. }]`.
+    /// Returns (index after the construct, the join block).
+    fn lower_if(
+        &mut self,
+        mut i: usize,
+        hi: usize,
+        mut cur: usize,
+        depth: usize,
+    ) -> (usize, usize) {
+        let join = self.new_block();
+        loop {
+            // i is at `if`.
+            let mut j = i + 1;
+            let mut names = Vec::new();
+            if self.is_ident(j, "let") {
+                // Pattern up to the depth-0 `=`.
+                let mut d = 0usize;
+                let pat_lo = j + 1;
+                let mut k = pat_lo;
+                while k < hi {
+                    let t = &self.toks[k];
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "(" | "[" => d += 1,
+                            ")" | "]" => d = d.saturating_sub(1),
+                            "=" if d == 0 => break,
+                            "{" if d == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                names = self.pattern_names(pat_lo, k);
+                j = if self.is_punct(k, "=") { k + 1 } else { k };
+            }
+            // Condition up to the depth-0 `{`.
+            let cond_lo = j;
+            let mut d = 0usize;
+            let mut open = j;
+            while open < hi {
+                let t = &self.toks[open];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => d += 1,
+                        ")" | "]" => d = d.saturating_sub(1),
+                        "{" if d == 0 => break,
+                        ";" if d == 0 => break,
+                        _ => {}
+                    }
+                }
+                open += 1;
+            }
+            let cond_hi = open.saturating_sub(1).max(cond_lo);
+            self.push(
+                cur,
+                Stmt {
+                    lo: i,
+                    hi: cond_hi,
+                    line: self.line(i),
+                    kind: StmtKind::Cond { names, expr_lo: cond_lo, expr_hi: cond_hi },
+                },
+            );
+            if self.has_try(cond_lo, cond_hi) {
+                self.edge(cur, EXIT);
+            }
+            if !self.is_punct(open, "{") {
+                // Malformed: fall through.
+                self.edge(cur, join);
+                return (open + 1, join);
+            }
+            let close = self.close_brace(open, hi);
+            let then_blk = self.new_block();
+            self.edge(cur, then_blk);
+            let then_end = self.lower(open + 1, close, then_blk, depth + 1);
+            self.edge(then_end, join);
+            i = close + 1;
+            if self.is_ident(i, "else") {
+                if self.is_ident(i + 1, "if") {
+                    let chain = self.new_block();
+                    self.edge(cur, chain);
+                    cur = chain;
+                    i += 1;
+                    continue;
+                }
+                if self.is_punct(i + 1, "{") {
+                    let eclose = self.close_brace(i + 1, hi);
+                    let else_blk = self.new_block();
+                    self.edge(cur, else_blk);
+                    let else_end = self.lower(i + 2, eclose, else_blk, depth + 1);
+                    self.edge(else_end, join);
+                    return (eclose + 1, join);
+                }
+            }
+            // No else: the false path falls through.
+            self.edge(cur, join);
+            return (i, join);
+        }
+    }
+
+    /// `match <scrutinee> { <pat> => <body>, ... }` — each arm is a
+    /// parallel block whose pattern binds from the scrutinee.
+    fn lower_match(&mut self, i: usize, hi: usize, cur: usize, depth: usize) -> (usize, usize) {
+        let scrut_lo = i + 1;
+        let mut d = 0usize;
+        let mut open = scrut_lo;
+        while open < hi {
+            let t = &self.toks[open];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => d += 1,
+                    ")" | "]" => d = d.saturating_sub(1),
+                    "{" if d == 0 => break,
+                    ";" if d == 0 => break,
+                    _ => {}
+                }
+            }
+            open += 1;
+        }
+        let scrut_hi = open.saturating_sub(1).max(scrut_lo);
+        self.push(
+            cur,
+            Stmt {
+                lo: i,
+                hi: scrut_hi,
+                line: self.line(i),
+                kind: StmtKind::Cond { names: Vec::new(), expr_lo: scrut_lo, expr_hi: scrut_hi },
+            },
+        );
+        if self.has_try(scrut_lo, scrut_hi) {
+            self.edge(cur, EXIT);
+        }
+        let join = self.new_block();
+        if !self.is_punct(open, "{") {
+            self.edge(cur, join);
+            return (open + 1, join);
+        }
+        let close = self.close_brace(open, hi);
+        let mut j = open + 1;
+        let mut arms = 0usize;
+        while j < close {
+            // Pattern (with optional guard) up to the depth-0 `=>`.
+            let pat_lo = j;
+            let mut d = 0usize;
+            let mut arrow = j;
+            while arrow < close {
+                let t = &self.toks[arrow];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d = d.saturating_sub(1),
+                        "=>" if d == 0 => break,
+                        _ => {}
+                    }
+                }
+                arrow += 1;
+            }
+            if arrow >= close {
+                break;
+            }
+            let names = self.pattern_names(pat_lo, arrow);
+            let arm_blk = self.new_block();
+            self.edge(cur, arm_blk);
+            let pat_hi = arrow.saturating_sub(1).max(pat_lo);
+            self.push(
+                arm_blk,
+                Stmt {
+                    lo: pat_lo,
+                    hi: pat_hi,
+                    line: self.line(pat_lo),
+                    kind: StmtKind::Cond { names, expr_lo: scrut_lo, expr_hi: scrut_hi },
+                },
+            );
+            // Arm body: a block, or an expression up to the depth-0 `,`.
+            let body_lo = arrow + 1;
+            let body_hi;
+            if self.is_punct(body_lo, "{") {
+                let bclose = self.close_brace(body_lo, close);
+                let end = self.lower(body_lo + 1, bclose, arm_blk, depth + 1);
+                self.edge(end, join);
+                body_hi = bclose;
+            } else {
+                let mut d = 0usize;
+                let mut k = body_lo;
+                while k < close {
+                    let t = &self.toks[k];
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "(" | "[" | "{" => d += 1,
+                            ")" | "]" | "}" => d = d.saturating_sub(1),
+                            "," if d == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                let end = self.lower(body_lo, k, arm_blk, depth + 1);
+                self.edge(end, join);
+                body_hi = k;
+            }
+            arms += 1;
+            j = (body_hi + 1).max(j + 1);
+        }
+        if arms == 0 {
+            self.edge(cur, join);
+        }
+        (close + 1, join)
+    }
+
+    /// `loop { .. }` / `while [let] <cond> { .. }` / `for <pat> in <iter>
+    /// { .. }` — head block with a back edge and a conservative exit edge.
+    fn lower_loop(
+        &mut self,
+        i: usize,
+        hi: usize,
+        cur: usize,
+        depth: usize,
+        label: Option<String>,
+    ) -> (usize, usize) {
+        let kw = self.toks.get(i).map(|t| t.text.clone()).unwrap_or_default();
+        let head = self.new_block();
+        self.edge(cur, head);
+        let join = self.new_block();
+        // Header: find the body `{`, emitting a Cond for while/for.
+        let mut j = i + 1;
+        let mut names = Vec::new();
+        let mut expr_lo = j;
+        if kw == "while" && self.is_ident(j, "let") {
+            let pat_lo = j + 1;
+            let mut d = 0usize;
+            let mut k = pat_lo;
+            while k < hi {
+                let t = &self.toks[k];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => d += 1,
+                        ")" | "]" => d = d.saturating_sub(1),
+                        "=" if d == 0 => break,
+                        "{" if d == 0 => break,
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+            names = self.pattern_names(pat_lo, k);
+            j = if self.is_punct(k, "=") { k + 1 } else { k };
+            expr_lo = j;
+        } else if kw == "for" {
+            let pat_lo = j;
+            let mut k = j;
+            while k < hi && !self.is_ident(k, "in") && !self.is_punct(k, "{") {
+                k += 1;
+            }
+            names = self.pattern_names(pat_lo, k);
+            j = if self.is_ident(k, "in") { k + 1 } else { k };
+            expr_lo = j;
+        }
+        let mut d = 0usize;
+        let mut open = j;
+        while open < hi {
+            let t = &self.toks[open];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => d += 1,
+                    ")" | "]" => d = d.saturating_sub(1),
+                    "{" if d == 0 => break,
+                    ";" if d == 0 => break,
+                    _ => {}
+                }
+            }
+            open += 1;
+        }
+        if kw != "loop" {
+            let expr_hi = open.saturating_sub(1).max(expr_lo);
+            self.push(
+                head,
+                Stmt {
+                    lo: i,
+                    hi: expr_hi,
+                    line: self.line(i),
+                    kind: StmtKind::Cond { names, expr_lo, expr_hi },
+                },
+            );
+            if self.has_try(expr_lo, expr_hi) {
+                self.edge(head, EXIT);
+            }
+        }
+        if !self.is_punct(open, "{") {
+            self.edge(head, join);
+            return (open + 1, join);
+        }
+        let close = self.close_brace(open, hi);
+        self.loops.push(LoopCtx { label, head, exit: join });
+        let body_blk = self.new_block();
+        self.edge(head, body_blk);
+        let body_end = self.lower(open + 1, close, body_blk, depth + 1);
+        self.edge(body_end, head);
+        self.loops.pop();
+        // Conservative: every loop may run zero times / terminate.
+        self.edge(head, join);
+        (close + 1, join)
+    }
+}
+
+/// Renders a CFG as a stable, diffable text dump (golden tests).
+pub(crate) fn render(cfg: &Cfg) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        let tag = match bi {
+            ENTRY => " (entry)",
+            EXIT => " (exit)",
+            _ => "",
+        };
+        let _ = writeln!(out, "b{bi}{tag}:");
+        for s in &block.stmts {
+            let desc = match &s.kind {
+                StmtKind::Let { names, .. } => format!("let {}", render_names(names)),
+                StmtKind::Assign { name, compound, .. } => {
+                    format!("assign{} {name}", if *compound { "(op)" } else { "" })
+                }
+                StmtKind::Cond { names, .. } if names.is_empty() => "cond".to_string(),
+                StmtKind::Cond { names, .. } => format!("cond bind {}", render_names(names)),
+                StmtKind::Expr => "expr".to_string(),
+                StmtKind::Return => "return".to_string(),
+            };
+            let _ = writeln!(out, "  L{} {desc}", s.line);
+        }
+        let succs: Vec<String> = block.succs.iter().map(|s| format!("b{s}")).collect();
+        let _ = writeln!(
+            out,
+            "  -> {}",
+            if succs.is_empty() { "∅".to_string() } else { succs.join(" ") }
+        );
+    }
+    out
+}
+
+fn render_names(names: &[String]) -> String {
+    if names.is_empty() {
+        "_".to_string()
+    } else {
+        names.join(", ")
+    }
+}
+
+/// Lexes `src`, builds a CFG for every `fn` item, and renders them all —
+/// the public golden-dump entry point for tests and debugging.
+pub fn dump_source(src: &str) -> String {
+    use std::fmt::Write as _;
+    let lexed = lexer::lex(src);
+    let items = parser::parse_items(&lexed.toks);
+    let mut out = String::new();
+    for it in &items {
+        let ItemKind::Fn(_) = it.kind else { continue };
+        let Some((body_lo, body_hi)) = body_range(&lexed.toks, it.start, it.end) else { continue };
+        let cfg = build(&lexed.toks, body_lo, body_hi);
+        let _ = writeln!(out, "fn {}:", it.name);
+        for line in render(&cfg).lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    out
+}
+
+/// The interior token range of a fn item's body: the first depth-0 `{`
+/// between `start` and `end` opens it; `end` closes it. `None` for
+/// bodyless declarations (`fn f();` in traits).
+pub(crate) fn body_range(toks: &[Tok], start: usize, end: usize) -> Option<(usize, usize)> {
+    if !matches!(toks.get(end), Some(t) if t.kind == TokKind::Punct && t.text == "}") {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < end {
+        let t = toks.get(j)?;
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "{" if depth == 0 => return Some((j + 1, end)),
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn cfg_of(body: &str) -> Cfg {
+        let src = format!("fn t() {{ {body} }}");
+        let lexed = lex(&src);
+        let items = parser::parse_items(&lexed.toks);
+        let it = items.iter().find(|i| matches!(i.kind, ItemKind::Fn(_))).expect("fn parsed");
+        let (lo, hi) = body_range(&lexed.toks, it.start, it.end).expect("body");
+        build(&lexed.toks, lo, hi)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = cfg_of("let a = 1; let b = a + 2; use_it(b);");
+        assert_eq!(cfg.blocks[ENTRY].stmts.len(), 3);
+        assert_eq!(cfg.blocks[ENTRY].succs, vec![EXIT]);
+        match &cfg.blocks[ENTRY].stmts[0].kind {
+            StmtKind::Let { names, .. } => assert_eq!(names, &["a".to_string()]),
+            k => panic!("expected let, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_diamonds_join() {
+        let cfg = cfg_of("let a = 1; if c { f(a); } else { g(a); } h();");
+        // entry(cond) -> then, else; both -> join -> exit.
+        let entry = &cfg.blocks[ENTRY];
+        assert_eq!(entry.succs.len(), 2, "{cfg:?}");
+        assert!(matches!(entry.stmts.last().map(|s| &s.kind), Some(StmtKind::Cond { .. })));
+        let join = entry
+            .succs
+            .iter()
+            .map(|&s| &cfg.blocks[s])
+            .flat_map(|b| b.succs.clone())
+            .collect::<Vec<_>>();
+        assert!(join.windows(2).all(|w| w[0] == w[1]), "both arms join: {cfg:?}");
+    }
+
+    #[test]
+    fn return_edges_to_exit_and_question_splits() {
+        let cfg = cfg_of("if c { return; } let v = fallible()?; use_it(v);");
+        let to_exit = cfg.blocks.iter().filter(|b| b.succs.contains(&EXIT)).count();
+        assert!(to_exit >= 2, "return and ? both reach exit: {cfg:?}");
+    }
+
+    #[test]
+    fn loops_have_back_edges() {
+        let cfg = cfg_of("while cond { body(); } after();");
+        let has_cycle = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(bi, b)| b.succs.iter().any(|&s| s <= bi && s != EXIT && s != ENTRY));
+        assert!(has_cycle, "loop produces a back edge: {cfg:?}");
+    }
+
+    #[test]
+    fn match_arms_bind_from_the_scrutinee() {
+        let cfg = cfg_of("match probe() { Some(x) => use_it(x), None => {} }");
+        let binds: Vec<&StmtKind> = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| b.stmts.iter().map(|s| &s.kind))
+            .filter(|k| matches!(k, StmtKind::Cond { names, .. } if !names.is_empty()))
+            .collect();
+        assert_eq!(binds.len(), 1, "{cfg:?}");
+        match binds[0] {
+            StmtKind::Cond { names, .. } => assert_eq!(names, &["x".to_string()]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn labeled_break_targets_the_outer_loop() {
+        let cfg = cfg_of("'outer: loop { loop { break 'outer; } } after();");
+        // The inner break must reach a block that is NOT the inner loop's
+        // join; structurally we just require the dump to be stable and the
+        // graph to terminate at exit.
+        assert!(cfg.blocks.iter().any(|b| b.succs.contains(&EXIT)));
+    }
+
+    #[test]
+    fn builder_survives_soup() {
+        for body in
+            ["if { { {", "match ) => ,", "let = = ;", "} } }", "for in in {", "'a: 'b: loop"]
+        {
+            let _ = cfg_of(body);
+        }
+        let _ = dump_source("fn (");
+        let _ = dump_source("");
+    }
+
+    #[test]
+    fn dump_is_stable() {
+        let src = "fn f() { if a { g(); } }";
+        assert_eq!(dump_source(src), dump_source(src));
+        assert!(dump_source(src).contains("fn f:"));
+    }
+}

@@ -1,0 +1,354 @@
+//! Forward worklist fixpoint over a fn body's CFG.
+//!
+//! State is a map from local binding name to [`TaintSet`]; the join is
+//! pointwise set union. The lattice is finite (bindings are drawn from
+//! the fn's tokens, marks from one `u16`), so the fixpoint terminates;
+//! a hard iteration cap additionally bounds it on adversarial graphs.
+//!
+//! [`expr_taint`] is the shared expression evaluator: it unions the
+//! taints of mentioned bindings, introduces source marks (clock /
+//! entropy / env reads, unit-strip accessors), and clears strip marks
+//! when the whole expression is a sanctioned conversion call — the
+//! `exegpt_dist::convert` helpers or a unit constructor. Nondeterminism
+//! marks are never cleared by anything.
+
+use std::collections::BTreeMap;
+
+use crate::cfg::{Cfg, Stmt, StmtKind};
+use crate::lexer::{Tok, TokKind};
+use crate::taint::{self, TaintSet};
+
+/// Per-binding taint at a program point.
+pub(crate) type State = BTreeMap<String, TaintSet>;
+
+/// Knobs the linting context feeds into source detection.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlowConfig {
+    /// Whether `env::var` reads count as a nondeterminism source. In
+    /// binaries the environment is an explicit invocation input (like
+    /// argv), so it is not treated as hidden nondeterminism there.
+    pub env_source: bool,
+}
+
+/// Runs the fixpoint; returns the state at *entry* of every block.
+/// Unreachable blocks get the empty state.
+pub(crate) fn analyze(cfg: &Cfg, toks: &[Tok], fc: FlowConfig) -> Vec<State> {
+    let n = cfg.blocks.len();
+    let mut states: Vec<State> = vec![State::new(); n];
+    // Every block is processed at least once (popping from the back
+    // visits ENTRY first); after that, only on state changes.
+    let mut on_list = vec![true; n];
+    let mut worklist: Vec<usize> = (0..n).rev().collect();
+    let cap = n.saturating_mul(64).saturating_add(1024);
+    let mut iters = 0usize;
+    while let Some(b) = worklist.pop() {
+        on_list[b] = false;
+        iters += 1;
+        if iters > cap {
+            break; // defensive: the lattice argument makes this unreachable
+        }
+        let mut s = states[b].clone();
+        for stmt in &cfg.blocks[b].stmts {
+            transfer(stmt, toks, &mut s, fc);
+        }
+        for &succ in &cfg.blocks[b].succs.clone() {
+            if succ < n && join_into(&mut states[succ], &s) && !on_list[succ] {
+                on_list[succ] = true;
+                worklist.push(succ);
+            }
+        }
+    }
+    states
+}
+
+/// Pointwise join of `from` into `into`; true if `into` changed.
+fn join_into(into: &mut State, from: &State) -> bool {
+    let mut changed = false;
+    for (k, &v) in from {
+        let cur = into.get(k).copied().unwrap_or(TaintSet::EMPTY);
+        let joined = cur.union(v);
+        if joined != cur {
+            into.insert(k.clone(), joined);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Applies one statement's effect to the state.
+pub(crate) fn transfer(stmt: &Stmt, toks: &[Tok], state: &mut State, fc: FlowConfig) {
+    match &stmt.kind {
+        StmtKind::Let { names, init_lo, init_hi } => {
+            let t = if init_lo <= init_hi {
+                expr_taint(toks, *init_lo, *init_hi, state, fc)
+            } else {
+                TaintSet::EMPTY
+            };
+            for n in names {
+                state.insert(n.clone(), t);
+            }
+        }
+        StmtKind::Assign { name, rhs_lo, rhs_hi, compound } => {
+            let mut t = expr_taint(toks, *rhs_lo, *rhs_hi, state, fc);
+            if *compound {
+                t = t.union(state.get(name).copied().unwrap_or(TaintSet::EMPTY));
+            }
+            state.insert(name.clone(), t);
+        }
+        StmtKind::Cond { names, expr_lo, expr_hi } => {
+            if !names.is_empty() {
+                let t = expr_taint(toks, *expr_lo, *expr_hi, state, fc);
+                for n in names {
+                    state.insert(n.clone(), t);
+                }
+            }
+        }
+        StmtKind::Expr | StmtKind::Return => {}
+    }
+}
+
+/// Abstract evaluation of `toks[lo..=hi]` under `state`.
+pub(crate) fn expr_taint(
+    toks: &[Tok],
+    lo: usize,
+    hi: usize,
+    state: &State,
+    fc: FlowConfig,
+) -> TaintSet {
+    let hi = hi.min(toks.len().saturating_sub(1));
+    if lo > hi || toks.is_empty() {
+        return TaintSet::EMPTY;
+    }
+    let mut t = TaintSet::EMPTY;
+    let mut j = lo;
+    while j <= hi {
+        let tok = &toks[j];
+        if tok.kind == TokKind::Ident {
+            let prev_path = j > 0
+                && matches!(&toks[j - 1], p if p.kind == TokKind::Punct && (p.text == "." || p.text == "::"));
+            // Mentioned binding: union its taint in.
+            if !prev_path {
+                if let Some(&vt) = state.get(&tok.text) {
+                    t = t.union(vt);
+                }
+            }
+            // Nondeterminism sources.
+            match tok.text.as_str() {
+                "Instant" | "SystemTime" if is_punct(toks, j + 1, "::") => {
+                    t = t.union(TaintSet::CLOCK);
+                }
+                "thread_rng" | "from_entropy" => {
+                    t = t.union(TaintSet::ENTROPY);
+                }
+                "var" | "var_os" | "vars"
+                    if fc.env_source
+                        && j >= 2
+                        && is_punct(toks, j - 1, "::")
+                        && matches!(&toks[j - 2], p if p.kind == TokKind::Ident && p.text == "env") =>
+                {
+                    t = t.union(TaintSet::ENV);
+                }
+                _ => {}
+            }
+            // Unit-strip accessors: `recv.as_secs()`, `recv.as_f64()`.
+            if j > 0 && is_punct(toks, j - 1, ".") && is_punct(toks, j + 1, "(") {
+                if let Some(stripped) = taint::stripped_unit(&tok.text) {
+                    let mark = match stripped {
+                        Some(u) => u.strip_mark(),
+                        None => {
+                            // Bare `.as_f64()`: the receiver's suffix may
+                            // still name the dimension.
+                            let recv_unit = (j >= 2)
+                                .then(|| &toks[j - 2])
+                                .filter(|r| r.kind == TokKind::Ident)
+                                .and_then(|r| taint::unit_for_suffix(&r.text));
+                            match recv_unit {
+                                Some(u) => u.strip_mark(),
+                                None => TaintSet::STRIP_ANY,
+                            }
+                        }
+                    };
+                    t = t.union(mark);
+                }
+            }
+        }
+        j += 1;
+    }
+    // If the whole expression is one sanctioned conversion call, its
+    // result is dimensioned again: strip marks clear. Nondeterminism
+    // marks always survive.
+    if let Some(path) = outermost_call_path(toks, lo, hi) {
+        let last = path.last().map(String::as_str).unwrap_or("");
+        let is_ctor = path.len() >= 2
+            && taint::unit_for_type(&path[path.len() - 2]).is_some()
+            && taint::is_unit_ctor_method(last);
+        if taint::is_convert_sanitizer(last) || is_ctor {
+            t = t.minus(TaintSet::STRIP_ALL);
+        }
+    }
+    t
+}
+
+/// If `toks[lo..=hi]` is exactly `seg(::seg)* ( ... )`, the path segments.
+fn outermost_call_path(toks: &[Tok], lo: usize, hi: usize) -> Option<Vec<String>> {
+    let mut segs = Vec::new();
+    let mut j = lo;
+    loop {
+        let t = toks.get(j)?;
+        if t.kind != TokKind::Ident {
+            return None;
+        }
+        segs.push(t.text.clone());
+        j += 1;
+        if is_punct(toks, j, "::") {
+            j += 1;
+            continue;
+        }
+        break;
+    }
+    if !is_punct(toks, j, "(") {
+        return None;
+    }
+    // The call's closing paren must be the last token of the range.
+    let mut depth = 0usize;
+    let mut k = j;
+    while k <= hi {
+        let t = toks.get(k)?;
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return (k == hi).then_some(segs);
+                    }
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+fn is_punct(toks: &[Tok], i: usize, s: &str) -> bool {
+    matches!(toks.get(i), Some(t) if t.kind == TokKind::Punct && t.text == s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{self, ENTRY};
+    use crate::lexer::lex;
+    use crate::parser::{self, ItemKind};
+
+    const FC: FlowConfig = FlowConfig { env_source: true };
+
+    fn states_of(body: &str) -> (Vec<State>, Cfg, Vec<Tok>) {
+        let src = format!("fn t() {{ {body} }}");
+        let lexed = lex(&src);
+        let items = parser::parse_items(&lexed.toks);
+        let it = items.iter().find(|i| matches!(i.kind, ItemKind::Fn(_))).expect("fn");
+        let (lo, hi) = cfg::body_range(&lexed.toks, it.start, it.end).expect("body");
+        let g = cfg::build(&lexed.toks, lo, hi);
+        let s = analyze(&g, &lexed.toks, FC);
+        (s, g, lexed.toks)
+    }
+
+    /// The state *after* executing every statement of the entry block.
+    fn exit_state_of(body: &str) -> State {
+        let (states, g, toks) = states_of(body);
+        let mut s = states[ENTRY].clone();
+        for stmt in &g.blocks[ENTRY].stmts {
+            transfer(stmt, &toks, &mut s, FC);
+        }
+        s
+    }
+
+    #[test]
+    fn clock_source_propagates_through_bindings() {
+        let s = exit_state_of("let t0 = Instant::now(); let d = t0.elapsed(); let x = d;");
+        assert_eq!(s.get("t0"), Some(&TaintSet::CLOCK));
+        assert_eq!(s.get("d"), Some(&TaintSet::CLOCK));
+        assert_eq!(s.get("x"), Some(&TaintSet::CLOCK));
+    }
+
+    #[test]
+    fn env_source_respects_the_config() {
+        let s = exit_state_of("let v = env::var(\"X\");");
+        assert_eq!(s.get("v"), Some(&TaintSet::ENV));
+        let src = "fn t() { let v = env::var(\"X\"); }";
+        let lexed = lex(src);
+        let items = parser::parse_items(&lexed.toks);
+        let it = &items[0];
+        let (lo, hi) = cfg::body_range(&lexed.toks, it.start, it.end).unwrap();
+        let g = cfg::build(&lexed.toks, lo, hi);
+        let mut st = State::new();
+        for stmt in &g.blocks[ENTRY].stmts {
+            transfer(stmt, &lexed.toks, &mut st, FlowConfig { env_source: false });
+        }
+        assert_eq!(st.get("v"), Some(&TaintSet::EMPTY), "bins: env is explicit input");
+    }
+
+    #[test]
+    fn strip_marks_name_the_dimension_and_ctors_launder() {
+        let s = exit_state_of("let raw = budget.as_secs(); let again = Secs::new(raw);");
+        assert_eq!(s.get("raw"), Some(&TaintSet::STRIP_SECS));
+        assert_eq!(s.get("again"), Some(&TaintSet::EMPTY), "ctor re-dimensions");
+    }
+
+    #[test]
+    fn as_f64_uses_the_receiver_suffix() {
+        let s = exit_state_of("let a = kv_bytes.as_f64(); let b = thing.as_f64();");
+        assert_eq!(s.get("a"), Some(&taint::Unit::Bytes.strip_mark()));
+        assert_eq!(s.get("b"), Some(&TaintSet::STRIP_ANY));
+    }
+
+    #[test]
+    fn sanitizers_clear_strips_but_never_clock() {
+        let s = exit_state_of(
+            "let raw = t.as_secs(); let ok = convert::round_usize(raw); \
+             let bad = Instant::now(); let still = convert::round_usize(bad);",
+        );
+        assert_eq!(s.get("ok"), Some(&TaintSet::EMPTY));
+        assert_eq!(s.get("still"), Some(&TaintSet::CLOCK), "nondet survives laundering");
+    }
+
+    #[test]
+    fn branches_join_by_union() {
+        let s = {
+            let (states, g, toks) = states_of(
+                "let mut x = 0.0; if c { x = Instant::now(); } else { x = y.as_secs(); } sink(x);",
+            );
+            // Find the join block: the one whose entry state has x joined.
+            let mut best = TaintSet::EMPTY;
+            for (bi, st) in states.iter().enumerate() {
+                let _ = bi;
+                if let Some(&v) = st.get("x") {
+                    best = best.union(v);
+                }
+            }
+            let _ = (g, toks);
+            best
+        };
+        assert!(s.intersects(TaintSet::CLOCK) && s.intersects(TaintSet::STRIP_SECS), "{s:?}");
+    }
+
+    #[test]
+    fn compound_assign_unions_the_old_value() {
+        let s = exit_state_of("let mut acc = 0.0; let d = t.as_secs(); acc += d; acc = 0.0;");
+        // The final strong update clears it again.
+        assert_eq!(s.get("acc"), Some(&TaintSet::EMPTY));
+        let s2 = exit_state_of("let mut acc = 0.0; let d = t.as_secs(); acc += d;");
+        assert_eq!(s2.get("acc"), Some(&TaintSet::STRIP_SECS));
+    }
+
+    #[test]
+    fn loop_fixpoint_terminates_and_propagates() {
+        let (states, _, _) =
+            states_of("let mut x = 0.0; loop { x = Instant::now(); if c { break; } } sink(x);");
+        let joined =
+            states.iter().filter_map(|st| st.get("x")).fold(TaintSet::EMPTY, |a, &b| a.union(b));
+        assert!(joined.intersects(TaintSet::CLOCK));
+    }
+}

@@ -1,0 +1,225 @@
+//! `--fix`: mechanical repairs for the two diagnostics that have one.
+//!
+//! * **X0** — a malformed / unknown / reasonless / stale
+//!   `// xlint::allow` pragma is deleted (the pragma text only; code
+//!   sharing the line survives). Deleting a reasonless pragma may
+//!   surface the finding it hid — that is the point: the finding then
+//!   demands a real reason or a real fix.
+//! * **P2** (`let _ =` form only) — `let _ = fallible();` becomes
+//!   `fallible()?;` when the innermost enclosing `fn` itself returns
+//!   `Result`. The lexer cannot prove the error types unify, so this is
+//!   offered only where `?` at least type-checks structurally; `cargo
+//!   build` remains the backstop. `#[must_use]` discards and bare-call
+//!   discards are not auto-fixed (no mechanically safe rewrite exists).
+//!
+//! `plan` is pure (reads sources, writes nothing); `apply` writes the
+//! edited files. The CLI prints unified-style diffs in dry-run mode.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer;
+use crate::parser::{self, ItemKind};
+use crate::rules::Rule;
+use crate::{Report, XlintError};
+
+/// One planned line edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edit {
+    /// 1-based line the edit replaces.
+    pub line: usize,
+    /// The current line text (context for the diff).
+    pub old: String,
+    /// Replacement text; `None` deletes the line.
+    pub new: Option<String>,
+}
+
+/// All planned edits for one file.
+#[derive(Debug, Clone)]
+pub struct FilePlan {
+    /// Workspace-relative label (as reported).
+    pub label: String,
+    /// Absolute path to write.
+    pub path: PathBuf,
+    /// Edits, ascending by line, at most one per line.
+    pub edits: Vec<Edit>,
+}
+
+/// Plans fixes for every fixable finding in `report`. Labels are
+/// resolved relative to `root`; unreadable files are skipped (they
+/// cannot be mechanically fixed anyway).
+pub fn plan(root: &Path, report: &Report) -> Vec<FilePlan> {
+    let mut by_file: Vec<(&str, Vec<&crate::Finding>)> = Vec::new();
+    for f in &report.findings {
+        if f.rule != Rule::X0 && !(f.rule == Rule::P2 && f.message.starts_with("`let _ =`")) {
+            continue;
+        }
+        match by_file.iter_mut().find(|(label, _)| *label == f.file) {
+            Some((_, v)) => v.push(f),
+            None => by_file.push((&f.file, vec![f])),
+        }
+    }
+    let mut plans = Vec::new();
+    for (label, findings) in by_file {
+        let path = root.join(label);
+        let Ok(src) = std::fs::read_to_string(&path) else { continue };
+        let lines: Vec<&str> = src.lines().collect();
+        let result_fns = result_fn_spans(&src);
+        let mut edits: Vec<Edit> = Vec::new();
+        for f in findings {
+            let Some(old) = lines.get(f.line.wrapping_sub(1)) else { continue };
+            if edits.iter().any(|e| e.line == f.line) {
+                continue;
+            }
+            let edit = match f.rule {
+                Rule::X0 => strip_pragma(f.line, old),
+                Rule::P2 => rewrite_discard(f.line, old, &result_fns),
+                _ => None,
+            };
+            if let Some(e) = edit {
+                edits.push(e);
+            }
+        }
+        if !edits.is_empty() {
+            edits.sort_by_key(|e| e.line);
+            plans.push(FilePlan { label: label.to_string(), path, edits });
+        }
+    }
+    plans.sort_by(|a, b| a.label.cmp(&b.label));
+    plans
+}
+
+/// Line spans (1-based, inclusive) of every `fn` in `src` that returns
+/// `Result` — the only places a `?` rewrite can type-check.
+fn result_fn_spans(src: &str) -> Vec<(usize, usize)> {
+    let lexed = lexer::lex(src);
+    let mut spans = Vec::new();
+    for it in parser::parse_items(&lexed.toks) {
+        if let ItemKind::Fn(sig) = &it.kind {
+            if sig.returns_result {
+                spans.push((it.line, it.end_line));
+            }
+        }
+    }
+    spans
+}
+
+/// Deletes the `// xlint::allow(...)` pragma from a line: the whole line
+/// when nothing else is on it, otherwise just the trailing comment.
+fn strip_pragma(line: usize, old: &str) -> Option<Edit> {
+    let at = old.find("// xlint::allow(")?;
+    let prefix = old[..at].trim_end();
+    let new = if prefix.is_empty() { None } else { Some(prefix.to_string()) };
+    Some(Edit { line, old: old.to_string(), new })
+}
+
+/// Rewrites a single-line `let _ = <expr>;` into `<expr>?;` when the
+/// innermost enclosing fn (by line containment) returns `Result`.
+fn rewrite_discard(line: usize, old: &str, result_fns: &[(usize, usize)]) -> Option<Edit> {
+    let enclosing =
+        result_fns.iter().filter(|(lo, hi)| *lo <= line && line <= *hi).max_by_key(|(lo, _)| *lo);
+    enclosing?;
+    let trimmed = old.trim_start();
+    let indent = &old[..old.len() - trimmed.len()];
+    let rest = trimmed.strip_prefix("let _")?.trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let expr = rest.strip_suffix(';')?.trim_end();
+    if expr.is_empty() || expr.contains("//") {
+        return None;
+    }
+    Some(Edit { line, old: old.to_string(), new: Some(format!("{indent}{expr}?;")) })
+}
+
+/// Renders one file's plan as a minimal unified-style diff.
+pub fn render_diff(plan: &FilePlan) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "--- {}", plan.label);
+    let _ = writeln!(out, "+++ {} (fixed)", plan.label);
+    for e in &plan.edits {
+        let _ = writeln!(out, "@@ line {} @@", e.line);
+        let _ = writeln!(out, "-{}", e.old);
+        if let Some(new) = &e.new {
+            let _ = writeln!(out, "+{new}");
+        }
+    }
+    out
+}
+
+/// Applies every plan, bottom-up within each file so line numbers stay
+/// valid. Returns the number of files written.
+pub fn apply(plans: &[FilePlan]) -> Result<usize, XlintError> {
+    let mut written = 0usize;
+    for plan in plans {
+        let src = std::fs::read_to_string(&plan.path)
+            .map_err(|source| XlintError::Io { path: plan.path.clone(), source })?;
+        let had_trailing_newline = src.ends_with('\n');
+        let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+        for e in plan.edits.iter().rev() {
+            let idx = e.line.wrapping_sub(1);
+            if lines.get(idx).map(String::as_str) != Some(e.old.as_str()) {
+                continue; // the file moved under us: skip, never corrupt
+            }
+            match &e.new {
+                Some(new) => lines[idx] = new.clone(),
+                None => {
+                    lines.remove(idx);
+                }
+            }
+        }
+        let mut out = lines.join("\n");
+        if had_trailing_newline {
+            out.push('\n');
+        }
+        std::fs::write(&plan.path, out)
+            .map_err(|source| XlintError::Io { path: plan.path.clone(), source })?;
+        written += 1;
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pragma_stripping_keeps_leading_code() {
+        let whole = strip_pragma(3, "    // xlint::allow(D2)").unwrap();
+        assert_eq!(whole.new, None, "pragma-only line is deleted");
+        let tail = strip_pragma(4, "let x = 1; // xlint::allow(P1, old reason)").unwrap();
+        assert_eq!(tail.new.as_deref(), Some("let x = 1;"));
+    }
+
+    #[test]
+    fn discard_rewrite_requires_an_enclosing_result_fn() {
+        let spans = vec![(10usize, 20usize)];
+        let hit = rewrite_discard(12, "    let _ = push_all(&mut q);", &spans).unwrap();
+        assert_eq!(hit.new.as_deref(), Some("    push_all(&mut q)?;"));
+        assert!(rewrite_discard(25, "    let _ = push_all(&mut q);", &spans).is_none());
+        assert!(rewrite_discard(12, "    let _x = keepable();", &spans).is_none());
+    }
+
+    #[test]
+    fn result_fn_spans_come_from_the_parser() {
+        let src = "fn plain() {}\nfn fallible() -> Result<(), E> {\n  let _ = 1;\n}\n";
+        let spans = result_fn_spans(src);
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].0 <= 2 && spans[0].1 >= 3, "{spans:?}");
+    }
+
+    #[test]
+    fn apply_round_trips_on_disk() {
+        let dir = std::env::temp_dir().join("xlint-fix-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.rs");
+        std::fs::write(&path, "keep\n// xlint::allow(D2)\nalso keep\n").unwrap();
+        let plan = FilePlan {
+            label: "t.rs".into(),
+            path: path.clone(),
+            edits: vec![Edit { line: 2, old: "// xlint::allow(D2)".into(), new: None }],
+        };
+        assert_eq!(apply(&[plan]).unwrap(), 1);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "keep\nalso keep\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

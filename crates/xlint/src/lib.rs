@@ -25,8 +25,17 @@
 //! | L1 | no upward/undeclared cross-crate imports (declared layering DAG) |
 //! | P2 | no discarded `Result`/`#[must_use]` value from a locally-defined fn |
 //! | D3 | no concurrency primitives outside the audited pool modules |
+//! | D4 | no clock/entropy/env-derived value may flow into events/metrics/plans |
+//! | U3 | no unit-stripped float may re-enter a different unit's constructor |
+//! | P3 | no bound `Result` may go unconsumed on every path |
 //! | X0 | malformed, unknown or stale `xlint::allow` pragma |
 //! | X1 | a crate's pragma count exceeds its committed suppression budget |
+//!
+//! D4/U3/P3 are *flow rules*: each `fn` body is lowered to a statement
+//! CFG ([`cfg`](mod@crate::cfg)) and a forward taint fixpoint ([`taint`]) tracks
+//! nondeterminism and unit-stripping through locals. Because that is no
+//! longer lexer-cheap, workspace passes persist per-file results in an
+//! incremental cache ([`cache`]) under `target/xlint-cache/`.
 //!
 //! Reports render as text, `--json`, or `--sarif` (SARIF 2.1.0 for CI
 //! dashboards; suppressed findings carry `inSource` suppressions).
@@ -44,10 +53,15 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod cache;
+pub mod cfg;
+mod dataflow;
+pub mod fix;
 mod lexer;
 pub mod parser;
 mod rules;
 mod sarif;
+pub mod taint;
 pub mod workspace;
 
 use std::fmt::Write as _;
@@ -107,6 +121,8 @@ pub struct Report {
     pub suppressed: Vec<Suppressed>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Incremental-cache counters, when the pass went through the cache.
+    pub cache: Option<cache::CacheStats>,
 }
 
 impl Report {
@@ -182,12 +198,15 @@ impl Report {
                 json_str(&s.reason),
             );
         }
-        let _ = write!(
-            out,
-            "\n  ],\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
-            self.files_scanned,
-            self.is_clean()
-        );
+        let _ = write!(out, "\n  ],\n  \"files_scanned\": {},", self.files_scanned);
+        if let Some(stats) = &self.cache {
+            let _ = write!(
+                out,
+                "\n  \"cache\": {{\"hits\": {}, \"misses\": {}}},",
+                stats.hits, stats.misses
+            );
+        }
+        let _ = write!(out, "\n  \"clean\": {}\n}}\n", self.is_clean());
         out
     }
 
@@ -220,7 +239,21 @@ pub fn find_workspace_root(start: &Path) -> Result<PathBuf, XlintError> {
 /// root package's `src/`). `third_party/`, `tests/`, `benches/` and
 /// `examples/` are out of scope: vendored shims and test code do not feed
 /// the deterministic pipeline.
+///
+/// Equivalent to [`lint_workspace_cached`] with the cache disabled.
 pub fn lint_workspace(root: &Path) -> Result<Report, XlintError> {
+    lint_workspace_cached(root, false)
+}
+
+/// [`lint_workspace`] with an optional incremental cache: when
+/// `use_cache` is set, per-file results are replayed from
+/// `target/xlint-cache/` on a key hit and stored on a miss, and
+/// [`Report::cache`] carries the hit/miss counters. Cached and uncached
+/// passes produce byte-identical findings — the cache key folds the
+/// rule-set version, the workspace fingerprint, and the file content, so
+/// any change invalidates the entry. The manifest (L1) pass always runs
+/// live: it is lexer-cheap and spans files.
+pub fn lint_workspace_cached(root: &Path, use_cache: bool) -> Result<Report, XlintError> {
     let mut files: Vec<PathBuf> = Vec::new();
     collect_rs(&root.join("src"), &mut files)?;
     let crates_dir = root.join("crates");
@@ -231,21 +264,42 @@ pub fn lint_workspace(root: &Path) -> Result<Report, XlintError> {
             collect_rs(&c.join("src"), &mut files)?;
         }
     }
+    let dir = cache::cache_dir(root);
+    let mut stats = cache::CacheStats::default();
     let mut report = Report::default();
     for path in files {
         let src = std::fs::read_to_string(&path)
             .map_err(|source| XlintError::Io { path: path.clone(), source })?;
         let rel = path.strip_prefix(root).unwrap_or(&path);
         let label = rel.to_string_lossy().replace('\\', "/");
-        let file_report = lint_source(&label, &src, context_for(&label));
-        report.findings.extend(file_report.findings);
-        report.suppressed.extend(file_report.suppressed);
+        let key = cache::file_key(&label, &src);
+        let (findings, suppressed) = match use_cache.then(|| cache::load(&dir, &label, key)) {
+            Some(Some(hit)) => {
+                stats.hits += 1;
+                hit
+            }
+            miss => {
+                if miss.is_some() {
+                    stats.misses += 1;
+                }
+                let file_report = lint_source(&label, &src, context_for(&label));
+                if use_cache {
+                    cache::store(&dir, &label, key, &file_report.findings, &file_report.suppressed);
+                }
+                (file_report.findings, file_report.suppressed)
+            }
+        };
+        report.findings.extend(findings);
+        report.suppressed.extend(suppressed);
         report.files_scanned += 1;
     }
     // The manifest pass: every `crates/*/Cargo.toml` dependency edge is
     // checked against the declared layering DAG (rule L1).
     report.findings.extend(workspace::lint_manifests(root)?);
     report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    if use_cache {
+        report.cache = Some(stats);
+    }
     Ok(report)
 }
 
@@ -382,6 +436,7 @@ mod tests {
             }],
             suppressed: vec![],
             files_scanned: 1,
+            cache: None,
         };
         let text = report.render_text();
         assert!(text.contains("x.rs:3: D1"));
@@ -393,6 +448,16 @@ mod tests {
         let report = Report::default();
         let json = report.render_json();
         assert!(json.contains("\"findings\": []") || json.contains("\"findings\": ["));
+        assert!(json.contains("\"clean\": true"));
+        assert!(!json.contains("\"cache\""), "no cache object on uncached passes");
+    }
+
+    #[test]
+    fn render_json_carries_cache_stats_when_present() {
+        let report =
+            Report { cache: Some(cache::CacheStats { hits: 9, misses: 2 }), ..Report::default() };
+        let json = report.render_json();
+        assert!(json.contains("\"cache\": {\"hits\": 9, \"misses\": 2}"));
         assert!(json.contains("\"clean\": true"));
     }
 }

@@ -1,20 +1,27 @@
 //! The `xlint` command-line entry point.
 //!
 //! ```text
-//! xlint --workspace [--json | --sarif] [--baseline PATH]   lint every first-party crate
+//! xlint --workspace [--json | --sarif] [--baseline PATH] [--no-cache]
+//!                                                          lint every first-party crate
 //! xlint --workspace --write-baseline PATH                  regenerate the suppression budget
+//! xlint --workspace --fix [--apply]                        plan (or write) mechanical fixes
 //! xlint [--json | --sarif] FILE...                         lint explicit files
 //! ```
 //!
-//! `--baseline` enforces the suppression-budget ratchet (rule X1):
-//! per-crate pragma counts may not exceed the committed budget in
-//! `xlint-baseline.toml`. Exit status: 0 clean, 1 findings, 2 usage or
-//! I/O error.
+//! Workspace passes go through the incremental cache under
+//! `target/xlint-cache/` unless `--no-cache` is given; `--json`/`--sarif`
+//! then report the hit/miss counters. `--baseline` enforces the
+//! suppression-budget ratchet (rule X1): per-crate pragma counts may not
+//! exceed the committed budget in `xlint-baseline.toml`. `--fix` prints
+//! unified diffs for the mechanically fixable findings (stale pragmas,
+//! `let _ =` discards inside `Result` fns) and exits 1 while any are
+//! pending; `--fix --apply` writes them. Exit status: 0 clean, 1
+//! findings (or pending fixes), 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use exegpt_xlint::{baseline, find_workspace_root, lint_files, lint_workspace, Report};
+use exegpt_xlint::{baseline, find_workspace_root, fix, lint_files, lint_workspace_cached, Report};
 
 /// Parsed command line.
 #[derive(Debug, PartialEq, Eq)]
@@ -22,6 +29,9 @@ struct Args {
     json: bool,
     sarif: bool,
     workspace: bool,
+    no_cache: bool,
+    fix: bool,
+    apply: bool,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
     paths: Vec<PathBuf>,
@@ -33,6 +43,9 @@ fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
         json: false,
         sarif: false,
         workspace: false,
+        no_cache: false,
+        fix: false,
+        apply: false,
         baseline: None,
         write_baseline: None,
         paths: Vec::new(),
@@ -44,6 +57,9 @@ fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
             "--json" => args.json = true,
             "--sarif" => args.sarif = true,
             "--workspace" => args.workspace = true,
+            "--no-cache" => args.no_cache = true,
+            "--fix" => args.fix = true,
+            "--apply" => args.apply = true,
             "--baseline" => match argv.next() {
                 Some(path) => args.baseline = Some(PathBuf::from(path)),
                 None => return Err("--baseline requires a path".to_string()),
@@ -64,10 +80,31 @@ fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
         return Err("--json and --sarif are mutually exclusive".to_string());
     }
     if !args.workspace && (args.baseline.is_some() || args.write_baseline.is_some()) {
-        return Err("--baseline/--write-baseline require --workspace".to_string());
+        if args.paths.is_empty() {
+            // A baseline only makes sense against the whole workspace; imply it.
+            args.workspace = true;
+        } else {
+            return Err("--baseline/--write-baseline require --workspace".to_string());
+        }
     }
     if args.baseline.is_some() && args.write_baseline.is_some() {
         return Err("--baseline and --write-baseline are mutually exclusive".to_string());
+    }
+    if args.apply && !args.fix {
+        return Err("--apply requires --fix".to_string());
+    }
+    if args.fix && !args.workspace {
+        return Err("--fix requires --workspace".to_string());
+    }
+    if args.fix
+        && (args.json || args.sarif || args.baseline.is_some() || args.write_baseline.is_some())
+    {
+        return Err(
+            "--fix is incompatible with --json/--sarif/--baseline/--write-baseline".to_string()
+        );
+    }
+    if args.no_cache && !args.workspace {
+        return Err("--no-cache requires --workspace (file mode never caches)".to_string());
     }
     if !args.workspace && args.paths.is_empty() {
         return Err("pass --workspace or at least one file".to_string());
@@ -88,13 +125,15 @@ fn main() -> ExitCode {
     };
     if args.help {
         eprintln!(
-            "usage: xlint --workspace [--json | --sarif] [--baseline PATH] \
+            "usage: xlint --workspace [--json | --sarif] [--baseline PATH] [--no-cache] \
              | xlint --workspace --write-baseline PATH \
+             | xlint --workspace --fix [--apply] \
              | xlint [--json | --sarif] FILE..."
         );
         return ExitCode::SUCCESS;
     }
 
+    let mut workspace_root: Option<PathBuf> = None;
     let report: Result<Report, _> = if args.workspace {
         let cwd = match std::env::current_dir() {
             Ok(d) => d,
@@ -103,7 +142,11 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        find_workspace_root(&cwd).and_then(|root| lint_workspace(&root))
+        find_workspace_root(&cwd).and_then(|root| {
+            let r = lint_workspace_cached(&root, !args.no_cache);
+            workspace_root = Some(root);
+            r
+        })
     } else {
         lint_files(&args.paths)
     };
@@ -115,6 +158,39 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.fix {
+        // parse_args guarantees --fix implies --workspace, so the root is set.
+        let Some(root) = workspace_root else {
+            eprintln!("xlint: --fix requires --workspace");
+            return ExitCode::from(2);
+        };
+        let plans = fix::plan(&root, &report);
+        if plans.is_empty() {
+            eprintln!("xlint: no mechanically fixable findings");
+            return ExitCode::SUCCESS;
+        }
+        if args.apply {
+            return match fix::apply(&plans) {
+                Ok(n) => {
+                    eprintln!("xlint: fixed {n} file(s) — re-run xlint to confirm");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("xlint: {e}");
+                    ExitCode::from(2)
+                }
+            };
+        }
+        for plan in &plans {
+            print!("{}", fix::render_diff(plan));
+        }
+        eprintln!(
+            "xlint: {} file(s) have pending fixes — re-run with --fix --apply to write them",
+            plans.len()
+        );
+        return ExitCode::FAILURE;
+    }
 
     let counts = baseline::suppression_counts(&report);
 
@@ -222,9 +298,28 @@ mod tests {
     }
 
     #[test]
+    fn fix_and_cache_flags_parse_and_validate() {
+        let a =
+            parse_args(argv(&["--workspace", "--fix", "--apply", "--no-cache"])).expect("valid");
+        assert!(a.fix && a.apply && a.no_cache);
+        assert!(parse_args(argv(&["--workspace", "--apply"])).is_err(), "--apply needs --fix");
+        assert!(parse_args(argv(&["--fix", "f.rs"])).is_err(), "--fix needs --workspace");
+        assert!(parse_args(argv(&["--no-cache", "f.rs"])).is_err(), "--no-cache needs workspace");
+        assert!(
+            parse_args(argv(&["--workspace", "--fix", "--json"])).is_err(),
+            "--fix is a mutation mode, not a report format"
+        );
+        assert!(parse_args(argv(&["--workspace", "--fix", "--baseline", "b.toml"])).is_err());
+    }
+
+    #[test]
     fn baseline_flag_combinations_are_validated() {
         assert!(parse_args(argv(&["--workspace", "--baseline"])).is_err(), "missing value");
         assert!(parse_args(argv(&["--baseline", "b.toml", "f.rs"])).is_err(), "needs workspace");
+        let implied = parse_args(argv(&["--baseline", "b.toml"])).expect("implies workspace");
+        assert!(implied.workspace, "baseline without files implies a workspace pass");
+        let implied = parse_args(argv(&["--write-baseline", "b.toml"])).expect("implies workspace");
+        assert!(implied.workspace, "write-baseline without files implies a workspace pass");
         assert!(
             parse_args(argv(&[
                 "--workspace",

@@ -26,9 +26,28 @@
 //!   `Mutex` / `RwLock` only inside the audited pool modules
 //!   (`core/scheduler.rs`, `sim/cache.rs`), and `Ordering::Relaxed` only
 //!   on counter-named atomics anywhere.
+//!
+//! Three rules run on the intraprocedural dataflow layer
+//! ([`crate::cfg`] + worklist fixpoint, DESIGN.md §6.3) instead of the
+//! raw token stream:
+//!
+//! * **D4** — determinism taint: a value *derived from* a wall-clock /
+//!   entropy / env read must not reach event-log emission, a metrics
+//!   write, or a plan API. D2's bench waiver scopes the *sources*; the
+//!   sinks stay guarded everywhere.
+//! * **U3** — unit re-entry: a float stripped out of a unit newtype
+//!   (`.as_secs()`, `.as_f64()`) must not re-enter a *different* unit's
+//!   constructor; `exegpt_dist::convert` helpers and the unit's own
+//!   constructors are the sanctioned re-dimensioning points.
+//! * **P3** — lost-error flow: a bound `Result` from a file-local
+//!   fallible fn that *no* path ever consumes (the flow-sensitive
+//!   upgrade of P2's single-statement discard check).
 
+use crate::cfg::{self, Cfg, Stmt, StmtKind};
+use crate::dataflow::{self, FlowConfig};
 use crate::lexer::{self, Lexed, Tok, TokKind};
 use crate::parser::{self, ItemKind};
+use crate::taint::{self, TaintSet};
 use crate::workspace;
 
 /// A lint rule identifier.
@@ -54,6 +73,12 @@ pub enum Rule {
     P2,
     /// Concurrency primitive outside the audited pool modules.
     D3,
+    /// Nondeterministic value flows into an event/metrics/plan sink.
+    D4,
+    /// Unit-stripped float re-enters a different unit's constructor.
+    U3,
+    /// Bound `Result` that no path consumes.
+    P3,
     /// Malformed or unused allow pragma.
     X0,
     /// Per-crate suppression count exceeds the committed budget.
@@ -62,7 +87,7 @@ pub enum Rule {
 
 impl Rule {
     /// All reportable rules, in severity/display order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 15] = [
         Rule::D1,
         Rule::D2,
         Rule::N1,
@@ -73,6 +98,9 @@ impl Rule {
         Rule::L1,
         Rule::P2,
         Rule::D3,
+        Rule::D4,
+        Rule::U3,
+        Rule::P3,
         Rule::X0,
         Rule::X1,
     ];
@@ -90,6 +118,9 @@ impl Rule {
             Rule::L1 => "L1",
             Rule::P2 => "P2",
             Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::U3 => "U3",
+            Rule::P3 => "P3",
             Rule::X0 => "X0",
             Rule::X1 => "X1",
         }
@@ -108,6 +139,9 @@ impl Rule {
             Rule::L1 => "no upward or undeclared cross-crate import (layering DAG)",
             Rule::P2 => "no discarded Result / unused #[must_use] value",
             Rule::D3 => "no concurrency primitives outside the audited pool modules",
+            Rule::D4 => "no clock/entropy/env-derived value may flow into events/metrics/plans",
+            Rule::U3 => "no unit-stripped float may re-enter a different unit's constructor",
+            Rule::P3 => "no bound Result may go unconsumed on every path",
             Rule::X0 => "malformed, unknown-rule, or stale xlint::allow pragma",
             Rule::X1 => "per-crate suppression count exceeds the committed budget",
         }
@@ -293,6 +327,8 @@ pub fn lint_source(file: &str, src: &str, ctx: FileContext) -> FileReport {
         }
     }
 
+    let items = parser::parse_items(toks);
+    let local = LocalFns::collect(toks, &items);
     if ctx.units_core {
         u1_scan(file, toks, &in_test, &mut raw);
     }
@@ -301,9 +337,10 @@ pub fn lint_source(file: &str, src: &str, ctx: FileContext) -> FileReport {
         l1_scan(file, toks, &in_test, me, &mut raw);
     }
     if !ctx.allow_panics {
-        p2_scan(file, toks, &in_test, &mut raw);
+        p2_scan(file, toks, &in_test, &local, &mut raw);
     }
     d3_scan(file, toks, &in_test, ctx, &mut raw);
+    flow_scan(file, toks, &in_test, ctx, &items, &local, &mut raw);
 
     apply_pragmas(file, raw, &lexed)
 }
@@ -329,34 +366,75 @@ fn l1_scan(file: &str, toks: &[Tok], in_test: &[bool], me: usize, raw: &mut Vec<
     }
 }
 
-/// P2: discarded fallible results, resolved per file. A first pass
-/// collects the file's own `fn` items that return `Result` or carry
-/// `#[must_use]`; a second pass flags `let _ = …;` initializers and bare
-/// call statements whose *final* callee is one of them.
-fn p2_scan(file: &str, toks: &[Tok], in_test: &[bool], raw: &mut Vec<Finding>) {
-    let items = parser::parse_items(toks);
-    // Name-based resolution must be conservative: if the file defines two
-    // same-named fns (e.g. `apply` on two types) and any of them is
-    // infallible, the name is ambiguous and never flagged.
-    let fns: Vec<(&str, &parser::FnSig)> = items
-        .iter()
-        .filter_map(|it| match &it.kind {
-            ItemKind::Fn(sig) => Some((it.name.as_str(), sig)),
-            _ => None,
-        })
-        .collect();
-    let fallible: Vec<(&str, bool)> = fns
-        .iter()
-        .filter(|(name, sig)| {
-            (sig.returns_result || sig.must_use)
-                && fns.iter().all(|(n, s)| *n != *name || s.returns_result || s.must_use)
-        })
-        .map(|(name, sig)| (*name, sig.returns_result))
-        .collect();
-    if fallible.is_empty() {
+/// File-local call resolution shared by P2, P3 and `--fix`: the file's
+/// own unambiguously fallible `fn` items, plus `use` aliases so a
+/// renamed import (`use inner::persist as p2`) still resolves.
+pub(crate) struct LocalFns {
+    /// `(name, returns_result)` for each unambiguous fallible fn.
+    fallible: Vec<(String, bool)>,
+    /// `(alias, original)` pairs from `use … as …` items.
+    aliases: Vec<(String, String)>,
+}
+
+impl LocalFns {
+    /// Collects fallible fns and use-aliases from parsed items.
+    /// Name-based resolution must be conservative: if the file defines
+    /// two same-named fns (e.g. `apply` on two types) and any of them is
+    /// infallible, the name is ambiguous and never flagged.
+    pub(crate) fn collect(toks: &[Tok], items: &[parser::Item]) -> Self {
+        let fns: Vec<(&str, &parser::FnSig)> = items
+            .iter()
+            .filter_map(|it| match &it.kind {
+                ItemKind::Fn(sig) => Some((it.name.as_str(), sig)),
+                _ => None,
+            })
+            .collect();
+        let fallible: Vec<(String, bool)> = fns
+            .iter()
+            .filter(|(name, sig)| {
+                (sig.returns_result || sig.must_use)
+                    && fns.iter().all(|(n, s)| *n != *name || s.returns_result || s.must_use)
+            })
+            .map(|(name, sig)| (name.to_string(), sig.returns_result))
+            .collect();
+        let mut aliases = Vec::new();
+        for it in items {
+            if it.kind != ItemKind::Use {
+                continue;
+            }
+            for j in it.start..=it.end.min(toks.len().saturating_sub(1)) {
+                if toks[j].kind == TokKind::Ident && toks[j].text == "as" && j >= 1 {
+                    let (orig, alias) = (toks.get(j - 1), toks.get(j + 1));
+                    if let (Some(o), Some(a)) = (orig, alias) {
+                        if o.kind == TokKind::Ident && a.kind == TokKind::Ident {
+                            aliases.push((a.text.clone(), o.text.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        Self { fallible, aliases }
+    }
+
+    /// Resolves a callee name (directly or through one `use` alias) to
+    /// its fallibility: `Some(returns_result)` if it is a tracked fn.
+    pub(crate) fn lookup(&self, name: &str) -> Option<bool> {
+        if let Some((_, r)) = self.fallible.iter().find(|(n, _)| n == name) {
+            return Some(*r);
+        }
+        let orig = self.aliases.iter().find(|(a, _)| a == name).map(|(_, o)| o.as_str())?;
+        self.fallible.iter().find(|(n, _)| n == orig).map(|(_, r)| *r)
+    }
+}
+
+/// P2: discarded fallible results, resolved per file against
+/// [`LocalFns`]: flags `let _ = …;` initializers and bare call
+/// statements whose *final* callee is a tracked fallible fn.
+fn p2_scan(file: &str, toks: &[Tok], in_test: &[bool], local: &LocalFns, raw: &mut Vec<Finding>) {
+    if local.fallible.is_empty() {
         return;
     }
-    let lookup = |name: &str| fallible.iter().find(|(n, _)| *n == name).map(|(_, r)| *r);
+    let lookup = |name: &str| local.lookup(name);
     let push = |raw: &mut Vec<Finding>, line: usize, callee: &str, is_result: bool, how: &str| {
         raw.push(Finding {
             file: file.to_string(),
@@ -603,6 +681,284 @@ fn d3(file: &str, line: usize, message: &str) -> Finding {
     }
 }
 
+/// The plan-entry APIs D4 guards: any argument reaching one of these
+/// decides a schedule and must be deterministic.
+const PLAN_APIS: [&str; 5] =
+    ["schedule", "reschedule", "reschedule_from", "reschedule_incremental", "replan_from"];
+
+/// Metrics-registry write methods (guarded only on a receiver chain
+/// that names `metrics`, so arithmetic `.add` stays out of scope).
+const METRIC_WRITES: [&str; 4] = ["inc", "add", "gauge", "observe"];
+
+/// D4/U3/P3: the flow rules. Each parsed `fn` body is lowered to a CFG,
+/// the taint fixpoint is run, and every statement is checked against the
+/// sink tables with the state holding *at that statement*.
+fn flow_scan(
+    file: &str,
+    toks: &[Tok],
+    in_test: &[bool],
+    ctx: FileContext,
+    items: &[parser::Item],
+    local: &LocalFns,
+    raw: &mut Vec<Finding>,
+) {
+    let fc = FlowConfig { env_source: !ctx.allow_panics };
+    let mut seen: Vec<(usize, Rule)> = Vec::new();
+    for it in items {
+        let ItemKind::Fn(_) = it.kind else { continue };
+        if in_test.get(it.start).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some((lo, hi)) = cfg::body_range(toks, it.start, it.end) else { continue };
+        let g = cfg::build(toks, lo, hi);
+        let states = dataflow::analyze(&g, toks, fc);
+        // P3 candidates: (block, stmt index, name, callee, line).
+        let mut candidates: Vec<(usize, usize, String, String, usize)> = Vec::new();
+        for (bi, block) in g.blocks.iter().enumerate() {
+            let mut state = states.get(bi).cloned().unwrap_or_default();
+            for (si, stmt) in block.stmts.iter().enumerate() {
+                check_sinks(file, toks, stmt, &state, fc, &mut seen, raw);
+                if !ctx.allow_panics {
+                    if let StmtKind::Let { names, init_lo, init_hi } = &stmt.kind {
+                        if let [name] = names.as_slice() {
+                            if name != "_" && init_lo <= init_hi {
+                                let callee = final_callee(toks, *init_lo, init_hi + 1);
+                                if let Some(c) = callee {
+                                    if local.lookup(c) == Some(true) {
+                                        candidates.push((
+                                            bi,
+                                            si,
+                                            name.clone(),
+                                            c.to_string(),
+                                            stmt.line,
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                dataflow::transfer(stmt, toks, &mut state, fc);
+            }
+        }
+        for (bi, si, name, callee, line) in candidates {
+            if !p3_used(&g, toks, bi, si, &name) && !seen.contains(&(line, Rule::P3)) {
+                seen.push((line, Rule::P3));
+                raw.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    rule: Rule::P3,
+                    message: format!(
+                        "`Result` bound to `{name}` from `{callee}(...)` is never consumed \
+                         on any path"
+                    ),
+                    suggestion: "propagate with `?`, match on the `Err` arm, or consume the \
+                                 binding; an intentional drop needs `// xlint::allow(P3, reason)`"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Whether any statement reachable *after* `(bi, si)` mentions `name`.
+/// This is deliberately an under-approximation (any mention anywhere
+/// downstream counts, shadowing included): the conservative CFG
+/// over-estimates paths, so P3 only reports *definite* losses.
+fn p3_used(g: &Cfg, toks: &[Tok], bi: usize, si: usize, name: &str) -> bool {
+    let mentions = |s: &Stmt| {
+        (s.lo..=s.hi.min(toks.len().saturating_sub(1)))
+            .any(|k| toks[k].kind == TokKind::Ident && toks[k].text == name)
+    };
+    if g.blocks[bi].stmts.get(si + 1..).is_some_and(|rest| rest.iter().any(mentions)) {
+        return true;
+    }
+    let mut visited = vec![false; g.blocks.len()];
+    let mut stack: Vec<usize> = g.blocks[bi].succs.clone();
+    while let Some(b) = stack.pop() {
+        if b >= g.blocks.len() || visited[b] {
+            continue;
+        }
+        visited[b] = true;
+        if g.blocks[b].stmts.iter().any(mentions) {
+            return true;
+        }
+        stack.extend(g.blocks[b].succs.iter().copied());
+    }
+    false
+}
+
+/// Checks one statement against the D4 and U3 sink tables under `state`.
+fn check_sinks(
+    file: &str,
+    toks: &[Tok],
+    stmt: &Stmt,
+    state: &dataflow::State,
+    fc: FlowConfig,
+    seen: &mut Vec<(usize, Rule)>,
+    raw: &mut Vec<Finding>,
+) {
+    let hi = stmt.hi.min(toks.len().saturating_sub(1));
+    for j in stmt.lo..=hi {
+        let t = &toks[j];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let called =
+            matches!(toks.get(j + 1), Some(n) if n.kind == TokKind::Punct && n.text == "(");
+        // D4 sink: plan APIs (free fns and methods alike).
+        if called && PLAN_APIS.contains(&t.text.as_str()) {
+            if let Some((alo, ahi)) = call_args(toks, j + 1, hi) {
+                let nd =
+                    dataflow::expr_taint(toks, alo, ahi, state, fc).intersect(TaintSet::NONDET);
+                if !nd.is_empty() {
+                    push_d4(file, t.line, &nd, &format!("plan API `{}(...)`", t.text), seen, raw);
+                }
+            }
+        }
+        // D4 sink: metrics writes / event-log pushes (receiver-gated).
+        if called && prev_is_dot(toks, j) {
+            let chain = receiver_chain(toks, j - 1);
+            let metrics = METRIC_WRITES.contains(&t.text.as_str())
+                && chain.iter().any(|n| n.contains("metrics"));
+            let log_push =
+                t.text == "push" && chain.iter().any(|n| n.contains("log") || n.contains("events"));
+            if metrics || log_push {
+                if let Some((alo, ahi)) = call_args(toks, j + 1, hi) {
+                    let nd =
+                        dataflow::expr_taint(toks, alo, ahi, state, fc).intersect(TaintSet::NONDET);
+                    if !nd.is_empty() {
+                        let sink = if metrics {
+                            format!("metrics write `.{}(...)`", t.text)
+                        } else {
+                            format!("event-log `.push(...)` on `{}`", chain.first().unwrap_or(&""))
+                        };
+                        push_d4(file, t.line, &nd, &sink, seen, raw);
+                    }
+                }
+            }
+        }
+        // D4 sink: event construction. Skipped on Cond statements, whose
+        // spans cover match *patterns* (`Event::Done { .. } =>`).
+        if matches!(t.text.as_str(), "Event" | "FleetEvent")
+            && !matches!(stmt.kind, StmtKind::Cond { .. })
+        {
+            let (vlo, vhi) = match &stmt.kind {
+                StmtKind::Let { init_lo, init_hi, .. } if init_lo <= init_hi => {
+                    (*init_lo, *init_hi)
+                }
+                _ => (stmt.lo, hi),
+            };
+            let nd = dataflow::expr_taint(toks, vlo, vhi, state, fc).intersect(TaintSet::NONDET);
+            if !nd.is_empty() {
+                push_d4(file, t.line, &nd, &format!("`{}` construction", t.text), seen, raw);
+            }
+        }
+        // U3 sink: a unit constructor fed a *different* unit's strip.
+        if let Some(unit) = taint::unit_for_type(&t.text) {
+            if matches!(toks.get(j + 1), Some(c) if c.kind == TokKind::Punct && c.text == "::")
+                && matches!(toks.get(j + 2), Some(m) if m.kind == TokKind::Ident
+                    && taint::is_unit_ctor_method(&m.text))
+                && matches!(toks.get(j + 3), Some(o) if o.kind == TokKind::Punct && o.text == "(")
+            {
+                if let Some((alo, ahi)) = call_args(toks, j + 3, hi) {
+                    let foreign = dataflow::expr_taint(toks, alo, ahi, state, fc)
+                        .intersect(TaintSet::STRIP_NAMED)
+                        .minus(unit.strip_mark());
+                    if !foreign.is_empty() && !seen.contains(&(t.line, Rule::U3)) {
+                        seen.push((t.line, Rule::U3));
+                        raw.push(Finding {
+                            file: file.to_string(),
+                            line: t.line,
+                            rule: Rule::U3,
+                            message: format!(
+                                "`{}::{}` re-entered with a {} value",
+                                t.text,
+                                toks[j + 2].text,
+                                foreign.describe(),
+                            ),
+                            suggestion: "convert through `exegpt_dist::convert` or the source \
+                                         unit's own accessor chain — a raw float must not \
+                                         change dimension silently"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn push_d4(
+    file: &str,
+    line: usize,
+    marks: &TaintSet,
+    sink: &str,
+    seen: &mut Vec<(usize, Rule)>,
+    raw: &mut Vec<Finding>,
+) {
+    if seen.contains(&(line, Rule::D4)) {
+        return;
+    }
+    seen.push((line, Rule::D4));
+    raw.push(Finding {
+        file: file.to_string(),
+        line,
+        rule: Rule::D4,
+        message: format!("{}-tainted value flows into {sink}", marks.describe()),
+        suggestion: "plans, metrics and event logs must be deterministic: derive the value \
+                     from virtual time, a seeded RNG, or explicit config (DESIGN.md §6.3); \
+                     an audited flow needs `// xlint::allow(D4, reason)`"
+            .to_string(),
+    });
+}
+
+/// The interior token range of the call whose `(` is at `open`, capped
+/// at `hi`. `None` for an empty or unterminated argument list.
+fn call_args(toks: &[Tok], open: usize, hi: usize) -> Option<(usize, usize)> {
+    let mut depth = 0usize;
+    let mut k = open;
+    while k <= hi {
+        let t = toks.get(k)?;
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return (k > open + 1).then_some((open + 1, k - 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// The identifiers of a method call's receiver chain, innermost-first:
+/// for `self.metrics.inc(..)` with `dot` at the `.` before `inc`, yields
+/// `["metrics", "self"]`. Stops at anything but a plain ident path.
+fn receiver_chain(toks: &[Tok], dot: usize) -> Vec<&str> {
+    let mut names = Vec::new();
+    let mut j = dot;
+    while let Some(prev) = j.checked_sub(1) {
+        let t = &toks[prev];
+        if t.kind != TokKind::Ident {
+            break;
+        }
+        names.push(t.text.as_str());
+        match prev.checked_sub(1).map(|k| &toks[k]) {
+            Some(p) if p.kind == TokKind::Punct && (p.text == "." || p.text == "::") => {
+                j = prev - 1;
+            }
+            _ => break,
+        }
+    }
+    names
+}
+
 /// U1: `pub fn` signatures in unit-carrying crates must not take or
 /// return raw `f64`/`f32` — dimensioned quantities go through the
 /// `exegpt_units` newtypes. Restricted visibility (`pub(crate)` etc.) is
@@ -648,20 +1004,34 @@ fn u1_scan(file: &str, toks: &[Tok], in_test: &[bool], raw: &mut Vec<Finding>) {
         // Scan the signature (params + return type) up to the body/`;`.
         j += 2;
         let mut depth = 0usize;
+        let mut past_arrow = false;
         while let Some(t) = toks.get(j) {
             match (t.kind, t.text.as_str()) {
                 (TokKind::Punct, "(" | "[") => depth += 1,
                 (TokKind::Punct, ")" | "]") => depth = depth.saturating_sub(1),
                 (TokKind::Punct, "{" | ";") if depth == 0 => break,
+                (TokKind::Punct, "->") if depth == 0 => past_arrow = true,
                 (TokKind::Ident, "f64" | "f32") => {
+                    // A float named by the dimensionless vocabulary is
+                    // exempt: ratios/factors have no unit to carry, and
+                    // rule U3 now polices the flows around them.
+                    let exempt = if past_arrow {
+                        dimensionless_name(&fn_name)
+                    } else {
+                        param_name_before(toks, j).is_some_and(dimensionless_name)
+                    };
+                    if exempt {
+                        j += 1;
+                        continue;
+                    }
                     raw.push(Finding {
                         file: file.to_string(),
                         line: fn_line,
                         rule: Rule::U1,
                         message: format!("`pub fn {fn_name}` takes or returns raw `{}`", t.text),
                         suggestion: "use an `exegpt_units` newtype (`Secs`, `Bytes`, `Flops`, \
-                                     a rate) or demote to `pub(crate)` if genuinely \
-                                     dimensionless"
+                                     a rate), name the quantity with the dimensionless \
+                                     vocabulary (ratio/factor/…), or demote to `pub(crate)`"
                             .to_string(),
                     });
                     break;
@@ -672,6 +1042,33 @@ fn u1_scan(file: &str, toks: &[Tok], in_test: &[bool], raw: &mut Vec<Finding>) {
         }
         i = j;
     }
+}
+
+/// Whether a `_`-separated name component marks the quantity as
+/// genuinely dimensionless (U1's sanctioned raw-float vocabulary).
+fn dimensionless_name(name: &str) -> bool {
+    name.split('_').any(|seg| {
+        matches!(seg, "ratio" | "frac" | "efficiency" | "speedup" | "slowdown" | "factor" | "util")
+    })
+}
+
+/// The identifier naming the parameter whose type mention sits at `ty`:
+/// walks back over a short run of type tokens to the `:` introducing it.
+fn param_name_before(toks: &[Tok], ty: usize) -> Option<&str> {
+    let mut j = ty;
+    for _ in 0..6 {
+        j = j.checked_sub(1)?;
+        let t = toks.get(j)?;
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, ":") => {
+                let p = toks.get(j.checked_sub(1)?)?;
+                return (p.kind == TokKind::Ident).then_some(p.text.as_str());
+            }
+            (TokKind::Punct, "&" | "<") | (TokKind::Lifetime, _) | (TokKind::Ident, _) => {}
+            _ => return None,
+        }
+    }
+    None
 }
 
 /// The unit vocabulary U2 checks binding/callee names against.
@@ -810,7 +1207,8 @@ fn apply_pragmas(file: &str, raw: Vec<Finding>, lexed: &Lexed) -> FileReport {
                 line: p.line,
                 rule: Rule::X0,
                 message: format!("`xlint::allow({})` names an unknown rule", p.rule),
-                suggestion: "use one of D1, D2, N1, F1, P1, U1, U2, L1, P2, D3".to_string(),
+                suggestion: "use one of D1, D2, N1, F1, P1, U1, U2, L1, P2, D3, D4, U3, P3"
+                    .to_string(),
             });
         } else if !used {
             report.findings.push(Finding {
@@ -947,12 +1345,26 @@ mod tests {
 
     #[test]
     fn u1_flags_raw_returns_but_not_typed_signatures() {
-        let r = lint("pub fn ratio() -> f64 {\n    0.5\n}");
+        let r = lint("pub fn headroom() -> f64 {\n    0.5\n}");
         assert_eq!(rules(&r), vec![Rule::U1]);
         let typed = lint("pub fn transfer(t: Secs, b: Bytes) -> BytesPerSec { b / t }");
         assert!(typed.findings.is_empty(), "{:?}", typed.findings);
         let body = lint("pub fn scale(t: Secs) -> Secs { let k: f64 = 2.0; t * k }");
         assert!(body.findings.is_empty(), "U1 inspects signatures, not bodies");
+    }
+
+    #[test]
+    fn u1_exempts_the_dimensionless_vocabulary() {
+        let ok = lint(
+            "pub fn slowed(factor: f64) -> Secs { Secs::new(factor) }\n\
+             pub fn compute_efficiency(f: Flops) -> f64 { 0.5 }\n\
+             pub fn build(tp_speedup: f64, util: f64) -> Plan { Plan }",
+        );
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+        let bad = lint("pub fn slowed(factor: f64, budget: f64) -> Secs { Secs::new(factor) }");
+        assert_eq!(rules(&bad), vec![Rule::U1], "a later non-vocab float still fires");
+        let name_only = lint("pub fn utilization(x: f64) {}");
+        assert_eq!(rules(&name_only), vec![Rule::U1], "vocab matches whole components only");
     }
 
     #[test]
@@ -1090,6 +1502,111 @@ mod tests {
             FileContext { allow_panics: true, ..FileContext::default() },
         );
         assert!(r.findings.is_empty(), "bin targets may drop results deliberately");
+    }
+
+    #[test]
+    fn p2_resolves_use_aliases() {
+        let src = "mod inner { pub fn persist() -> Result<(), String> { Ok(()) } }\n\
+                   use inner::persist as p2;\n\
+                   fn caller() {\n    let _ = p2();\n}";
+        let r = lint(src);
+        assert_eq!(rules(&r), vec![Rule::P2], "aliased discard is caught: {:?}", r.findings);
+        assert_eq!(r.findings[0].line, 4);
+    }
+
+    #[test]
+    fn d4_catches_laundered_clock_flows_into_sinks() {
+        // D2 fires on the source; D4 additionally fires on each sink the
+        // tainted value reaches — even through intermediate bindings.
+        let src = "fn f(s: &mut Sched, log: &mut Vec<E>) {\n\
+                   let t0 = Instant::now();\n\
+                   let stamp = t0;\n\
+                   s.reschedule(stamp);\n\
+                   log.push(stamp);\n}";
+        let r = lint(src);
+        let d4: Vec<usize> =
+            r.findings.iter().filter(|f| f.rule == Rule::D4).map(|f| f.line).collect();
+        assert_eq!(d4, vec![4, 5], "{:?}", r.findings);
+    }
+
+    #[test]
+    fn d4_sinks_stay_guarded_under_the_bench_waiver() {
+        let ctx = FileContext { allow_wall_clock: true, ..FileContext::default() };
+        let src = "fn f(m: &Metrics) {\n    let dt = Instant::now();\n    \
+                   self.metrics.observe(dt);\n}";
+        let r = lint_source("crates/bench/src/x.rs", src, ctx);
+        assert_eq!(rules(&r), vec![Rule::D4], "no D2 (waived), but the sink still fires");
+    }
+
+    #[test]
+    fn d4_untainted_sinks_and_match_patterns_are_clean() {
+        let src = "fn f(s: &mut Sched, log: &mut Vec<E>, cfg: u64) {\n\
+                   s.reschedule(cfg);\n\
+                   log.push(Event::Done { at: cfg });\n\
+                   match e { Event::Done { at } => use_it(at), _ => {} }\n}";
+        let r = lint(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn d4_env_reads_flow_in_lib_but_not_bin_contexts() {
+        let src = "fn f(s: &mut Sched) {\n    let v = env::var(\"LIMIT\");\n    \
+                   s.schedule(v);\n}";
+        assert_eq!(rules(&lint(src)), vec![Rule::D4], "lib: env is hidden nondeterminism");
+        let bin = lint_source(
+            "src/bin/cli.rs",
+            src,
+            FileContext { allow_panics: true, ..FileContext::default() },
+        );
+        assert!(bin.findings.is_empty(), "bin: env is an explicit invocation input");
+    }
+
+    #[test]
+    fn u3_flags_cross_unit_reentry_but_not_round_trips() {
+        let src = "fn f(t: Secs) -> Bytes {\n    let raw = t.as_secs();\n    Bytes::new(raw)\n}";
+        let r = lint(src);
+        assert_eq!(rules(&r), vec![Rule::U3], "{:?}", r.findings);
+        assert!(r.findings[0].message.contains("secs-stripped"), "{}", r.findings[0].message);
+        let suffix = lint(
+            "fn s(kv_bytes: Bytes) -> Secs {\n    let raw = kv_bytes.as_f64();\n    \
+                           Secs::new(raw)\n}",
+        );
+        assert_eq!(rules(&suffix), vec![Rule::U3], "suffix names the dimension for as_f64");
+        let round = lint(
+            "fn g(t: Secs) -> Secs {\n    let raw = t.as_secs();\n    \
+                          Secs::new(raw)\n}",
+        );
+        assert!(round.findings.is_empty(), "same-unit round trip: {:?}", round.findings);
+        let conv = lint(
+            "fn h(t: Secs) -> Bytes {\n    let raw = convert::lossless_f64(t.as_secs());\n    \
+             Bytes::new(raw)\n}",
+        );
+        assert!(conv.findings.is_empty(), "checked conversion launders: {:?}", conv.findings);
+        let anon = lint(
+            "fn a(b: Bytes) -> Secs {\n    let raw = b.as_f64();\n    \
+                         Secs::new(raw)\n}",
+        );
+        assert!(anon.findings.is_empty(), "an unnamed dimension cannot witness a mismatch");
+    }
+
+    #[test]
+    fn p3_flags_a_result_dropped_on_every_path() {
+        let src = "fn make() -> Result<u32, String> { Ok(1) }\n\
+                   fn f() {\n    let r = make();\n    other();\n}";
+        let r = lint(src);
+        assert_eq!(rules(&r), vec![Rule::P3], "{:?}", r.findings);
+        assert_eq!(r.findings[0].line, 3);
+    }
+
+    #[test]
+    fn p3_spares_any_downstream_consumption() {
+        let src = "fn make() -> Result<u32, String> { Ok(1) }\n\
+                   fn a() { let r = make(); if c { use_it(r); } }\n\
+                   fn b() { let r = make(); match r { Ok(_) => {}, Err(_) => {} } }\n\
+                   fn c() -> Result<u32, String> { let r = make(); r }\n\
+                   fn d() { let r = make(); loop { if c { consume(r); break; } } }";
+        let r = lint(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
     }
 
     #[test]

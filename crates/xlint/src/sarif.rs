@@ -51,9 +51,16 @@ pub fn render_sarif(report: &Report) -> String {
         out.push_str(if emitted == total { "\n" } else { ",\n" });
     }
     out.push_str("      ],\n");
+    let props = match &report.cache {
+        Some(stats) => format!(
+            ", \"properties\": {{\"cacheHits\": {}, \"cacheMisses\": {}}}",
+            stats.hits, stats.misses
+        ),
+        None => String::new(),
+    };
     let _ = writeln!(
         out,
-        "      \"invocations\": [{{\"executionSuccessful\": {}}}]",
+        "      \"invocations\": [{{\"executionSuccessful\": {}{props}}}]",
         report.is_clean()
     );
     out.push_str("    }\n  ]\n}\n");
@@ -108,6 +115,7 @@ mod tests {
             findings: vec![finding.clone()],
             suppressed: vec![Suppressed { finding, reason: "bounded cache".into() }],
             files_scanned: 1,
+            cache: None,
         };
         let sarif = report.render_sarif();
         assert!(sarif.contains("\"version\": \"2.1.0\""));
@@ -117,6 +125,16 @@ mod tests {
         assert!(sarif.contains("\"justification\": \"bounded cache\""));
         assert!(sarif.contains("\"executionSuccessful\": false"));
         assert_eq!(report.render_sarif(), sarif, "rendering is deterministic");
+    }
+
+    #[test]
+    fn cache_stats_surface_as_invocation_properties() {
+        let mut report = Report::default();
+        assert!(!report.render_sarif().contains("cacheHits"), "absent when uncached");
+        report.cache = Some(crate::cache::CacheStats { hits: 120, misses: 7 });
+        let sarif = report.render_sarif();
+        assert!(sarif.contains("\"cacheHits\": 120"));
+        assert!(sarif.contains("\"cacheMisses\": 7"));
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! The taint lattice the flow rules run on.
+//!
+//! Values are tracked per local binding as a small bitset of *marks*
+//! (DESIGN.md §6.3). Two families:
+//!
+//! * **nondeterminism marks** — the value derives from a wall-clock read
+//!   (`Instant::now`, `SystemTime`), an OS-entropy draw (`thread_rng`,
+//!   `from_entropy`) or an environment read (`env::var` & friends).
+//!   Rule D4 forbids such values from reaching event emission, metrics
+//!   writes or plan APIs. Nothing launders these marks away.
+//! * **unit-strip marks** — the value was pulled out of an
+//!   `exegpt_units` newtype (`.as_secs()`, `.as_f64()`, ...) and is a
+//!   raw float of a *known dimension*. Rule U3 forbids re-entering a
+//!   *different* unit's constructor with it; the `exegpt_dist::convert`
+//!   helpers and the unit constructors themselves clear the strip marks
+//!   (the value is dimensioned again).
+//!
+//! The join is set union, the lattice is finite (one `u16`), so every
+//! worklist fixpoint over it terminates.
+
+/// A set of taint marks. Join (`|`) is union; the empty set is bottom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, PartialOrd, Ord, Hash)]
+pub struct TaintSet(u16);
+
+impl TaintSet {
+    /// The empty (bottom) set: a value with no tracked provenance.
+    pub const EMPTY: TaintSet = TaintSet(0);
+    /// Derived from a wall-clock read.
+    pub const CLOCK: TaintSet = TaintSet(1 << 0);
+    /// Derived from an OS-entropy draw.
+    pub const ENTROPY: TaintSet = TaintSet(1 << 1);
+    /// Derived from a process-environment read.
+    pub const ENV: TaintSet = TaintSet(1 << 2);
+    /// Stripped out of a `Secs` value.
+    pub const STRIP_SECS: TaintSet = TaintSet(1 << 3);
+    /// Stripped out of a `Bytes` value.
+    pub const STRIP_BYTES: TaintSet = TaintSet(1 << 4);
+    /// Stripped out of a `Tokens` value.
+    pub const STRIP_TOKENS: TaintSet = TaintSet(1 << 5);
+    /// Stripped out of a `Flops` value.
+    pub const STRIP_FLOPS: TaintSet = TaintSet(1 << 6);
+    /// Stripped out of *some* unit newtype whose dimension the analysis
+    /// could not name (a bare `.as_f64()` on an unsuffixed receiver).
+    pub const STRIP_ANY: TaintSet = TaintSet(1 << 7);
+
+    /// Every nondeterminism mark (the D4 source family).
+    pub const NONDET: TaintSet = TaintSet(Self::CLOCK.0 | Self::ENTROPY.0 | Self::ENV.0);
+    /// Every *named* unit-strip mark (the U3 family, `STRIP_ANY` excluded:
+    /// an unknown dimension can never witness a mismatch).
+    pub const STRIP_NAMED: TaintSet = TaintSet(
+        Self::STRIP_SECS.0 | Self::STRIP_BYTES.0 | Self::STRIP_TOKENS.0 | Self::STRIP_FLOPS.0,
+    );
+    /// Every unit-strip mark, named or anonymous.
+    pub const STRIP_ALL: TaintSet = TaintSet(Self::STRIP_NAMED.0 | Self::STRIP_ANY.0);
+
+    /// Set union (the lattice join).
+    pub fn union(self, other: TaintSet) -> TaintSet {
+        TaintSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: TaintSet) -> TaintSet {
+        TaintSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self` without any mark in `other`).
+    pub fn minus(self, other: TaintSet) -> TaintSet {
+        TaintSet(self.0 & !other.0)
+    }
+
+    /// Whether no mark is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `self` and `other` share any mark.
+    pub fn intersects(self, other: TaintSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Human-readable mark list for diagnostics, e.g. `clock+env`.
+    pub fn describe(self) -> String {
+        const NAMES: [(TaintSet, &str); 8] = [
+            (TaintSet::CLOCK, "clock"),
+            (TaintSet::ENTROPY, "entropy"),
+            (TaintSet::ENV, "env"),
+            (TaintSet::STRIP_SECS, "secs-stripped"),
+            (TaintSet::STRIP_BYTES, "bytes-stripped"),
+            (TaintSet::STRIP_TOKENS, "tokens-stripped"),
+            (TaintSet::STRIP_FLOPS, "flops-stripped"),
+            (TaintSet::STRIP_ANY, "unit-stripped"),
+        ];
+        let parts: Vec<&str> =
+            NAMES.iter().filter(|(m, _)| self.intersects(*m)).map(|(_, n)| *n).collect();
+        if parts.is_empty() {
+            "untainted".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// The unit dimensions U3 tracks through strip/re-entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Wall/virtual time (`Secs`).
+    Secs,
+    /// Memory (`Bytes`).
+    Bytes,
+    /// Sequence lengths (`Tokens`).
+    Tokens,
+    /// Compute (`Flops`).
+    Flops,
+}
+
+impl Unit {
+    /// The strip mark carried by a raw float pulled out of this unit.
+    pub fn strip_mark(self) -> TaintSet {
+        match self {
+            Unit::Secs => TaintSet::STRIP_SECS,
+            Unit::Bytes => TaintSet::STRIP_BYTES,
+            Unit::Tokens => TaintSet::STRIP_TOKENS,
+            Unit::Flops => TaintSet::STRIP_FLOPS,
+        }
+    }
+
+    /// The newtype's type name as written in source.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            Unit::Secs => "Secs",
+            Unit::Bytes => "Bytes",
+            Unit::Tokens => "Tokens",
+            Unit::Flops => "Flops",
+        }
+    }
+}
+
+/// The unit named by an `exegpt_units` newtype type identifier.
+pub fn unit_for_type(name: &str) -> Option<Unit> {
+    match name {
+        "Secs" => Some(Unit::Secs),
+        "Bytes" => Some(Unit::Bytes),
+        "Tokens" => Some(Unit::Tokens),
+        "Flops" => Some(Unit::Flops),
+        _ => None,
+    }
+}
+
+/// Whether `name` is a unit-constructor method (`Secs::new`,
+/// `Secs::from_millis`, ...): calling one re-dimensions the argument.
+pub fn is_unit_ctor_method(name: &str) -> bool {
+    matches!(name, "new" | "from_secs" | "from_millis" | "from_micros")
+}
+
+/// The unit stripped by a `.name()` accessor call. `as_f64` strips an
+/// *unknown* dimension (`None` inner) — the receiver's name suffix may
+/// still pin it down (see [`unit_for_suffix`]).
+pub fn stripped_unit(accessor: &str) -> Option<Option<Unit>> {
+    match accessor {
+        "as_secs" | "as_millis" | "as_micros" => Some(Some(Unit::Secs)),
+        "as_f64" => Some(None),
+        _ => None,
+    }
+}
+
+/// The unit suggested by an identifier's `_secs`/`_bytes`/... suffix
+/// (the same vocabulary rule U2 keys on, plus tokens/flops).
+pub fn unit_for_suffix(name: &str) -> Option<Unit> {
+    let suffixed =
+        |s: &str| name == s || (name.ends_with(s) && name[..name.len() - s.len()].ends_with('_'));
+    if suffixed("secs") {
+        Some(Unit::Secs)
+    } else if suffixed("bytes") {
+        Some(Unit::Bytes)
+    } else if suffixed("tokens") || suffixed("toks") {
+        Some(Unit::Tokens)
+    } else if suffixed("flops") {
+        Some(Unit::Flops)
+    } else {
+        None
+    }
+}
+
+/// Whether `name` is one of the checked `exegpt_dist::convert` helpers:
+/// passing a value through one launders its unit-strip marks (the helper
+/// is the sanctioned, checked conversion point).
+pub fn is_convert_sanitizer(name: &str) -> bool {
+    matches!(
+        name,
+        "lossless_f64"
+            | "widen_u64"
+            | "narrow_usize"
+            | "trunc_usize"
+            | "trunc_u64"
+            | "round_usize"
+            | "ceil_usize"
+            | "ceil_u64"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_union_and_minus_removes() {
+        let t = TaintSet::CLOCK.union(TaintSet::STRIP_SECS);
+        assert!(t.intersects(TaintSet::NONDET));
+        assert!(t.intersects(TaintSet::STRIP_ALL));
+        let cleaned = t.minus(TaintSet::STRIP_ALL);
+        assert_eq!(cleaned, TaintSet::CLOCK, "strip marks clear, clock survives");
+        assert!(TaintSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn describe_lists_marks() {
+        assert_eq!(TaintSet::EMPTY.describe(), "untainted");
+        assert_eq!(TaintSet::CLOCK.union(TaintSet::ENV).describe(), "clock+env");
+        assert_eq!(Unit::Bytes.strip_mark().describe(), "bytes-stripped");
+    }
+
+    #[test]
+    fn vocabularies_resolve() {
+        assert_eq!(unit_for_type("Secs"), Some(Unit::Secs));
+        assert_eq!(unit_for_type("BytesPerSec"), None, "rates are not re-entry targets");
+        assert!(is_unit_ctor_method("from_millis"));
+        assert!(!is_unit_ctor_method("max_zero"));
+        assert_eq!(stripped_unit("as_secs"), Some(Some(Unit::Secs)));
+        assert_eq!(stripped_unit("as_f64"), Some(None));
+        assert_eq!(stripped_unit("as_str"), None);
+        assert_eq!(unit_for_suffix("kv_bytes"), Some(Unit::Bytes));
+        assert_eq!(unit_for_suffix("prompt_toks"), Some(Unit::Tokens));
+        assert_eq!(unit_for_suffix("plain"), None);
+        assert!(is_convert_sanitizer("trunc_usize"));
+        assert!(!is_convert_sanitizer("transmute"));
+    }
+}

@@ -186,15 +186,19 @@ fn p1_fixture_flags_panics_outside_bins_and_bench() {
 fn u1_fixture_flags_raw_float_signatures_only_in_units_core() {
     for label in ["crates/cluster/src/fixture.rs", "crates/sim/src/fixture.rs"] {
         let report = lint_fixture_as("u1.rs", label);
+        // `slowed(factor: f64)` and `efficiency_of(...) -> f64` stay clean:
+        // the dimensionless vocabulary (ratio/frac/efficiency/…) exempts
+        // floats that genuinely carry no unit. `headroom` is outside the
+        // vocabulary, so it still needs its pragma.
         assert_eq!(rule_lines(&report, Rule::U1), vec![1, 4, 9], "{label}: {:?}", report.findings);
-        assert_eq!(report.suppressed.len(), 1, "{label}: the pragma'd fraction is suppressed");
+        assert_eq!(report.suppressed.len(), 1, "{label}: the pragma'd headroom is suppressed");
     }
     // Outside the unit-carrying crates (and in bin targets) U1 is waived;
     // the now-unused pragma surfaces as X0 instead.
     for label in ["crates/runner/src/fixture.rs", "crates/cluster/src/bin/tool.rs"] {
         let waived = lint_fixture_as("u1.rs", label);
         assert_eq!(rule_lines(&waived, Rule::U1), Vec::<usize>::new(), "{label}");
-        assert_eq!(rule_lines(&waived, Rule::X0), vec![22], "{label}: stale pragma is X0");
+        assert_eq!(rule_lines(&waived, Rule::X0), vec![28], "{label}: stale pragma is X0");
     }
 }
 
@@ -269,6 +273,55 @@ fn p2_fixture_flags_discards_and_honors_handling() {
     // Bin targets (like P1) may discard deliberately.
     let bin = lint_fixture_as("p2.rs", "crates/runner/src/bin/tool.rs");
     assert_eq!(rule_lines(&bin, Rule::P2), Vec::<usize>::new());
+}
+
+#[test]
+fn p2_fixture_resolves_use_aliases() {
+    // `use inner::persist as store_fn;` — the discarded call through the
+    // alias still resolves to the local fallible fn.
+    let report = lint_fixture_as("p2_alias.rs", "crates/runner/src/fixture.rs");
+    assert_eq!(rule_lines(&report, Rule::P2), vec![8], "{:?}", report.findings);
+}
+
+#[test]
+fn d4_fixture_flags_nondeterministic_flows_into_sinks() {
+    // In library code D2 flags the *sources* (lines 2 and 8) and D4 flags
+    // the *flows*: laundering through `convert::` clears unit strips but
+    // never nondeterminism, so the event push, the plan call, the metrics
+    // write and the env-derived reschedule all fire.
+    let report = lint_fixture_as("d4.rs", "crates/serve/src/fixture.rs");
+    assert_eq!(rule_lines(&report, Rule::D2), vec![2, 8], "{:?}", report.findings);
+    assert_eq!(rule_lines(&report, Rule::D4), vec![4, 5, 9, 13], "{:?}", report.findings);
+    // The bench waiver scopes D2's sources, not D4's sinks: bench may
+    // *time* things, but a wall-clock value still must not reach an event
+    // log or a plan. Env reads become explicit inputs there (bin-like).
+    let bench = lint_fixture_as("d4.rs", "crates/bench/src/fixture.rs");
+    assert_eq!(rule_lines(&bench, Rule::D2), Vec::<usize>::new());
+    assert_eq!(rule_lines(&bench, Rule::D4), vec![4, 5, 9], "{:?}", bench.findings);
+}
+
+#[test]
+fn u3_fixture_flags_cross_unit_reentry_only() {
+    let report = lint_fixture_as("u3.rs", "crates/runner/src/fixture.rs");
+    // Cross-unit re-entry (secs-stripped into `Bytes::new`, a `_bytes`
+    // suffixed strip into `Secs::new`) fires; the same-unit round trip
+    // and the `convert::`-laundered path stay clean.
+    assert_eq!(rule_lines(&report, Rule::U3), vec![3, 11], "{:?}", report.findings);
+    assert!(report.findings.iter().all(|f| f.rule == Rule::U3), "{:?}", report.findings);
+}
+
+#[test]
+fn p3_fixture_flags_definitely_dropped_results() {
+    let report = lint_fixture_as("p3.rs", "crates/runner/src/fixture.rs");
+    // `st` in `drops_everywhere` is never mentioned again → definite loss.
+    // `done` is consumed, and the `st` in `branches_consume` is consumed
+    // on *some* path — P3 under-approximates, so neither fires.
+    assert_eq!(rule_lines(&report, Rule::P3), vec![5], "{:?}", report.findings);
+    assert_eq!(report.suppressed.len(), 1, "the pragma'd warm-up drop is suppressed");
+    assert_eq!(report.suppressed[0].finding.rule, Rule::P3);
+    // Bin targets may fire-and-forget (P3 is scoped like P1/P2).
+    let bin = lint_fixture_as("p3.rs", "crates/runner/src/bin/tool.rs");
+    assert_eq!(rule_lines(&bin, Rule::P3), Vec::<usize>::new());
 }
 
 #[test]

@@ -1,0 +1,18 @@
+pub fn emit_latency(event_log: &mut Vec<Event>, sched: &mut Planner) {
+    let t0 = Instant::now();
+    let dt = convert::lossless_f64(t0);
+    event_log.push(Event::Latency(dt));
+    sched.schedule(dt);
+}
+pub fn observe_entropy(registry: &Registry) {
+    let seed = thread_rng();
+    registry.metrics.observe(seed);
+}
+pub fn env_capacity(sched: &mut Planner) {
+    let cap = env::var("EXEGPT_CAP");
+    sched.reschedule(cap);
+}
+pub fn clean_path(event_log: &mut Vec<Event>, ticks: u64) {
+    let dt = ticks + ticks;
+    event_log.push(Event::Latency(dt));
+}

@@ -1,0 +1,9 @@
+mod inner {
+    pub fn persist() -> Result<(), E> {
+        Ok(())
+    }
+}
+use inner::persist as store_fn;
+pub fn run() {
+    let _ = store_fn();
+}

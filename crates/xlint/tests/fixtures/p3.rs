@@ -1,0 +1,18 @@
+fn persist(x: u32) -> Result<(), Error> {
+    mark(x)
+}
+pub fn drops_everywhere() {
+    let st = persist(1);
+    let done = persist(2);
+    log_status(done);
+}
+pub fn branches_consume(flag: bool) {
+    let st = persist(3);
+    if flag {
+        st.ok();
+    }
+}
+pub fn audited_drop() {
+    // xlint::allow(P3, fire-and-forget cache warm, checked at shutdown)
+    let warm = persist(4);
+}

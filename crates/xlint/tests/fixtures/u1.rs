@@ -19,7 +19,13 @@ impl Widget {
 pub fn typed(t: Secs, b: Bytes) -> BytesPerSec {
     b / t
 }
-// xlint::allow(U1, dimensionless efficiency fraction at the API boundary)
-pub fn fraction() -> f64 {
+pub fn slowed(factor: f64) -> Secs {
+    Secs::new(factor)
+}
+pub fn efficiency_of(f: Flops) -> f64 {
+    f.as_f64()
+}
+// xlint::allow(U1, measured headroom is dimensionless but outside the vocabulary)
+pub fn headroom() -> f64 {
     0.5
 }

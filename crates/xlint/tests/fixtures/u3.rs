@@ -1,0 +1,16 @@
+pub fn cross_reentry(t: Secs) -> Bytes {
+    let raw = t.as_secs();
+    Bytes::new(raw)
+}
+pub fn round_trip(t: Secs) -> Secs {
+    let raw = t.as_secs();
+    Secs::new(raw)
+}
+pub fn suffix_reentry(kv_bytes: F) -> Secs {
+    let raw = kv_bytes.as_f64();
+    Secs::new(raw)
+}
+pub fn laundered(t: Secs) -> Bytes {
+    let raw = convert::widen_u64(t.as_secs());
+    Bytes::new(raw)
+}
