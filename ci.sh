@@ -83,4 +83,12 @@ echo "==> fleet smoke (100k requests, 3+1 heterogeneous replicas, replica loss)"
 FLEET_SMOKE_JSON=target/ci-artifacts/fleet-smoke.json \
   cargo run --offline --release -p exegpt-fleet --bin fleet-smoke
 
+echo "==> scenario smoke (every shipped config vs its committed golden digest)"
+# Runs every scenarios/*.toml through the declarative scenario layer and
+# exits non-zero if any run's FNV-1a event-log digest drifts from
+# scenarios/GOLDENS.toml, a config has no golden, or a golden has no
+# config. Intentional behavior changes regenerate the goldens with
+# `cargo run --release --bin scenario-smoke -- scenarios --write-goldens`.
+cargo run --offline --release -p exegpt-scenario --bin scenario-smoke -- scenarios
+
 echo "CI OK"

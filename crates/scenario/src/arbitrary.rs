@@ -1,0 +1,561 @@
+//! Arbitrary-style generators for the property/fuzz harness.
+//!
+//! Two tiers, both fully deterministic from the caller's RNG:
+//!
+//! * [`arbitrary_scenario`] draws from the *whole* schema — every mode,
+//!   every distribution family, boundary floats (`5e-324`, `1e308`,
+//!   `1.0 / 3.0`, `inf` latency bounds) — and always satisfies
+//!   [`Scenario::validate`]. Round-trip and validation properties use it.
+//! * [`arbitrary_runnable`] draws from a narrow, cheap corner (OPT-13B on
+//!   a small A40 sub-cluster, modest request counts) so end-to-end
+//!   properties can actually execute every case while reusing one profile.
+//!
+//! [`mutate_invalid`] takes a valid scenario and breaks it in one of the
+//! documented ways (unknown tag, negative rate, empty GPU pool, unknown
+//! key, overlapping fault windows, wrong type), returning the corrupted
+//! value tree and the key path the error must name — the negative-parse
+//! property closes the loop.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Serialize, Value};
+
+use crate::schema::{
+    ArrivalsConfig, ClassConfig, ClusterConfig, DriftConfig, E2eSpec, FaultEventConfig,
+    FaultKindConfig, FaultsConfig, FleetConfig, LengthDistConfig, Mode, ModelSpec, PoolConfig,
+    RateSpec, ReplayConfig, ReplicaConfig, Scenario, SchedulerConfig, ServeConfig, SloConfig,
+    TenantArrivals, TenantConfig, TimeSpec, WorkloadConfig, MODEL_PRESETS, TASKS,
+};
+
+fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// Floats that historically break naive serializers: subnormals, huge
+/// magnitudes, and values with no short decimal form.
+fn boundary_float(rng: &mut StdRng) -> f64 {
+    *pick(rng, &[5e-324, 1e308, 1.0 / 3.0, 0.1 + 0.2, 1.5, 123.456789012345e-7, 2.0_f64.powi(53)])
+}
+
+fn small_f64(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    let t: f64 = rng.gen();
+    lo + t * (hi - lo)
+}
+
+fn arbitrary_dist(rng: &mut StdRng) -> LengthDistConfig {
+    let max_len = rng.gen_range(64..1024_usize);
+    let mean = small_f64(rng, 1.0, max_len as f64 * 0.5);
+    let std = small_f64(rng, 0.5, mean);
+    match rng.gen_range(0..4_u32) {
+        0 => LengthDistConfig::TruncatedNormal { mean, std, max_len },
+        1 => {
+            LengthDistConfig::SkewNormal { mean, std, skewness: small_f64(rng, -8.0, 8.0), max_len }
+        }
+        2 => LengthDistConfig::LogNormal { mean, std, max_len },
+        _ => LengthDistConfig::PointMass { len: rng.gen_range(1..=max_len), max_len },
+    }
+}
+
+fn arbitrary_workload(rng: &mut StdRng) -> WorkloadConfig {
+    if rng.gen_bool(0.6) {
+        WorkloadConfig::Task {
+            task: (*pick(rng, TASKS)).to_string(),
+            scale_mean: rng.gen_bool(0.3).then(|| small_f64(rng, 0.5, 2.0)),
+            scale_std: rng.gen_bool(0.2).then(|| small_f64(rng, 0.5, 2.0)),
+        }
+    } else {
+        WorkloadConfig::Custom { input: arbitrary_dist(rng), output: arbitrary_dist(rng) }
+    }
+}
+
+fn arbitrary_scheduler(rng: &mut StdRng) -> SchedulerConfig {
+    SchedulerConfig {
+        latency_bound_secs: if rng.gen_bool(0.2) {
+            f64::INFINITY
+        } else {
+            small_f64(rng, 5.0, 120.0)
+        },
+        eps_latency_frac: rng.gen_bool(0.3).then(|| small_f64(rng, 0.01, 0.5)),
+        eps_throughput_frac: rng.gen_bool(0.3).then(|| small_f64(rng, 0.01, 0.5)),
+        policies: rng.gen_bool(0.3).then(|| match rng.gen_range(0..3_u32) {
+            0 => vec!["rra".to_string()],
+            1 => vec!["rra".to_string(), "waa_compute".to_string()],
+            _ => vec!["rra".to_string(), "waa_compute".to_string(), "waa_memory".to_string()],
+        }),
+    }
+}
+
+fn arbitrary_rate(rng: &mut StdRng) -> RateSpec {
+    if rng.gen_bool(0.5) {
+        RateSpec::Qps { qps: small_f64(rng, 0.1, 50.0) }
+    } else {
+        RateSpec::CapacityFrac { frac: small_f64(rng, 0.1, 1.0), of: "base".to_string() }
+    }
+}
+
+fn arbitrary_slo(rng: &mut StdRng) -> SloConfig {
+    SloConfig {
+        ttft_secs: rng.gen_bool(0.3).then(|| small_f64(rng, 1.0, 60.0)),
+        per_token_secs: rng.gen_bool(0.3).then(|| boundary_float(rng).abs().max(1e-6)),
+        e2e_secs: rng.gen_bool(0.7).then(|| small_f64(rng, 10.0, 200.0)),
+    }
+}
+
+fn arbitrary_drift(rng: &mut StdRng) -> DriftConfig {
+    let window = rng.gen_range(16..512_usize);
+    DriftConfig {
+        window,
+        min_samples: rng.gen_range(1..=window),
+        check_every: rng.gen_range(1..64_usize),
+        rel_threshold: small_f64(rng, 0.05, 0.5),
+        consecutive: rng.gen_range(1..5_usize),
+    }
+}
+
+/// A well-formed fault schedule: windows opened by a fail/slowdown are
+/// either left open or closed by a matching recover, never overlapped.
+fn arbitrary_faults(rng: &mut StdRng, gpus: usize) -> FaultsConfig {
+    let mut events = Vec::new();
+    let mut t = small_f64(rng, 0.05, 0.3);
+    let n = rng.gen_range(1..4_usize);
+    let mut open: Vec<usize> = Vec::new();
+    for _ in 0..n {
+        let gpu = rng.gen_range(0..gpus);
+        if let Some(at) = open.iter().position(|g| *g == gpu) {
+            open.remove(at);
+            events.push(FaultEventConfig {
+                at: TimeSpec::HorizonFrac(t),
+                kind: FaultKindConfig::GpuRecover { gpu },
+            });
+        } else {
+            open.push(gpu);
+            let kind = if rng.gen_bool(0.5) {
+                FaultKindConfig::GpuFail { gpu }
+            } else {
+                FaultKindConfig::GpuSlowdown { gpu, factor: small_f64(rng, 1.5, 4.0) }
+            };
+            events.push(FaultEventConfig { at: TimeSpec::HorizonFrac(t), kind });
+        }
+        t += small_f64(rng, 0.05, 0.3);
+    }
+    // Close every remaining window during the backlog drain, in open order.
+    for gpu in open {
+        events.push(FaultEventConfig {
+            at: TimeSpec::HorizonFrac(t),
+            kind: FaultKindConfig::GpuRecover { gpu },
+        });
+        t += small_f64(rng, 0.05, 0.2);
+    }
+    FaultsConfig {
+        detection_delay_secs: rng.gen_bool(0.3).then(|| small_f64(rng, 0.0, 2.0)),
+        evict_slowdown: rng.gen_bool(0.3).then(|| small_f64(rng, 1.0, 4.0)),
+        max_retries: rng.gen_bool(0.3).then(|| rng.gen_range(1..8_usize)),
+        backoff_base_secs: rng.gen_bool(0.3).then(|| small_f64(rng, 0.0, 1.0)),
+        straggler_rel_threshold: rng.gen_bool(0.3).then(|| small_f64(rng, 1.05, 2.0)),
+        straggler_consecutive: rng.gen_bool(0.3).then(|| rng.gen_range(1..6_usize)),
+        events,
+    }
+}
+
+fn arbitrary_serve(rng: &mut StdRng, gpus: usize) -> ServeConfig {
+    let arrivals = match rng.gen_range(0..3_u32) {
+        0 => ArrivalsConfig::Poisson { rate: arbitrary_rate(rng) },
+        1 => ArrivalsConfig::Bursty {
+            rate_burst: arbitrary_rate(rng),
+            rate_lull: arbitrary_rate(rng),
+            dwell_burst_secs: small_f64(rng, 5.0, 60.0),
+            dwell_lull_secs: small_f64(rng, 5.0, 120.0),
+        },
+        _ => ArrivalsConfig::PoissonWithShift {
+            rate: if rng.gen_bool(0.5) {
+                RateSpec::Qps { qps: small_f64(rng, 0.1, 50.0) }
+            } else {
+                RateSpec::CapacityFrac {
+                    frac: small_f64(rng, 0.1, 1.0),
+                    of: (*pick(rng, &["base", "shifted"])).to_string(),
+                }
+            },
+            shift_after_frac: small_f64(rng, 0.0, 1.0),
+            scale_mean: small_f64(rng, 0.5, 2.0),
+            scale_std: rng.gen_bool(0.3).then(|| small_f64(rng, 0.5, 2.0)),
+        },
+    };
+    ServeConfig {
+        total: rng.gen_range(1..5000_usize),
+        adaptive: rng.gen_bool(0.5),
+        adjust_threshold: rng.gen_bool(0.3).then(|| small_f64(rng, 0.05, 0.5)),
+        incremental_replan: rng.gen_bool(0.3).then(|| rng.gen_bool(0.5)),
+        arrivals,
+        slo: arbitrary_slo(rng),
+        drift: rng.gen_bool(0.4).then(|| arbitrary_drift(rng)),
+        faults: rng.gen_bool(0.4).then(|| arbitrary_faults(rng, gpus)),
+    }
+}
+
+fn arbitrary_fleet(rng: &mut StdRng) -> FleetConfig {
+    let n_pools = rng.gen_range(1..3_usize);
+    let pools: Vec<PoolConfig> = (0..n_pools)
+        .map(|i| PoolConfig {
+            name: format!("pool-{i}"),
+            cluster: ClusterConfig {
+                preset: (*pick(rng, &["a40", "a100"])).to_string(),
+                gpus: Some(*pick(rng, &[2, 4_usize])),
+            },
+            latency_bound_secs: rng.gen_bool(0.4).then(|| small_f64(rng, 10.0, 120.0)),
+        })
+        .collect();
+    let n_replicas = rng.gen_range(1..4_usize);
+    let mut replicas: Vec<ReplicaConfig> = (0..n_replicas)
+        .map(|i| ReplicaConfig {
+            name: format!("r{i}"),
+            pool: pools[rng.gen_range(0..pools.len())].name.clone(),
+            standby: false,
+        })
+        .collect();
+    let standby = rng.gen_bool(0.4);
+    if standby {
+        replicas.push(ReplicaConfig {
+            name: "standby".to_string(),
+            pool: pools[0].name.clone(),
+            standby: true,
+        });
+    }
+    let classes = vec![
+        ClassConfig {
+            name: "interactive".to_string(),
+            weight: small_f64(rng, 0.5, 2.0),
+            e2e: Some(if rng.gen_bool(0.5) {
+                E2eSpec::PlanLatencyMidpoint
+            } else {
+                E2eSpec::Secs { secs: small_f64(rng, 20.0, 200.0) }
+            }),
+        },
+        ClassConfig { name: "batch".to_string(), weight: 0.0, e2e: None },
+    ];
+    let tenants: Vec<TenantConfig> = (0..rng.gen_range(1..4_u32))
+        .map(|i| TenantConfig {
+            tenant: i,
+            class: classes[rng.gen_range(0..classes.len())].name.clone(),
+            arrivals: if rng.gen_bool(0.7) {
+                TenantArrivals::Poisson {
+                    rate: RateSpec::PoolCapacityFrac {
+                        frac: small_f64(rng, 0.05, 1.0),
+                        pool: (*pick(rng, &["fastest", "slowest"])).to_string(),
+                    },
+                }
+            } else {
+                TenantArrivals::Bursty {
+                    rate_burst: RateSpec::Qps { qps: small_f64(rng, 0.5, 20.0) },
+                    rate_lull: RateSpec::Qps { qps: small_f64(rng, 0.1, 5.0) },
+                    dwell_burst_secs: small_f64(rng, 5.0, 60.0),
+                    dwell_lull_secs: small_f64(rng, 10.0, 120.0),
+                }
+            },
+        })
+        .collect();
+    // At most one fail/recover pair on a non-standby replica keeps the
+    // generated fleets inside the fabric's supported fault envelope.
+    let mut faults = Vec::new();
+    let mut scale = Vec::new();
+    if n_replicas > 1 && rng.gen_bool(0.4) {
+        let victim = replicas[rng.gen_range(0..n_replicas)].name.clone();
+        faults.push(crate::schema::FleetFaultConfig {
+            at: TimeSpec::HorizonFrac(small_f64(rng, 0.3, 0.6)),
+            action: "fail".to_string(),
+            replica: victim,
+        });
+        if standby {
+            scale.push(crate::schema::ScaleConfig {
+                at: TimeSpec::HorizonFrac(small_f64(rng, 0.6, 0.8)),
+                action: "up".to_string(),
+                replica: "standby".to_string(),
+            });
+        }
+    }
+    FleetConfig {
+        total: rng.gen_range(1..5000_usize),
+        policy: (*pick(rng, &["round_robin", "least_outstanding", "kv_headroom", "slo_aware"]))
+            .to_string(),
+        pools,
+        replicas,
+        classes,
+        tenants,
+        faults,
+        scale,
+    }
+}
+
+/// Draws a valid scenario from the whole schema (any mode, any model,
+/// boundary floats). Always passes [`Scenario::validate`]; not guaranteed
+/// cheap to *run*.
+pub fn arbitrary_scenario(rng: &mut StdRng) -> Scenario {
+    let mode = match rng.gen_range(0..3_u32) {
+        0 => Mode::Serve(arbitrary_serve(rng, 4)),
+        1 => Mode::Fleet(arbitrary_fleet(rng)),
+        _ => Mode::Replay(ReplayConfig {
+            num_queries: rng.gen_range(1..5000_usize),
+            scale_mean: rng.gen_bool(0.4).then(|| small_f64(rng, 0.5, 2.0)),
+            scale_std: rng.gen_bool(0.2).then(|| small_f64(rng, 0.5, 2.0)),
+        }),
+    };
+    let cluster = match mode {
+        Mode::Fleet(_) => None,
+        _ => Some(ClusterConfig {
+            preset: (*pick(rng, &["a40", "a100"])).to_string(),
+            gpus: rng.gen_bool(0.8).then(|| rng.gen_range(1..16_usize)),
+        }),
+    };
+    Scenario {
+        name: format!("arb-{}", rng.gen_range(0..1_000_000_u64)),
+        seed: rng.gen_range(0..1_000_000_u64),
+        model: ModelSpec { preset: (*pick(rng, MODEL_PRESETS)).to_string() },
+        cluster,
+        workload: arbitrary_workload(rng),
+        scheduler: arbitrary_scheduler(rng),
+        mode,
+    }
+}
+
+/// Draws a scenario from the cheap runnable corner: OPT-13B on a 4-GPU A40
+/// sub-cluster (one shared profile), the translation task, bounded totals.
+/// Every case can execute end-to-end in test time.
+pub fn arbitrary_runnable(rng: &mut StdRng) -> Scenario {
+    let mode = match rng.gen_range(0..3_u32) {
+        0 => {
+            let mut serve = arbitrary_serve(rng, 4);
+            serve.total = rng.gen_range(40..160_usize);
+            // Keep offered load inside the plan so tiny runs still drain
+            // fast; capacity_frac of the plan estimate is always safe.
+            serve.arrivals = ArrivalsConfig::Poisson {
+                rate: RateSpec::CapacityFrac {
+                    frac: small_f64(rng, 0.2, 0.8),
+                    of: "base".to_string(),
+                },
+            };
+            Mode::Serve(serve)
+        }
+        1 => {
+            let mut fleet = arbitrary_fleet(rng);
+            fleet.total = rng.gen_range(100..300_usize);
+            for pool in &mut fleet.pools {
+                pool.cluster = ClusterConfig { preset: "a40".to_string(), gpus: Some(4) };
+                pool.latency_bound_secs = None;
+            }
+            // Modest per-tenant load so small fleets drain quickly.
+            for t in &mut fleet.tenants {
+                t.arrivals = TenantArrivals::Poisson {
+                    rate: RateSpec::PoolCapacityFrac {
+                        frac: small_f64(rng, 0.05, 0.4),
+                        pool: "slowest".to_string(),
+                    },
+                };
+            }
+            Mode::Fleet(fleet)
+        }
+        _ => Mode::Replay(ReplayConfig {
+            num_queries: rng.gen_range(40..160_usize),
+            scale_mean: rng.gen_bool(0.4).then(|| small_f64(rng, 0.8, 1.5)),
+            scale_std: None,
+        }),
+    };
+    let cluster = match mode {
+        Mode::Fleet(_) => None,
+        _ => Some(ClusterConfig { preset: "a40".to_string(), gpus: Some(4) }),
+    };
+    Scenario {
+        name: format!("runnable-{}", rng.gen_range(0..1_000_000_u64)),
+        seed: rng.gen_range(0..64_u64),
+        model: ModelSpec { preset: "opt-13b".to_string() },
+        cluster,
+        workload: WorkloadConfig::Task {
+            task: "translation".to_string(),
+            scale_mean: None,
+            scale_std: None,
+        },
+        scheduler: SchedulerConfig {
+            latency_bound_secs: 30.0,
+            eps_latency_frac: None,
+            eps_throughput_frac: None,
+            policies: None,
+        },
+        mode,
+    }
+}
+
+/// A serve scenario built for the exact-recovery property: non-adaptive
+/// loop, moderate load, one failure and one slowdown that both recover
+/// during the backlog drain — the plan must be restored verbatim and no
+/// request lost.
+pub fn arbitrary_fault_recovery(rng: &mut StdRng) -> Scenario {
+    let fail_gpu = rng.gen_range(1..4_usize);
+    let slow_gpu = (fail_gpu + rng.gen_range(1..3_usize)) % 4;
+    let events = vec![
+        FaultEventConfig {
+            at: TimeSpec::HorizonFrac(small_f64(rng, 0.2, 0.3)),
+            kind: FaultKindConfig::GpuFail { gpu: fail_gpu },
+        },
+        FaultEventConfig {
+            at: TimeSpec::HorizonFrac(small_f64(rng, 0.35, 0.45)),
+            kind: FaultKindConfig::GpuSlowdown { gpu: slow_gpu, factor: 3.0 },
+        },
+        FaultEventConfig {
+            at: TimeSpec::HorizonFrac(1.2),
+            kind: FaultKindConfig::GpuRecover { gpu: slow_gpu },
+        },
+        FaultEventConfig {
+            at: TimeSpec::HorizonFrac(1.4),
+            kind: FaultKindConfig::GpuRecover { gpu: fail_gpu },
+        },
+    ];
+    Scenario {
+        name: format!("recovery-{}", rng.gen_range(0..1_000_000_u64)),
+        seed: rng.gen_range(0..64_u64),
+        model: ModelSpec { preset: "opt-13b".to_string() },
+        cluster: Some(ClusterConfig { preset: "a40".to_string(), gpus: Some(4) }),
+        workload: WorkloadConfig::Task {
+            task: "translation".to_string(),
+            scale_mean: None,
+            scale_std: None,
+        },
+        scheduler: SchedulerConfig {
+            latency_bound_secs: 30.0,
+            eps_latency_frac: None,
+            eps_throughput_frac: None,
+            policies: None,
+        },
+        mode: Mode::Serve(ServeConfig {
+            total: rng.gen_range(60..160_usize),
+            adaptive: false,
+            adjust_threshold: None,
+            incremental_replan: None,
+            arrivals: ArrivalsConfig::Poisson {
+                rate: RateSpec::CapacityFrac {
+                    frac: small_f64(rng, 0.3, 0.6),
+                    of: "base".to_string(),
+                },
+            },
+            slo: SloConfig { ttft_secs: None, per_token_secs: None, e2e_secs: None },
+            drift: None,
+            faults: Some(FaultsConfig {
+                detection_delay_secs: None,
+                evict_slowdown: None,
+                max_retries: None,
+                backoff_base_secs: None,
+                straggler_rel_threshold: None,
+                straggler_consecutive: Some(2),
+                events,
+            }),
+        }),
+    }
+}
+
+// --- invalid mutations ---------------------------------------------------
+
+/// Replaces the value at `path` (creating the leaf key if absent) inside
+/// an object tree.
+fn set_path(v: &mut Value, path: &[&str], new: Value) {
+    if path.is_empty() {
+        *v = new;
+        return;
+    }
+    if let Value::Object(fields) = v {
+        if let Some((_, child)) = fields.iter_mut().find(|(k, _)| k == path[0]) {
+            set_path(child, &path[1..], new);
+            return;
+        }
+        if path.len() == 1 {
+            fields.push((path[0].to_string(), new));
+        }
+    }
+}
+
+/// Breaks a valid scenario in one schema-violating way. Returns the
+/// corrupted value tree and the key path the resulting
+/// [`ScenarioError`](crate::ScenarioError) must name.
+pub fn mutate_invalid(rng: &mut StdRng, scenario: &Scenario) -> (Value, String) {
+    let mut v = scenario.to_value();
+    match rng.gen_range(0..6_u32) {
+        // Wrong type: seed becomes a string.
+        0 => {
+            set_path(&mut v, &["seed"], Value::Str("not-a-number".to_string()));
+            (v, "seed".to_string())
+        }
+        // Unknown enum tag on the workload.
+        1 => {
+            set_path(&mut v, &["workload", "kind"], Value::Str("mystery".to_string()));
+            (v, "workload.kind".to_string())
+        }
+        // Unknown model preset (structured validate error, not a panic).
+        2 => {
+            set_path(&mut v, &["model", "preset"], Value::Str("warp-9".to_string()));
+            (v, "model.preset".to_string())
+        }
+        // Unknown key injected into the scheduler table.
+        3 => {
+            set_path(&mut v, &["scheduler", "warp_speed"], Value::Bool(true));
+            (v, "scheduler.warp_speed".to_string())
+        }
+        // Negative / non-positive scheduler bound.
+        4 => {
+            set_path(&mut v, &["scheduler", "latency_bound_secs"], Value::F64(-30.0));
+            (v, "scheduler.latency_bound_secs".to_string())
+        }
+        // Empty GPU pool: serve/replay top-level cluster, or a fleet
+        // pool's cluster.
+        _ => match &scenario.mode {
+            Mode::Fleet(_) => {
+                // The first pool's cluster loses its GPUs.
+                if let Value::Object(fields) = &mut v {
+                    if let Some((_, Value::Object(ff))) =
+                        fields.iter_mut().find(|(k, _)| k == "fleet")
+                    {
+                        if let Some((_, Value::Array(items))) =
+                            ff.iter_mut().find(|(k, _)| k == "pools")
+                        {
+                            if let Some(first) = items.first_mut() {
+                                set_path(first, &["cluster", "gpus"], Value::U64(0));
+                            }
+                        }
+                    }
+                }
+                (v, "fleet.pools[0].cluster.gpus".to_string())
+            }
+            _ => {
+                set_path(&mut v, &["cluster", "gpus"], Value::U64(0));
+                (v, "cluster.gpus".to_string())
+            }
+        },
+    }
+}
+
+/// A scenario value tree whose fault events overlap (a second fail on a
+/// device with no recover in between) — must be rejected with the
+/// offending event's path.
+pub fn overlapping_faults_tree(scenario: &Scenario) -> Option<(Value, String)> {
+    if !matches!(scenario.mode, Mode::Serve(_)) {
+        return None;
+    }
+    let mut s = scenario.clone();
+    if let Mode::Serve(serve) = &mut s.mode {
+        let events = vec![
+            FaultEventConfig {
+                at: TimeSpec::HorizonFrac(0.2),
+                kind: FaultKindConfig::GpuFail { gpu: 1 },
+            },
+            FaultEventConfig {
+                at: TimeSpec::HorizonFrac(0.4),
+                kind: FaultKindConfig::GpuSlowdown { gpu: 1, factor: 2.0 },
+            },
+        ];
+        serve.faults = Some(FaultsConfig {
+            detection_delay_secs: None,
+            evict_slowdown: None,
+            max_retries: None,
+            backoff_base_secs: None,
+            straggler_rel_threshold: None,
+            straggler_consecutive: None,
+            events,
+        });
+    }
+    Some((s.to_value(), "serve.faults.events[1]".to_string()))
+}

@@ -1,0 +1,92 @@
+//! Structured scenario errors: every parse or validation failure names the
+//! offending key path (`serve.arrivals.rate.qps`), never a bare message.
+
+use std::fmt;
+
+/// Error raised while parsing, validating, lowering or running a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The raw text is not well-formed TOML/JSON.
+    Syntax {
+        /// 1-based line of the first offending character (0 for JSON,
+        /// whose parser reports byte offsets in `why`).
+        line: usize,
+        /// What went wrong.
+        why: String,
+    },
+    /// The value tree does not match the schema (wrong type, missing or
+    /// unknown key, unknown enum tag).
+    Parse {
+        /// Dotted key path of the offending value, e.g.
+        /// `serve.arrivals.kind`; empty for the document root.
+        path: String,
+        /// What went wrong, including the expected shape.
+        why: String,
+    },
+    /// The tree matches the schema but the values are semantically invalid
+    /// (negative rate, empty GPU pool, overlapping fault windows, …).
+    Validate {
+        /// Dotted key path of the offending value.
+        path: String,
+        /// The violated rule.
+        why: String,
+    },
+    /// Lowering onto the engine stack failed (profiling, scheduling, or a
+    /// downstream constructor rejected the scenario).
+    Lower {
+        /// Which lowering step failed.
+        what: &'static str,
+        /// The downstream error, rendered.
+        why: String,
+    },
+    /// Running the lowered scenario failed.
+    Run {
+        /// Which run step failed.
+        what: &'static str,
+        /// The downstream error, rendered.
+        why: String,
+    },
+    /// A scenario file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error, rendered.
+        why: String,
+    },
+}
+
+impl ScenarioError {
+    /// The dotted key path of a [`Parse`](Self::Parse) or
+    /// [`Validate`](Self::Validate) error, if this is one.
+    pub fn key_path(&self) -> Option<&str> {
+        match self {
+            ScenarioError::Parse { path, .. } | ScenarioError::Validate { path, .. } => {
+                Some(path.as_str())
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Syntax { line, why } if *line > 0 => {
+                write!(f, "syntax error at line {line}: {why}")
+            }
+            ScenarioError::Syntax { why, .. } => write!(f, "syntax error: {why}"),
+            ScenarioError::Parse { path, why } if path.is_empty() => {
+                write!(f, "parse error at document root: {why}")
+            }
+            ScenarioError::Parse { path, why } => write!(f, "parse error at `{path}`: {why}"),
+            ScenarioError::Validate { path, why } => {
+                write!(f, "invalid scenario at `{path}`: {why}")
+            }
+            ScenarioError::Lower { what, why } => write!(f, "lowering {what} failed: {why}"),
+            ScenarioError::Run { what, why } => write!(f, "running {what} failed: {why}"),
+            ScenarioError::Io { path, why } => write!(f, "i/o error on {path}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}

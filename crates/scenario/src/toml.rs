@@ -1,0 +1,778 @@
+//! A deterministic TOML front-end over the vendored serde [`Value`] tree.
+//!
+//! Scenario files are TOML for humans and JSON for machines; both sides
+//! meet in the same [`Value`] tree, so the schema decoder
+//! ([`crate::schema`]) is format-agnostic. The subset implemented here is
+//! exactly what scenario files need — tables, arrays of tables, inline
+//! tables, arrays, basic and literal strings, integers, floats (including
+//! `inf`), booleans, comments — and the emitter is canonical: rendering a
+//! tree and re-parsing it reproduces the tree, with floats printed in
+//! Rust's shortest round-trip form so every finite `f64` survives
+//! bit-exactly (the TOML side of the `float_roundtrip` contract).
+
+use serde::Value;
+
+use crate::error::ScenarioError;
+
+// --- parsing -------------------------------------------------------------
+
+/// Parses TOML text into a [`Value::Object`] tree.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Syntax`] with the 1-based line number on
+/// malformed input, duplicate keys, or conflicting table headers.
+pub fn parse(text: &str) -> Result<Value, ScenarioError> {
+    let mut p = Parser { c: text.chars().collect(), i: 0, line: 1 };
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Canonical header paths already opened (array elements carry their
+    // index, so `[[t]]` elements never collide but re-opening a `[t]` —
+    // or addressing an array element twice via `[t]` after `[[t]]` — does.
+    // Duplicate *keys* are caught structurally by `insert_value`.
+    let mut seen: Vec<String> = Vec::new();
+    let mut current: Vec<String> = Vec::new();
+    loop {
+        p.skip_trivia();
+        if p.at_end() {
+            break;
+        }
+        if p.peek() == Some('[') {
+            p.bump();
+            let is_array = p.peek() == Some('[');
+            if is_array {
+                p.bump();
+            }
+            let path = p.parse_dotted_key()?;
+            p.consume(']')?;
+            if is_array {
+                p.consume(']')?;
+            }
+            p.expect_line_end()?;
+            let canonical = open_table(&mut root, &path, is_array).map_err(|why| p.err(why))?;
+            if seen.contains(&canonical) {
+                return Err(p.err(format!("table `{}` already defined", path.join("."))));
+            }
+            seen.push(canonical);
+            current = path;
+        } else {
+            let key = p.parse_dotted_key()?;
+            p.consume('=')?;
+            p.skip_inline_ws();
+            let value = p.parse_value()?;
+            p.expect_line_end()?;
+            insert_value(&mut root, &current, &key, value).map_err(|why| p.err(why))?;
+        }
+    }
+    Ok(Value::Object(root))
+}
+
+/// Navigates to `path` from the document root, creating tables as needed;
+/// for `[[path]]`, appends a fresh element to the array at `path`. Returns
+/// the canonical path of the opened table, with array elements spelled as
+/// `seg[index]` so distinct `[[t]]` elements stay distinct.
+fn open_table(
+    root: &mut Vec<(String, Value)>,
+    path: &[String],
+    is_array: bool,
+) -> Result<String, String> {
+    let mut cur = root;
+    let mut canonical = String::new();
+    for (depth, seg) in path.iter().enumerate() {
+        let last = depth + 1 == path.len();
+        if !canonical.is_empty() {
+            canonical.push('.');
+        }
+        canonical.push_str(seg);
+        if !cur.iter().any(|(k, _)| k == seg) {
+            let fresh = if last && is_array {
+                canonical.push_str("[0]");
+                Value::Array(vec![Value::Object(Vec::new())])
+            } else {
+                Value::Object(Vec::new())
+            };
+            cur.push((seg.clone(), fresh));
+            cur = match descend(cur, seg) {
+                Some(next) => next,
+                None => return Err(format!("internal: `{seg}` vanished")),
+            };
+            continue;
+        }
+        if last && is_array {
+            let slot = cur.iter_mut().find(|(k, _)| k == seg).map(|(_, v)| v);
+            match slot {
+                Some(Value::Array(items)) => {
+                    items.push(Value::Object(Vec::new()));
+                }
+                _ => return Err(format!("`{seg}` is not an array of tables")),
+            }
+        }
+        // An existing segment that is an array of tables addresses its
+        // *last* element; spell the index into the canonical path.
+        if let Some((_, Value::Array(items))) = cur.iter().find(|(k, _)| k == seg) {
+            canonical.push_str(&format!("[{}]", items.len().saturating_sub(1)));
+        }
+        cur = match descend(cur, seg) {
+            Some(next) => next,
+            None => return Err(format!("`{seg}` is not a table")),
+        };
+    }
+    Ok(canonical)
+}
+
+/// Steps into the table named `seg`: through an object directly, or into
+/// the *last* element of an array of tables.
+fn descend<'v>(cur: &'v mut [(String, Value)], seg: &str) -> Option<&'v mut Vec<(String, Value)>> {
+    let v = cur.iter_mut().find(|(k, _)| k == seg).map(|(_, v)| v)?;
+    match v {
+        Value::Object(fields) => Some(fields),
+        Value::Array(items) => match items.last_mut() {
+            Some(Value::Object(fields)) => Some(fields),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Inserts `value` at `table_path` + `key_path`, creating intermediate
+/// tables for dotted keys.
+fn insert_value(
+    root: &mut Vec<(String, Value)>,
+    table_path: &[String],
+    key_path: &[String],
+    value: Value,
+) -> Result<(), String> {
+    let mut cur = root;
+    for seg in table_path {
+        cur = match descend(cur, seg) {
+            Some(next) => next,
+            None => return Err(format!("`{seg}` is not a table")),
+        };
+    }
+    let (last, intermediate) = match key_path.split_last() {
+        Some(split) => split,
+        None => return Err("empty key".to_string()),
+    };
+    for seg in intermediate {
+        if !cur.iter().any(|(k, _)| k == seg) {
+            cur.push((seg.clone(), Value::Object(Vec::new())));
+        }
+        cur = match descend(cur, seg) {
+            Some(next) => next,
+            None => return Err(format!("`{seg}` is not a table")),
+        };
+    }
+    if cur.iter().any(|(k, _)| k == last) {
+        return Err(format!("key `{last}` already defined"));
+    }
+    cur.push((last.clone(), value));
+    Ok(())
+}
+
+struct Parser {
+    c: Vec<char>,
+    i: usize,
+    line: usize,
+}
+
+impl Parser {
+    fn err(&self, why: String) -> ScenarioError {
+        ScenarioError::Syntax { line: self.line, why }
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.c.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.c.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.peek();
+        if ch == Some('\n') {
+            self.line += 1;
+        }
+        if ch.is_some() {
+            self.i += 1;
+        }
+        ch
+    }
+
+    /// Skips spaces and tabs on the current line.
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t')) {
+            self.bump();
+        }
+    }
+
+    /// Skips whitespace, newlines and `#` comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(' ' | '\t' | '\r' | '\n') => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while !matches!(self.peek(), None | Some('\n')) {
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn consume(&mut self, want: char) -> Result<(), ScenarioError> {
+        self.skip_inline_ws();
+        match self.bump() {
+            Some(ch) if ch == want => Ok(()),
+            Some(ch) => Err(self.err(format!("expected `{want}`, found `{ch}`"))),
+            None => Err(self.err(format!("expected `{want}`, found end of input"))),
+        }
+    }
+
+    /// Consumes the rest of the line, allowing only trailing whitespace
+    /// and a comment.
+    fn expect_line_end(&mut self) -> Result<(), ScenarioError> {
+        self.skip_inline_ws();
+        match self.peek() {
+            None | Some('\n') => Ok(()),
+            Some('\r') => Ok(()),
+            Some('#') => {
+                while !matches!(self.peek(), None | Some('\n')) {
+                    self.bump();
+                }
+                Ok(())
+            }
+            Some(ch) => Err(self.err(format!("unexpected `{ch}` after value"))),
+        }
+    }
+
+    fn parse_dotted_key(&mut self) -> Result<Vec<String>, ScenarioError> {
+        let mut parts = vec![self.parse_key_part()?];
+        loop {
+            self.skip_inline_ws();
+            if self.peek() == Some('.') {
+                self.bump();
+                parts.push(self.parse_key_part()?);
+            } else {
+                return Ok(parts);
+            }
+        }
+    }
+
+    fn parse_key_part(&mut self) -> Result<String, ScenarioError> {
+        self.skip_inline_ws();
+        match self.peek() {
+            Some('"') => self.parse_basic_string(),
+            Some('\'') => self.parse_literal_string(),
+            Some(ch) if is_bare_key_char(ch) => {
+                let mut s = String::new();
+                while let Some(ch) = self.peek() {
+                    if is_bare_key_char(ch) {
+                        s.push(ch);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(s)
+            }
+            Some(ch) => Err(self.err(format!("expected a key, found `{ch}`"))),
+            None => Err(self.err("expected a key, found end of input".to_string())),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ScenarioError> {
+        self.skip_inline_ws();
+        match self.peek() {
+            Some('"') => self.parse_basic_string().map(Value::Str),
+            Some('\'') => self.parse_literal_string().map(Value::Str),
+            Some('[') => self.parse_array(),
+            Some('{') => self.parse_inline_table(),
+            Some(_) => self.parse_scalar_word(),
+            None => Err(self.err("expected a value, found end of input".to_string())),
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String, ScenarioError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(s),
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| self.err("bad \\u escape".to_string()))?;
+                            code = code * 16 + d;
+                        }
+                        let ch = char::from_u32(code)
+                            .ok_or_else(|| self.err("bad \\u escape".to_string()))?;
+                        s.push(ch);
+                    }
+                    Some(ch) => return Err(self.err(format!("unknown escape `\\{ch}`"))),
+                    None => return Err(self.err("unterminated string".to_string())),
+                },
+                Some('\n') | None => return Err(self.err("unterminated string".to_string())),
+                Some(ch) => s.push(ch),
+            }
+        }
+    }
+
+    fn parse_literal_string(&mut self) -> Result<String, ScenarioError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('\'') => return Ok(s),
+                Some('\n') | None => return Err(self.err("unterminated string".to_string())),
+                Some(ch) => s.push(ch),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ScenarioError> {
+        self.bump(); // `[`
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(']') {
+                self.bump();
+                return Ok(Value::Array(items));
+            }
+            items.push(self.parse_value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some(']') => {}
+                Some(ch) => return Err(self.err(format!("expected `,` or `]`, found `{ch}`"))),
+                None => return Err(self.err("unterminated array".to_string())),
+            }
+        }
+    }
+
+    fn parse_inline_table(&mut self) -> Result<Value, ScenarioError> {
+        self.bump(); // `{`
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            if self.peek() == Some('}') {
+                self.bump();
+                return Ok(Value::Object(fields));
+            }
+            let key = self.parse_key_part()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("key `{key}` already defined")));
+            }
+            self.consume('=')?;
+            self.skip_inline_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_inline_ws();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some('}') => {}
+                Some(ch) => return Err(self.err(format!("expected `,` or `}}`, found `{ch}`"))),
+                None => return Err(self.err("unterminated inline table".to_string())),
+            }
+        }
+    }
+
+    /// Parses a bare scalar word: boolean, integer, or float.
+    fn parse_scalar_word(&mut self) -> Result<Value, ScenarioError> {
+        let mut word = String::new();
+        while let Some(ch) = self.peek() {
+            if ch.is_ascii_alphanumeric() || matches!(ch, '+' | '-' | '.' | '_') {
+                word.push(ch);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match word.as_str() {
+            "" => Err(self.err("expected a value".to_string())),
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            "inf" | "+inf" => Ok(Value::F64(f64::INFINITY)),
+            "-inf" => Ok(Value::F64(f64::NEG_INFINITY)),
+            "nan" | "+nan" | "-nan" => Ok(Value::F64(f64::NAN)),
+            _ => {
+                let digits: String = word.chars().filter(|&c| c != '_').collect();
+                if digits.contains(['.', 'e', 'E']) {
+                    digits
+                        .parse::<f64>()
+                        .map(Value::F64)
+                        .map_err(|_| self.err(format!("bad float `{word}`")))
+                } else if let Some(rest) = digits.strip_prefix('-') {
+                    rest.parse::<i64>()
+                        .map(|n| Value::I64(-n))
+                        .map_err(|_| self.err(format!("bad integer `{word}`")))
+                } else {
+                    let unsigned = digits.strip_prefix('+').unwrap_or(&digits);
+                    unsigned
+                        .parse::<u64>()
+                        .map(Value::U64)
+                        .map_err(|_| self.err(format!("bad integer `{word}`")))
+                }
+            }
+        }
+    }
+}
+
+fn is_bare_key_char(ch: char) -> bool {
+    ch.is_ascii_alphanumeric() || ch == '_' || ch == '-'
+}
+
+// --- rendering -----------------------------------------------------------
+
+/// Renders a [`Value::Object`] tree as canonical TOML.
+///
+/// Scalars and scalar arrays render as `key = value` lines; objects whose
+/// fields are all scalars render as inline tables; other nested objects
+/// become `[section]` headers and arrays of objects become `[[section]]`
+/// table arrays, in insertion order.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Parse`] if the root is not an object or an
+/// array mixes objects with non-objects (no TOML rendering exists).
+pub fn render(v: &Value) -> Result<String, ScenarioError> {
+    let fields = match v {
+        Value::Object(fields) => fields,
+        other => {
+            return Err(ScenarioError::Parse {
+                path: String::new(),
+                why: format!("TOML documents are objects, found {}", other.type_name()),
+            })
+        }
+    };
+    let mut out = String::new();
+    render_table(&mut out, &mut Vec::new(), fields)?;
+    Ok(out)
+}
+
+/// True for values renderable on one `key = value` line.
+fn is_inline(v: &Value) -> bool {
+    match v {
+        Value::Null
+        | Value::Bool(_)
+        | Value::U64(_)
+        | Value::I64(_)
+        | Value::F64(_)
+        | Value::Str(_) => true,
+        Value::Array(items) => !items.iter().any(|i| matches!(i, Value::Object(_))),
+        Value::Object(fields) => fields.iter().all(|(_, f)| {
+            matches!(
+                f,
+                Value::Null
+                    | Value::Bool(_)
+                    | Value::U64(_)
+                    | Value::I64(_)
+                    | Value::F64(_)
+                    | Value::Str(_)
+            )
+        }),
+    }
+}
+
+fn render_table(
+    out: &mut String,
+    path: &mut Vec<String>,
+    fields: &[(String, Value)],
+) -> Result<(), ScenarioError> {
+    // Inline keys first (a section header would otherwise capture them).
+    for (k, v) in fields {
+        if is_inline(v) {
+            out.push_str(&render_key(k));
+            out.push_str(" = ");
+            render_inline(out, v, path, k)?;
+            out.push('\n');
+        }
+    }
+    for (k, v) in fields {
+        if is_inline(v) {
+            continue;
+        }
+        match v {
+            Value::Object(inner) => {
+                path.push(k.clone());
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                out.push('[');
+                out.push_str(&join_path(path));
+                out.push_str("]\n");
+                render_table(out, path, inner)?;
+                path.pop();
+            }
+            Value::Array(items) => {
+                path.push(k.clone());
+                for item in items {
+                    let inner = match item {
+                        Value::Object(inner) => inner,
+                        other => {
+                            let p = join_path(path);
+                            path.pop();
+                            return Err(ScenarioError::Parse {
+                                path: p,
+                                why: format!(
+                                    "array mixes tables with {}: no TOML rendering",
+                                    other.type_name()
+                                ),
+                            });
+                        }
+                    };
+                    if !out.is_empty() {
+                        out.push('\n');
+                    }
+                    out.push_str("[[");
+                    out.push_str(&join_path(path));
+                    out.push_str("]]\n");
+                    render_table(out, path, inner)?;
+                }
+                path.pop();
+            }
+            // `is_inline` covered every other shape.
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn render_inline(
+    out: &mut String,
+    v: &Value,
+    path: &[String],
+    key: &str,
+) -> Result<(), ScenarioError> {
+    match v {
+        Value::Null => Err(ScenarioError::Parse {
+            path: format!("{}{}{key}", join_path(path), if path.is_empty() { "" } else { "." }),
+            why: "TOML has no null; omit the key instead".to_string(),
+        }),
+        Value::Bool(b) => {
+            out.push_str(if *b { "true" } else { "false" });
+            Ok(())
+        }
+        Value::U64(n) => {
+            out.push_str(&n.to_string());
+            Ok(())
+        }
+        Value::I64(n) => {
+            out.push_str(&n.to_string());
+            Ok(())
+        }
+        Value::F64(x) => {
+            out.push_str(&render_float(*x));
+            Ok(())
+        }
+        Value::Str(s) => {
+            render_string(out, s);
+            Ok(())
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_inline(out, item, path, key)?;
+            }
+            out.push(']');
+            Ok(())
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, f)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push(' ');
+                out.push_str(&render_key(k));
+                out.push_str(" = ");
+                render_inline(out, f, path, k)?;
+            }
+            out.push_str(" }");
+            Ok(())
+        }
+    }
+}
+
+/// Shortest round-trip float rendering, with TOML's spellings for the
+/// non-finite values.
+fn render_float(x: f64) -> String {
+    if x.is_nan() {
+        "nan".to_string()
+    } else if x == f64::INFINITY {
+        "inf".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else {
+        // `{:?}` always includes a `.` or an exponent, so the value parses
+        // back as a float and reproduces the original bits.
+        format!("{x:?}")
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render_key(k: &str) -> String {
+    if !k.is_empty() && k.chars().all(is_bare_key_char) {
+        k.to_string()
+    } else {
+        let mut quoted = String::new();
+        render_string(&mut quoted, k);
+        quoted
+    }
+}
+
+fn join_path(path: &[String]) -> String {
+    path.iter().map(|s| render_key(s)).collect::<Vec<_>>().join(".")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let text = r#"
+            name = "demo"   # trailing comment
+            seed = 7
+            ratio = 0.5
+            flags = [1, 2, 3]
+
+            [cluster]
+            preset = "a40"
+            gpus = 4
+
+            [[events]]
+            t = 1.5
+            kind = "gpu_fail"
+
+            [[events]]
+            t = 2.5
+            kind = "gpu_recover"
+        "#;
+        let v = parse(text).expect("parses");
+        assert_eq!(v.get("name"), Some(&Value::Str("demo".into())));
+        assert_eq!(v.get("seed"), Some(&Value::U64(7)));
+        assert_eq!(v.get("ratio"), Some(&Value::F64(0.5)));
+        let cluster = v.get("cluster").expect("cluster");
+        assert_eq!(cluster.get("gpus"), Some(&Value::U64(4)));
+        match v.get("events") {
+            Some(Value::Array(items)) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[1].get("kind"), Some(&Value::Str("gpu_recover".into())));
+            }
+            other => panic!("events should be an array of tables, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_inline_tables_and_dotted_keys() {
+        let text = "rate = { kind = \"qps\", qps = 12.0 }\nserve.total = 100\n";
+        let v = parse(text).expect("parses");
+        let rate = v.get("rate").expect("rate");
+        assert_eq!(rate.get("kind"), Some(&Value::Str("qps".into())));
+        assert_eq!(rate.get("qps"), Some(&Value::F64(12.0)));
+        let serve = v.get("serve").expect("serve");
+        assert_eq!(serve.get("total"), Some(&Value::U64(100)));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_reports_lines() {
+        let dup = parse("a = 1\na = 2\n");
+        match dup {
+            Err(ScenarioError::Syntax { line, why }) => {
+                assert_eq!(line, 2);
+                assert!(why.contains("already defined"), "{why}");
+            }
+            other => panic!("expected duplicate-key error, got {other:?}"),
+        }
+        assert!(parse("[t]\nx = 1\n[t]\n").is_err(), "duplicate table");
+        assert!(parse("x = @\n").is_err(), "bad value");
+        assert!(parse("x = \"unterminated\n").is_err(), "unterminated string");
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers() {
+        let v = parse("a = -3\nb = 1e3\nc = -0.5\nd = inf\n").expect("parses");
+        assert_eq!(v.get("a"), Some(&Value::I64(-3)));
+        assert_eq!(v.get("b"), Some(&Value::F64(1000.0)));
+        assert_eq!(v.get("c"), Some(&Value::F64(-0.5)));
+        assert_eq!(v.get("d"), Some(&Value::F64(f64::INFINITY)));
+    }
+
+    #[test]
+    fn render_then_parse_is_identity() {
+        let tree = obj(vec![
+            ("name", Value::Str("x \"y\"\n".into())),
+            ("seed", Value::U64(7)),
+            ("neg", Value::I64(-4)),
+            ("bound", Value::F64(f64::INFINITY)),
+            ("tiny", Value::F64(5e-324)),
+            ("third", Value::F64(1.0 / 3.0)),
+            ("list", Value::Array(vec![Value::U64(1), Value::U64(2)])),
+            ("rate", obj(vec![("kind", Value::Str("qps".into())), ("qps", Value::F64(12.5))])),
+            (
+                "serve",
+                obj(vec![
+                    ("total", Value::U64(100)),
+                    ("drift", obj(vec![("window", Value::U64(64))])),
+                ]),
+            ),
+            (
+                "events",
+                Value::Array(vec![
+                    obj(vec![("t", Value::F64(1.5))]),
+                    obj(vec![("t", Value::F64(2.5))]),
+                ]),
+            ),
+        ]);
+        let text = render(&tree).expect("renders");
+        let back = parse(&text).expect("reparses");
+        assert_eq!(back, tree, "canonical text:\n{text}");
+    }
+
+    #[test]
+    fn mixed_object_scalar_arrays_have_no_rendering() {
+        let tree =
+            obj(vec![("bad", Value::Array(vec![Value::U64(1), obj(vec![("x", Value::U64(2))])]))]);
+        assert!(render(&tree).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based guarantees of the scenario layer.
+//!
+//! * Round-trips: any valid scenario survives `Scenario -> TOML ->
+//!   Scenario` and `Scenario -> JSON -> Scenario` unchanged, boundary
+//!   floats included.
+//! * Lowering: every runnable scenario lowers to plans that pass the full
+//!   runtime [`PlanInvariants`] check.
+//! * Conservation: executing a runnable scenario loses no request — serve
+//!   and fleet runs complete exactly `total`, replays exactly
+//!   `num_queries`.
+//! * Recovery: a failure plus a straggler that both heal during the
+//!   backlog drain restore the original plan verbatim, with zero lost
+//!   requests.
+
+use exegpt::PlanInvariants;
+use exegpt_scenario::{
+    arbitrary::{arbitrary_fault_recovery, arbitrary_runnable, arbitrary_scenario},
+    lower, run, Report, Scenario,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Scenario -> TOML -> Scenario` is the identity, for every mode and
+    /// boundary floats (subnormals, 1e308, values with no short decimal).
+    #[test]
+    fn toml_round_trip_is_identity(seed in 0u64..1u64 << 32) {
+        let scenario = arbitrary_scenario(&mut StdRng::seed_from_u64(seed));
+        let text = scenario.to_toml_string().expect("valid scenarios render to TOML");
+        let back = Scenario::from_toml_str(&text);
+        prop_assert!(back.is_ok(), "re-parse failed: {:?}\n{text}", back.err());
+        prop_assert_eq!(scenario, back.unwrap(), "TOML round trip must be lossless");
+    }
+
+    /// `Scenario -> JSON -> Scenario` is the identity on the same space.
+    #[test]
+    fn json_round_trip_is_identity(seed in 0u64..1u64 << 32) {
+        let scenario = arbitrary_scenario(&mut StdRng::seed_from_u64(seed));
+        let text = scenario.to_json_string();
+        let back = Scenario::from_json_str(&text);
+        prop_assert!(back.is_ok(), "re-parse failed: {:?}\n{text}", back.err());
+        prop_assert_eq!(scenario, back.unwrap(), "JSON round trip must be lossless");
+    }
+
+    /// Every generated scenario passes its own validation (the generator's
+    /// contract), and validation survives a render/parse cycle.
+    #[test]
+    fn generated_scenarios_validate(seed in 0u64..1u64 << 32) {
+        let scenario = arbitrary_scenario(&mut StdRng::seed_from_u64(seed));
+        prop_assert!(scenario.validate().is_ok(), "generator produced an invalid scenario: {:?}", scenario.validate().err());
+    }
+}
+
+proptest! {
+    // Each case runs a schedule search; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Lowering a runnable scenario yields plans that pass the runtime
+    /// plan-invariants check on their own engines.
+    #[test]
+    fn lowered_plans_pass_invariants(seed in 0u64..1u64 << 32) {
+        let scenario = arbitrary_runnable(&mut StdRng::seed_from_u64(seed));
+        let lowered = lower(&scenario);
+        prop_assert!(lowered.is_ok(), "lowering failed: {:?}", lowered.err());
+        let lowered = lowered.unwrap();
+        let plans = lowered.plans();
+        prop_assert!(!plans.is_empty(), "a runnable scenario must produce a plan");
+        for (engine, schedule) in plans {
+            let check = PlanInvariants::check(engine.simulator(), schedule);
+            prop_assert!(check.is_ok(), "lowered plan violates invariants: {:?}", check.err());
+        }
+    }
+
+    /// Executing a runnable scenario conserves requests: nothing lost,
+    /// everything offered is completed.
+    #[test]
+    fn runs_conserve_requests(seed in 0u64..1u64 << 32) {
+        let scenario = arbitrary_runnable(&mut StdRng::seed_from_u64(seed));
+        let outcome = run(&scenario);
+        prop_assert!(outcome.is_ok(), "run failed: {:?}", outcome.err());
+        match &outcome.unwrap().report {
+            Report::Serve(r) => {
+                prop_assert_eq!(r.requests_lost, 0, "serve run lost requests");
+            }
+            Report::Fleet(r) => {
+                prop_assert_eq!(r.lost, 0, "fleet run lost requests");
+                prop_assert_eq!(r.rejected, 0, "fleet run rejected requests");
+                prop_assert_eq!(r.completed, r.dispatched, "fleet run dropped requests");
+            }
+            Report::Replay(_) => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A GPU failure and a straggler that both recover during the backlog
+    /// drain leave no request behind and restore the original schedule
+    /// byte for byte.
+    #[test]
+    fn fault_recovery_is_exact(seed in 0u64..1u64 << 32) {
+        let scenario = arbitrary_fault_recovery(&mut StdRng::seed_from_u64(seed));
+        let original = {
+            let lowered = lower(&scenario).expect("recovery scenario lowers");
+            let plans = lowered.plans();
+            plans[0].1.config.describe()
+        };
+        let outcome = run(&scenario);
+        prop_assert!(outcome.is_ok(), "run failed: {:?}", outcome.err());
+        let outcome = outcome.unwrap();
+        let Report::Serve(r) = &outcome.report else {
+            panic!("recovery scenario must be a serve run");
+        };
+        prop_assert_eq!(r.requests_lost, 0, "recovery lost requests");
+        prop_assert_eq!(r.faults_injected, 4, "all four fault events must fire");
+        prop_assert_eq!(
+            &r.final_schedule, &original,
+            "full recovery must restore the original plan"
+        );
+    }
+}

@@ -46,12 +46,14 @@ pub const CRATES: &[CrateInfo] = &[
     CrateInfo { dir: "serve", ident: "exegpt_serve", layer: 8 },
     CrateInfo { dir: "baselines", ident: "exegpt_baselines", layer: 8 },
     CrateInfo { dir: "fleet", ident: "exegpt_fleet", layer: 9 },
+    CrateInfo { dir: "scenario", ident: "exegpt_scenario", layer: 10 },
     CrateInfo { dir: "bench", ident: "exegpt_bench", layer: 10 },
 ];
 
 /// A compact rendering of the layer order, used in L1 suggestions.
 pub const LAYER_ORDER: &str = "units/dist/model → cluster → profiler → sim → workload → \
-                               core → runner → faults → serve/baselines → fleet → bench";
+                               core → runner → faults → serve/baselines → fleet → \
+                               scenario/bench";
 
 /// Index of the crate whose directory under `crates/` is `dir`.
 pub fn crate_index_for_dir(dir: &str) -> Option<usize> {

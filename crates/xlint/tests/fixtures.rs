@@ -151,6 +151,16 @@ fn baselines_crate_passes_the_full_rule_set() {
 }
 
 #[test]
+fn scenario_crate_passes_the_full_rule_set() {
+    // The scenario layer's whole contract is determinism from config: no
+    // wall clock in the loader (D2), no panics in lib code (P1), and
+    // byte-identical lowering. Its only RNG is the seeded StdRng behind
+    // the arbitrary generators.
+    let checked = assert_crate_passes_full_rule_set("scenario");
+    assert!(checked >= 8, "scanned only {checked} scenario sources");
+}
+
+#[test]
 fn n1_fixture_flags_casts_only_in_the_numeric_core() {
     let report = lint_fixture_as("n1.rs", "crates/core/src/fixture.rs");
     assert_eq!(rule_lines(&report, Rule::N1), vec![2, 3], "{:?}", report.findings);

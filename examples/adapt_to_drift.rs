@@ -1,54 +1,51 @@
 //! Adapting to workload drift (paper §7.6–§7.7): a service's output
-//! lengths grow 30% over time; keep serving with the stale schedule, or
-//! pay a re-deployment to re-optimize?
+//! lengths grow over time; keep serving with the stale schedule, or pay a
+//! re-deployment to re-optimize?
 //!
-//! The example quantifies both sides: throughput/latency of the
-//! non-adjusted schedule on the drifted traffic, the re-optimized
-//! schedule's numbers, and the re-deployment cost of switching (reloading
-//! weights from host DRAM, Table 4).
+//! The deployment, latency bound, and drift all come from a declarative
+//! scenario file (default `scenarios/replay-drift.toml`; pass another
+//! replay scenario as the first argument). The example quantifies both
+//! sides: throughput/latency of the non-adjusted schedule on the drifted
+//! traffic, the re-optimized schedule's numbers, and the re-deployment
+//! cost of switching (reloading weights from host DRAM, Table 4).
 //!
 //! Run with: `cargo run --release --example adapt_to_drift`
 
-use exegpt::Engine;
-use exegpt_cluster::{ClusterSpec, LoadSource};
-use exegpt_model::ModelConfig;
+use exegpt_cluster::LoadSource;
 use exegpt_runner::{RunOptions, Runner};
-use exegpt_sim::Workload;
+use exegpt_scenario::{lower, Lowered, Scenario};
 use exegpt_units::Secs;
-use exegpt_workload::Task;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let base = Task::Translation.workload()?;
-    let engine = Engine::builder()
-        .model(ModelConfig::opt_13b())
-        .cluster(ClusterSpec::a40_cluster().subcluster(4)?)
-        .workload(base.clone())
-        .build()?;
+    let path = std::env::args().nth(1).unwrap_or_else(|| "scenarios/replay-drift.toml".to_string());
+    let scenario = Scenario::load(std::path::Path::new(&path))?;
+    let Lowered::Replay(replay) = lower(&scenario)? else {
+        return Err(format!("{path}: adapt_to_drift needs a [replay] scenario").into());
+    };
+    println!("scenario `{}` from {path}", scenario.name);
 
-    // Schedule for the observed distribution with a 25 s bound.
-    let bound = Secs::new(25.0);
-    let schedule = engine.schedule(bound)?;
+    let engine = replay.engine;
+    let schedule = replay.schedule;
+    let base = engine.simulator().workload().clone();
+    let bound = Secs::new(scenario.scheduler.latency_bound_secs);
     println!(
         "scheduled for mean output {:.0} tokens: {}",
         base.output().mean(),
         schedule.config.describe()
     );
 
-    // The service drifts: outputs grow 30%.
-    let drifted = Workload::new(base.input().clone(), base.output().with_scaled_mean(1.3)?);
+    // The service drifts: the scenario's replay scales reshape the traffic
+    // while the plan stays sized for the old distribution.
+    let drifted = replay
+        .options
+        .request_workload
+        .clone()
+        .ok_or("the scenario declares no drift (replay.scale_mean/scale_std)")?;
     println!("\ntraffic drifted to mean output {:.0} tokens", drifted.output().mean());
 
-    // Option A: keep the stale schedule (plans stay sized for the old
-    // distribution; only the traffic changes).
+    // Option A: keep the stale schedule (exactly what the scenario runs).
     let runner = Runner::from_simulator(engine.simulator().clone());
-    let stale = runner.run(
-        &schedule.config,
-        &RunOptions {
-            num_queries: 800,
-            request_workload: Some(drifted.clone()),
-            ..Default::default()
-        },
-    )?;
+    let stale = runner.run(&schedule.config, &replay.options)?;
     println!(
         "  stale schedule : {:.2} q/s, p99 latency {:.2} s{}",
         stale.throughput,
@@ -60,8 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let adapted_engine = engine.with_workload(drifted);
     match adapted_engine.schedule(bound) {
         Ok(adapted) => {
-            let rep = Runner::from_simulator(adapted_engine.simulator().clone())
-                .run(&adapted.config, &RunOptions { num_queries: 800, ..Default::default() })?;
+            let rep = Runner::from_simulator(adapted_engine.simulator().clone()).run(
+                &adapted.config,
+                &RunOptions {
+                    num_queries: replay.options.num_queries,
+                    seed: replay.options.seed,
+                    ..Default::default()
+                },
+            )?;
             println!(
                 "  re-optimized   : {:.2} q/s, p99 latency {:.2} s  <- {}",
                 rep.throughput,

@@ -2,39 +2,48 @@
 //! vLLM on the same deployment and workload — the paper's §7.2/§7.3
 //! comparison as a runnable program.
 //!
-//! Every system plans itself for the same latency bound (derived from FT's
-//! batch sweep, the paper's protocol) and then serves the same sampled
-//! query stream; measured throughput and latency are reported.
+//! The deployment, workload, and query count come from a declarative
+//! scenario file (default `scenarios/replay-comparison.toml`; pass another
+//! replay scenario as the first argument). When the scenario pins a finite
+//! latency bound, every system plans for it; with an `inf` bound the
+//! example falls back to the paper's protocol and derives the bound from
+//! FasterTransformer's batch-latency sweep.
 //!
 //! Run with: `cargo run --release --example serving_comparison`
 
-use exegpt::Engine;
 use exegpt_baselines::{FasterTransformer, IterationLevel, Orca, Vllm};
-use exegpt_cluster::ClusterSpec;
-use exegpt_model::ModelConfig;
-use exegpt_runner::{RunOptions, Runner};
-use exegpt_workload::{latency_bounds, Task};
+use exegpt_runner::Runner;
+use exegpt_scenario::{lower, Lowered, Scenario};
+use exegpt_units::Secs;
+use exegpt_workload::latency_bounds;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let task = Task::ConversationalQa1;
-    let model = ModelConfig::opt_13b();
-    let cluster = ClusterSpec::a40_cluster().subcluster(4)?;
-    println!("{} on 4xA40, task {task} (conversational Q/A)\n", model.name());
+    let path =
+        std::env::args().nth(1).unwrap_or_else(|| "scenarios/replay-comparison.toml".to_string());
+    let scenario = Scenario::load(std::path::Path::new(&path))?;
+    let Lowered::Replay(replay) = lower(&scenario)? else {
+        return Err(format!("{path}: serving_comparison needs a [replay] scenario").into());
+    };
+    println!("scenario `{}` from {path}\n", scenario.name);
 
-    let engine =
-        Engine::builder().model(model).cluster(cluster).workload(task.workload()?).build()?;
+    let engine = replay.engine;
     let sim = engine.simulator().clone();
+    let opts = replay.options;
 
-    // The paper's bound protocol: percentiles of FT's batch-latency sweep.
     let ft = FasterTransformer::paper_default(sim.clone())?;
-    let bounds = latency_bounds(&ft.latency_sweep()).ok_or("empty sweep")?;
-    let bound = bounds[1]; // the bottom-30% bound
-    println!("latency bound: {bound:.1} s (FT bottom-30%)\n");
+    let bound = if scenario.scheduler.latency_bound_secs.is_finite() {
+        let b = Secs::new(scenario.scheduler.latency_bound_secs);
+        println!("latency bound: {b:.1} (from the scenario)\n");
+        b
+    } else {
+        // The paper's protocol: percentiles of FT's batch-latency sweep.
+        let bounds = latency_bounds(&ft.latency_sweep()).ok_or("empty sweep")?;
+        println!("latency bound: {:.1} (FT bottom-30%)\n", bounds[1]);
+        bounds[1]
+    };
     println!("{:<18} {:>10} {:>12} {:>10}", "system", "tput q/s", "p99 lat(s)", "max lat(s)");
 
-    let opts = RunOptions { num_queries: 800, ..Default::default() };
-
-    // ExeGPT: constraint-aware schedule, then replay.
+    // ExeGPT: the scenario's own plan, replayed.
     let schedule = engine.schedule(bound)?;
     let rep = Runner::from_simulator(sim.clone()).run(&schedule.config, &opts)?;
     println!(

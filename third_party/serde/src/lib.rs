@@ -104,6 +104,21 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+// A `Value` is trivially its own representation, so generic code (and the
+// TOML front-end in `exegpt-scenario`) can read a raw tree via
+// `serde_json::from_str::<Value>` before decoding it with richer errors.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 // --- primitives ---------------------------------------------------------
 
 macro_rules! impl_unsigned {
